@@ -1,0 +1,53 @@
+// Ablation A3 (DESIGN.md §5): array capacity vs throughput for the two
+// contributed queues.
+//
+// Capacity is the array queues' only tuning knob: a small array maximizes
+// index wraparound and full/empty stalls (the regime where Sec. 3's ABA
+// analysis matters and where Tsigas–Zhang-style approaches would need an
+// "exceedingly oversized array"); a large array spreads contention across
+// slots. Burst is fixed at 1 so even the smallest capacity stays
+// deadlock-free at every thread count.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  CliOptions opts = parse_cli(argc, argv, {4}, 20000, 2);
+  opts.workload.burst = 1;
+
+  const std::vector<std::size_t> capacities = {16, 64, 256, 1024, 4096};
+  const std::vector<std::string> algos = {"fifo-llsc", "fifo-simcas", "shann", "tsigas-zhang"};
+
+  if (opts.csv) {
+    std::printf("capacity");
+    for (const auto& a : algos) {
+      std::printf(",%s", a.c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("== Ablation A3: capacity sweep (threads=%u, burst=1) ==\n",
+                opts.thread_counts[0]);
+    std::printf("%-10s", "capacity");
+    for (const auto& a : algos) {
+      std::printf("  %-18s", a.c_str());
+    }
+    std::printf("\n");
+  }
+  for (std::size_t cap : capacities) {
+    std::printf(opts.csv ? "%zu" : "%-10zu", cap);
+    for (const std::string& name : algos) {
+      const QueueSpec& spec = find_queue(name);
+      WorkloadParams p = opts.workload;
+      p.threads = opts.thread_counts[0];
+      p.capacity = cap;
+      std::fprintf(stderr, "# %-12s capacity=%zu ...\n", spec.name.c_str(), cap);
+      const Summary s = summarize(run_workload(spec, p));
+      std::printf(opts.csv ? ",%.6f" : "  %10.4f s       ", s.mean);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation A2 (DESIGN.md §5): hazard-pointer scan strategy and free
+// threshold for the MS-HP baseline.
+//
+// The paper fixes the threshold at 4x the thread count ("huge waste of
+// memory [but] the cost to reclaim the nodes becomes fairly low") and
+// observes that SORTING the collected hazard array pays off once the thread
+// count is moderate-to-high. This bench sweeps multiplier x scan-mode.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/harness/runner.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::harness;
+
+QueueSpec hp_spec(hazard::ScanMode mode, std::size_t multiplier) {
+  const std::string name = std::string("ms-hp-") +
+                           (mode == hazard::ScanMode::kSorted ? "sorted" : "linear") + "-x" +
+                           std::to_string(multiplier);
+  QueueFactory make = [mode, multiplier](std::size_t) -> std::unique_ptr<AnyQueue> {
+    return std::make_unique<QueueAdapter<baselines::MsHpQueue<Payload>>>(mode, multiplier);
+  };
+  return QueueSpec{name, name, false, true, std::move(make)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opts = parse_cli(argc, argv, {2, 8, 16}, 3000, 2);
+
+  FigureResult fig;
+  fig.thread_counts = opts.thread_counts;
+  for (hazard::ScanMode mode : {hazard::ScanMode::kUnsorted, hazard::ScanMode::kSorted}) {
+    for (std::size_t multiplier : {1, 4, 16}) {
+      const QueueSpec spec = hp_spec(mode, multiplier);
+      SeriesResult series{spec.name, spec.paper_label, {}};
+      for (unsigned threads : opts.thread_counts) {
+        WorkloadParams p = opts.workload;
+        p.threads = threads;
+        std::fprintf(stderr, "# %-22s threads=%u ...\n", spec.name.c_str(), threads);
+        series.by_threads.push_back(summarize(run_workload(spec, p)));
+      }
+      fig.series.push_back(std::move(series));
+    }
+  }
+  print_absolute(fig, opts, "Ablation A2: MS-HP scan mode x free threshold");
+  return 0;
+}

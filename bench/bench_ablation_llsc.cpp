@@ -1,0 +1,68 @@
+// Ablation A1 (DESIGN.md §5): cost of the LL/SC emulation policy under
+// Algorithm 1, supporting the paper's Sec. 5 portability discussion.
+//
+//   fifo-llsc          {value, 64-bit version} via cmpxchg16b (reference)
+//   fifo-llsc-packed   48-bit pointer + 16-bit version, single 64-bit word
+//   weak variants      spurious SC failure injected at 5% / 25% (hardware
+//                      limitation #3: reservations lost to cache pressure
+//                      or preemption) — measures retry-loop resilience.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/harness/runner.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::harness;
+
+template <typename T>
+using Weak5 = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 5>;
+template <typename T>
+using Weak25 = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 25>;
+
+/// Local (non-registry) specs for the weak variants.
+QueueSpec weak_spec(const std::string& name, const std::string& label, int which) {
+  QueueFactory make;
+  if (which == 5) {
+    make = [](std::size_t cap) -> std::unique_ptr<AnyQueue> {
+      return std::make_unique<QueueAdapter<LlscArrayQueue<Payload, Weak5>>>(cap);
+    };
+  } else {
+    make = [](std::size_t cap) -> std::unique_ptr<AnyQueue> {
+      return std::make_unique<QueueAdapter<LlscArrayQueue<Payload, Weak25>>>(cap);
+    };
+  }
+  return QueueSpec{name, label, true, true, std::move(make)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opts = parse_cli(argc, argv, {1, 4, 16}, 3000, 2);
+
+  std::vector<QueueSpec> specs;
+  specs.push_back(find_queue("fifo-llsc"));
+  specs.push_back(find_queue("fifo-llsc-versioned"));
+  specs.push_back(weak_spec("fifo-llsc-weak5", "LL/SC, 5% spurious SC failure", 5));
+  specs.push_back(weak_spec("fifo-llsc-weak25", "LL/SC, 25% spurious SC failure", 25));
+
+  FigureResult fig;
+  fig.thread_counts = opts.thread_counts;
+  for (const QueueSpec& spec : specs) {
+    SeriesResult series{spec.name, spec.paper_label, {}};
+    for (unsigned threads : opts.thread_counts) {
+      WorkloadParams p = opts.workload;
+      p.threads = threads;
+      std::fprintf(stderr, "# %-18s threads=%u ...\n", spec.name.c_str(), threads);
+      series.by_threads.push_back(summarize(run_workload(spec, p)));
+    }
+    fig.series.push_back(std::move(series));
+  }
+  print_absolute(fig, opts, "Ablation A1: LL/SC emulation policy under Algorithm 1");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Extension experiment E2 (beyond the paper): the reclamation spectrum for
+// link-based queues.
+//
+// The paper's related-work section enumerates the ways a link-based FIFO
+// can cope with memory reclamation — free pools ("never free"), hazard
+// pointers, Doherty-style simulated LL/SC — and benchmarks two of them
+// against the array queues. This bench lines up all four MS variants (plus
+// epoch-based reclamation, the "almost a garbage collector" option) so the
+// reclamation cost itself is isolated: the queue algorithm is identical in
+// every column.
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  const CliOptions opts = parse_cli(argc, argv, {1, 4, 16, 32}, 3000, 2);
+  const std::vector<std::string> algos = {"ms-pool", "ms-ebr", "ms-hp", "ms-hp-sorted",
+                                          "ms-doherty"};
+  const FigureResult fig = run_figure(algos, opts);
+  print_absolute(fig, opts,
+                 "Extension E2: Michael-Scott queue under five reclamation schemes");
+  return 0;
+}

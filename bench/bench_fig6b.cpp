@@ -1,0 +1,19 @@
+// Fig. 6b — actual running time vs number of threads on the CAS-only
+// machine (the paper's AMD Sempron). Algorithms, in the paper's legend
+// order: MS-Doherty et al., MS-Hazard Pointers Not Sorted, MS-Hazard
+// Pointers Sorted, FIFO Array Simulated CAS, Shann et al. (wide CAS).
+//
+// Expected shape (paper): Shann and FIFO Simulated CAS within ~5% of each
+// other (Shann slightly ahead, paying 1 wide CAS vs 3 narrow CAS + 2 FAA);
+// MS-HP competitive at moderate thread counts; MS-Doherty slowest.
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  const CliOptions opts = parse_cli(argc, argv, {1, 4, 8, 16, 32, 64}, 5000, 3);
+  const std::vector<std::string> algos = {"ms-doherty", "ms-hp", "ms-hp-sorted", "fifo-simcas",
+                                          "shann"};
+  const FigureResult fig = run_figure(algos, opts);
+  print_absolute(fig, opts, "Fig. 6b: actual running time, CAS machine analog");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 6c — Fig. 6a's series normalized to FIFO Array Simulated CAS ("the
+// basis of normalization was chosen to be our CAS-based implementation
+// because this algorithm is common to both experiments").
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  const CliOptions opts = parse_cli(argc, argv, {1, 2, 4, 8, 16, 32}, 5000, 3);
+  const std::vector<std::string> algos = {"ms-doherty", "fifo-simcas", "ms-hp", "ms-hp-sorted",
+                                          "fifo-llsc"};
+  const FigureResult fig = run_figure(algos, opts);
+  print_normalized(fig, opts, "Fig. 6c: normalized running time, LL/SC machine analog",
+                   "fifo-simcas");
+  return 0;
+}

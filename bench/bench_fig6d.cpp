@@ -1,0 +1,13 @@
+// Fig. 6d — Fig. 6b's series normalized to FIFO Array Simulated CAS.
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  const CliOptions opts = parse_cli(argc, argv, {1, 4, 8, 16, 32, 64}, 5000, 3);
+  const std::vector<std::string> algos = {"ms-doherty", "ms-hp", "ms-hp-sorted", "fifo-simcas",
+                                          "shann"};
+  const FigureResult fig = run_figure(algos, opts);
+  print_normalized(fig, opts, "Fig. 6d: normalized running time, CAS machine analog",
+                   "fifo-simcas");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// google-benchmark micro throughput: per-operation-pair latency of every
+// queue in the study, uncontended and under symmetric contention.
+//
+// Complements the figure benches: Fig. 6 measures the paper's composite
+// workload (bursts + allocation); these numbers isolate the raw
+// enqueue+dequeue pair so regressions in a single algorithm's fast path are
+// visible without workload noise.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evq/harness/queue_registry.hpp"
+
+namespace {
+
+using namespace evq::harness;
+
+/// One enqueue+dequeue pair per iteration. The queue is shared by all
+/// benchmark threads of the run; each thread uses its own handle and
+/// payload, so the queue stays near-empty and the pair cost dominates.
+void pair_bench(benchmark::State& state, AnyQueue* queue) {
+  auto handle = queue->handle();
+  Payload payload;
+  for (auto _ : state) {
+    while (!handle->try_push(&payload)) {
+    }
+    Payload* out = nullptr;
+    while ((out = handle->try_pop()) == nullptr) {
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+// Queues live for the whole program; each registered benchmark owns one.
+std::vector<std::unique_ptr<AnyQueue>>& live_queues() {
+  static std::vector<std::unique_ptr<AnyQueue>> queues;
+  return queues;
+}
+
+void register_benches() {
+  const std::vector<std::string> names = {"fifo-llsc", "fifo-simcas", "ms-hp", "ms-doherty",
+                                          "shann",     "tsigas-zhang", "mutex"};
+  for (const std::string& name : names) {
+    const QueueSpec& spec = find_queue(name);
+    live_queues().push_back(spec.make(1024));
+    AnyQueue* queue = live_queues().back().get();
+    benchmark::RegisterBenchmark(("pair/" + name).c_str(),
+                                 [queue](benchmark::State& st) { pair_bench(st, queue); })
+        ->Threads(1)
+        ->Threads(2)
+        ->Threads(4);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// In-text experiment T1 (Sec. 6): single-thread overhead of each
+// synchronized implementation over an unsynchronized array ring.
+//
+// Paper numbers: "Our LL/SC and CAS-based implementations are respectively
+// 12% and 50% slower on the PowerPC, and the CAS-based implementation is
+// 90% slower on the AMD."
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evq/harness/runner.hpp"
+#include "evq/harness/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  CliOptions opts = parse_cli(argc, argv, {1}, 20000, 3);
+  opts.thread_counts = {1};  // this experiment is single-threaded by definition
+
+  const std::vector<std::string> algos = {"unsync",      "fifo-llsc", "fifo-llsc-versioned",
+                                          "fifo-simcas", "shann",     "ms-hp",
+                                          "ms-doherty",  "mutex"};
+  struct Row {
+    std::string name;
+    std::string label;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  double base = 0.0;
+  for (const std::string& name : algos) {
+    const QueueSpec& spec = find_queue(name);
+    WorkloadParams p = opts.workload;
+    p.threads = 1;
+    std::fprintf(stderr, "# %-18s ...\n", spec.name.c_str());
+    const Summary s = summarize(run_workload(spec, p));
+    rows.push_back({spec.name, spec.paper_label, s.mean});
+    if (name == "unsync") {
+      base = s.mean;
+    }
+  }
+
+  if (opts.csv) {
+    std::printf("queue,seconds,overhead_pct\n");
+    for (const Row& r : rows) {
+      std::printf("%s,%.6f,%.1f\n", r.name.c_str(), r.seconds,
+                  (r.seconds / base - 1.0) * 100.0);
+    }
+    return 0;
+  }
+  std::printf("== Single-thread overhead vs unsynchronized ring (Sec. 6 in-text) ==\n");
+  std::printf("(paper: LL/SC +12%%, Simulated CAS +50%% (PowerPC) / +90%% (AMD))\n");
+  std::printf("%-18s  %-32s  %10s  %9s\n", "queue", "paper label", "seconds", "overhead");
+  for (const Row& r : rows) {
+    std::printf("%-18s  %-32s  %10.4f  %+8.1f%%\n", r.name.c_str(), r.label.c_str(), r.seconds,
+                (r.seconds / base - 1.0) * 100.0);
+  }
+  return 0;
+}

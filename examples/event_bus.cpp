@@ -1,0 +1,80 @@
+// Event handling (one of the paper's three motivating uses): many event
+// sources fan into one bounded non-blocking queue; a dispatcher drains it
+// and routes events to handlers. Per-source FIFO order is a queue guarantee,
+// so causally ordered events from one source are always handled in order.
+//
+// Build & run:   ./build/examples/event_bus
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "evq/core/llsc_array_queue.hpp"
+
+namespace {
+
+enum class EventType : std::uint8_t { kKey, kTimer, kIo };
+
+struct Event {
+  EventType type = EventType::kKey;
+  std::uint32_t source = 0;
+  std::uint64_t seq = 0;  // per-source sequence number
+};
+
+constexpr std::uint32_t kSources = 3;
+constexpr std::uint64_t kEventsPerSource = 15000;
+
+}  // namespace
+
+int main() {
+  // Algorithm 1 (LL/SC emulation): zero per-thread state, so sources can be
+  // short-lived threads without any registration protocol.
+  evq::LlscArrayQueue<Event> bus(128);
+  std::vector<std::vector<Event>> storage(kSources);
+
+  std::vector<std::thread> sources;
+  for (std::uint32_t s = 0; s < kSources; ++s) {
+    storage[s].resize(kEventsPerSource);
+    sources.emplace_back([&, s] {
+      auto h = bus.handle();
+      for (std::uint64_t i = 0; i < kEventsPerSource; ++i) {
+        Event& e = storage[s][i];
+        e.type = static_cast<EventType>(i % 3);
+        e.source = s;
+        e.seq = i;
+        while (!bus.try_push(h, &e)) {
+          std::this_thread::yield();  // bus full: dispatcher is behind
+        }
+      }
+    });
+  }
+
+  // The dispatcher: counts per type and checks per-source ordering.
+  std::uint64_t handled[3] = {0, 0, 0};
+  std::uint64_t next_seq[kSources] = {0};
+  bool ordered = true;
+  {
+    auto h = bus.handle();
+    std::uint64_t total = 0;
+    while (total < kSources * kEventsPerSource) {
+      Event* e = bus.try_pop(h);
+      if (e == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      ++handled[static_cast<int>(e->type)];
+      ordered = ordered && (e->seq == next_seq[e->source]);
+      next_seq[e->source] = e->seq + 1;
+      ++total;
+    }
+  }
+  for (auto& t : sources) {
+    t.join();
+  }
+
+  std::printf("dispatched %llu key, %llu timer, %llu io events; per-source order %s\n",
+              static_cast<unsigned long long>(handled[0]),
+              static_cast<unsigned long long>(handled[1]),
+              static_cast<unsigned long long>(handled[2]), ordered ? "intact" : "BROKEN");
+  return ordered ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Michael–Scott queue with epoch-based reclamation — extension baseline.
+//
+// Approximates the paper's "assume a garbage collector" option for
+// link-based queues with a practical scheme: operations pin the global
+// epoch instead of publishing per-pointer hazards, making the hot path
+// cheaper than MS-HP (no protect loops), but reclamation now depends on
+// EVERY thread making progress — one preempted thread freezes the epoch
+// and memory grows without bound, which is precisely the
+// multiprogramming-hostile behaviour the paper's array queues avoid.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/reclaim/epoch.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class MsEbrQueue {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T* value{nullptr};
+  };
+
+  using Domain = reclaim::EpochDomain<Node>;
+
+  class Handle {
+   public:
+    explicit Handle(Domain& domain) : domain_(&domain), rec_(domain.acquire()) {}
+    Handle(Handle&& other) noexcept : domain_(other.domain_), rec_(other.rec_) {
+      other.domain_ = nullptr;
+      other.rec_ = nullptr;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    Handle& operator=(Handle&&) = delete;
+    ~Handle() {
+      if (domain_ != nullptr) {
+        domain_->release(rec_);
+      }
+    }
+
+   private:
+    friend class MsEbrQueue;
+    Domain* domain_;
+    typename Domain::Record* rec_;
+  };
+
+  explicit MsEbrQueue(std::size_t flush_threshold = 64) : domain_(flush_threshold) {
+    Node* dummy = new Node;
+    head_.value.store(dummy, std::memory_order_relaxed);
+    tail_.value.store(dummy, std::memory_order_relaxed);
+  }
+
+  MsEbrQueue(const MsEbrQueue&) = delete;
+  MsEbrQueue& operator=(const MsEbrQueue&) = delete;
+
+  ~MsEbrQueue() {
+    Node* node = head_.value.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  [[nodiscard]] Handle handle() { return Handle{domain_}; }
+
+  bool try_push(Handle& h, T* value) {
+    EVQ_DCHECK(value != nullptr, "cannot enqueue nullptr");
+    Node* node = new Node;
+    node->value = value;
+    reclaim::EpochGuard<Node> guard(domain_, h.rec_);
+    for (;;) {
+      Node* tail = tail_.value.load(std::memory_order_seq_cst);
+      Node* next = tail->next.load(std::memory_order_seq_cst);  // safe: pinned
+      if (tail != tail_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (next != nullptr) {  // tail lagging: help swing it
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        continue;
+      }
+      Node* expected = nullptr;
+      const bool linked =
+          tail->next.compare_exchange_strong(expected, node, std::memory_order_seq_cst);
+      stats::on_cas(linked);
+      if (linked) {
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        return true;
+      }
+    }
+  }
+
+  T* try_pop(Handle& h) {
+    reclaim::EpochGuard<Node> guard(domain_, h.rec_);
+    for (;;) {
+      Node* head = head_.value.load(std::memory_order_seq_cst);
+      Node* tail = tail_.value.load(std::memory_order_seq_cst);
+      Node* next = head->next.load(std::memory_order_seq_cst);  // safe: pinned
+      if (head != head_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (next == nullptr) {
+        return nullptr;  // empty
+      }
+      if (head == tail) {  // tail lagging: help swing it
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        continue;
+      }
+      T* value = next->value;
+      const bool moved =
+          head_.value.compare_exchange_strong(head, next, std::memory_order_seq_cst);
+      stats::on_cas(moved);
+      if (moved) {
+        domain_.retire(h.rec_, head);
+        return value;
+      }
+    }
+  }
+
+  [[nodiscard]] Domain& domain() noexcept { return domain_; }
+
+ private:
+  CachePadded<std::atomic<Node*>> head_{nullptr};
+  CachePadded<std::atomic<Node*>> tail_{nullptr};
+  Domain domain_;
+};
+
+}  // namespace evq::baselines

@@ -1,0 +1,143 @@
+// Michael–Scott link-based FIFO queue [9] with hazard-pointer reclamation
+// [10] — the "MS-Hazard Pointers" comparator of Fig. 6, in both its Sorted
+// and Not-Sorted scan configurations.
+//
+// Two successful CASes per enqueue (link + tail swing, the swing possibly
+// helped), one per dequeue, plus the reclamation overhead the paper's study
+// is about: every operation publishes hazard pointers with store+fence
+// semantics, and every 4 x threads retirements trigger a scan over all
+// published hazards.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/hazard/hp_domain.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class MsHpQueue {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T* value{nullptr};
+  };
+
+  using Domain = hazard::HpDomain<Node, 2>;
+
+  /// Per-thread handle: an acquired hazard record (slots: 0 = head/tail,
+  /// 1 = next).
+  class Handle {
+   public:
+    explicit Handle(Domain& domain) : guard_(domain) {}
+
+   private:
+    friend class MsHpQueue;
+    hazard::HpGuard<Node, 2> guard_;
+  };
+
+  explicit MsHpQueue(hazard::ScanMode mode = hazard::ScanMode::kUnsorted,
+                     std::size_t threshold_multiplier = 4)
+      : domain_(mode, threshold_multiplier) {
+    Node* dummy = new Node;
+    head_.value.store(dummy, std::memory_order_relaxed);
+    tail_.value.store(dummy, std::memory_order_relaxed);
+  }
+
+  MsHpQueue(const MsHpQueue&) = delete;
+  MsHpQueue& operator=(const MsHpQueue&) = delete;
+
+  /// Quiescent destruction: frees the remaining chain (retired nodes belong
+  /// to the domain, which frees them itself).
+  ~MsHpQueue() {
+    Node* node = head_.value.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  [[nodiscard]] Handle handle() { return Handle{domain_}; }
+
+  /// Always succeeds (link-based queues are unbounded); returns bool to
+  /// satisfy the common queue interface.
+  bool try_push(Handle& h, T* value) {
+    EVQ_DCHECK(value != nullptr, "cannot enqueue nullptr");
+    auto* rec = h.guard_.record();
+    Node* node = new Node;
+    node->value = value;
+    for (;;) {
+      Node* tail = domain_.protect(rec, 0, tail_.value);
+      Node* next = tail->next.load(std::memory_order_seq_cst);
+      if (tail != tail_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (next != nullptr) {  // tail lagging: help swing it
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        continue;
+      }
+      Node* expected = nullptr;
+      const bool linked =
+          tail->next.compare_exchange_strong(expected, node, std::memory_order_seq_cst);
+      stats::on_cas(linked);
+      if (linked) {
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        domain_.clear(rec, 0);
+        return true;
+      }
+    }
+  }
+
+  T* try_pop(Handle& h) {
+    auto* rec = h.guard_.record();
+    for (;;) {
+      Node* head = domain_.protect(rec, 0, head_.value);
+      Node* tail = tail_.value.load(std::memory_order_seq_cst);
+      Node* next = domain_.protect(rec, 1, head->next);
+      if (head != head_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (next == nullptr) {  // empty
+        domain_.clear(rec, 0);
+        domain_.clear(rec, 1);
+        return nullptr;
+      }
+      if (head == tail) {  // tail lagging: help swing it
+        stats::on_cas(
+            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        continue;
+      }
+      T* value = next->value;  // read before the dummy hand-off
+      const bool moved = head_.value.compare_exchange_strong(head, next, std::memory_order_seq_cst);
+      stats::on_cas(moved);
+      if (moved) {
+        domain_.clear(rec, 0);
+        domain_.clear(rec, 1);
+        domain_.retire(rec, head);
+        return value;
+      }
+    }
+  }
+
+  [[nodiscard]] Domain& domain() noexcept { return domain_; }
+
+ private:
+  CachePadded<std::atomic<Node*>> head_{nullptr};
+  CachePadded<std::atomic<Node*>> tail_{nullptr};
+  Domain domain_;
+};
+
+}  // namespace evq::baselines

@@ -1,0 +1,122 @@
+// Michael–Scott queue with free-pool reclamation and single-word counted
+// pointers.
+//
+// This is the "never free the node, store it in a free pool" scheme from the
+// paper's related-work discussion (its drawback — the footprint never
+// shrinks below the high-water mark — is measured by the A2 ablation). With
+// nodes recycled, the bare MS queue suffers address-reuse ABA on Head, Tail
+// and next; the original Michael–Scott fix is a counted pointer updated by
+// double-width CAS, which is exactly what the paper says 64-bit machines
+// lack. Here the count rides in the 16 spare bits of a canonical x86-64
+// pointer (PackedLlsc), keeping every update single-word — the same
+// discipline as the paper's own algorithms.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/reclaim/free_pool.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class MsPoolQueue {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using Handle = TrivialHandle;
+
+  struct Node {
+    llsc::PackedLlsc<Node*> next;
+    std::atomic<T*> value{nullptr};
+    Node* free_next = nullptr;
+  };
+
+  MsPoolQueue() {
+    Node* dummy = pool_.make();
+    head_.value.store(dummy);
+    tail_.value.store(dummy);
+  }
+
+  MsPoolQueue(const MsPoolQueue&) = delete;
+  MsPoolQueue& operator=(const MsPoolQueue&) = delete;
+
+  /// Quiescent destruction: the chain goes back to the pool, which owns all
+  /// node memory and frees it.
+  ~MsPoolQueue() {
+    Node* node = head_.value.load();
+    while (node != nullptr) {
+      Node* next = node->next.load();
+      pool_.put(node);
+      node = next;
+    }
+  }
+
+  [[nodiscard]] Handle handle() noexcept { return {}; }
+
+  bool try_push(Handle&, T* value) {
+    EVQ_DCHECK(value != nullptr, "cannot enqueue nullptr");
+    Node* node = pool_.take_or_new();
+    node->value.store(value, std::memory_order_relaxed);
+    node->next.store(nullptr);  // version bump invalidates stale reservations
+    for (;;) {
+      auto tail_link = tail_.value.ll();
+      Node* tail = tail_link.value();
+      auto next_link = tail->next.ll();
+      Node* next = next_link.value();
+      if (!tail_.value.validate(tail_link)) {
+        continue;  // tail moved: our reads may be of a recycled node
+      }
+      if (next != nullptr) {  // tail lagging: help swing it
+        tail_.value.sc(tail_link, next);
+        continue;
+      }
+      if (tail->next.sc(next_link, node)) {
+        tail_.value.sc(tail_link, node);
+        return true;
+      }
+    }
+  }
+
+  T* try_pop(Handle&) {
+    for (;;) {
+      auto head_link = head_.value.ll();
+      Node* head = head_link.value();
+      auto tail_link = tail_.value.ll();
+      Node* tail = tail_link.value();
+      Node* next = head->next.load();
+      if (!head_.value.validate(head_link)) {
+        continue;
+      }
+      if (next == nullptr) {
+        return nullptr;  // empty
+      }
+      if (head == tail) {  // tail lagging: help swing it
+        tail_.value.sc(tail_link, next);
+        continue;
+      }
+      // `next` cannot be recycled before Head passes it, and Head cannot
+      // pass it before our sc below — so a successful sc certifies `value`.
+      T* value = next->value.load(std::memory_order_seq_cst);
+      if (head_.value.sc(head_link, next)) {
+        pool_.put(head);
+        return value;
+      }
+    }
+  }
+
+  [[nodiscard]] reclaim::FreePool<Node>& pool() noexcept { return pool_; }
+
+ private:
+  CachePadded<llsc::PackedLlsc<Node*>> head_{};
+  CachePadded<llsc::PackedLlsc<Node*>> tail_{};
+  reclaim::FreePool<Node> pool_;
+};
+
+}  // namespace evq::baselines

@@ -1,0 +1,216 @@
+// Michael–Scott queue over CAS-simulated LL/SC — the "MS-Doherty et al."
+// comparator of Fig. 6.
+//
+// The paper benchmarks Michael & Scott's queue running on Doherty et al.'s
+// CAS-based simulation of LL/SC [2], whose measured signature is "7
+// successful CAS instructions per queueing operation — unquestionably the
+// slowest". Per the reproduction's substitution rule (DESIGN.md §2), this
+// file rebuilds that comparator with the paper's OWN simulation machinery:
+// Head, Tail and every node's next field are SimLlscCells (reservation
+// tags + refcounted LLSCvars), nodes are recycled through a free pool, and
+// a per-node guard count provides the reuse protection Doherty's exit/entry
+// tags provide in the original. The cost profile is the same: every
+// operation pays a tag-install CAS per cell touched, two FetchAndAdds per
+// foreign read, plus pool traffic — which is the property Fig. 6 measures.
+//
+// Reuse-safety argument (why a pooled node can never corrupt the list):
+//  * A thread that wants to dereference node n first increments n->guards,
+//    then validates that its reservation tag is still physically present in
+//    the cell it read n from. Validation success means n was in the list at
+//    some point after the guard became visible, so the pool (which only
+//    hands out nodes with guards == 0) cannot recycle n until the guard
+//    drops.
+//  * A link-in (`sc(next: null -> node)`) can only succeed while the target
+//    is the genuine in-list tail: a node leaves the list only after gaining
+//    a successor, which writes its next cell and invalidates any older
+//    reservation on it; under a guard the next cell can never return to
+//    null, so the "expected null" reservation is unfalsifiable-stale.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/common/tagged_ptr.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/reclaim/free_pool.hpp"
+#include "evq/registry/registry.hpp"
+#include "evq/registry/sim_llsc_cell.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class MsSimQueue {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+
+  struct Node {
+    registry::SimLlscCell<Node*> next;
+    std::atomic<T*> value{nullptr};
+    /// Threads currently entitled to dereference this node; the pool skips
+    /// guarded nodes (see file comment).
+    std::atomic<std::uint32_t> guards{0};
+    Node* free_next = nullptr;
+  };
+
+  /// Per-thread handle: two registered LLSCvars, because an operation holds
+  /// up to two simultaneous reservations (Tail + next, or Head + Tail).
+  class Handle {
+   public:
+    explicit Handle(registry::Registry& reg) : primary_(reg), secondary_(reg) {}
+
+   private:
+    friend class MsSimQueue;
+    registry::Registration primary_;
+    registry::Registration secondary_;
+  };
+
+  MsSimQueue() {
+    Node* dummy = pool_.make();
+    head_.value.reset(dummy);
+    tail_.value.reset(dummy);
+  }
+
+  MsSimQueue(const MsSimQueue&) = delete;
+  MsSimQueue& operator=(const MsSimQueue&) = delete;
+
+  ~MsSimQueue() {
+    Node* node = head_.value.load();
+    while (node != nullptr) {
+      Node* next = node->next.load();
+      pool_.put(node);
+      node = next;
+    }
+  }
+
+  [[nodiscard]] Handle handle() { return Handle{registry_}; }
+
+  bool try_push(Handle& h, T* value) {
+    EVQ_DCHECK(value != nullptr, "cannot enqueue nullptr");
+    Node* node = take_clean();
+    node->value.store(value, std::memory_order_seq_cst);
+    node->next.reset(nullptr);  // safe: guards == 0 => no foreign reservation
+    registry::LlscVar* var_tail = h.primary_.fresh();
+    registry::LlscVar* var_next = h.secondary_.fresh();
+    for (;;) {
+      Node* tail = tail_.value.ll(var_tail);
+      tail->guards.fetch_add(1, std::memory_order_seq_cst);
+      stats::on_faa();
+      if (tail_.value.raw() != lsb_tag(var_tail)) {
+        tail->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        continue;  // reservation taken over: `tail` may already be recycled
+      }
+      Node* next = tail->next.load();
+      if (next != nullptr) {  // tail lagging: help swing it
+        tail->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        tail_.value.sc(var_tail, next);
+        continue;
+      }
+      Node* observed = tail->next.ll(var_next);
+      if (observed != nullptr) {  // raced with another link-in
+        tail->next.release(var_next);
+        tail->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        tail_.value.sc(var_tail, observed);
+        continue;
+      }
+      if (tail->next.sc(var_next, node)) {
+        tail->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        tail_.value.sc(var_tail, node);  // swing; failure means we were helped
+        return true;
+      }
+      tail->guards.fetch_sub(1, std::memory_order_seq_cst);
+      stats::on_faa();
+      tail_.value.release(var_tail);
+    }
+  }
+
+  T* try_pop(Handle& h) {
+    registry::LlscVar* var_head = h.primary_.fresh();
+    registry::LlscVar* var_tail = h.secondary_.fresh();
+    for (;;) {
+      Node* head = head_.value.ll(var_head);
+      head->guards.fetch_add(1, std::memory_order_seq_cst);
+      stats::on_faa();
+      if (head_.value.raw() != lsb_tag(var_head)) {
+        head->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        continue;
+      }
+      Node* tail = tail_.value.load();
+      Node* next = head->next.load();
+      if (next == nullptr) {  // empty (see file comment for linearization)
+        head->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        head_.value.release(var_head);
+        return nullptr;
+      }
+      if (head == tail) {  // tail lagging: help swing it
+        Node* t2 = tail_.value.ll(var_tail);
+        if (t2 == head) {
+          tail_.value.sc(var_tail, next);
+        } else {
+          tail_.value.release(var_tail);
+        }
+        head->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        head_.value.release(var_head);
+        continue;
+      }
+      T* value = next->value.load(std::memory_order_seq_cst);
+      if (head_.value.sc(var_head, next)) {
+        head->guards.fetch_sub(1, std::memory_order_seq_cst);
+        stats::on_faa();
+        pool_.put(head);
+        return value;
+      }
+      head->guards.fetch_sub(1, std::memory_order_seq_cst);
+      stats::on_faa();
+    }
+  }
+
+  [[nodiscard]] registry::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] reclaim::FreePool<Node>& pool() noexcept { return pool_; }
+
+ private:
+  /// Pops a node the guard protocol permits reusing (guards == 0), setting
+  /// aside a bounded number of still-guarded nodes; allocates fresh when the
+  /// pool yields nothing reusable (population-oblivious growth).
+  Node* take_clean() {
+    constexpr int kMaxSkipped = 8;
+    Node* skipped[kMaxSkipped];
+    int n_skipped = 0;
+    Node* node = nullptr;
+    while ((node = pool_.take()) != nullptr) {
+      if (node->guards.load(std::memory_order_seq_cst) == 0) {
+        break;
+      }
+      if (n_skipped == kMaxSkipped) {
+        pool_.put(node);
+        node = nullptr;
+        break;
+      }
+      skipped[n_skipped++] = node;
+    }
+    for (int i = 0; i < n_skipped; ++i) {
+      pool_.put(skipped[i]);
+    }
+    return node != nullptr ? node : pool_.make();
+  }
+
+  CachePadded<registry::SimLlscCell<Node*>> head_{};
+  CachePadded<registry::SimLlscCell<Node*>> tail_{};
+  registry::Registry registry_;
+  reclaim::FreePool<Node> pool_;
+};
+
+}  // namespace evq::baselines

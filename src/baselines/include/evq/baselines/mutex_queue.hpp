@@ -1,0 +1,72 @@
+// Lock-based bounded FIFO queue.
+//
+// The blocking strawman the paper's introduction argues against: a single
+// mutex around a plain ring buffer. Under preemption a lock holder stalls
+// every other thread — the exact failure mode non-blocking algorithms
+// exclude by construction. Included for the motivation examples and as a
+// reference point in the overhead bench.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "evq/common/config.hpp"
+#include "evq/core/queue_traits.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class MutexQueue {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using Handle = TrivialHandle;
+
+  explicit MutexQueue(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T*[]>(capacity_)) {}
+
+  MutexQueue(const MutexQueue&) = delete;
+  MutexQueue& operator=(const MutexQueue&) = delete;
+
+  [[nodiscard]] Handle handle() noexcept { return {}; }
+
+  bool try_push(Handle&, T* node) {
+    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tail_ - head_ >= capacity_) {
+      return false;
+    }
+    slots_[tail_ & mask_] = node;
+    ++tail_;
+    return true;
+  }
+
+  T* try_pop(Handle&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (head_ == tail_) {
+      return nullptr;
+    }
+    T* node = slots_[head_ & mask_];
+    ++head_;
+    return node;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::mutex mutex_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::unique_ptr<T*[]> slots_;
+};
+
+}  // namespace evq::baselines

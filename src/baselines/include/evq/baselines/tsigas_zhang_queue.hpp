@@ -1,0 +1,177 @@
+// Tsigas–Zhang-style circular array queue [14] — the related-work baseline
+// the paper positions itself against.
+//
+// Tsigas & Zhang gave the first practical array FIFO on single-word CAS.
+// Its two signature ideas are reproduced here:
+//
+//  * TWO null values. An empty slot is marked null0 or null1 depending on
+//    which "generation" (wrap of the array) emptied it, so an enqueuer that
+//    slept through a whole drain-and-refill cannot insert into a stale
+//    empty slot — the null-ABA fix the paper describes in Sec. 3.
+//  * Values are CASed into slots DIRECTLY, with no reservation or version:
+//    one narrow CAS per slot update — cheaper than both of the paper's
+//    algorithms, but at a price (below).
+//
+// The price is the data-ABA problem: a dequeuer that reads item A and is
+// then preempted while the queue wraps and the SAME pointer A is enqueued
+// again will wrongly CAS the NEW A out of order. Tsigas–Zhang handle this
+// "by assuming that the duration of preemption cannot be greater than the
+// time for the indices to rewind themselves", which the paper criticizes as
+// needing "an exceedingly oversized array" or being impossible when the
+// thread bound is unknown. This implementation inherits that assumption —
+// deliberately: it exists so benches/tests can show what the assumption
+// costs and what Evequoz's algorithms buy.
+// (tests/aba_scenario_test.cpp's DataAbaStrikesPlainCasSlot is exactly this
+// queue's failure mode, scripted deterministically.)
+//
+// Simplifications vs the SPAA'01 original, documented per DESIGN.md §2:
+//  * Indices are monotone 64-bit counters (generation = counter / capacity)
+//    rather than wrapped 32-bit indices with lazy m=2 updates. This is
+//    strictly favorable to Tsigas–Zhang (index-ABA becomes a non-issue and
+//    the null generation is derived exactly), and keeps the remaining
+//    difference between it and the paper's queues exactly the data-ABA
+//    handling under study.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/core/queue_traits.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class TsigasZhangQueue {
+  static_assert(kQueueableV<T>);
+  // The two null sentinels must be impossible pointer values: with >=8-byte
+  // alignment, 2 and 4 are never valid addresses.
+  static_assert(alignof(T) >= 8, "two-null encoding needs >=8-byte-aligned elements");
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using Handle = TrivialHandle;
+
+  static constexpr std::uintptr_t kNull0 = 0x2;
+  static constexpr std::uintptr_t kNull1 = 0x4;
+
+  explicit TsigasZhangQueue(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<std::atomic<std::uintptr_t>[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      // As if emptied in "generation -1": generation-0 enqueues expect it.
+      slots_[i].store(null_for_generation(~std::uint64_t{0}), std::memory_order_relaxed);
+    }
+  }
+
+  TsigasZhangQueue(const TsigasZhangQueue&) = delete;
+  TsigasZhangQueue& operator=(const TsigasZhangQueue&) = delete;
+
+  [[nodiscard]] Handle handle() noexcept { return {}; }
+
+  bool try_push(Handle&, T* node) noexcept {
+    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
+    for (;;) {
+      const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
+      // Signed occupancy: stale `t` must not underflow into a spurious full
+      // (see llsc_array_queue.hpp's E6 comment).
+      if (static_cast<std::int64_t>(t - head_.value.load(std::memory_order_seq_cst)) >=
+          static_cast<std::int64_t>(capacity_)) {
+        return false;  // full
+      }
+      std::atomic<std::uintptr_t>& slot = slots_[t & mask_];
+      // The slot is empty-for-this-generation iff it holds the null written
+      // by the PREVIOUS generation's dequeuer (or the initializer).
+      std::uintptr_t expected_null = null_for_generation((t / capacity_) - 1);
+      std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
+      if (t != tail_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (observed == expected_null) {
+        const bool ok = slot.compare_exchange_strong(
+            expected_null, reinterpret_cast<std::uintptr_t>(node), std::memory_order_seq_cst);
+        stats::on_cas(ok);
+        if (ok) {
+          advance(tail_, t);
+          return true;
+        }
+      } else if (!is_null(observed)) {
+        // Filled by a concurrent enqueuer whose Tail update lags: help.
+        advance(tail_, t);
+      }
+      // observed is the WRONG null: a dequeuer of this generation has not
+      // yet ... cannot happen for tail's slot; stale index — retry.
+    }
+  }
+
+  T* try_pop(Handle&) noexcept {
+    for (;;) {
+      const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
+      if (h == tail_.value.load(std::memory_order_seq_cst)) {
+        return nullptr;  // empty
+      }
+      std::atomic<std::uintptr_t>& slot = slots_[h & mask_];
+      std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
+      if (h != head_.value.load(std::memory_order_seq_cst)) {
+        continue;
+      }
+      if (!is_null(observed)) {
+        // Direct CAS of the value out — NO reservation: this is the window
+        // in which the documented data-ABA assumption applies.
+        const bool ok = slot.compare_exchange_strong(
+            observed, null_for_generation(h / capacity_), std::memory_order_seq_cst);
+        stats::on_cas(ok);
+        if (ok) {
+          advance(head_, h);
+          return reinterpret_cast<T*>(observed);
+        }
+      } else {
+        // Emptied by a dequeuer whose Head update lags: help.
+        advance(head_, h);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size_estimate() noexcept {
+    const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  [[nodiscard]] std::uint64_t head_index() noexcept {
+    return head_.value.load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] std::uint64_t tail_index() noexcept {
+    return tail_.value.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static bool is_null(std::uintptr_t word) noexcept { return word == kNull0 || word == kNull1; }
+
+  static std::uintptr_t null_for_generation(std::uint64_t generation) noexcept {
+    return (generation & 1) == 0 ? kNull0 : kNull1;
+  }
+
+  static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
+                      std::uint64_t expected) noexcept {
+    stats::on_cas(
+        index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  CachePadded<std::atomic<std::uint64_t>> head_{0};
+  CachePadded<std::atomic<std::uint64_t>> tail_{0};
+  std::unique_ptr<std::atomic<std::uintptr_t>[]> slots_;
+};
+
+}  // namespace evq::baselines

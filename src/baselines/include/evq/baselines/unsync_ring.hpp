@@ -1,0 +1,67 @@
+// Unsynchronized single-threaded ring buffer.
+//
+// The zero-synchronization baseline for the paper's overhead experiment
+// (Sec. 6: "a single thread accessing the FIFO array in absence of
+// contention and without any synchronization", against which Algorithm 1
+// measured +12 % and Algorithm 2 +50 %/+90 %). NOT thread-safe by design.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "evq/common/config.hpp"
+#include "evq/core/queue_traits.hpp"
+
+namespace evq::baselines {
+
+template <typename T>
+class UnsyncRing {
+  static_assert(kQueueableV<T>);
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using Handle = TrivialHandle;
+
+  explicit UnsyncRing(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T*[]>(capacity_)) {}
+
+  UnsyncRing(const UnsyncRing&) = delete;
+  UnsyncRing& operator=(const UnsyncRing&) = delete;
+
+  [[nodiscard]] Handle handle() noexcept { return {}; }
+
+  bool try_push(Handle&, T* node) noexcept {
+    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
+    if (tail_ - head_ >= capacity_) {
+      return false;
+    }
+    slots_[tail_ & mask_] = node;
+    ++tail_;
+    return true;
+  }
+
+  T* try_pop(Handle&) noexcept {
+    if (head_ == tail_) {
+      return nullptr;
+    }
+    T* node = slots_[head_ & mask_];
+    ++head_;
+    return node;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::unique_ptr<T*[]> slots_;
+};
+
+}  // namespace evq::baselines

@@ -1,0 +1,52 @@
+// Cache-line geometry and padding helpers.
+//
+// Array-based queues put Head, Tail and the slot array in shared memory that
+// every thread hammers; false sharing between the two indices (or between an
+// index and the slots) distorts exactly the contention behaviour the paper
+// measures, so all shared control words are padded to a destructive
+// interference boundary.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace evq {
+
+#ifdef __cpp_lib_hardware_interference_size
+// GCC warns that this constant may differ between -mtune targets (an ABI
+// hazard for libraries exposing it in public layouts). evq is built from
+// source in one configuration, so the tuned value is what we want.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kCacheLineSize = std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+/// Wraps a value in storage padded and aligned to a full cache line so that
+/// adjacent CachePadded objects never share a line.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  static_assert(!std::is_reference_v<T>);
+
+  constexpr CachePadded() = default;
+
+  template <typename... Args>
+  explicit constexpr CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T value{};
+
+ private:
+  // Trailing pad so sizeof is a multiple of the line even when T is small and
+  // the compiler would otherwise only round up to alignof(T).
+  char pad_[kCacheLineSize - (sizeof(T) % kCacheLineSize == 0 ? kCacheLineSize : sizeof(T) % kCacheLineSize)]{};
+};
+
+}  // namespace evq

@@ -1,0 +1,62 @@
+// Platform detection, build configuration and assertion macros shared by all
+// evq modules.
+//
+// The library targets 64-bit platforms with pointer-wide lock-free atomics.
+// The double-width (16-byte) compare-and-swap used by the Shann baseline and
+// the versioned LL/SC emulation is only required when those components are
+// instantiated; everything the paper labels "single word" genuinely compiles
+// down to pointer-wide operations.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define EVQ_VERSION_MAJOR 1
+#define EVQ_VERSION_MINOR 0
+#define EVQ_VERSION_PATCH 0
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define EVQ_ARCH_X86_64 1
+#else
+#define EVQ_ARCH_X86_64 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EVQ_LIKELY(x) __builtin_expect(!!(x), 1)
+#define EVQ_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define EVQ_NOINLINE __attribute__((noinline))
+#define EVQ_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define EVQ_LIKELY(x) (x)
+#define EVQ_UNLIKELY(x) (x)
+#define EVQ_NOINLINE
+#define EVQ_ALWAYS_INLINE inline
+#endif
+
+namespace evq {
+
+/// Terminates the process with a diagnostic. Used for invariant violations
+/// that indicate a bug in the library itself (never for caller errors, which
+/// are reported through return values as in the paper's pseudocode).
+[[noreturn]] inline void fatal(const char* file, int line, const char* msg) noexcept {
+  std::fprintf(stderr, "evq fatal: %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace evq
+
+/// Always-on invariant check (cheap predicates only; hot paths avoid it).
+#define EVQ_CHECK(cond, msg)                      \
+  do {                                            \
+    if (EVQ_UNLIKELY(!(cond))) {                  \
+      ::evq::fatal(__FILE__, __LINE__, (msg));    \
+    }                                             \
+  } while (0)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define EVQ_DCHECK(cond, msg) ((void)0)
+#else
+#define EVQ_DCHECK(cond, msg) EVQ_CHECK(cond, msg)
+#endif

@@ -1,0 +1,87 @@
+// Per-thread atomic-operation profiling.
+//
+// The paper's cost arguments are phrased in instruction counts: Michael &
+// Scott pay "2 successful CAS to enqueue and 1 to dequeue", the CAS-based
+// array queue "three 32-bit CAS and two FetchAndAdd", Shann et al. "a 32-
+// and a 64-bit CAS", and the Doherty comparator "7 successful CAS". This
+// module lets tests and the bench_op_profile binary measure those counts
+// directly from the running implementations instead of trusting the prose.
+//
+// Recording is opt-in per thread: every instrumented primitive checks a
+// thread-local recorder pointer (one predictable branch when disabled, so
+// the figure benches — which never enable it — pay ~nothing). Enable with a
+// ScopedOpRecording on the thread whose operations you want profiled.
+#pragma once
+
+#include <cstdint>
+
+namespace evq::stats {
+
+struct OpCounters {
+  std::uint64_t cas_attempts = 0;   // pointer-wide CAS issued
+  std::uint64_t cas_success = 0;    // ... that succeeded
+  std::uint64_t wide_cas_attempts = 0;  // double-width CAS issued
+  std::uint64_t wide_cas_success = 0;
+  std::uint64_t wide_loads = 0;     // double-width atomic loads (cmpxchg16b)
+  std::uint64_t faa = 0;            // FetchAndAdd / FetchAndSub
+
+  OpCounters& operator-=(const OpCounters& other) noexcept {
+    cas_attempts -= other.cas_attempts;
+    cas_success -= other.cas_success;
+    wide_cas_attempts -= other.wide_cas_attempts;
+    wide_cas_success -= other.wide_cas_success;
+    wide_loads -= other.wide_loads;
+    faa -= other.faa;
+    return *this;
+  }
+};
+
+namespace detail {
+/// Thread-local recorder target; null = recording disabled (defined in
+/// op_stats.cpp — deliberately NOT an inline/COMDAT thread_local).
+extern thread_local OpCounters* t_recorder;
+}  // namespace detail
+
+/// Hooks called by the instrumented primitives.
+inline void on_cas(bool success) noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->cas_attempts;
+    rec->cas_success += success ? 1 : 0;
+  }
+}
+inline void on_wide_cas(bool success) noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->wide_cas_attempts;
+    rec->wide_cas_success += success ? 1 : 0;
+  }
+}
+inline void on_wide_load() noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->wide_loads;
+  }
+}
+inline void on_faa() noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->faa;
+  }
+}
+
+/// RAII: routes this thread's instrumented operations into `sink` (zeroing
+/// it first). Nesting replaces the target for the inner scope.
+class ScopedOpRecording {
+ public:
+  explicit ScopedOpRecording(OpCounters& sink) noexcept
+      : previous_(detail::t_recorder) {
+    sink = OpCounters{};
+    detail::t_recorder = &sink;
+  }
+  ~ScopedOpRecording() noexcept { detail::t_recorder = previous_; }
+
+  ScopedOpRecording(const ScopedOpRecording&) = delete;
+  ScopedOpRecording& operator=(const ScopedOpRecording&) = delete;
+
+ private:
+  OpCounters* previous_;
+};
+
+}  // namespace evq::stats

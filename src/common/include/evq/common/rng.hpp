@@ -1,0 +1,64 @@
+// Small deterministic PRNGs for tests, failure injection and workloads.
+//
+// Benchmark and stress code must not share a global RNG (the lock inside
+// std::random_device / contention on a shared engine would serialize the very
+// threads whose contention we are measuring), so each thread owns an
+// independently seeded XorShift64Star.
+#pragma once
+
+#include <cstdint>
+
+namespace evq {
+
+/// SplitMix64 — used to derive well-mixed seeds from small integers
+/// (thread ids, run indices).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xorshift64* — fast, decent-quality 64-bit generator for hot paths.
+class XorShift64Star {
+ public:
+  explicit constexpr XorShift64Star(std::uint64_t seed = 0x853C49E6748FEA9Bull) noexcept
+      : state_(seed != 0 ? seed : 0x2545F4914F6CDD1Dull) {}
+
+  /// Derives an independent stream for (seed, stream) — e.g. (run, thread).
+  static XorShift64Star for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    SplitMix64 mix(seed * 0x9E3779B97F4A7C15ull + stream + 1);
+    return XorShift64Star(mix.next());
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, bound) (bound > 0). Slight modulo bias is
+  /// acceptable for workload shaping and failure injection.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return next_below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace evq

@@ -1,0 +1,56 @@
+// Sense-reversing spin barrier.
+//
+// The paper synchronizes all benchmark threads "so that none can begin its
+// iterations before all others finished their initialization phase". A
+// kernel-free spin barrier keeps that synchronization out of the measured
+// region and reusable across repeated runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "evq/common/backoff.hpp"
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+
+namespace evq {
+
+/// Reusable barrier for a fixed set of participants. wait() returns true for
+/// exactly one participant per phase (the last arriver), which benchmark code
+/// uses to start/stop timers.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants) noexcept
+      : participants_(participants) {
+    EVQ_CHECK(participants > 0, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  bool wait() noexcept {
+    const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    if (arrived_.value.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.value.store(0, std::memory_order_relaxed);
+      sense_.value.store(my_sense, std::memory_order_release);  // release the others
+      return true;
+    }
+    std::uint32_t spins = 0;
+    while (sense_.value.load(std::memory_order_acquire) != my_sense) {
+      if (++spins < 64) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();  // mandatory on oversubscribed hosts
+      }
+    }
+    return false;
+  }
+
+ private:
+  const std::uint32_t participants_;
+  CachePadded<std::atomic<std::uint32_t>> arrived_{0};
+  CachePadded<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace evq

@@ -1,0 +1,92 @@
+// Pointer tagging utilities.
+//
+// Two tagging schemes are used in this library, both exploiting properties of
+// real 64-bit pointers so that everything still fits in one machine word —
+// the paper's central portability constraint:
+//
+//  * LSB tagging (Sec. 5 of the paper): heap allocations are at least 2-byte
+//    aligned, so bit 0 of a valid node pointer is always 0. Algorithm 2 sets
+//    bit 0 to mark "this word holds the address of a thread-owned LLSCvar,
+//    not application data" (the `var^1` trick of Fig. 5).
+//
+//  * High-bit version packing: x86-64 canonical user-space addresses fit in
+//    the low 48 bits, leaving 16 bits for a modification counter. PackedLlsc
+//    uses this to emulate LL/SC in a genuinely single 64-bit word.
+#pragma once
+
+#include <cstdint>
+
+#include "evq/common/config.hpp"
+
+namespace evq {
+
+// ---------------------------------------------------------------------------
+// LSB tagging (Algorithm 2's `var^1`)
+// ---------------------------------------------------------------------------
+
+/// True when the word carries an LSB tag (i.e. is odd).
+EVQ_ALWAYS_INLINE bool lsb_tagged(std::uintptr_t word) noexcept { return (word & 1u) != 0; }
+
+/// Sets the LSB tag on a (2-byte-or-more aligned) pointer.
+template <typename T>
+EVQ_ALWAYS_INLINE std::uintptr_t lsb_tag(T* ptr) noexcept {
+  auto word = reinterpret_cast<std::uintptr_t>(ptr);
+  EVQ_DCHECK((word & 1u) == 0, "pointer must be at least 2-byte aligned to carry an LSB tag");
+  return word | 1u;
+}
+
+/// Removes the LSB tag, recovering the original pointer.
+template <typename T>
+EVQ_ALWAYS_INLINE T* lsb_untag(std::uintptr_t word) noexcept {
+  return reinterpret_cast<T*>(word & ~std::uintptr_t{1});
+}
+
+// ---------------------------------------------------------------------------
+// 48-bit pointer + 16-bit version packing (PackedLlsc)
+// ---------------------------------------------------------------------------
+
+/// A {pointer, 16-bit version} pair packed into one 64-bit word.
+///
+/// The version occupies bits 48..63; the pointer must be canonical (sign bit
+/// region unused), which is true for user-space heap pointers on x86-64 and
+/// AArch64 without top-byte-ignore tricks.
+class PackedPtr {
+ public:
+  static constexpr unsigned kVersionShift = 48;
+  static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << kVersionShift) - 1;
+
+  constexpr PackedPtr() = default;
+  constexpr explicit PackedPtr(std::uint64_t raw) noexcept : raw_(raw) {}
+
+  template <typename T>
+  static PackedPtr make(T* ptr, std::uint16_t version) noexcept {
+    auto word = reinterpret_cast<std::uint64_t>(ptr);
+    EVQ_DCHECK((word & ~kPtrMask) == 0, "pointer does not fit in 48 bits (non-canonical)");
+    return PackedPtr{word | (std::uint64_t{version} << kVersionShift)};
+  }
+
+  template <typename T>
+  [[nodiscard]] T* ptr() const noexcept {
+    return reinterpret_cast<T*>(raw_ & kPtrMask);
+  }
+
+  [[nodiscard]] std::uint16_t version() const noexcept {
+    return static_cast<std::uint16_t>(raw_ >> kVersionShift);
+  }
+
+  [[nodiscard]] std::uint64_t raw() const noexcept { return raw_; }
+
+  /// Same pointer, version advanced by one (wraps mod 2^16).
+  template <typename T>
+  [[nodiscard]] PackedPtr bumped(T* new_ptr) const noexcept {
+    return make(new_ptr, static_cast<std::uint16_t>(version() + 1));
+  }
+
+  friend bool operator==(PackedPtr a, PackedPtr b) noexcept { return a.raw_ == b.raw_; }
+  friend bool operator!=(PackedPtr a, PackedPtr b) noexcept { return a.raw_ != b.raw_; }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace evq

@@ -1,0 +1,9 @@
+#include "evq/common/op_stats.hpp"
+
+namespace evq::stats::detail {
+
+// Defined here (not inline in the header) so the TLS symbol lives in exactly
+// one translation unit — see DESIGN.md's note on the COMDAT-TLS linker issue.
+thread_local OpCounters* t_recorder = nullptr;
+
+}  // namespace evq::stats::detail

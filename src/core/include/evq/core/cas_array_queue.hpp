@@ -1,0 +1,165 @@
+// Algorithm 2 of the paper (Fig. 5): the CAS-only non-blocking circular
+// array FIFO queue with simulated LL/SC.
+//
+// Same circular-array skeleton as Algorithm 1, but each slot is a
+// SimLlscCell: LL is simulated by swapping in the LSB-tagged address of a
+// thread-owned LLSCvar (the reservation marker), SC by a CAS that expects
+// that tag. Only pointer-wide CAS and FetchAndAdd are used — the paper's
+// portability requirement for 64-bit machines without double-width CAS.
+//
+// Per-thread state: each operating thread holds a registered LLSCvar,
+// obtained from the queue's population-oblivious Registry (Fig. 5
+// Register/ReRegister/Deregister) and carried in a Handle. ReRegister runs
+// between consecutive operations: if any foreign reader still holds a
+// reference to the variable (r > 1), the variable is abandoned and a fresh
+// one claimed — this closes the tagged-pointer ABA analysed in Sec. 5.
+//
+// Index-ABA is handled exactly as in Algorithm 1 (monotone 64-bit counters,
+// `CAS(&Tail, t, t+1)`); data/null-ABA by the simulated reservations; and
+// any staleness the simulation's takeover semantics admit is caught by
+// re-validating the index after LL (`if (t == Tail)`), per the paper's
+// closing observation of Sec. 5.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/registry/registry.hpp"
+#include "evq/registry/sim_llsc_cell.hpp"
+
+namespace evq {
+
+template <typename T>
+class CasArrayQueue {
+  static_assert(kQueueableV<T>, "element type must be at least 2-byte aligned");
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using SlotCell = registry::SimLlscCell<T*>;
+
+  /// RAII per-thread registration. Cheap to construct (recycles an existing
+  /// LLSCvar when one is free); destruction deregisters. A Handle must not
+  /// be used by two threads concurrently — it is the thread's identity —
+  /// and must not outlive the queue whose registry it points into.
+  class Handle {
+   public:
+    explicit Handle(registry::Registry& reg) : registration_(reg) {}
+
+   private:
+    friend class CasArrayQueue;
+    registry::Registration registration_;
+  };
+
+  explicit CasArrayQueue(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<SlotCell[]>(capacity_)) {}
+
+  CasArrayQueue(const CasArrayQueue&) = delete;
+  CasArrayQueue& operator=(const CasArrayQueue&) = delete;
+
+  [[nodiscard]] Handle handle() { return Handle{registry_}; }
+
+  /// Fig. 5 Enqueue. Returns false iff the queue was full.
+  bool try_push(Handle& h, T* node) noexcept {
+    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
+    registry::LlscVar* var = h.registration_.fresh();  // the paper's ReRegister
+    for (;;) {
+      const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
+      // Signed occupancy: a stale `t` (Head already passed it) must read as
+      // negative, not as a spurious full — see llsc_array_queue.hpp's E6
+      // comment for the model-checker finding behind this.
+      if (static_cast<std::int64_t>(t - head_.value.load(std::memory_order_seq_cst)) >=
+          static_cast<std::int64_t>(capacity_)) {
+        return false;  // FULL_QUEUE
+      }
+      SlotCell& slot = slots_[t & mask_];
+      T* observed = slot.ll(var);
+      if (t == tail_.value.load(std::memory_order_seq_cst)) {
+        if (observed != nullptr) {
+          // Slot filled by a preempted enqueuer whose Tail update lags:
+          // undo our reservation, help advance Tail, retry.
+          slot.release(var);
+          advance(tail_, t);
+        } else if (slot.sc(var, node)) {
+          advance(tail_, t);
+          return true;
+        }
+        // sc failed: reservation taken over — retry from the top.
+      } else {
+        slot.release(var);  // index moved under us: restore and retry
+      }
+    }
+  }
+
+  /// Fig. 5 Dequeue. Returns nullptr iff the queue was empty.
+  T* try_pop(Handle& h) noexcept {
+    registry::LlscVar* var = h.registration_.fresh();
+    for (;;) {
+      const std::uint64_t head = head_.value.load(std::memory_order_seq_cst);
+      if (head == tail_.value.load(std::memory_order_seq_cst)) {
+        return nullptr;  // empty
+      }
+      SlotCell& slot = slots_[head & mask_];
+      T* observed = slot.ll(var);
+      if (head == head_.value.load(std::memory_order_seq_cst)) {
+        if (observed == nullptr) {
+          // Item already removed by a dequeuer whose Head update lags:
+          // undo our reservation, help advance Head, retry.
+          slot.release(var);
+          advance(head_, head);
+        } else if (slot.sc(var, nullptr)) {
+          advance(head_, head);
+          return observed;
+        }
+      } else {
+        slot.release(var);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size_estimate() noexcept {
+    const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  /// The queue's registry — exposed so tests can assert the space bound
+  /// (LLSCvar count tracks max concurrency, not total threads ever).
+  [[nodiscard]] registry::Registry& registry() noexcept { return registry_; }
+
+  [[nodiscard]] std::uint64_t head_index() noexcept {
+    return head_.value.load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] std::uint64_t tail_index() noexcept {
+    return tail_.value.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  /// `CAS(&Index, i, i+1)` — the paper's index advance (identical to an
+  /// LL/SC increment because the counters are monotone; see counter_cell.hpp).
+  static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
+                      std::uint64_t expected) noexcept {
+    stats::on_cas(
+        index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  CachePadded<std::atomic<std::uint64_t>> head_{0};
+  CachePadded<std::atomic<std::uint64_t>> tail_{0};
+  std::unique_ptr<SlotCell[]> slots_;
+  registry::Registry registry_;
+};
+
+}  // namespace evq

@@ -1,0 +1,80 @@
+// Waiting wrappers over the non-blocking queue API.
+//
+// The algorithms themselves are non-blocking by design — try_push/try_pop
+// return immediately with full/empty indications, exactly as in the paper's
+// pseudocode. Applications that want to WAIT for space or data (the
+// examples' pipelines, the benchmark workload) all need the same
+// spin-with-backoff loop; these helpers centralize it. They spin, then
+// yield — they never touch a kernel primitive, so a preempted peer cannot
+// deadlock them, only delay them.
+#pragma once
+
+#include <cstdint>
+
+#include "evq/common/backoff.hpp"
+#include "evq/core/queue_traits.hpp"
+
+namespace evq {
+
+/// Pushes `node`, waiting (bounded spin, then yield) while the queue is
+/// full. Returns the number of failed attempts before success.
+template <ConcurrentPtrQueue Q>
+std::uint64_t push_wait(Q& queue, typename Q::Handle& handle, typename Q::pointer node) {
+  std::uint64_t retries = 0;
+  Backoff backoff;
+  while (!queue.try_push(handle, node)) {
+    ++retries;
+    backoff.pause();
+  }
+  return retries;
+}
+
+/// Pops the oldest item, waiting while the queue is empty. Never returns
+/// nullptr.
+template <ConcurrentPtrQueue Q>
+typename Q::pointer pop_wait(Q& queue, typename Q::Handle& handle,
+                             std::uint64_t* retries_out = nullptr) {
+  std::uint64_t retries = 0;
+  Backoff backoff;
+  for (;;) {
+    if (typename Q::pointer node = queue.try_pop(handle)) {
+      if (retries_out != nullptr) {
+        *retries_out = retries;
+      }
+      return node;
+    }
+    ++retries;
+    backoff.pause();
+  }
+}
+
+/// Bounded-attempts variants: give up (returning false / nullptr) after
+/// `max_attempts` failed tries — for callers that need forward progress
+/// guarantees even if the peer side died.
+template <ConcurrentPtrQueue Q>
+bool push_wait_bounded(Q& queue, typename Q::Handle& handle, typename Q::pointer node,
+                       std::uint64_t max_attempts) {
+  Backoff backoff;
+  for (std::uint64_t attempt = 0; attempt <= max_attempts; ++attempt) {
+    if (queue.try_push(handle, node)) {
+      return true;
+    }
+    backoff.pause();
+  }
+  return false;
+}
+
+template <ConcurrentPtrQueue Q>
+typename Q::pointer pop_wait_bounded(Q& queue, typename Q::Handle& handle,
+                                     std::uint64_t max_attempts) {
+  Backoff backoff;
+  for (std::uint64_t attempt = 0; attempt <= max_attempts; ++attempt) {
+    if (typename Q::pointer node = queue.try_pop(handle)) {
+      return node;
+    }
+    backoff.pause();
+  }
+  return nullptr;
+}
+
+}  // namespace evq

@@ -1,0 +1,50 @@
+// The uniform queue interface shared by the paper's algorithms and every
+// baseline in this repository.
+//
+// All queues in the paper's study transport *pointers to nodes*: an array
+// slot holds either a node pointer or null (= empty slot), and Algorithm 2
+// additionally steals the pointer's least significant bit. The common API is
+// therefore a pointer queue:
+//
+//   * try_push(handle, p) — p must be non-null and at least 2-byte aligned;
+//     returns false when the queue is full (the paper's FULL_QUEUE).
+//   * try_pop(handle)     — returns nullptr when the queue is empty.
+//
+// Some implementations need per-thread state (Algorithm 2's registered
+// LLSCvar, hazard-pointer records); others need none. Every queue exposes a
+// Handle type and a handle() factory so generic code treats them uniformly;
+// stateless queues use TrivialHandle.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+
+namespace evq {
+
+/// Handle for queues without per-thread state.
+struct TrivialHandle {};
+
+/// A concurrent MPMC pointer queue with per-thread handles.
+template <typename Q>
+concept ConcurrentPtrQueue = requires(Q& q, typename Q::Handle& h, typename Q::pointer p) {
+  typename Q::value_type;
+  typename Q::Handle;
+  requires std::same_as<typename Q::pointer, typename Q::value_type*>;
+  { q.handle() } -> std::same_as<typename Q::Handle>;
+  { q.try_push(h, p) } -> std::same_as<bool>;
+  { q.try_pop(h) } -> std::same_as<typename Q::pointer>;
+};
+
+/// A pointer queue with a fixed capacity (the array-based family).
+template <typename Q>
+concept BoundedPtrQueue = ConcurrentPtrQueue<Q> && requires(const Q& q) {
+  { q.capacity() } -> std::convertible_to<std::size_t>;
+};
+
+/// Element types legal for pointer queues: the LSB of a valid element
+/// pointer must be unused.
+template <typename T>
+inline constexpr bool kQueueableV = alignof(T) >= 2;
+
+}  // namespace evq

@@ -1,0 +1,98 @@
+// Value-semantics adapter over the pointer queues.
+//
+// The paper's queues transport node pointers (an array slot is a pointer or
+// null). Applications usually want `push(T)` / `pop() -> optional<T>`;
+// ValueQueue provides that by boxing values in pool-recycled ValueNodes. The
+// adapter adds exactly one pointer indirection and one pool push/pop per
+// operation — the same "node allocation precedes each enqueue" pattern the
+// paper's benchmark workload uses.
+//
+// Usage: ValueQueue<int, CasArrayQueue> q(capacity);
+// The underlying queue template is instantiated over ValueNode<T>.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "evq/core/queue_traits.hpp"
+#include "evq/reclaim/free_pool.hpp"
+
+namespace evq {
+
+/// Boxed value for ValueQueue; satisfies the pool-node and alignment
+/// requirements of every queue in the library.
+template <typename T>
+struct alignas(8) ValueNode {
+  ValueNode() = default;
+  explicit ValueNode(T v) : value(std::move(v)) {}
+  T value{};
+  ValueNode* free_next = nullptr;
+};
+
+template <typename T, template <typename> class QueueT>
+class ValueQueue {
+ public:
+  using Node = ValueNode<T>;
+  using Queue = QueueT<Node>;
+  static_assert(ConcurrentPtrQueue<Queue>);
+
+  /// Per-thread handle wrapping the underlying queue's handle.
+  class Handle {
+   public:
+    explicit Handle(typename Queue::Handle inner) : inner_(std::move(inner)) {}
+
+   private:
+    friend class ValueQueue;
+    typename Queue::Handle inner_;
+  };
+
+  /// Constructs the underlying queue by forwarding `args` (e.g. capacity).
+  template <typename... Args>
+  explicit ValueQueue(Args&&... args) : queue_(std::forward<Args>(args)...) {}
+
+  ValueQueue(const ValueQueue&) = delete;
+  ValueQueue& operator=(const ValueQueue&) = delete;
+
+  /// Drains boxed values left in the queue back to the pool (quiescent).
+  ~ValueQueue() {
+    auto h = handle();
+    while (auto v = try_pop(h)) {
+    }
+  }
+
+  [[nodiscard]] Handle handle() { return Handle{queue_.handle()}; }
+
+  /// Enqueues a copy/move of `value`; false when the queue is full.
+  bool try_push(Handle& h, T value) {
+    Node* node = pool_.take();
+    if (node != nullptr) {
+      node->value = std::move(value);  // reinitialize a recycled node
+    } else {
+      node = pool_.make(std::move(value));
+    }
+    if (queue_.try_push(h.inner_, node)) {
+      return true;
+    }
+    pool_.put(node);
+    return false;
+  }
+
+  /// Dequeues the oldest value; nullopt when the queue is empty.
+  std::optional<T> try_pop(Handle& h) {
+    Node* node = queue_.try_pop(h.inner_);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    std::optional<T> out{std::move(node->value)};
+    pool_.put(node);
+    return out;
+  }
+
+  [[nodiscard]] Queue& underlying() noexcept { return queue_; }
+
+ private:
+  Queue queue_;
+  reclaim::FreePool<Node> pool_;
+};
+
+}  // namespace evq

@@ -1,0 +1,70 @@
+// Type-erased queue interface for the benchmark harness and cross-algorithm
+// tests.
+//
+// Every queue in the study — both paper algorithms and all baselines — is
+// wrapped behind AnyQueue/AnyHandle so the workload driver, the conformance
+// test suite and the figure benches are written once. The payload is the
+// harness's Payload struct; following the paper's workload, payloads are
+// heap-allocated immediately before each enqueue and freed after each
+// dequeue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "evq/core/queue_traits.hpp"
+
+namespace evq::harness {
+
+/// What the benchmark enqueues: a small heap node, as in the paper's
+/// "a node allocation immediately precedes each enqueue operation".
+struct alignas(8) Payload {
+  std::uint64_t value = 0;
+  Payload* free_next = nullptr;  // pool linkage for allocation-free tests
+};
+
+/// Per-thread handle, type-erased.
+class AnyHandle {
+ public:
+  virtual ~AnyHandle() = default;
+  virtual bool try_push(Payload* p) = 0;
+  virtual Payload* try_pop() = 0;
+};
+
+/// A queue instance, type-erased. handle() is called once per worker thread.
+class AnyQueue {
+ public:
+  virtual ~AnyQueue() = default;
+  [[nodiscard]] virtual std::unique_ptr<AnyHandle> handle() = 0;
+};
+
+/// Adapter from any ConcurrentPtrQueue<Payload> to AnyQueue.
+template <ConcurrentPtrQueue Q>
+  requires std::same_as<typename Q::value_type, Payload>
+class QueueAdapter final : public AnyQueue {
+ public:
+  template <typename... Args>
+  explicit QueueAdapter(Args&&... args) : queue_(std::forward<Args>(args)...) {}
+
+  [[nodiscard]] std::unique_ptr<AnyHandle> handle() override {
+    return std::make_unique<HandleAdapter>(queue_);
+  }
+
+  [[nodiscard]] Q& underlying() noexcept { return queue_; }
+
+ private:
+  class HandleAdapter final : public AnyHandle {
+   public:
+    explicit HandleAdapter(Q& q) : queue_(q), handle_(q.handle()) {}
+    bool try_push(Payload* p) override { return queue_.try_push(handle_, p); }
+    Payload* try_pop() override { return queue_.try_pop(handle_); }
+
+   private:
+    Q& queue_;
+    typename Q::Handle handle_;
+  };
+
+  Q queue_;
+};
+
+}  // namespace evq::harness

@@ -1,0 +1,34 @@
+// Minimal command-line options shared by the bench binaries.
+//
+// Every binary runs with NO arguments using CI-scale defaults (so a plain
+// `for b in build/bench/*; do $b; done` regenerates everything), and accepts:
+//
+//   --threads 1,2,4,...    thread counts to sweep
+//   --iters N              iterations per thread (paper: 100000)
+//   --runs R               repetitions per configuration (paper: 50)
+//   --burst B              enqueues-then-dequeues per iteration (paper: 5)
+//   --capacity C           array queue capacity (0 = auto)
+//   --csv                  machine-readable CSV instead of the table
+//   --paper                paper-scale parameters (iters=100000, runs=50)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evq/harness/workload.hpp"
+
+namespace evq::harness {
+
+struct CliOptions {
+  WorkloadParams workload;               // threads field unused (swept)
+  std::vector<unsigned> thread_counts;   // sweep
+  bool csv = false;
+};
+
+/// Parses argv; prints usage and exits(2) on malformed input. `default_threads`
+/// supplies the sweep used when --threads is absent.
+CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_threads,
+                     std::uint64_t default_iters, unsigned default_runs);
+
+}  // namespace evq::harness

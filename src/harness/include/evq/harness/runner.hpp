@@ -1,0 +1,37 @@
+// Figure-style experiment runner: sweeps thread counts over a set of
+// algorithms and prints the same rows/series the paper's Fig. 6 plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evq/harness/cli.hpp"
+#include "evq/harness/stats.hpp"
+
+namespace evq::harness {
+
+struct SeriesResult {
+  std::string name;               // registry name
+  std::string label;              // paper label
+  std::vector<Summary> by_threads;  // parallel to the runner's thread_counts
+};
+
+struct FigureResult {
+  std::vector<unsigned> thread_counts;
+  std::vector<SeriesResult> series;
+};
+
+/// Runs the workload for every algorithm in `names` at every thread count.
+/// Progress notes go to stderr so stdout stays a clean table/CSV.
+FigureResult run_figure(const std::vector<std::string>& names, const CliOptions& opts);
+
+/// Prints absolute times (seconds), one row per thread count — Fig. 6a/6b
+/// shape.
+void print_absolute(const FigureResult& fig, const CliOptions& opts, const std::string& title);
+
+/// Prints times normalized to `baseline_name` — Fig. 6c/6d shape ("The basis
+/// of normalization was chosen to be our CAS-based implementation").
+void print_normalized(const FigureResult& fig, const CliOptions& opts, const std::string& title,
+                      const std::string& baseline_name);
+
+}  // namespace evq::harness

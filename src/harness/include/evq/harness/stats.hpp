@@ -1,0 +1,49 @@
+// Summary statistics over repeated benchmark runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "evq/common/config.hpp"
+
+namespace evq::harness {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t n = 0;
+};
+
+/// Computes mean/stddev (sample, n-1)/min/max/median of `samples`.
+inline Summary summarize(std::vector<double> samples) {
+  EVQ_CHECK(!samples.empty(), "cannot summarize zero samples");
+  Summary s;
+  s.n = samples.size();
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double v : samples) {
+      ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = s.n / 2;
+  s.median = (s.n % 2 == 1) ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  return s;
+}
+
+}  // namespace evq::harness

@@ -1,0 +1,55 @@
+// The paper's synthetic benchmark workload (Sec. 6).
+//
+// "Each thread performs [N] iterations consisting of a series of 5 enqueue
+//  operations followed by 5 dequeue operations. A node allocation
+//  immediately precedes each enqueue operation, and each dequeued node is
+//  freed. We synchronized the threads so that none can begin its iterations
+//  before all others finished their initialization phase. We report the
+//  average of [R] runs where each run is the mean time needed to complete
+//  the thread's iterations."
+//
+// Full/empty handling: a full queue makes the pusher spin (bounded backoff)
+// until space appears, and an empty queue makes the popper spin until an
+// item appears. The workload is deadlock-free provided the queue holds
+// burst x threads items (each thread has at most `burst` un-popped pushes
+// outstanding); run_workload enforces that precondition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evq/harness/any_queue.hpp"
+#include "evq/harness/queue_registry.hpp"
+
+namespace evq::harness {
+
+/// Operation mix per iteration.
+enum class WorkloadPattern {
+  kPaperBurst,   // the paper's: `burst` enqueues then `burst` dequeues
+  kRandomMixed,  // randomized push/pop per step, balance-bounded by `burst`
+};
+
+struct WorkloadParams {
+  unsigned threads = 1;
+  std::uint64_t iterations = 100000;  // paper: 100000
+  unsigned burst = 5;                 // paper: 5 enqueues then 5 dequeues
+  unsigned runs = 50;                 // paper: 50
+  std::size_t capacity = 0;           // 0 = auto (2 x burst x threads, >= 256)
+  WorkloadPattern pattern = WorkloadPattern::kPaperBurst;
+  unsigned push_bias_pct = 50;        // kRandomMixed: P(step is a push)
+  std::uint64_t seed = 42;            // kRandomMixed: per-thread stream base
+};
+
+/// Capacity actually used for bounded queues under `p` (auto rule above).
+std::size_t effective_capacity(const WorkloadParams& p);
+
+/// One run: builds nothing (operates on an existing queue), spawns
+/// p.threads workers, synchronizes their start, and returns the mean
+/// per-thread completion time in seconds (the paper's per-run metric).
+double run_once(AnyQueue& queue, const WorkloadParams& p);
+
+/// Full experiment for one algorithm: constructs a fresh queue per run via
+/// `spec` and returns the p.runs per-run times in seconds.
+std::vector<double> run_workload(const QueueSpec& spec, const WorkloadParams& p);
+
+}  // namespace evq::harness

@@ -1,0 +1,99 @@
+#include "evq/harness/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace evq::harness {
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
+               "          [--capacity C] [--csv] [--paper]\n"
+               "Runs with CI-scale defaults when given no arguments; --paper\n"
+               "selects the paper's parameters (100000 iterations, 50 runs).\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<unsigned> parse_list(const char* s, const char* argv0) {
+  std::vector<unsigned> out;
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || v == 0) {
+      usage(argv0);
+    }
+    out.push_back(static_cast<unsigned>(v));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != '\0' && *end != ',') {
+      usage(argv0);
+    }
+  }
+  if (out.empty()) {
+    usage(argv0);
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(argv0);
+  }
+  return v;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_threads,
+                     std::uint64_t default_iters, unsigned default_runs) {
+  CliOptions opts;
+  opts.thread_counts = std::move(default_threads);
+  opts.workload.iterations = default_iters;
+  opts.workload.runs = default_runs;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      usage(argv[0]);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0) {
+      opts.thread_counts = parse_list(need_value(i), argv[0]);
+      ++i;
+    } else if (std::strcmp(arg, "--iters") == 0) {
+      opts.workload.iterations = parse_u64(need_value(i), argv[0]);
+      ++i;
+    } else if (std::strcmp(arg, "--runs") == 0) {
+      opts.workload.runs = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--burst") == 0) {
+      opts.workload.burst = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--capacity") == 0) {
+      opts.workload.capacity = static_cast<std::size_t>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opts.csv = true;
+    } else if (std::strcmp(arg, "--paper") == 0) {
+      opts.workload.iterations = 100000;
+      opts.workload.runs = 50;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opts.workload.runs == 0 || opts.workload.burst == 0) {
+    usage(argv[0]);
+  }
+  return opts;
+}
+
+}  // namespace evq::harness

@@ -1,0 +1,98 @@
+#include "evq/harness/queue_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "evq/baselines/ms_ebr_queue.hpp"
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/baselines/ms_pool_queue.hpp"
+#include "evq/baselines/ms_sim_queue.hpp"
+#include "evq/baselines/mutex_queue.hpp"
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/tsigas_zhang_queue.hpp"
+#include "evq/baselines/unsync_ring.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+
+namespace evq::harness {
+
+namespace {
+
+template <typename Q, typename... Args>
+QueueFactory make_factory(Args... args) {
+  return [args...](std::size_t capacity) -> std::unique_ptr<AnyQueue> {
+    (void)capacity;
+    if constexpr (std::is_constructible_v<Q, std::size_t, Args...>) {
+      return std::make_unique<QueueAdapter<Q>>(capacity, args...);
+    } else {
+      return std::make_unique<QueueAdapter<Q>>(args...);
+    }
+  };
+}
+
+std::vector<QueueSpec> build_registry() {
+  using baselines::MsHpQueue;
+  using baselines::MsPoolQueue;
+  using baselines::MsSimQueue;
+  using baselines::MutexQueue;
+  using baselines::ShannQueue;
+  using baselines::UnsyncRing;
+  using LlscQueue = LlscArrayQueue<Payload, llsc::VersionedLlsc>;
+  using LlscPackedQueue = LlscArrayQueue<Payload, llsc::PackedLlsc>;
+
+  std::vector<QueueSpec> specs;
+  // The headline LL/SC analog is the single-word packed emulation: its LL is
+  // a plain load, matching the cost profile of real lwarx/stwcx. The
+  // versioned (double-width) emulation has the exact Fig. 2 semantics but
+  // pays a cmpxchg16b per LL, which real LL/SC hardware does not — it is
+  // kept as the reference-semantics variant for the A1 ablation.
+  specs.push_back({"fifo-llsc", "FIFO Array LL/SC", true, true,
+                   make_factory<LlscPackedQueue>()});
+  specs.push_back({"fifo-llsc-versioned", "FIFO Array LL/SC (versioned DWCAS)", true, true,
+                   make_factory<LlscQueue>()});
+  specs.push_back({"fifo-simcas", "FIFO Array Simulated CAS", true, true,
+                   make_factory<CasArrayQueue<Payload>>()});
+  specs.push_back({"ms-hp", "MS-Hazard Pointers Not Sorted", false, true,
+                   make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kUnsorted, std::size_t{4})});
+  specs.push_back({"ms-hp-sorted", "MS-Hazard Pointers Sorted", false, true,
+                   make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kSorted, std::size_t{4})});
+  specs.push_back({"ms-doherty", "MS-Doherty et al.", false, true,
+                   make_factory<MsSimQueue<Payload>>()});
+  specs.push_back({"shann", "Shann et al. (CAS2w)", true, true,
+                   make_factory<ShannQueue<Payload>>()});
+  specs.push_back({"ms-pool", "MS free-pool", false, true,
+                   make_factory<MsPoolQueue<Payload>>()});
+  specs.push_back({"ms-ebr", "MS epoch-based reclamation", false, true,
+                   make_factory<baselines::MsEbrQueue<Payload>>()});
+  specs.push_back({"tsigas-zhang", "Tsigas-Zhang (two-null, assumption-bound)", true, true,
+                   make_factory<baselines::TsigasZhangQueue<Payload>>()});
+  specs.push_back({"mutex", "Mutex ring", true, true,
+                   make_factory<MutexQueue<Payload>>()});
+  specs.push_back({"unsync", "Unsynchronized ring", true, false,
+                   make_factory<UnsyncRing<Payload>>()});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<QueueSpec>& all_queues() {
+  static const std::vector<QueueSpec> specs = build_registry();
+  return specs;
+}
+
+const QueueSpec& find_queue(const std::string& name) {
+  for (const QueueSpec& spec : all_queues()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  std::fprintf(stderr, "unknown queue '%s'; known queues:\n", name.c_str());
+  for (const QueueSpec& spec : all_queues()) {
+    std::fprintf(stderr, "  %-18s %s\n", spec.name.c_str(), spec.paper_label.c_str());
+  }
+  std::exit(2);
+}
+
+}  // namespace evq::harness

@@ -1,0 +1,95 @@
+#include "evq/harness/runner.hpp"
+
+#include <cstdio>
+
+#include "evq/common/config.hpp"
+#include "evq/harness/queue_registry.hpp"
+#include "evq/harness/workload.hpp"
+
+namespace evq::harness {
+
+FigureResult run_figure(const std::vector<std::string>& names, const CliOptions& opts) {
+  FigureResult fig;
+  fig.thread_counts = opts.thread_counts;
+  for (const std::string& name : names) {
+    const QueueSpec& spec = find_queue(name);
+    SeriesResult series{spec.name, spec.paper_label, {}};
+    for (unsigned threads : opts.thread_counts) {
+      WorkloadParams p = opts.workload;
+      p.threads = threads;
+      std::fprintf(stderr, "# %-18s threads=%-3u iters=%llu runs=%u ...\n", spec.name.c_str(),
+                   threads, static_cast<unsigned long long>(p.iterations), p.runs);
+      series.by_threads.push_back(summarize(run_workload(spec, p)));
+    }
+    fig.series.push_back(std::move(series));
+  }
+  return fig;
+}
+
+namespace {
+
+void print_header(const FigureResult& fig, bool csv) {
+  std::printf(csv ? "threads" : "%-8s", csv ? "" : "threads");
+  for (const SeriesResult& s : fig.series) {
+    if (csv) {
+      std::printf(",%s", s.name.c_str());
+    } else {
+      std::printf("  %-18s", s.name.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+void print_absolute(const FigureResult& fig, const CliOptions& opts, const std::string& title) {
+  if (!opts.csv) {
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("(seconds per run: mean per-thread completion time; mean of %u runs)\n",
+                opts.workload.runs);
+  }
+  print_header(fig, opts.csv);
+  for (std::size_t row = 0; row < fig.thread_counts.size(); ++row) {
+    std::printf(opts.csv ? "%u" : "%-8u", fig.thread_counts[row]);
+    for (const SeriesResult& s : fig.series) {
+      if (opts.csv) {
+        std::printf(",%.6f", s.by_threads[row].mean);
+      } else {
+        std::printf("  %10.4f s       ", s.by_threads[row].mean);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_normalized(const FigureResult& fig, const CliOptions& opts, const std::string& title,
+                      const std::string& baseline_name) {
+  const SeriesResult* baseline = nullptr;
+  for (const SeriesResult& s : fig.series) {
+    if (s.name == baseline_name) {
+      baseline = &s;
+    }
+  }
+  EVQ_CHECK(baseline != nullptr, "normalization baseline missing from figure");
+  if (!opts.csv) {
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("(running time normalized to %s, as in the paper's Fig. 6c/6d)\n",
+                baseline_name.c_str());
+  }
+  print_header(fig, opts.csv);
+  for (std::size_t row = 0; row < fig.thread_counts.size(); ++row) {
+    std::printf(opts.csv ? "%u" : "%-8u", fig.thread_counts[row]);
+    const double base = baseline->by_threads[row].mean;
+    for (const SeriesResult& s : fig.series) {
+      const double norm = base > 0.0 ? s.by_threads[row].mean / base : 0.0;
+      if (opts.csv) {
+        std::printf(",%.4f", norm);
+      } else {
+        std::printf("  %10.3fx        ", norm);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace evq::harness

@@ -1,0 +1,144 @@
+#include "evq/harness/workload.hpp"
+
+#include <bit>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "evq/common/backoff.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/rng.hpp"
+#include "evq/common/spin_barrier.hpp"
+
+namespace evq::harness {
+
+namespace {
+
+void blocking_push(AnyHandle& handle, Payload* node, Backoff& backoff) {
+  backoff.reset();
+  while (!handle.try_push(node)) {
+    backoff.pause();  // full: wait for a consumer
+  }
+}
+
+Payload* blocking_pop(AnyHandle& handle, Backoff& backoff) {
+  backoff.reset();
+  Payload* node = handle.try_pop();
+  while (node == nullptr) {
+    backoff.pause();  // empty: wait for a producer
+    node = handle.try_pop();
+  }
+  return node;
+}
+
+/// One worker running the paper's iteration body (burst allocations +
+/// enqueues, then burst dequeues + frees), timed from the common start
+/// signal.
+double paper_burst_worker(AnyHandle& handle, const WorkloadParams& p) {
+  const auto start = std::chrono::steady_clock::now();
+  Backoff backoff;
+  for (std::uint64_t it = 0; it < p.iterations; ++it) {
+    for (unsigned b = 0; b < p.burst; ++b) {
+      auto* node = new Payload{it * p.burst + b, nullptr};
+      blocking_push(handle, node, backoff);
+    }
+    for (unsigned b = 0; b < p.burst; ++b) {
+      delete blocking_pop(handle, backoff);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Randomized variant: each of iterations x 2 x burst steps is a push with
+/// probability push_bias_pct, bounded so a thread never holds more than
+/// `burst` un-popped pushes (the deadlock-freedom bound) nor a deficit;
+/// ends balanced by draining its remainder.
+double random_mixed_worker(AnyHandle& handle, const WorkloadParams& p, unsigned thread_index) {
+  auto rng = XorShift64Star::for_stream(p.seed, thread_index);
+  const auto start = std::chrono::steady_clock::now();
+  Backoff backoff;
+  const std::uint64_t steps = p.iterations * 2 * p.burst;
+  std::uint64_t outstanding = 0;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const bool want_push = outstanding == 0 ||
+                           (outstanding < p.burst && rng.chance(p.push_bias_pct, 100));
+    if (want_push) {
+      auto* node = new Payload{s, nullptr};
+      blocking_push(handle, node, backoff);
+      ++outstanding;
+    } else {
+      delete blocking_pop(handle, backoff);
+      --outstanding;
+    }
+  }
+  while (outstanding > 0) {
+    delete blocking_pop(handle, backoff);
+    --outstanding;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double worker(AnyQueue& queue, const WorkloadParams& p, SpinBarrier& barrier,
+              unsigned thread_index) {
+  auto handle = queue.handle();  // initialization phase (registration etc.)
+  barrier.wait();
+  if (p.pattern == WorkloadPattern::kRandomMixed) {
+    return random_mixed_worker(*handle, p, thread_index);
+  }
+  return paper_burst_worker(*handle, p);
+}
+
+}  // namespace
+
+std::size_t effective_capacity(const WorkloadParams& p) {
+  if (p.capacity != 0) {
+    return p.capacity;
+  }
+  // Deadlock-freedom needs capacity >= burst x threads (see header); double
+  // it so "full" retries measure contention, not a hard wall, and keep the
+  // paper-friendly floor of 256.
+  const std::size_t need = static_cast<std::size_t>(p.burst) * p.threads * 2;
+  return std::bit_ceil(std::max<std::size_t>(need, 256));
+}
+
+double run_once(AnyQueue& queue, const WorkloadParams& p) {
+  EVQ_CHECK(p.threads >= 1, "workload needs at least one thread");
+  SpinBarrier barrier(p.threads);
+  std::vector<double> seconds(p.threads, 0.0);
+  std::vector<std::thread> workers;
+  workers.reserve(p.threads);
+  for (unsigned t = 0; t < p.threads; ++t) {
+    workers.emplace_back(
+        [&queue, &p, &barrier, &seconds, t] { seconds[t] = worker(queue, p, barrier, t); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  // Both patterns are balanced per thread: the queue must drain to empty.
+  auto handle = queue.handle();
+  EVQ_CHECK(handle->try_pop() == nullptr, "workload left items behind (queue bug?)");
+  double sum = 0.0;
+  for (double s : seconds) {
+    sum += s;
+  }
+  return sum / static_cast<double>(p.threads);  // the paper's per-run metric
+}
+
+std::vector<double> run_workload(const QueueSpec& spec, const WorkloadParams& p) {
+  const std::size_t capacity = effective_capacity(p);
+  EVQ_CHECK(!spec.bounded || capacity >= static_cast<std::size_t>(p.burst) * p.threads,
+            "bounded queue too small for the burst workload (deadlock)");
+  EVQ_CHECK(spec.concurrent || p.threads == 1,
+            "non-concurrent baseline limited to one thread");
+  std::vector<double> times;
+  times.reserve(p.runs);
+  for (unsigned r = 0; r < p.runs; ++r) {
+    auto queue = spec.make(capacity);
+    times.push_back(run_once(*queue, p));
+  }
+  return times;
+}
+
+}  // namespace evq::harness

@@ -1,0 +1,260 @@
+// Hazard-pointer safe memory reclamation (Michael, IEEE TPDS 2004 — the
+// paper's reference [10]), as used by the MS-Hazard-Pointers comparators in
+// Fig. 6.
+//
+// Design points reproduced from the paper's experimental setup:
+//  * Population-oblivious: hazard records live in a global lock-free list;
+//    threads acquire one by test-and-setting its active flag and release it
+//    on exit, so the record count tracks maximum concurrency.
+//  * A thread scans (attempts to free its retired nodes) when it holds
+//    "4 times the number of threads" retired nodes — the paper's setting,
+//    which "results in a huge waste of memory [but] the cost to reclaim the
+//    nodes becomes fairly low". The multiplier is a domain parameter so the
+//    A2 ablation bench can sweep it.
+//  * Both scan strategies of Fig. 6 are provided: *sorted* (collect all
+//    hazards, sort, binary-search each retired node — pays off at high
+//    thread counts) and *unsorted* (linear membership test — cheaper when
+//    few threads).
+//
+// The domain is a per-queue object, not a global: tests and benchmarks need
+// isolated reclamation accounting.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+
+namespace evq::hazard {
+
+/// Scan strategy for membership of retired nodes in the hazard set.
+enum class ScanMode : std::uint8_t {
+  kUnsorted,  // linear search of the collected hazard array
+  kSorted,    // sort + binary search
+};
+
+/// Safe memory reclamation domain for nodes of type Node, reclaimed with
+/// `delete` by default or a custom Reclaim callable (e.g. a free pool).
+///
+/// K is the number of hazard slots per thread (the MS queue needs 2:
+/// head/tail plus next).
+template <typename Node, std::size_t K = 2>
+class HpDomain {
+ public:
+  struct Record {
+    std::atomic<const Node*> hp[K];
+    std::atomic<bool> active{false};
+    std::atomic<Record*> next{nullptr};
+    // Retired list is thread-private while the record is held; a record
+    // released with leftovers keeps them until the record is re-acquired or
+    // the domain is destroyed.
+    std::vector<Node*> retired;
+  };
+
+  explicit HpDomain(ScanMode mode = ScanMode::kUnsorted, std::size_t threshold_multiplier = 4)
+      : mode_(mode), threshold_multiplier_(threshold_multiplier) {
+    EVQ_CHECK(threshold_multiplier >= 1, "scan threshold multiplier must be >= 1");
+  }
+
+  HpDomain(const HpDomain&) = delete;
+  HpDomain& operator=(const HpDomain&) = delete;
+
+  /// Quiescent destruction: reclaims every retired node and frees records.
+  ~HpDomain() {
+    Record* rec = head_.load(std::memory_order_acquire);
+    while (rec != nullptr) {
+      Record* next = rec->next.load(std::memory_order_relaxed);
+      for (Node* node : rec->retired) {
+        delete node;
+      }
+      delete rec;
+      rec = next;
+    }
+  }
+
+  /// Claims a hazard record for the calling thread (recycling an inactive
+  /// one when possible — population-oblivious acquisition).
+  [[nodiscard]] Record* acquire() {
+    for (Record* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+      if (!rec->active.load(std::memory_order_relaxed)) {
+        bool expected = false;
+        const bool claimed =
+            rec->active.compare_exchange_strong(expected, true, std::memory_order_acq_rel);
+        stats::on_cas(claimed);
+        if (claimed) {
+          return rec;
+        }
+      }
+    }
+    auto* rec = new Record;
+    rec->active.store(true, std::memory_order_relaxed);
+    Record* head = head_.load(std::memory_order_relaxed);
+    do {
+      rec->next.store(head, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(head, rec, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+    records_.fetch_add(1, std::memory_order_relaxed);
+    return rec;
+  }
+
+  /// Releases the record: clears hazards, makes one reclamation attempt, and
+  /// hands leftovers to whichever thread acquires the record next.
+  void release(Record* rec) noexcept {
+    for (std::size_t i = 0; i < K; ++i) {
+      rec->hp[i].store(nullptr, std::memory_order_release);
+    }
+    if (!rec->retired.empty()) {
+      scan(*rec);
+    }
+    rec->active.store(false, std::memory_order_release);
+  }
+
+  /// Protects the pointer currently stored in `src`: publishes it as a
+  /// hazard and re-reads until the publication provably happened before the
+  /// pointer left `src` (the standard protect loop).
+  Node* protect(Record* rec, std::size_t slot, const std::atomic<Node*>& src) noexcept {
+    EVQ_DCHECK(slot < K, "hazard slot out of range");
+    Node* ptr = src.load(std::memory_order_acquire);
+    for (;;) {
+      rec->hp[slot].store(ptr, std::memory_order_seq_cst);
+      Node* again = src.load(std::memory_order_seq_cst);
+      if (again == ptr) {
+        return ptr;
+      }
+      ptr = again;
+    }
+  }
+
+  /// Clears one hazard slot.
+  void clear(Record* rec, std::size_t slot) noexcept {
+    rec->hp[slot].store(nullptr, std::memory_order_release);
+  }
+
+  /// Retires a node removed from the data structure; reclaims a batch once
+  /// the per-thread retired count reaches multiplier x (current records).
+  template <typename Reclaim>
+  void retire(Record* rec, Node* node, Reclaim&& reclaim) {
+    rec->retired.push_back(node);
+    const std::size_t threshold =
+        threshold_multiplier_ * std::max<std::size_t>(1, records_.load(std::memory_order_relaxed));
+    if (rec->retired.size() >= threshold) {
+      scan(*rec, std::forward<Reclaim>(reclaim));
+    }
+  }
+
+  void retire(Record* rec, Node* node) {
+    retire(rec, node, [](Node* n) { delete n; });
+  }
+
+  /// One reclamation pass: frees every retired node whose address is not
+  /// published as a hazard by any record. Returns the number reclaimed.
+  template <typename Reclaim>
+  std::size_t scan(Record& rec, Reclaim&& reclaim) {
+    std::vector<const Node*> hazards;
+    hazards.reserve(K * records_.load(std::memory_order_relaxed));
+    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+         r = r->next.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < K; ++i) {
+        if (const Node* p = r->hp[i].load(std::memory_order_seq_cst)) {
+          hazards.push_back(p);
+        }
+      }
+    }
+    if (mode_ == ScanMode::kSorted) {
+      std::sort(hazards.begin(), hazards.end());
+    }
+    std::vector<Node*> survivors;
+    survivors.reserve(rec.retired.size());
+    std::size_t freed = 0;
+    for (Node* node : rec.retired) {
+      const bool hazardous =
+          mode_ == ScanMode::kSorted
+              ? std::binary_search(hazards.begin(), hazards.end(), static_cast<const Node*>(node))
+              : std::find(hazards.begin(), hazards.end(), static_cast<const Node*>(node)) !=
+                    hazards.end();
+      if (hazardous) {
+        survivors.push_back(node);
+      } else {
+        reclaim(node);
+        ++freed;
+      }
+    }
+    rec.retired = std::move(survivors);
+    reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+    return freed;
+  }
+
+  std::size_t scan(Record& rec) {
+    return scan(rec, [](Node* n) { delete n; });
+  }
+
+  /// Total records ever created (= maximum concurrent acquires observed).
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  /// Total nodes reclaimed by scans (diagnostics for tests/ablation).
+  [[nodiscard]] std::uint64_t reclaimed_count() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ScanMode mode() const noexcept { return mode_; }
+
+ private:
+  const ScanMode mode_;
+  const std::size_t threshold_multiplier_;
+  std::atomic<Record*> head_{nullptr};
+  std::atomic<std::size_t> records_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII record holder.
+template <typename Node, std::size_t K = 2>
+class HpGuard {
+ public:
+  using Domain = HpDomain<Node, K>;
+
+  explicit HpGuard(Domain& domain) : domain_(&domain), rec_(domain.acquire()) {}
+
+  HpGuard(HpGuard&& other) noexcept : domain_(other.domain_), rec_(other.rec_) {
+    other.domain_ = nullptr;
+    other.rec_ = nullptr;
+  }
+  HpGuard& operator=(HpGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      domain_ = other.domain_;
+      rec_ = other.rec_;
+      other.domain_ = nullptr;
+      other.rec_ = nullptr;
+    }
+    return *this;
+  }
+
+  HpGuard(const HpGuard&) = delete;
+  HpGuard& operator=(const HpGuard&) = delete;
+
+  ~HpGuard() { reset(); }
+
+  [[nodiscard]] typename Domain::Record* record() const noexcept { return rec_; }
+
+ private:
+  void reset() noexcept {
+    if (domain_ != nullptr && rec_ != nullptr) {
+      domain_->release(rec_);
+      domain_ = nullptr;
+      rec_ = nullptr;
+    }
+  }
+
+  Domain* domain_;
+  typename Domain::Record* rec_;
+};
+
+}  // namespace evq::hazard

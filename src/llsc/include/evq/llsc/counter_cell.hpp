@@ -1,0 +1,65 @@
+// LL/SC view of a monotone counter.
+//
+// For the queue's Head/Tail indices LL/SC and plain CAS coincide: the paper
+// deliberately lets the counters occupy a full word and only ever increments
+// them (Sec. 3, index-ABA), so a value can recur only after a full 2^64 wrap
+// — `CAS(&Tail, t, t+1)` therefore IS a faithful `LL(&Tail)==t; SC(&Tail,t+1)`.
+// CounterCell packages that equivalence behind the same Link API as the slot
+// cells so Algorithm 1 reads like the paper's pseudocode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "evq/common/op_stats.hpp"
+#include "evq/llsc/llsc.hpp"
+
+namespace evq::llsc {
+
+class CounterCell {
+ public:
+  using value_type = std::uint64_t;
+
+  class Link {
+   public:
+    [[nodiscard]] std::uint64_t value() const noexcept { return snap_; }
+
+   private:
+    friend class CounterCell;
+    explicit Link(std::uint64_t snap) noexcept : snap_(snap) {}
+    std::uint64_t snap_;
+  };
+
+  CounterCell() noexcept : word_(0) {}
+  explicit CounterCell(std::uint64_t init) noexcept : word_(init) {}
+
+  CounterCell(const CounterCell&) = delete;
+  CounterCell& operator=(const CounterCell&) = delete;
+
+  [[nodiscard]] Link ll() noexcept { return Link{word_.load(std::memory_order_seq_cst)}; }
+
+  /// Valid only for monotone use: desired must differ from every value the
+  /// counter held since `link` (trivially true for increments).
+  bool sc(Link link, std::uint64_t desired) noexcept {
+    std::uint64_t expected = link.snap_;
+    const bool ok = word_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
+  }
+
+  /// Validate: true iff the counter still holds the linked value (monotone
+  /// counters cannot ABA, so equality is exact).
+  [[nodiscard]] bool validate(Link link) noexcept {
+    return word_.load(std::memory_order_seq_cst) == link.snap_;
+  }
+
+  [[nodiscard]] std::uint64_t load() noexcept { return word_.load(std::memory_order_seq_cst); }
+
+  void store(std::uint64_t v) noexcept { word_.store(v, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<std::uint64_t> word_;
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+};
+
+}  // namespace evq::llsc

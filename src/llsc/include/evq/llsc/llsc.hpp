@@ -1,0 +1,55 @@
+// Load-linked / store-conditional emulation layer.
+//
+// The paper's Algorithm 1 (Fig. 3) assumes LL/SC with the *theoretical*
+// semantics of its Fig. 2: SC(X, Y) succeeds iff no write to X occurred since
+// this thread's LL(X), with arbitrarily many threads holding independent
+// reservations and LL/SC pairs free to nest (the queue holds a reservation on
+// a slot while doing LL/SC on Tail).
+//
+// No commodity hardware delivers those semantics (Sec. 5 lists the real
+// restrictions) and this repository's benchmark platform is x86-64, which has
+// no LL/SC at all — so, per the reproduction's substitution rule, we emulate:
+//
+//  * VersionedLlsc  — {value, 64-bit version} updated with cmpxchg16b. Exact
+//    Fig. 2 semantics up to 2^64 version wraps.
+//  * PackedLlsc     — 48-bit pointer + 16-bit version in ONE 64-bit word,
+//    showing the algorithm genuinely runs on pointer-wide primitives.
+//    Exact semantics up to 2^16 wraps within one LL/SC window.
+//  * WeakLlsc<P>    — decorator adding random spurious SC failures, modelling
+//    hardware limitation #3 (cache-line eviction / preemption clears the
+//    reservation). Used to demonstrate the algorithm's retry loops absorb
+//    spurious failure.
+//
+// API shape: a reservation is an explicit value-type Link returned by ll()
+// and consumed by sc(). Explicit links (rather than hidden per-CPU
+// reservation state) are what makes nesting trivially correct and makes the
+// emulation population-oblivious.
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+namespace evq::llsc {
+
+/// Value types storable in an emulated LL/SC cell: raw pointers and
+/// word-sized trivially copyable scalars.
+template <typename T>
+concept LlscValue =
+    (std::is_pointer_v<T> || (std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(void*)));
+
+/// An LL/SC cell policy. `Link` is an opaque snapshot naming "the state of
+/// the cell at LL time"; sc(link, v) succeeds iff the cell has not been
+/// successfully written since that LL.
+template <typename P>
+concept LlscCell = requires(P& cell, const P& ccell, typename P::Link link,
+                            typename P::value_type v) {
+  typename P::value_type;
+  typename P::Link;
+  requires std::copyable<typename P::Link>;
+  { cell.ll() } -> std::same_as<typename P::Link>;
+  { link.value() } -> std::convertible_to<typename P::value_type>;
+  { cell.sc(link, v) } -> std::same_as<bool>;
+  { cell.load() } -> std::same_as<typename P::value_type>;
+};
+
+}  // namespace evq::llsc

@@ -1,0 +1,84 @@
+// LL/SC emulation via a {value, version} pair and double-width CAS.
+//
+// This is the reference emulation: a 64-bit version counter bumped on every
+// successful SC or store makes the Fig. 2 semantics exact for any practical
+// execution (an SC can only succeed wrongly after 2^64 intervening writes).
+// It is NOT single-word — it stands in for the PowerPC's native lwarx/stwcx
+// in experiments, while PackedLlsc demonstrates the single-word claim.
+#pragma once
+
+#include <cstdint>
+
+#include "evq/common/dwcas.hpp"
+#include "evq/llsc/llsc.hpp"
+
+namespace evq::llsc {
+
+template <LlscValue T>
+class VersionedLlsc {
+ public:
+  using value_type = T;
+
+  /// Snapshot of the cell at LL time.
+  class Link {
+   public:
+    [[nodiscard]] T value() const noexcept { return from_word(snap_.lo); }
+
+   private:
+    friend class VersionedLlsc;
+    explicit Link(DwWord snap) noexcept : snap_(snap) {}
+    DwWord snap_;
+  };
+
+  VersionedLlsc() noexcept : cell_(DwWord{0, 0}) {}
+  explicit VersionedLlsc(T init) noexcept : cell_(DwWord{to_word(init), 0}) {}
+
+  VersionedLlsc(const VersionedLlsc&) = delete;
+  VersionedLlsc& operator=(const VersionedLlsc&) = delete;
+
+  /// Load-linked: returns a reservation naming the current {value, version}.
+  [[nodiscard]] Link ll() noexcept { return Link{cell_.load()}; }
+
+  /// Store-conditional: succeeds iff no successful write happened since `link`.
+  bool sc(Link link, T desired) noexcept {
+    DwWord expected = link.snap_;
+    return cell_.compare_exchange(expected, DwWord{to_word(desired), expected.hi + 1});
+  }
+
+  /// Validate (the VL companion of LL/SC): true iff no write happened since
+  /// `link` — i.e. an SC with this link would still succeed.
+  [[nodiscard]] bool validate(Link link) noexcept { return cell_.load() == link.snap_; }
+
+  /// Plain atomic read of the current value (no reservation).
+  [[nodiscard]] T load() noexcept { return from_word(cell_.load().lo); }
+
+  /// Unconditional write (bumps the version, so it invalidates reservations).
+  void store(T desired) noexcept {
+    DwWord expected = cell_.load();
+    while (!cell_.compare_exchange(expected, DwWord{to_word(desired), expected.hi + 1})) {
+    }
+  }
+
+  /// Current version counter — exposed for tests and diagnostics.
+  [[nodiscard]] std::uint64_t version() noexcept { return cell_.load().hi; }
+
+ private:
+  static std::uint64_t to_word(T v) noexcept {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<std::uint64_t>(v);
+    } else {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  static T from_word(std::uint64_t w) noexcept {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<T>(w);
+    } else {
+      return static_cast<T>(w);
+    }
+  }
+
+  AtomicDwWord cell_;
+};
+
+}  // namespace evq::llsc

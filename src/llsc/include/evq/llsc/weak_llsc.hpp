@@ -1,0 +1,64 @@
+// Spurious-failure decorator for LL/SC cells.
+//
+// Real LL/SC hardware may fail an SC even though nobody wrote the location
+// (limitation #3 in Sec. 5: cache-line replacement or preemption clears the
+// reservation bit). Algorithm 1's loops treat SC failure as "retry", so they
+// must remain correct — merely slower — under arbitrary spurious failure.
+// WeakLlsc injects such failures with a configurable probability so tests can
+// demonstrate exactly that, and the A1 ablation bench can price it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "evq/common/rng.hpp"
+#include "evq/llsc/llsc.hpp"
+
+namespace evq::llsc {
+
+/// Wraps an LL/SC cell policy; each sc() additionally fails spuriously with
+/// probability FailNum/FailDen. Probabilities are compile-time so the hot
+/// path stays branch-cheap and cells stay default-constructible in arrays.
+template <LlscCell Inner, std::uint32_t FailNum, std::uint32_t FailDen = 100>
+class WeakLlsc {
+  static_assert(FailDen > 0 && FailNum < FailDen, "failure probability must be in [0,1)");
+
+ public:
+  using value_type = typename Inner::value_type;
+  using Link = typename Inner::Link;
+
+  WeakLlsc() = default;
+  explicit WeakLlsc(value_type init) noexcept : inner_(init) {}
+
+  [[nodiscard]] Link ll() noexcept { return inner_.ll(); }
+
+  bool sc(Link link, value_type desired) noexcept {
+    if (FailNum != 0 && spurious_failure()) {
+      return false;  // reservation "lost" — nothing written
+    }
+    return inner_.sc(link, desired);
+  }
+
+  /// Validation is a read, not a store — it does not fail spuriously.
+  [[nodiscard]] bool validate(Link link) noexcept { return inner_.validate(link); }
+
+  [[nodiscard]] value_type load() noexcept { return inner_.load(); }
+  void store(value_type desired) noexcept { inner_.store(desired); }
+
+ private:
+  /// Deterministic per-object pseudo-random failure stream: a relaxed
+  /// Weyl-sequence counter mixed by SplitMix64. The counter is shared by
+  /// all threads touching this cell, which is exactly the granularity at
+  /// which real reservation loss occurs (it is the cell's cache line that
+  /// gets evicted).
+  bool spurious_failure() noexcept {
+    const std::uint64_t tick = mix_.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+    SplitMix64 mixer(tick ^ reinterpret_cast<std::uintptr_t>(this));
+    return mixer.next() % FailDen < FailNum;
+  }
+
+  Inner inner_;
+  std::atomic<std::uint64_t> mix_{0};
+};
+
+}  // namespace evq::llsc

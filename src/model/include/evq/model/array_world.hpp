@@ -1,0 +1,418 @@
+// Step-level model of the circular-array FIFO family: Algorithm 1's
+// LL/SC-slot queue and the weakened variants whose failures motivate it.
+//
+// Every shared-memory access of Fig. 3's pseudocode is one atomic step, so
+// the explorer can preempt an operation at exactly the program points the
+// paper's Sec. 3 scenarios require (e.g. "delayed immediately prior to the
+// increment", "preempted anywhere between lines D5 and D10").
+//
+// Configurable axes (ArrayModelConfig):
+//   slot_protocol
+//     kLlsc     — slots carry a modification counter; SC fails on any
+//                 intervening write (Algorithm 1's defense).
+//     kPlainCas — slots are bare words CASed directly (data-ABA and
+//                 null-ABA possible — the naive construction).
+//     kTwoNull  — bare words + alternating generation nulls
+//                 (Tsigas–Zhang-style: null-ABA fixed, data-ABA remains).
+//   index_recheck — the E10/D10 "if (t == Tail)" re-validation. Turning it
+//                 off models omitting the check the paper's Fig. 4 shows to
+//                 be load-bearing.
+//   index_modulus — 0 for monotone full-width counters (the paper's index-
+//                 ABA cure); a small modulus models Fig. 1's wrapping
+//                 indices (the bug strikes once the counter laps).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evq/common/config.hpp"
+#include "evq/model/explorer.hpp"
+#include "evq/verify/history.hpp"
+
+namespace evq::model {
+
+enum class SlotProtocol : std::uint8_t { kLlsc, kPlainCas, kTwoNull };
+
+struct ArrayModelConfig {
+  std::size_t capacity = 2;
+  SlotProtocol slot_protocol = SlotProtocol::kLlsc;
+  bool index_recheck = true;
+  std::uint64_t index_modulus = 0;  // 0 = monotone (full-width) counters
+  std::vector<std::uint64_t> initial_items;
+  std::vector<std::vector<ModelOp>> programs;  // one per thread
+};
+
+class ArrayQueueWorld {
+ public:
+  explicit ArrayQueueWorld(ArrayModelConfig config) : cfg_(std::move(config)) {
+    EVQ_CHECK(!cfg_.programs.empty(), "need at least one thread program");
+    EVQ_CHECK(cfg_.initial_items.size() <= cfg_.capacity, "too many initial items");
+    slots_.assign(cfg_.capacity, Slot{});
+    if (cfg_.slot_protocol == SlotProtocol::kTwoNull) {
+      for (Slot& s : slots_) {
+        s.value = kNullOfGen(~std::uint64_t{0});  // "emptied in generation -1"
+      }
+    }
+    for (std::uint64_t item : cfg_.initial_items) {
+      EVQ_CHECK(legal_value(item), "initial item collides with a null encoding");
+      slots_[index_of(tail_)].value = item;
+      tail_ = bump(tail_);
+    }
+    for (const auto& program : cfg_.programs) {
+      for (const ModelOp& op : program) {
+        EVQ_CHECK(!op.is_push || legal_value(op.value),
+                  "pushed value collides with a null encoding");
+      }
+    }
+    machines_.resize(cfg_.programs.size());
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return machines_.size(); }
+  [[nodiscard]] bool thread_done(std::size_t i) const {
+    return machines_[i].op_index >= cfg_.programs[i].size();
+  }
+  [[nodiscard]] bool thread_blocked(std::size_t) const { return false; }
+  [[nodiscard]] bool all_done() const {
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      if (!thread_done(i)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t spec_capacity() const { return cfg_.capacity; }
+
+  [[nodiscard]] verify::History history() const {
+    verify::History all;
+    for (const Machine& m : machines_) {
+      all.insert(all.end(), m.completed.begin(), m.completed.end());
+    }
+    // Items preloaded by the constructor enter the spec as instantaneous
+    // pushes that precede everything else.
+    // Preloaded item i gets stamps [2i, 2i+1] — mutually ordered and
+    // strictly before every real operation (see invoke_stamp below).
+    std::uint64_t i = 0;
+    for (std::uint64_t item : cfg_.initial_items) {
+      verify::Operation op;
+      op.kind = verify::OpKind::kPush;
+      op.arg = item;
+      op.ok = true;
+      op.invoke = 2 * i;
+      op.response = 2 * i + 1;
+      all.push_back(op);
+      ++i;
+    }
+    return all;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    StateHasher h;
+    h.mix(head_);
+    h.mix(tail_);
+    for (const Slot& s : slots_) {
+      h.mix(s.value);
+      h.mix(s.version);
+    }
+    for (const Machine& m : machines_) {
+      h.mix(static_cast<std::uint64_t>(m.op_index) << 8 |
+            static_cast<std::uint64_t>(m.pc + 1));
+      h.mix(m.t);
+      h.mix(m.lv);
+      h.mix(m.lver);
+      h.mix(m.lv2_);
+      h.mix(m.invoke);
+      for (const verify::Operation& op : m.completed) {
+        h.mix(op.invoke);
+        h.mix(op.result + (op.ok ? 1 : 0) * 1000003 + op.arg * 7);
+      }
+    }
+    return h.value();
+  }
+
+  /// Advances thread i by one atomic step.
+  void step(std::size_t i) {
+    Machine& m = machines_[i];
+    EVQ_CHECK(!thread_done(i), "stepping a finished thread");
+    const ModelOp& op = cfg_.programs[i][m.op_index];
+    if (m.pc == kPcStart) {
+      m.invoke = invoke_stamp();
+      m.pc = 0;
+    }
+    if (op.is_push) {
+      step_push(m, op.value);
+    } else {
+      step_pop(m);
+    }
+  }
+
+ private:
+  // Slot "null" encodings. 0 is plain empty (kLlsc / kPlainCas); the two
+  // generation nulls use values that can never be pushed (pushed values
+  // must be > kMaxNull).
+  static constexpr std::uint64_t kNull0 = 1;
+  static constexpr std::uint64_t kNull1 = 2;
+  static std::uint64_t kNullOfGen(std::uint64_t gen) { return (gen & 1) == 0 ? kNull0 : kNull1; }
+
+  [[nodiscard]] bool legal_value(std::uint64_t v) const {
+    if (v == 0) {
+      return false;  // 0 encodes plain empty (and "pop saw empty" in specs)
+    }
+    return cfg_.slot_protocol != SlotProtocol::kTwoNull || v > kNull1;
+  }
+
+  struct Slot {
+    std::uint64_t value = 0;
+    std::uint32_t version = 0;  // used by kLlsc only
+  };
+
+  static constexpr int kPcStart = -1;
+
+  struct Machine {
+    std::size_t op_index = 0;
+    int pc = kPcStart;
+    // locals (named after Fig. 3's)
+    std::uint64_t t = 0;      // index snapshot (t or h)
+    std::uint64_t lv = 0;     // linked slot value
+    std::uint32_t lver = 0;   // linked slot version
+    std::uint64_t lv2_ = 0;   // linked index value (the inner LL of E12/E16)
+    std::uint64_t invoke = 0;
+    verify::History completed;
+  };
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t counter) const {
+    return static_cast<std::size_t>(counter % cfg_.capacity);
+  }
+  [[nodiscard]] std::uint64_t bump(std::uint64_t counter) const {
+    const std::uint64_t next = counter + 1;
+    return cfg_.index_modulus == 0 ? next : next % cfg_.index_modulus;
+  }
+  /// Full check under possibly-wrapping counters. With monotone counters
+  /// the comparison is SIGNED: a stale tail snapshot (Head already moved
+  /// past it) reads as negative occupancy, not as full — the model checker
+  /// caught an unsigned version of this check as a spurious-full
+  /// linearizability violation (mirrored into the real queues; see
+  /// llsc_array_queue.hpp). With a wrapping modulus the ambiguity is
+  /// irreparable — that is Fig. 1's point — so the modular distance stays.
+  [[nodiscard]] bool occupied_at_least(std::uint64_t head, std::uint64_t tail,
+                                       std::uint64_t n) const {
+    if (cfg_.index_modulus == 0) {
+      return static_cast<std::int64_t>(tail - head) >= static_cast<std::int64_t>(n);
+    }
+    return (tail + cfg_.index_modulus - head) % cfg_.index_modulus >= n;
+  }
+
+  [[nodiscard]] bool slot_empty_for_push(const Slot& s, std::uint64_t t) const {
+    switch (cfg_.slot_protocol) {
+      case SlotProtocol::kTwoNull:
+        // Empty iff it holds the null of the PREVIOUS generation.
+        return s.value == kNullOfGen(t / cfg_.capacity - 1);
+      default:
+        return s.value == 0;
+    }
+  }
+  [[nodiscard]] bool slot_empty_for_pop(const Slot& s) const {
+    switch (cfg_.slot_protocol) {
+      case SlotProtocol::kTwoNull:
+        return s.value == kNull0 || s.value == kNull1;
+      default:
+        return s.value == 0;
+    }
+  }
+  [[nodiscard]] std::uint64_t empty_marker_for_pop(std::uint64_t h) const {
+    return cfg_.slot_protocol == SlotProtocol::kTwoNull ? kNullOfGen(h / cfg_.capacity) : 0;
+  }
+
+  void complete_push(Machine& m, std::uint64_t value, bool ok) {
+    verify::Operation op;
+    op.kind = verify::OpKind::kPush;
+    op.arg = value;
+    op.ok = ok;
+    op.invoke = m.invoke;
+    op.response = response_stamp();
+    m.completed.push_back(op);
+    ++m.op_index;
+    m.pc = kPcStart;
+  }
+  void complete_pop(Machine& m, std::uint64_t result) {
+    verify::Operation op;
+    op.kind = verify::OpKind::kPop;
+    op.result = result;
+    op.invoke = m.invoke;
+    op.response = response_stamp();
+    m.completed.push_back(op);
+    ++m.op_index;
+    m.pc = kPcStart;
+  }
+
+  // Coarse timestamps: precedence between operations is fully determined by
+  // "how many operations had completed when I started" vs "my completion
+  // rank" — nothing finer matters to the linearizability checker, and the
+  // coarseness lets the explorer's memoization collapse schedules that
+  // differ only in when individual steps ran. Preloaded items occupy
+  // [0, 2K); a real op invoking after c completions gets 2(c+K)+1, and the
+  // c-th completion responds at 2(c+K).
+  [[nodiscard]] std::uint64_t invoke_stamp() const {
+    return 2 * (completed_ + cfg_.initial_items.size()) + 1;
+  }
+  [[nodiscard]] std::uint64_t response_stamp() {
+    ++completed_;
+    return 2 * (completed_ + cfg_.initial_items.size());
+  }
+
+  /// True iff a slot CAS with the machine's link succeeds (protocol-aware).
+  bool slot_sc(Machine& m, Slot& s, std::uint64_t desired) {
+    const bool match = cfg_.slot_protocol == SlotProtocol::kLlsc
+                           ? (s.value == m.lv && s.version == m.lver)
+                           : (s.value == m.lv);
+    if (!match) {
+      return false;
+    }
+    s.value = desired;
+    ++s.version;
+    return true;
+  }
+
+  // Fig. 3 Enqueue as one atomic step per shared access.
+  //   pc 0: E5      read Tail
+  //   pc 1: E6      read Head, full check
+  //   pc 2: E9      LL slot
+  //   pc 3: E10     re-read Tail (skipped when !index_recheck)
+  //   pc 4: E12     LL Tail        (slot occupied: help)
+  //   pc 5: E13     SC Tail
+  //   pc 6: E15     SC slot (install)
+  //   pc 7: E16     LL Tail
+  //   pc 8: E17     SC Tail, return OK
+  void step_push(Machine& m, std::uint64_t value) {
+    const std::uint64_t push_value = value;
+    switch (m.pc) {
+      case 0:
+        m.t = tail_;
+        m.pc = 1;
+        return;
+      case 1:
+        if (occupied_at_least(head_, m.t, cfg_.capacity)) {
+          complete_push(m, push_value, false);  // FULL_QUEUE
+          return;
+        }
+        m.pc = 2;
+        return;
+      case 2: {
+        const Slot& s = slots_[index_of(m.t)];
+        m.lv = s.value;
+        m.lver = s.version;
+        m.pc = cfg_.index_recheck ? 3 : (slot_empty_for_push(s, m.t) ? 6 : 4);
+        return;
+      }
+      case 3:
+        if (m.t != tail_) {
+          m.pc = 0;  // stale index: restart
+          return;
+        }
+        m.pc = slot_empty_for_push(Slot{m.lv, m.lver}, m.t) ? 6 : 4;
+        return;
+      case 4:
+        m.lv2_ = tail_;  // LL(&Tail)
+        m.pc = 5;
+        return;
+      case 5:
+        if (m.lv2_ == m.t && tail_ == m.lv2_) {
+          tail_ = bump(tail_);  // SC succeeds (counter unchanged since LL)
+        }
+        m.pc = 0;
+        return;
+      case 6: {
+        Slot& s = slots_[index_of(m.t)];
+        if (!slot_sc(m, s, push_value)) {
+          m.pc = 0;
+          return;
+        }
+        m.pc = 7;
+        return;
+      }
+      case 7:
+        m.lv2_ = tail_;
+        m.pc = 8;
+        return;
+      case 8:
+        if (m.lv2_ == m.t && tail_ == m.lv2_) {
+          tail_ = bump(tail_);
+        }
+        complete_push(m, push_value, true);
+        return;
+      default:
+        EVQ_CHECK(false, "bad push pc");
+    }
+  }
+
+  // Fig. 3 Dequeue, mirrored.
+  void step_pop(Machine& m) {
+    switch (m.pc) {
+      case 0:
+        m.t = head_;
+        m.pc = 1;
+        return;
+      case 1:
+        if (m.t == tail_) {
+          complete_pop(m, 0);  // empty
+          return;
+        }
+        m.pc = 2;
+        return;
+      case 2: {
+        const Slot& s = slots_[index_of(m.t)];
+        m.lv = s.value;
+        m.lver = s.version;
+        m.pc = cfg_.index_recheck ? 3 : (slot_empty_for_pop(s) ? 4 : 6);
+        return;
+      }
+      case 3:
+        if (m.t != head_) {
+          m.pc = 0;
+          return;
+        }
+        m.pc = slot_empty_for_pop(Slot{m.lv, m.lver}) ? 4 : 6;
+        return;
+      case 4:
+        m.lv2_ = head_;
+        m.pc = 5;
+        return;
+      case 5:
+        if (m.lv2_ == m.t && head_ == m.lv2_) {
+          head_ = bump(head_);
+        }
+        m.pc = 0;
+        return;
+      case 6: {
+        Slot& s = slots_[index_of(m.t)];
+        if (!slot_sc(m, s, empty_marker_for_pop(m.t))) {
+          m.pc = 0;
+          return;
+        }
+        m.pc = 7;
+        return;
+      }
+      case 7:
+        m.lv2_ = head_;
+        m.pc = 8;
+        return;
+      case 8:
+        if (m.lv2_ == m.t && head_ == m.lv2_) {
+          head_ = bump(head_);
+        }
+        complete_pop(m, m.lv);
+        return;
+      default:
+        EVQ_CHECK(false, "bad pop pc");
+    }
+  }
+
+  ArrayModelConfig cfg_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<Machine> machines_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace evq::model

@@ -1,0 +1,139 @@
+// Exhaustive interleaving explorer for step-level queue models.
+//
+// The stress suites sample schedules; this module ENUMERATES them. Each
+// algorithm is re-expressed as a step machine whose every shared-memory
+// access is one atomic step (src/model/*_world.hpp); the explorer runs a
+// depth-first search over all thread interleavings, and checks every
+// completed execution's operation history for linearizability against the
+// sequential bounded-FIFO spec (the Wing–Gong-style checker from
+// src/verify). This is how the repository *mechanically* validates the
+// paper's Sec. 3/Sec. 5 arguments: the real algorithms pass exhaustively on
+// small configurations, while deliberately weakened variants (wrapping
+// indices, plain-CAS slots, no reservation refcount) yield concrete
+// counterexample schedules.
+//
+// A World type provides:
+//   std::size_t thread_count() const;
+//   bool thread_done(std::size_t i) const;     // program finished
+//   bool thread_blocked(std::size_t i) const;  // optional: cannot step now
+//   void step(std::size_t i);                  // one atomic step of thread i
+//   bool all_done() const;
+//   verify::History history() const;           // completed ops w/ intervals
+//   std::size_t spec_capacity() const;         // for the FIFO model
+//   std::uint64_t hash() const;                // full state incl. histories
+//
+// Worlds are value types; the DFS copies them at each branch (they are a
+// few hundred bytes). Identical (state, history) pairs are memoized by
+// 64-bit hash — a collision could in principle hide a schedule, which is
+// acceptable for a bug-finding tool and is why the "correct algorithm"
+// tests also report how many distinct states were visited.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "evq/verify/lin_check.hpp"
+
+namespace evq::model {
+
+struct ExploreLimits {
+  std::uint64_t max_nodes = 4'000'000;  // DFS node budget
+  std::uint32_t max_depth = 160;        // schedule length cap (loop cutoff)
+};
+
+struct ExploreResult {
+  bool violation_found = false;
+  std::vector<std::uint8_t> counterexample;  // schedule (thread ids)
+  verify::History violating_history;
+
+  std::uint64_t nodes = 0;
+  std::uint64_t complete_schedules = 0;
+  std::uint64_t truncated_schedules = 0;  // hit max_depth (retry loops)
+  bool budget_exhausted = false;          // hit max_nodes before finishing
+};
+
+template <typename World>
+class Explorer {
+ public:
+  explicit Explorer(ExploreLimits limits = {}) : limits_(limits) {}
+
+  ExploreResult explore(const World& initial) {
+    result_ = ExploreResult{};
+    visited_.clear();
+    schedule_.clear();
+    dfs(initial);
+    return result_;
+  }
+
+ private:
+  /// Returns true to abort the search (violation found or budget gone).
+  bool dfs(const World& world) {
+    if (result_.nodes >= limits_.max_nodes) {
+      result_.budget_exhausted = true;
+      return true;
+    }
+    ++result_.nodes;
+    if (world.all_done()) {
+      ++result_.complete_schedules;
+      verify::LinearizabilityChecker checker(world.spec_capacity());
+      if (!checker.check(world.history())) {
+        result_.violation_found = true;
+        result_.counterexample = schedule_;
+        result_.violating_history = world.history();
+        return true;
+      }
+      return false;
+    }
+    if (schedule_.size() >= limits_.max_depth) {
+      ++result_.truncated_schedules;
+      return false;
+    }
+    if (!visited_.insert(world.hash()).second) {
+      return false;  // (state, history) already explored
+    }
+    for (std::size_t i = 0; i < world.thread_count(); ++i) {
+      if (world.thread_done(i) || world.thread_blocked(i)) {
+        continue;
+      }
+      World next = world;
+      next.step(i);
+      schedule_.push_back(static_cast<std::uint8_t>(i));
+      const bool abort = dfs(next);
+      if (abort) {
+        return true;
+      }
+      schedule_.pop_back();
+    }
+    return false;
+  }
+
+  ExploreLimits limits_;
+  ExploreResult result_;
+  std::unordered_set<std::uint64_t> visited_;
+  std::vector<std::uint8_t> schedule_;
+};
+
+/// FNV-1a helper shared by the world types.
+class StateHasher {
+ public:
+  void mix(std::uint64_t x) noexcept {
+    h_ ^= x;
+    h_ *= 0x100000001b3ull;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// One queue operation in a thread's scripted program.
+struct ModelOp {
+  bool is_push = true;
+  std::uint64_t value = 0;  // pushed value; pops ignore it. 0 is reserved.
+};
+
+inline ModelOp push_op(std::uint64_t v) { return {true, v}; }
+inline ModelOp pop_op() { return {false, 0}; }
+
+}  // namespace evq::model

@@ -1,0 +1,419 @@
+// Step-level model of Algorithm 2 (Fig. 5): the CAS-only circular array
+// queue with simulated LL/SC via LSB-tagged thread-owned variables.
+//
+// Shared state: monotone Head/Tail counters, slot words that hold either a
+// value or a reservation tag {thread, var}, and per-thread pools of LLSCvar
+// models {node, r}. Every shared access — including the FetchAndAdds on a
+// foreign variable's refcount and the write of one's own var->node — is one
+// schedulable step, so the explorer can reproduce the Sec. 5 ABA scenario
+// ("B can read the owned variable of A and be preempted ... A may then
+// reinsert its owned variable into the same array slot") at will.
+//
+// The `use_refcount` switch removes the paper's cure: reader FetchAndAdds
+// are skipped and ReRegister always keeps the current variable. The model
+// tests show the full protocol passes exhaustive exploration while the
+// weakened one yields a concrete non-linearizable schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#ifdef EVQ_MODEL_TRACE
+#include <cstdio>
+#endif
+
+#include "evq/common/config.hpp"
+#include "evq/model/explorer.hpp"
+#include "evq/verify/history.hpp"
+
+namespace evq::model {
+
+struct SimCasModelConfig {
+  std::size_t capacity = 2;
+  bool use_refcount = true;           // Fig. 5's L7/L14 + ReRegister swap
+  /// Re-read the cell after the L7 FAA and require the same tag before
+  /// reading the owner's node ("L7b" in sim_llsc_cell.hpp). `false` models
+  /// the paper's published pseudocode EXACTLY — which this repository's
+  /// model checking shows to be racy (see DESIGN.md errata): the L5->L7
+  /// window lets a stale reader adopt a node value from the owner's next
+  /// reservation and still win its L12 CAS.
+  bool validate_after_faa = true;
+  std::size_t vars_per_thread = 4;    // private LLSCvar pool (model registry)
+  std::vector<std::uint64_t> initial_items;
+  std::vector<std::vector<ModelOp>> programs;
+};
+
+class SimCasQueueWorld {
+ public:
+  explicit SimCasQueueWorld(SimCasModelConfig config) : cfg_(std::move(config)) {
+    EVQ_CHECK(!cfg_.programs.empty(), "need at least one thread program");
+    EVQ_CHECK(cfg_.initial_items.size() <= cfg_.capacity, "too many initial items");
+    slots_.assign(cfg_.capacity, Word{});
+    for (std::uint64_t item : cfg_.initial_items) {
+      EVQ_CHECK(item != 0, "0 is the empty encoding");
+      slots_[static_cast<std::size_t>(tail_ % cfg_.capacity)] = Word::value_word(item);
+      ++tail_;
+    }
+    machines_.resize(cfg_.programs.size());
+    vars_.assign(cfg_.programs.size(),
+                 std::vector<Var>(cfg_.vars_per_thread));
+    for (auto& pool : vars_) {
+      pool[0].r = 1;  // every thread starts registered on var 0
+    }
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return machines_.size(); }
+  [[nodiscard]] bool thread_done(std::size_t i) const {
+    return machines_[i].op_index >= cfg_.programs[i].size();
+  }
+  [[nodiscard]] bool thread_blocked(std::size_t) const { return false; }
+  [[nodiscard]] bool all_done() const {
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      if (!thread_done(i)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t spec_capacity() const { return cfg_.capacity; }
+
+  [[nodiscard]] verify::History history() const {
+    verify::History all;
+    for (const Machine& m : machines_) {
+      all.insert(all.end(), m.completed.begin(), m.completed.end());
+    }
+    // Preloaded item i gets stamps [2i, 2i+1] — mutually ordered and
+    // strictly before every real operation (see invoke_stamp below).
+    std::uint64_t i = 0;
+    for (std::uint64_t item : cfg_.initial_items) {
+      verify::Operation op;
+      op.kind = verify::OpKind::kPush;
+      op.arg = item;
+      op.ok = true;
+      op.invoke = 2 * i;
+      op.response = 2 * i + 1;
+      all.push_back(op);
+      ++i;
+    }
+    return all;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    StateHasher h;
+    h.mix(head_);
+    h.mix(tail_);
+    for (const Word& w : slots_) {
+      h.mix(w.is_tag ? (0x8000000000000000ull | (std::uint64_t{w.owner} << 8) | w.var)
+                     : w.value);
+    }
+    for (const auto& pool : vars_) {
+      for (const Var& v : pool) {
+        h.mix(v.node);
+        h.mix(v.r);
+      }
+    }
+    for (const Machine& m : machines_) {
+      h.mix(static_cast<std::uint64_t>(m.op_index) << 8 |
+            static_cast<std::uint64_t>(m.pc + 1));
+      h.mix(m.t);
+      h.mix(m.w_is_tag ? 1u : 0u);
+      h.mix(m.w_value);
+      h.mix((std::uint64_t{m.w_owner} << 8) | m.w_var);
+      h.mix(m.observed);
+      h.mix(m.cur_var);
+      h.mix(m.cas_ok ? 1u : 0u);
+      h.mix(m.invoke);
+      for (const verify::Operation& op : m.completed) {
+        h.mix(op.invoke);
+        h.mix(op.result + (op.ok ? 1 : 0) * 1000003 + op.arg * 7);
+      }
+    }
+    return h.value();
+  }
+
+  void step(std::size_t i) {
+    Machine& m = machines_[i];
+    EVQ_CHECK(!thread_done(i), "stepping a finished thread");
+    const ModelOp& op = cfg_.programs[i][m.op_index];
+    if (m.pc == kPcStart) {
+      m.invoke = invoke_stamp();
+      m.pc = kPcReregister;
+    }
+#ifdef EVQ_MODEL_TRACE
+    std::printf("done%3llu T%zu op%zu(%s%llu) pc%-3d | h=%llu t=%llu slots=[",
+                static_cast<unsigned long long>(completed_), i, m.op_index,
+                op.is_push ? "push " : "pop", static_cast<unsigned long long>(op.value),
+                m.pc, static_cast<unsigned long long>(head_),
+                static_cast<unsigned long long>(tail_));
+    for (const Word& w : slots_) {
+      if (w.is_tag) {
+        std::printf(" T%u.v%u", w.owner, w.var);
+      } else {
+        std::printf(" %llu", static_cast<unsigned long long>(w.value));
+      }
+    }
+    std::printf(" ] vars:");
+    for (std::size_t th = 0; th < vars_.size(); ++th) {
+      for (std::size_t v = 0; v < vars_[th].size(); ++v) {
+        if (vars_[th][v].r != 0 || vars_[th][v].node != 0) {
+          std::printf(" T%zu.v%zu{n=%llu,r=%u}", th, v,
+                      static_cast<unsigned long long>(vars_[th][v].node), vars_[th][v].r);
+        }
+      }
+    }
+    std::printf("\n");
+#endif
+    step_op(i, m, op);
+  }
+
+ private:
+  /// A slot word: a value (0 = empty) or an LSB-tagged reservation marker.
+  struct Word {
+    bool is_tag = false;
+    std::uint64_t value = 0;  // when !is_tag
+    std::uint8_t owner = 0;   // when is_tag: thread id
+    std::uint8_t var = 0;     // when is_tag: index in owner's var pool
+
+    static Word value_word(std::uint64_t v) { return Word{false, v, 0, 0}; }
+    static Word tag_word(std::size_t owner, std::size_t var) {
+      return Word{true, 0, static_cast<std::uint8_t>(owner), static_cast<std::uint8_t>(var)};
+    }
+    friend bool operator==(const Word& a, const Word& b) {
+      return a.is_tag == b.is_tag &&
+             (a.is_tag ? (a.owner == b.owner && a.var == b.var) : a.value == b.value);
+    }
+  };
+
+  /// Model of Fig. 5's LLSCvar.
+  struct Var {
+    std::uint64_t node = 0;
+    std::uint32_t r = 0;
+  };
+
+  static constexpr int kPcStart = -1;
+  static constexpr int kPcReregister = -2;
+
+  struct Machine {
+    std::size_t op_index = 0;
+    int pc = kPcStart;
+    std::uint64_t t = 0;         // index snapshot
+    bool w_is_tag = false;       // the word read at L5
+    std::uint64_t w_value = 0;
+    std::uint8_t w_owner = 0;
+    std::uint8_t w_var = 0;
+    std::uint64_t observed = 0;  // logical value the LL returned
+    std::uint8_t cur_var = 0;    // index of the registered var in the pool
+    bool cas_ok = false;
+    std::uint64_t invoke = 0;
+    verify::History completed;
+  };
+
+  Word loaded_word(const Machine& m) const {
+    Word w;
+    w.is_tag = m.w_is_tag;
+    w.value = m.w_value;
+    w.owner = m.w_owner;
+    w.var = m.w_var;
+    return w;
+  }
+
+  void complete(Machine& m, const ModelOp& op, bool push_ok, std::uint64_t pop_result) {
+    verify::Operation rec;
+    rec.kind = op.is_push ? verify::OpKind::kPush : verify::OpKind::kPop;
+    rec.arg = op.is_push ? op.value : 0;
+    rec.ok = push_ok;
+    rec.result = pop_result;
+    rec.invoke = m.invoke;
+    rec.response = response_stamp();
+    m.completed.push_back(rec);
+    ++m.op_index;
+    m.pc = kPcStart;
+  }
+
+  // Coarse completion-rank timestamps — see array_world.hpp's invoke_stamp.
+  [[nodiscard]] std::uint64_t invoke_stamp() const {
+    return 2 * (completed_ + cfg_.initial_items.size()) + 1;
+  }
+  [[nodiscard]] std::uint64_t response_stamp() {
+    ++completed_;
+    return 2 * (completed_ + cfg_.initial_items.size());
+  }
+
+  Word& slot_at(std::uint64_t counter) {
+    return slots_[static_cast<std::size_t>(counter % cfg_.capacity)];
+  }
+
+  // Program counters (shared by push and pop; the branch differs at kSlotSc):
+  //   kPcReregister  read own r; swap variable if readers present (one step,
+  //                  modelling RR2–RR4 + Register's claim)
+  //   0  read Tail (push) / Head (pop)
+  //   1  read the other index; full/empty check
+  //   2  L5: read the slot word
+  //   3  L7: FAA(+1) on the foreign var        (skipped if w not a tag)
+  //   4  L8: read foreign var.node
+  //   5  L8/L11: write own var.node
+  //   6  L12: CAS(slot, w, tag(me))
+  //   7  L14: FAA(-1) on the foreign var       (skipped if w not a tag)
+  //   8  local: retry LL loop if the install CAS failed
+  //   9  re-read the index ("if (t == Tail)")
+  //  10  release (index moved): CAS(slot, tag, observed); back to 0
+  //  11  occupied/empty mismatch path: release, then
+  //  12  help: CAS(index, t, t+1); back to 0
+  //  13  the SC: CAS(slot, tag, value-or-0); fail -> 0
+  //  14  CAS(index, t, t+1); complete
+  void step_op(std::size_t self, Machine& m, const ModelOp& op) {
+    auto& my_pool = vars_[self];
+    switch (m.pc) {
+      case kPcReregister: {
+        Var& var = my_pool[m.cur_var];
+        if (cfg_.use_refcount && var.r > 1) {
+          var.r -= 1;  // abandon: readers still hold references
+          EVQ_CHECK(m.cur_var + 1u < my_pool.size(), "model var pool exhausted");
+          m.cur_var += 1;  // Register: claim a fresh variable
+          my_pool[m.cur_var].r = 1;
+        }
+        m.pc = 0;
+        return;
+      }
+      case 0:
+        m.t = op.is_push ? tail_ : head_;
+        m.pc = 1;
+        return;
+      case 1:
+        if (op.is_push) {
+          // Signed occupancy — see array_world.hpp's occupied_at_least.
+          if (static_cast<std::int64_t>(m.t - head_) >=
+              static_cast<std::int64_t>(cfg_.capacity)) {
+            complete(m, op, false, 0);
+            return;
+          }
+        } else {
+          if (m.t == tail_) {
+            complete(m, op, true, 0);  // pop -> empty
+            return;
+          }
+        }
+        m.pc = 2;
+        return;
+      case 2: {
+        const Word& w = slot_at(m.t);
+        m.w_is_tag = w.is_tag;
+        m.w_value = w.value;
+        m.w_owner = w.owner;
+        m.w_var = w.var;
+        m.pc = (w.is_tag && cfg_.use_refcount) ? 3 : (w.is_tag ? 4 : 5);
+        return;
+      }
+      case 3:
+        vars_[m.w_owner][m.w_var].r += 1;  // L7
+        m.pc = cfg_.validate_after_faa ? 15 : 4;
+        return;
+      case 15:  // L7b: the tag must still be in place now that r >= 2 holds
+        if (slot_at(m.t) == loaded_word(m)) {
+          m.pc = 4;
+        } else {
+          m.pc = 16;  // lost it while unprotected: undo and re-read
+        }
+        return;
+      case 16:
+        vars_[m.w_owner][m.w_var].r -= 1;
+        m.pc = 2;
+        return;
+      case 4:
+        m.observed = vars_[m.w_owner][m.w_var].node;  // L8
+        m.pc = 5;
+        return;
+      case 5:
+        if (!m.w_is_tag) {
+          m.observed = m.w_value;  // L11
+        }
+        my_pool[m.cur_var].node = m.observed;  // shared write of var->node
+        m.pc = 6;
+        return;
+      case 6: {
+        Word& slot = slot_at(m.t);
+        m.cas_ok = (slot == loaded_word(m));
+        if (m.cas_ok) {
+          slot = Word::tag_word(self, m.cur_var);  // L12
+        }
+        m.pc = (m.w_is_tag && cfg_.use_refcount) ? 7 : 8;
+        return;
+      }
+      case 7:
+        vars_[m.w_owner][m.w_var].r -= 1;  // L14
+        m.pc = 8;
+        return;
+      case 8:
+        m.pc = m.cas_ok ? 9 : 2;  // retry the LL read loop on failure
+        return;
+      case 9: {
+        const std::uint64_t now = op.is_push ? tail_ : head_;
+        if (m.t != now) {
+          m.pc = 10;
+          return;
+        }
+        const bool mismatch = op.is_push ? (m.observed != 0) : (m.observed == 0);
+        m.pc = mismatch ? 11 : 13;
+        return;
+      }
+      case 10: {  // index moved: undo the reservation, restart
+        Word& slot = slot_at(m.t);
+        if (slot == Word::tag_word(self, m.cur_var)) {
+          slot = Word::value_word(m.observed);
+        }
+        m.pc = 0;
+        return;
+      }
+      case 11: {  // occupied (push) / already emptied (pop): undo, then help
+        Word& slot = slot_at(m.t);
+        if (slot == Word::tag_word(self, m.cur_var)) {
+          slot = Word::value_word(m.observed);
+        }
+        m.pc = 12;
+        return;
+      }
+      case 12: {  // help the lagging index
+        std::uint64_t& index = op.is_push ? tail_ : head_;
+        if (index == m.t) {
+          index += 1;
+        }
+        m.pc = 0;
+        return;
+      }
+      case 13: {  // the SC
+        Word& slot = slot_at(m.t);
+        if (!(slot == Word::tag_word(self, m.cur_var))) {
+          m.pc = 0;  // reservation stolen
+          return;
+        }
+        slot = Word::value_word(op.is_push ? op.value : 0);
+        m.pc = 14;
+        return;
+      }
+      case 14: {
+        std::uint64_t& index = op.is_push ? tail_ : head_;
+        if (index == m.t) {
+          index += 1;
+        }
+        if (op.is_push) {
+          complete(m, op, true, 0);
+        } else {
+          complete(m, op, true, m.observed);
+        }
+        return;
+      }
+      default:
+        EVQ_CHECK(false, "bad simcas pc");
+    }
+  }
+
+  SimCasModelConfig cfg_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::vector<Word> slots_;
+  std::vector<std::vector<Var>> vars_;
+  std::vector<Machine> machines_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace evq::model

@@ -1,0 +1,175 @@
+// Epoch-based reclamation (EBR).
+//
+// The paper's related-work section lists "ignore [reclamation] and assume
+// the presence of a garbage collector" as the easiest way out for
+// link-based queues, and benchmarks two of the practical alternatives
+// (hazard pointers, Doherty's LL/SC construction). EBR is the third
+// practical point on that spectrum — cheaper per-operation than hazard
+// pointers (no per-pointer store+fence, just an epoch pin per operation)
+// but NOT population-oblivious in effect: one stalled thread pins its
+// epoch and stops ALL reclamation, the exact failure mode the paper's
+// array queues are immune to. It is provided as an extension baseline so
+// the benches can show that trade-off.
+//
+// Classic 3-epoch scheme (Fraser): a global epoch e advances only when
+// every pinned thread has observed e; nodes retired in e become safe to
+// free once the epoch has advanced twice (no pinned thread can still hold
+// a reference from e-2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+
+namespace evq::reclaim {
+
+/// EBR domain for nodes of type Node (freed with `delete`).
+template <typename Node>
+class EpochDomain {
+ public:
+  static constexpr std::uint64_t kEpochs = 3;
+
+  struct Record {
+    /// Even = not pinned; odd = pinned in epoch (value >> 1).
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<bool> active{false};
+    std::atomic<Record*> next{nullptr};
+    std::vector<Node*> retired[kEpochs];
+  };
+
+  explicit EpochDomain(std::size_t flush_threshold = 64)
+      : flush_threshold_(flush_threshold) {}
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Quiescent destruction: frees every retired node and all records.
+  ~EpochDomain() {
+    Record* rec = head_.load(std::memory_order_acquire);
+    while (rec != nullptr) {
+      Record* next = rec->next.load(std::memory_order_relaxed);
+      for (auto& bucket : rec->retired) {
+        for (Node* node : bucket) {
+          delete node;
+        }
+      }
+      delete rec;
+      rec = next;
+    }
+  }
+
+  /// Claims a record (population-oblivious acquisition, as hp_domain).
+  [[nodiscard]] Record* acquire() {
+    for (Record* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+      if (!rec->active.load(std::memory_order_relaxed)) {
+        bool expected = false;
+        if (rec->active.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+          return rec;
+        }
+      }
+    }
+    auto* rec = new Record;
+    rec->active.store(true, std::memory_order_relaxed);
+    Record* head = head_.load(std::memory_order_relaxed);
+    do {
+      rec->next.store(head, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(head, rec, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+    return rec;
+  }
+
+  void release(Record* rec) noexcept {
+    EVQ_DCHECK((rec->state.load() & 1) == 0, "release while pinned");
+    rec->active.store(false, std::memory_order_release);
+  }
+
+  /// Pins the calling thread in the current epoch. Must bracket every
+  /// operation that dereferences shared nodes.
+  void pin(Record* rec) noexcept {
+    const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+    rec->state.store(e << 1 | 1, std::memory_order_seq_cst);
+  }
+
+  void unpin(Record* rec) noexcept {
+    rec->state.store(global_epoch_.value.load(std::memory_order_relaxed) << 1,
+                     std::memory_order_release);
+  }
+
+  /// Retires a node observed unreachable during the current pin; tries to
+  /// advance the epoch (and free two-epochs-old garbage) when the local
+  /// batch grows past the threshold.
+  void retire(Record* rec, Node* node) {
+    const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
+    auto& bucket = rec->retired[e % kEpochs];
+    bucket.push_back(node);
+    if (bucket.size() >= flush_threshold_) {
+      try_advance(rec);
+    }
+  }
+
+  /// Attempts one epoch advance: succeeds only if every pinned record has
+  /// observed the current epoch (one straggler blocks everyone — EBR's
+  /// documented weakness). On success frees this record's bucket from two
+  /// epochs ago.
+  bool try_advance(Record* rec) {
+    const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+         r = r->next.load(std::memory_order_acquire)) {
+      const std::uint64_t s = r->state.load(std::memory_order_seq_cst);
+      if ((s & 1) != 0 && (s >> 1) != e) {
+        return false;  // a pinned thread lags behind
+      }
+    }
+    std::uint64_t expected = e;
+    if (!global_epoch_.value.compare_exchange_strong(expected, e + 1,
+                                                     std::memory_order_seq_cst)) {
+      return false;  // someone else advanced; our garbage ages anyway
+    }
+    // Epoch is now e+1: nodes retired in (e+1) - 2 are unreachable by any
+    // pinned thread. (e+1-2) % 3 == (e+2) % 3.
+    auto& freeable = rec->retired[(e + 2) % kEpochs];
+    reclaimed_.fetch_add(freeable.size(), std::memory_order_relaxed);
+    for (Node* node : freeable) {
+      delete node;
+    }
+    freeable.clear();
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return global_epoch_.value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reclaimed_count() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t flush_threshold_;
+  CachePadded<std::atomic<std::uint64_t>> global_epoch_{std::uint64_t{0}};
+  std::atomic<Record*> head_{nullptr};
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII pin for one operation.
+template <typename Node>
+class EpochGuard {
+ public:
+  EpochGuard(EpochDomain<Node>& domain, typename EpochDomain<Node>::Record* rec) noexcept
+      : domain_(domain), rec_(rec) {
+    domain_.pin(rec_);
+  }
+  ~EpochGuard() { domain_.unpin(rec_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain<Node>& domain_;
+  typename EpochDomain<Node>::Record* rec_;
+};
+
+}  // namespace evq::reclaim

@@ -1,0 +1,112 @@
+// Lock-free node free pool (Treiber stack with a versioned single-word top).
+//
+// This is the "store dequeued nodes in a free pool for subsequent reuse"
+// reclamation scheme from the paper's related-work discussion: memory is
+// never returned to the allocator while the pool lives, so a stale thread
+// may still dereference a pooled node safely — the queues built on top only
+// have to defend against *reuse*, not use-after-free. The pool's own pop-side
+// ABA is killed by a 16-bit version packed into the top pointer (PackedLlsc),
+// dogfooding the same single-word discipline the paper advocates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "evq/common/config.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+
+// Node linkage is accessed through std::atomic_ref: a racing take() may read
+// the free_next of a node that another take() just popped and recycled; the
+// versioned top then fails our sc and the stale value is discarded, but the
+// read itself must still be a (relaxed) atomic access, not a plain load.
+
+namespace evq::reclaim {
+
+/// Node must expose a `Node* free_next` member used for pool linkage while
+/// the node is idle. The pool owns pushed nodes and deletes survivors on
+/// destruction (which must be quiescent).
+template <typename Node>
+class FreePool {
+ public:
+  FreePool() = default;
+
+  FreePool(const FreePool&) = delete;
+  FreePool& operator=(const FreePool&) = delete;
+
+  ~FreePool() {
+    Node* n = top_.load();
+    while (n != nullptr) {
+      Node* next = n->free_next;
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Returns a node to the pool.
+  void put(Node* node) noexcept {
+    EVQ_DCHECK(node != nullptr, "null node returned to pool");
+    for (;;) {
+      auto link = top_.ll();
+      std::atomic_ref<Node*>(node->free_next).store(link.value(), std::memory_order_relaxed);
+      if (top_.sc(link, node)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  /// Pops a node, or nullptr when the pool is empty. Reading
+  /// `node->free_next` of a node that a racing take() just recycled yields a
+  /// stale value (memory itself is never freed while the pool lives); the
+  /// version bump in the top word then fails our sc, discarding it.
+  [[nodiscard]] Node* take() noexcept {
+    for (;;) {
+      auto link = top_.ll();
+      Node* node = link.value();
+      if (node == nullptr) {
+        return nullptr;
+      }
+      Node* next = std::atomic_ref<Node*>(node->free_next).load(std::memory_order_relaxed);
+      if (top_.sc(link, next)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return node;
+      }
+    }
+  }
+
+  /// Heap-allocates a fresh node (counted in allocated()). Use when take()
+  /// came back empty; recycled nodes come back as-is and the caller
+  /// reinitializes what it needs (deliberate: queues built on pools must
+  /// control exactly which fields a recycle may touch).
+  template <typename... Args>
+  [[nodiscard]] Node* make(Args&&... args) {
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    return new Node(std::forward<Args>(args)...);
+  }
+
+  /// Pops a node or heap-allocates a default-constructed fresh one.
+  [[nodiscard]] Node* take_or_new() {
+    if (Node* node = take()) {
+      return node;
+    }
+    return make();
+  }
+
+  /// Approximate pool occupancy (exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes heap-allocated through take_or_new — the pool's space footprint.
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  llsc::PackedLlsc<Node*> top_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> allocated_{0};
+};
+
+}  // namespace evq::reclaim

@@ -1,0 +1,37 @@
+// The thread-owned variable of the paper's Fig. 5 (`LLSCvar`).
+//
+// One LlscVar is the published identity a thread uses while simulating LL/SC:
+// its address (LSB-tagged) is what gets swapped into a shared cell as a
+// reservation marker, `node` is the placeholder for the cell's logical value
+// while the reservation is held, and `r` is the reference count that keeps
+// the variable from being recycled while other threads are reading through
+// it. Variables live forever once allocated (they are only ever *recycled*,
+// never freed, exactly as in the paper) — the Registry owns that list.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "evq/common/cacheline.hpp"
+
+namespace evq::registry {
+
+struct alignas(kCacheLineSize) LlscVar {
+  /// Placeholder for the logical value of the cell this variable currently
+  /// reserves. Atomic because foreign threads read it (Fig. 5 line L8) while
+  /// the owner may be about to reuse the variable.
+  std::atomic<std::uintptr_t> node{0};
+
+  /// Reference count: 1 bit of meaning from the owner (+1 while registered)
+  /// plus one count per foreign thread currently reading through the
+  /// variable (Fig. 5 lines L7/L14). 0 means recyclable.
+  std::atomic<std::uint32_t> r{0};
+
+  /// Next variable in the Registry's global LIFO list (immutable once the
+  /// variable is published; the list only grows).
+  std::atomic<LlscVar*> next{nullptr};
+};
+
+static_assert(alignof(LlscVar) >= 2, "LSB tagging requires >=2-byte alignment");
+
+}  // namespace evq::registry

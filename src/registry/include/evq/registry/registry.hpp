@@ -1,0 +1,169 @@
+// Population-oblivious acquisition of thread-owned LLSC variables —
+// the Register / ReRegister / Deregister operations of the paper's Fig. 5
+// (a simplification of Herlihy–Luchangco–Moir's space-adaptive collect).
+//
+// Key properties reproduced from the paper:
+//  * No advance bound on thread count: a thread that finds no recyclable
+//    variable allocates one and pushes it onto a global lock-free LIFO list.
+//  * Space adapts to the *maximum concurrent* number of registered threads,
+//    not the total number of threads ever seen: Deregister drops the owner
+//    count so later Registers recycle the slot.
+//  * A variable is recycled only when its reference count is exactly 0 —
+//    i.e. no owner and no foreign reader — via CAS(&r, 0, 1).
+//  * Register is lock-free: the traversal is bounded by the list length,
+//    which only another successful Register can grow.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/registry/llsc_var.hpp"
+
+namespace evq::registry {
+
+class Registry {
+ public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Frees the variable list. May only run when no thread is registered or
+  /// reading — the usual "destruction is quiescent" rule for lock-free
+  /// containers.
+  ~Registry() {
+    LlscVar* var = first_.load(std::memory_order_acquire);
+    while (var != nullptr) {
+      LlscVar* next = var->next.load(std::memory_order_relaxed);
+      delete var;
+      var = next;
+    }
+  }
+
+  /// Fig. 5 R1–R16: claims a recyclable variable or allocates and publishes
+  /// a new one. The returned variable has r >= 1 (owner count held).
+  [[nodiscard]] LlscVar* register_var() {
+    for (LlscVar* var = first_.load(std::memory_order_acquire); var != nullptr;
+         var = var->next.load(std::memory_order_acquire)) {
+      if (var->r.load(std::memory_order_relaxed) == 0) {
+        std::uint32_t zero = 0;
+        const bool claimed =
+            var->r.compare_exchange_strong(zero, 1, std::memory_order_acq_rel);
+        stats::on_cas(claimed);
+        if (claimed) {
+          return var;
+        }
+      }
+    }
+    auto* var = new LlscVar;
+    var->r.store(1, std::memory_order_relaxed);
+    LlscVar* head = first_.load(std::memory_order_relaxed);
+    bool published = false;
+    do {
+      var->next.store(head, std::memory_order_relaxed);
+      published = first_.compare_exchange_weak(head, var, std::memory_order_acq_rel,
+                                               std::memory_order_relaxed);
+      stats::on_cas(published);
+    } while (!published);
+    return var;
+  }
+
+  /// Fig. 5 RR1–RR5: must be called between two consecutive queue operations.
+  /// Keeps `var` if no foreign thread still reads through it (r == 1);
+  /// otherwise abandons it (the readers' decrements will make it recyclable)
+  /// and claims a fresh one. This is what prevents the tagged-pointer ABA
+  /// described in Sec. 5.
+  [[nodiscard]] LlscVar* reregister(LlscVar* var) {
+    EVQ_DCHECK(var != nullptr, "reregister of unregistered variable");
+    if (var->r.load(std::memory_order_acquire) == 1) {
+      return var;
+    }
+    var->r.fetch_sub(1, std::memory_order_acq_rel);
+    stats::on_faa();
+    return register_var();
+  }
+
+  /// Fig. 5 DR1–DR3: releases the owner count. (The paper's DR2 writes
+  /// `var->ref`; the field is `r` — a known erratum, see DESIGN.md.)
+  void deregister(LlscVar* var) noexcept {
+    EVQ_DCHECK(var != nullptr, "deregister of unregistered variable");
+    var->r.fetch_sub(1, std::memory_order_acq_rel);
+    stats::on_faa();
+  }
+
+  /// Number of variables ever published. Space bound = high-water mark of
+  /// concurrent registrations (plus abandoned-but-still-read variables);
+  /// tests assert it stays far below "total threads ever".
+  [[nodiscard]] std::size_t list_length() const noexcept {
+    std::size_t n = 0;
+    for (LlscVar* var = first_.load(std::memory_order_acquire); var != nullptr;
+         var = var->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+  /// Number of currently claimed (r > 0) variables — diagnostics for tests.
+  [[nodiscard]] std::size_t claimed_count() const noexcept {
+    std::size_t n = 0;
+    for (LlscVar* var = first_.load(std::memory_order_acquire); var != nullptr;
+         var = var->next.load(std::memory_order_acquire)) {
+      n += (var->r.load(std::memory_order_relaxed) > 0) ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  std::atomic<LlscVar*> first_{nullptr};
+};
+
+/// RAII owner-count holder: registers on construction, deregisters on
+/// destruction, with reregister() to be called between queue operations.
+class Registration {
+ public:
+  explicit Registration(Registry& reg) : registry_(&reg), var_(reg.register_var()) {}
+
+  Registration(Registration&& other) noexcept : registry_(other.registry_), var_(other.var_) {
+    other.registry_ = nullptr;
+    other.var_ = nullptr;
+  }
+  Registration& operator=(Registration&& other) noexcept {
+    if (this != &other) {
+      release();
+      registry_ = other.registry_;
+      var_ = other.var_;
+      other.registry_ = nullptr;
+      other.var_ = nullptr;
+    }
+    return *this;
+  }
+
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+
+  ~Registration() { release(); }
+
+  /// Fresh (reader-free) variable for the next operation.
+  [[nodiscard]] LlscVar* fresh() {
+    var_ = registry_->reregister(var_);
+    return var_;
+  }
+
+  [[nodiscard]] LlscVar* get() const noexcept { return var_; }
+
+ private:
+  void release() noexcept {
+    if (registry_ != nullptr && var_ != nullptr) {
+      registry_->deregister(var_);
+      registry_ = nullptr;
+      var_ = nullptr;
+    }
+  }
+
+  Registry* registry_;
+  LlscVar* var_;
+};
+
+}  // namespace evq::registry

@@ -1,0 +1,166 @@
+// CAS-based simulation of LL/SC on a pointer-wide shared cell —
+// the paper's Fig. 5 lines L1–L17 plus the SC and "release" CASes that the
+// queue code performs on the reserved cell.
+//
+// Protocol recap. A cell logically holds an even word (a node pointer or 0).
+// Physically it may instead hold `var|1` — the LSB-tagged address of some
+// thread's LlscVar — meaning "var's owner has a reservation here; the
+// logical value is in var->node".
+//
+//   ll(var):   read the logical value (through a foreign var if tagged,
+//              bumping its refcount for the duration per L7/L14), stash it in
+//              var->node, and CAS the cell from what we read to var|1.
+//              Retry until our tag is installed. Returns the logical value.
+//   sc(var,v): CAS(cell, var|1, v) — succeeds iff our reservation survived.
+//   release(var,v): same CAS but restoring the previously observed value —
+//              used when the caller decides not to write (Fig. 5's
+//              `CAS(&Q[tail], var^1, slot)` arms).
+//   load():    tag-aware atomic read without taking a reservation (needed by
+//              the MS-Doherty comparator); validated against recycling with
+//              the same refcount protocol.
+//
+// Lock-freedom: a reservation never blocks anyone — any other thread's ll()
+// simply takes the reservation over, failing the original owner's sc. The
+// refcount + ReRegister rule prevents the tagged-pointer ABA analysed in
+// Sec. 5 (a recycled var reappearing in the same cell while a stale reader
+// still holds its address).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/common/tagged_ptr.hpp"
+#include "evq/registry/llsc_var.hpp"
+
+namespace evq::registry {
+
+template <typename T>
+  requires std::is_pointer_v<T>
+class SimLlscCell {
+ public:
+  using value_type = T;
+
+  SimLlscCell() noexcept : word_(0) {}
+  explicit SimLlscCell(T init) noexcept : word_(to_word(init)) {}
+
+  SimLlscCell(const SimLlscCell&) = delete;
+  SimLlscCell& operator=(const SimLlscCell&) = delete;
+
+  /// Fig. 5 L1–L17, with two deviations from the published pseudocode
+  /// (both documented in DESIGN.md's errata):
+  ///  * the published `restart = CAS(...)` is corrected to
+  ///    `restart = !CAS(...)` — the loop exits on a successful install;
+  ///  * after the L7 refcount increment we RE-READ the cell and require it
+  ///    to still hold the same tag before reading the owner's node ("L7b").
+  ///    Without this, a reader preempted between L5 and L7 can FAA too late
+  ///    to stop the owner's ReRegister, then read a node value belonging to
+  ///    the owner's NEXT reservation of a different cell, and still succeed
+  ///    its L12 CAS when that next reservation landed on the same cell —
+  ///    destroying an item. Our model checker found this as a concrete
+  ///    non-linearizable schedule in the paper-exact protocol
+  ///    (ModelAlg2PaperExact.Sec5WindowRaceFoundByExploration). Once r >= 2
+  ///    is published, the owner can never re-install this tag (ReRegister
+  ///    abandons the variable), so a validated tag pins a stable,
+  ///    consistent node value.
+  ///
+  /// On return the cell physically holds var|1 and the returned value is
+  /// the cell's logical content, also stashed in var->node.
+  T ll(LlscVar* var) noexcept {
+    for (;;) {
+      std::uintptr_t observed = word_.load(std::memory_order_seq_cst);  // L5
+      LlscVar* other = nullptr;
+      if (lsb_tagged(observed)) {                                       // L6
+        other = lsb_untag<LlscVar>(observed);
+        other->r.fetch_add(1, std::memory_order_seq_cst);               // L7
+        stats::on_faa();
+        if (word_.load(std::memory_order_seq_cst) != observed) {        // L7b
+          other->r.fetch_sub(1, std::memory_order_seq_cst);
+          stats::on_faa();
+          continue;  // reservation changed while unprotected — retry
+        }
+        var->node.store(other->node.load(std::memory_order_seq_cst),
+                        std::memory_order_seq_cst);                     // L8
+      } else {
+        var->node.store(observed, std::memory_order_seq_cst);           // L11
+      }
+      const bool installed = word_.compare_exchange_strong(
+          observed, lsb_tag(var), std::memory_order_seq_cst);           // L12
+      stats::on_cas(installed);
+      if (other != nullptr) {
+        other->r.fetch_sub(1, std::memory_order_seq_cst);               // L13-L14
+        stats::on_faa();
+      }
+      if (installed) {
+        return from_word(var->node.load(std::memory_order_relaxed));    // L16
+      }
+    }
+  }
+
+  /// Store-conditional: writes `desired` iff our reservation tag survived.
+  bool sc(LlscVar* var, T desired) noexcept {
+    std::uintptr_t expected = lsb_tag(var);
+    const bool ok = word_.compare_exchange_strong(expected, to_word(desired),
+                                                  std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
+  }
+
+  /// Undoes a reservation by restoring the value observed at ll() time
+  /// (taken from var->node). No-op if the reservation was already taken over.
+  void release(LlscVar* var) noexcept {
+    std::uintptr_t expected = lsb_tag(var);
+    const bool ok =
+        word_.compare_exchange_strong(expected, var->node.load(std::memory_order_relaxed),
+                                      std::memory_order_seq_cst);
+    stats::on_cas(ok);
+  }
+
+  /// Tag-aware atomic read of the logical value, without reserving.
+  [[nodiscard]] T load() noexcept {
+    for (;;) {
+      const std::uintptr_t observed = word_.load(std::memory_order_seq_cst);
+      if (!lsb_tagged(observed)) {
+        return from_word(observed);
+      }
+      LlscVar* other = lsb_untag<LlscVar>(observed);
+      other->r.fetch_add(1, std::memory_order_seq_cst);
+      stats::on_faa();
+      // Validate AFTER publishing the refcount and BEFORE reading node
+      // (same "L7b" rule as ll(); see that function's comment): once r >= 2
+      // is visible and the tag is still in place, the node value is pinned.
+      const bool valid = word_.load(std::memory_order_seq_cst) == observed;
+      const std::uintptr_t value =
+          valid ? other->node.load(std::memory_order_seq_cst) : 0;
+      other->r.fetch_sub(1, std::memory_order_seq_cst);
+      stats::on_faa();
+      if (valid) {
+        return from_word(value);
+      }
+    }
+  }
+
+  /// Non-atomic initialization/reset (quiescent use only — e.g. queue
+  /// construction).
+  void reset(T value) noexcept { word_.store(to_word(value), std::memory_order_relaxed); }
+
+  /// Raw physical word — test/diagnostic hook (lets tests see tags).
+  [[nodiscard]] std::uintptr_t raw() const noexcept {
+    return word_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static std::uintptr_t to_word(T v) noexcept {
+    auto w = reinterpret_cast<std::uintptr_t>(v);
+    EVQ_DCHECK(!lsb_tagged(w), "logical values must be even (LSB reserved for tags)");
+    return w;
+  }
+  static T from_word(std::uintptr_t w) noexcept { return reinterpret_cast<T>(w); }
+
+  std::atomic<std::uintptr_t> word_;
+  static_assert(std::atomic<std::uintptr_t>::is_always_lock_free);
+};
+
+}  // namespace evq::registry

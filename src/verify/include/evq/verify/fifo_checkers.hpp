@@ -1,0 +1,122 @@
+// Stream-level FIFO correctness checkers for MPMC stress tests.
+//
+// Full linearizability checking (lin_check.hpp) is exponential and only
+// feasible for tiny histories. For large stress runs we check the two
+// queue properties that are both necessary for linearizable FIFO behaviour
+// and tractable at scale:
+//
+//  * Conservation — every token pushed is popped exactly once (no loss, no
+//    duplication), modulo tokens still in the queue at the end.
+//  * Per-producer order — the subsequence of any single producer's tokens,
+//    as seen by ANY single consumer, appears in production order. (A FIFO
+//    queue may interleave producers arbitrarily, but can never reorder one
+//    producer's items; and since each consumer's pops are themselves ordered,
+//    each consumer must observe each producer's sequence monotonically.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evq::verify {
+
+/// A stress-test token: identifies its producer and its rank in that
+/// producer's push sequence. Aligned so token pointers are queueable.
+struct alignas(8) Token {
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+  Token* free_next = nullptr;  // pool linkage for allocation-free stress runs
+};
+
+/// Everything one consumer observed, in pop order.
+using ConsumerLog = std::vector<Token>;
+
+/// Result of a stream check; `ok` plus a human-readable reason on failure.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  static CheckResult failure(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Conservation: with `producers` producers having pushed `pushed[p]` tokens
+/// each, every (producer, seq < pushed[p]) pair must appear exactly once
+/// across all consumer logs plus the drained leftovers.
+inline CheckResult check_conservation(const std::vector<ConsumerLog>& logs,
+                                      const std::vector<std::uint64_t>& pushed) {
+  std::vector<std::vector<std::uint8_t>> seen(pushed.size());
+  for (std::size_t p = 0; p < pushed.size(); ++p) {
+    seen[p].assign(static_cast<std::size_t>(pushed[p]), 0);
+  }
+  for (const ConsumerLog& log : logs) {
+    for (const Token& tok : log) {
+      if (tok.producer >= pushed.size()) {
+        return CheckResult::failure("token from unknown producer " +
+                                    std::to_string(tok.producer));
+      }
+      if (tok.seq >= pushed[tok.producer]) {
+        return CheckResult::failure("token (" + std::to_string(tok.producer) + "," +
+                                    std::to_string(tok.seq) + ") was never pushed");
+      }
+      auto& flag = seen[tok.producer][static_cast<std::size_t>(tok.seq)];
+      if (flag != 0) {
+        return CheckResult::failure("token (" + std::to_string(tok.producer) + "," +
+                                    std::to_string(tok.seq) + ") popped twice");
+      }
+      flag = 1;
+    }
+  }
+  for (std::size_t p = 0; p < pushed.size(); ++p) {
+    for (std::size_t s = 0; s < seen[p].size(); ++s) {
+      if (seen[p][s] == 0) {
+        return CheckResult::failure("token (" + std::to_string(p) + "," + std::to_string(s) +
+                                    ") lost");
+      }
+    }
+  }
+  return {};
+}
+
+/// Per-producer FIFO order within each consumer's log (see file comment).
+inline CheckResult check_per_producer_order(const std::vector<ConsumerLog>& logs,
+                                            std::size_t producers) {
+  for (std::size_t c = 0; c < logs.size(); ++c) {
+    std::vector<std::int64_t> last(producers, -1);
+    for (const Token& tok : logs[c]) {
+      if (tok.producer >= producers) {
+        return CheckResult::failure("token from unknown producer");
+      }
+      const auto seq = static_cast<std::int64_t>(tok.seq);
+      if (seq <= last[tok.producer]) {
+        return CheckResult::failure(
+            "consumer " + std::to_string(c) + " saw producer " + std::to_string(tok.producer) +
+            " tokens out of order: " + std::to_string(seq) + " after " +
+            std::to_string(last[tok.producer]));
+      }
+      last[tok.producer] = seq;
+    }
+  }
+  return {};
+}
+
+/// Strict global FIFO for single-consumer runs: the one consumer must see
+/// every producer's tokens gap-free in order (seq exactly 0,1,2,... per
+/// producer).
+inline CheckResult check_single_consumer_gapless(const ConsumerLog& log, std::size_t producers) {
+  std::vector<std::uint64_t> next(producers, 0);
+  for (const Token& tok : log) {
+    if (tok.producer >= producers) {
+      return CheckResult::failure("token from unknown producer");
+    }
+    if (tok.seq != next[tok.producer]) {
+      return CheckResult::failure("producer " + std::to_string(tok.producer) + " expected seq " +
+                                  std::to_string(next[tok.producer]) + " got " +
+                                  std::to_string(tok.seq));
+    }
+    ++next[tok.producer];
+  }
+  return {};
+}
+
+}  // namespace evq::verify

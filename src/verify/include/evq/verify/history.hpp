@@ -1,0 +1,89 @@
+// Concurrent operation histories for linearizability checking.
+//
+// A history is a set of operations with invocation/response "timestamps"
+// drawn from one global atomic counter. Timestamps give a sound
+// happens-before approximation: if op A's response timestamp is smaller
+// than op B's invocation timestamp, A really did complete before B began,
+// so every linearization must order A before B. (Ops whose windows overlap
+// may be ordered either way — that freedom is what the checker searches.)
+//
+// Values are plain integers; 0 is reserved for "pop returned empty".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evq::verify {
+
+enum class OpKind : std::uint8_t {
+  kPush,  // arg = value; ok = accepted (false => queue reported full)
+  kPop,   // result = value popped, or 0 if queue reported empty
+};
+
+struct Operation {
+  OpKind kind = OpKind::kPush;
+  std::uint64_t arg = 0;     // pushed value (kPush only)
+  std::uint64_t result = 0;  // popped value or 0 = empty (kPop only)
+  bool ok = true;            // push accepted (kPush only)
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  std::uint32_t thread = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    if (kind == OpKind::kPush) {
+      return "push(" + std::to_string(arg) + ")=" + (ok ? "ok" : "full") + " [" +
+             std::to_string(invoke) + "," + std::to_string(response) + ")t" +
+             std::to_string(thread);
+    }
+    return "pop()=" + (result == 0 ? std::string("empty") : std::to_string(result)) + " [" +
+           std::to_string(invoke) + "," + std::to_string(response) + ")t" +
+           std::to_string(thread);
+  }
+};
+
+using History = std::vector<Operation>;
+
+/// Thread-safe recorder: wrap each queue call between begin()/end calls.
+class HistoryRecorder {
+ public:
+  /// Reserve per-thread space up front so recording does not allocate (and
+  /// therefore does not serialize) inside the measured region.
+  HistoryRecorder(std::uint32_t threads, std::size_t ops_per_thread) : per_thread_(threads) {
+    for (auto& v : per_thread_) {
+      v.reserve(ops_per_thread);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t begin() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void end_push(std::uint32_t thread, std::uint64_t invoke, std::uint64_t value, bool ok) {
+    const std::uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    per_thread_[thread].push_back(
+        {OpKind::kPush, value, 0, ok, invoke, response, thread});
+  }
+
+  void end_pop(std::uint32_t thread, std::uint64_t invoke, std::uint64_t result) {
+    const std::uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    per_thread_[thread].push_back(
+        {OpKind::kPop, 0, result, true, invoke, response, thread});
+  }
+
+  /// Merges the per-thread logs (call after all threads joined).
+  [[nodiscard]] History collect() const {
+    History all;
+    for (const auto& v : per_thread_) {
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    return all;
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<History> per_thread_;
+};
+
+}  // namespace evq::verify

@@ -1,0 +1,141 @@
+// Exhaustive linearizability checker for bounded-FIFO-queue histories, in
+// the spirit of Wing & Gong [16] (the paper's reference for testing
+// concurrent objects).
+//
+// Given a history of push/pop operations with real-time precedence (from
+// history.hpp timestamps), the checker searches for a total order that (a)
+// respects precedence — an op that completed before another began must come
+// first — and (b) is legal for a sequential bounded FIFO queue:
+//
+//    push(v)=ok    : queue not full  -> v appended
+//    push(v)=full  : queue full      -> no change
+//    pop()=v       : queue front == v -> front removed
+//    pop()=empty   : queue empty     -> no change
+//
+// The search is exponential in the worst case; memoizing (chosen-set,
+// queue-content) states keeps small histories (<= ~24 ops, a few threads)
+// comfortably fast. Use for targeted tests, never inside benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "evq/common/config.hpp"
+#include "evq/verify/history.hpp"
+
+namespace evq::verify {
+
+class LinearizabilityChecker {
+ public:
+  /// capacity == 0 means unbounded (push never legally reports full).
+  explicit LinearizabilityChecker(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True iff `history` has at least one legal linearization.
+  [[nodiscard]] bool check(const History& history) {
+    ops_ = history;
+    std::sort(ops_.begin(), ops_.end(),
+              [](const Operation& a, const Operation& b) { return a.invoke < b.invoke; });
+    EVQ_CHECK(ops_.size() <= 64, "exhaustive checker limited to 64 operations");
+    visited_.clear();
+    std::deque<std::uint64_t> queue;
+    return dfs(0, queue);
+  }
+
+ private:
+  [[nodiscard]] bool dfs(std::uint64_t chosen_mask, std::deque<std::uint64_t>& queue) {
+    const std::size_t n = ops_.size();
+    if (std::popcount(chosen_mask) == static_cast<int>(n)) {
+      return true;
+    }
+    if (!visited_.insert(state_key(chosen_mask, queue)).second) {
+      return false;  // state already explored fruitlessly
+    }
+    // The earliest response among unchosen ops bounds which ops may
+    // linearize next: an op invoked after that response is preceded by it.
+    std::uint64_t min_response = UINT64_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((chosen_mask & (1ull << i)) == 0) {
+        min_response = std::min(min_response, ops_[i].response);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((chosen_mask & (1ull << i)) != 0) {
+        continue;
+      }
+      const Operation& op = ops_[i];
+      if (op.invoke > min_response) {
+        continue;  // some unchosen op strictly precedes this one
+      }
+      if (!apply(op, queue)) {
+        continue;  // illegal in the current sequential state
+      }
+      if (dfs(chosen_mask | (1ull << i), queue)) {
+        return true;
+      }
+      undo(op, queue);
+    }
+    return false;
+  }
+
+  /// Applies op to the model if legal; returns false (state untouched)
+  /// otherwise.
+  bool apply(const Operation& op, std::deque<std::uint64_t>& queue) const {
+    if (op.kind == OpKind::kPush) {
+      const bool full = capacity_ != 0 && queue.size() >= capacity_;
+      if (op.ok) {
+        if (full) {
+          return false;
+        }
+        queue.push_back(op.arg);
+        return true;
+      }
+      return full;  // reporting full is legal only when actually full
+    }
+    if (op.result == 0) {
+      return queue.empty();  // reporting empty is legal only when empty
+    }
+    if (queue.empty() || queue.front() != op.result) {
+      return false;
+    }
+    queue.pop_front();
+    return true;
+  }
+
+  void undo(const Operation& op, std::deque<std::uint64_t>& queue) const {
+    if (op.kind == OpKind::kPush) {
+      if (op.ok) {
+        queue.pop_back();
+      }
+    } else if (op.result != 0) {
+      queue.push_front(op.result);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t state_key(std::uint64_t mask,
+                                        const std::deque<std::uint64_t>& queue) const {
+    // FNV-1a over (mask, queue contents). The queue contents are implied by
+    // WHICH pushes/pops were chosen plus their order of application; two
+    // different application orders with the same mask can differ, so the
+    // contents must participate in the key.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    };
+    mix(mask);
+    for (std::uint64_t v : queue) {
+      mix(v);
+    }
+    return h;
+  }
+
+  const std::size_t capacity_;
+  History ops_;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+}  // namespace evq::verify

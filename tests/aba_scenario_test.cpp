@@ -1,0 +1,191 @@
+// Scripted reconstructions of the three ABA classes of the paper's Sec. 3
+// (Fig. 1 index-ABA, the 2-slot data-ABA example, and null-ABA), each in two
+// versions:
+//   * a NAIVE build of the scenario (wrapping index / plain CAS slots) that
+//     demonstrates the failure the paper describes, and
+//   * the paper's cure (monotone full-word counters / LL-SC slots), shown to
+//     make the delayed thread's final step fail instead of corrupting state.
+//
+// These tests script each interleaving as straight-line code over the same
+// primitives the queues use, which is the only way to make a preemption at
+// a specific program point deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "evq/llsc/counter_cell.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/registry/registry.hpp"
+#include "evq/registry/sim_llsc_cell.hpp"
+
+namespace {
+
+using namespace evq;
+
+int g_items[8];  // A, B, C, D, ... as stable addresses
+int* const A = &g_items[0];
+int* const B = &g_items[1];
+int* const C = &g_items[2];
+int* const D = &g_items[3];
+
+// ---------------------------------------------------------------------------
+// Index-ABA (Fig. 1): T1 inserts at Tail=0 and stalls before the increment;
+// T2/T3 wrap the queue so Tail is 0 again; T1 resumes and increments Tail,
+// corrupting it.
+// ---------------------------------------------------------------------------
+
+TEST(AbaScenario, Fig1IndexAbaStrikesWrappingIndex) {
+  // NAIVE: 2-bit index stored mod 4 (the array size), advanced by CAS.
+  constexpr std::uint32_t kSize = 4;
+  std::atomic<std::uint32_t> tail{0};
+
+  const std::uint32_t t1 = tail.load();  // T1 reads Tail=0, inserts A, stalls
+  // T2 advances Tail for its own insert, then inserts B, C, D (Tail wraps).
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t cur = tail.load();
+    tail.compare_exchange_strong(cur, (cur + 1) % kSize);
+  }
+  ASSERT_EQ(tail.load(), 0u) << "scenario setup: Tail wrapped back to 0";
+  // T3 dequeues A, B, C (does not move Tail). T1 resumes:
+  std::uint32_t expected = t1;
+  EXPECT_TRUE(tail.compare_exchange_strong(expected, (t1 + 1) % kSize))
+      << "the naive CAS wrongly succeeds — this IS the Fig. 1 bug";
+  EXPECT_EQ(tail.load(), 1u) << "next insertion would wrongly target Q[1]";
+}
+
+TEST(AbaScenario, Fig1IndexAbaPreventedByMonotoneCounter) {
+  // CURE: full-word monotone counter (Sec. 3), slot = counter mod size.
+  llsc::CounterCell tail{0};
+
+  const auto t1 = tail.ll();  // T1 reads Tail=0, inserts A, stalls
+  for (int i = 0; i < 4; ++i) {
+    auto link = tail.ll();
+    tail.sc(link, link.value() + 1);  // T2's four advances: 1,2,3,4
+  }
+  ASSERT_EQ(tail.load() % 4, 0u) << "slot index wrapped to 0 as in Fig. 1";
+  EXPECT_FALSE(tail.sc(t1, t1.value() + 1))
+      << "monotone counter: the delayed increment must fail (4 != 0)";
+  EXPECT_EQ(tail.load(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Data-ABA (Sec. 3's 2-slot example): a dequeuer reads item A, stalls;
+// others dequeue A, enqueue B then A again into the same slot; the stalled
+// dequeuer's CAS(A -> null) succeeds and removes the WRONG A (the new one,
+// which is now behind B in FIFO order).
+// ---------------------------------------------------------------------------
+
+TEST(AbaScenario, DataAbaStrikesPlainCasSlot) {
+  std::atomic<int*> slot{A};
+
+  int* read = slot.load();  // dequeuer reads A, stalls before removing it
+  // Other threads: dequeue A, enqueue B elsewhere, then enqueue A back here.
+  slot.store(nullptr);
+  slot.store(A);
+  int* expected = read;
+  EXPECT_TRUE(slot.compare_exchange_strong(expected, nullptr))
+      << "plain CAS cannot see the A->null->A history — the data-ABA bug";
+}
+
+TEST(AbaScenario, DataAbaPreventedByLlScSlot) {
+  llsc::VersionedLlsc<int*> slot{A};
+
+  auto link = slot.ll();  // dequeuer reserves, reads A, stalls
+  slot.store(nullptr);    // A dequeued by someone else
+  slot.store(A);          // ... and re-enqueued into the same slot
+  EXPECT_FALSE(slot.sc(link, nullptr))
+      << "SC must fail: the slot was written since the reservation";
+  EXPECT_EQ(slot.load(), A) << "the (new) A is still queued, FIFO intact";
+}
+
+TEST(AbaScenario, DataAbaPreventedBySimulatedLlScSlot) {
+  registry::Registry reg;
+  registry::SimLlscCell<int*> slot{A};
+  registry::LlscVar* stalled = reg.register_var();
+  registry::LlscVar* other = reg.register_var();
+
+  EXPECT_EQ(slot.ll(stalled), A);  // dequeuer reserves+reads A, stalls
+  // Another dequeuer takes the reservation over and removes A ...
+  EXPECT_EQ(slot.ll(other), A);
+  ASSERT_TRUE(slot.sc(other, nullptr));
+  // ... and an enqueuer re-inserts A into the same slot.
+  registry::LlscVar* other2 = reg.reregister(other);
+  EXPECT_EQ(slot.ll(other2), nullptr);
+  ASSERT_TRUE(slot.sc(other2, A));
+  // The stalled dequeuer resumes: its SC must fail (its tag is long gone).
+  EXPECT_FALSE(slot.sc(stalled, nullptr));
+  EXPECT_EQ(slot.load(), A);
+  reg.deregister(stalled);
+  reg.deregister(other2);
+}
+
+// ---------------------------------------------------------------------------
+// Null-ABA (Sec. 3): an enqueuer reads an empty never-used slot ("3rd
+// interval"), stalls; others fill and then drain the array, so the slot is
+// now empty-after-removal ("1st interval"); the stalled enqueuer's
+// CAS(null -> item) succeeds, inserting BEHIND the logical head.
+// ---------------------------------------------------------------------------
+
+TEST(AbaScenario, NullAbaStrikesPlainCasSlot) {
+  std::atomic<int*> slot{nullptr};  // never-used empty slot
+
+  int* read = slot.load();  // enqueuer sees empty, stalls before inserting
+  slot.store(B);            // another thread enqueues here ...
+  slot.store(nullptr);      // ... and a dequeuer drains it (1st interval now)
+  int* expected = read;
+  EXPECT_TRUE(slot.compare_exchange_strong(expected, C))
+      << "plain CAS cannot distinguish the two kinds of empty — null-ABA bug";
+}
+
+TEST(AbaScenario, NullAbaPreventedByLlScSlot) {
+  llsc::VersionedLlsc<int*> slot;  // empty
+
+  auto link = slot.ll();  // enqueuer reserves the empty slot, stalls
+  slot.store(B);          // filled ...
+  slot.store(nullptr);    // ... and drained: same bits, different interval
+  EXPECT_FALSE(slot.sc(link, C))
+      << "SC must fail even though the slot LOOKS identical (null == null)";
+}
+
+TEST(AbaScenario, NullAbaPreventedBySimulatedLlScSlot) {
+  registry::Registry reg;
+  registry::SimLlscCell<int*> slot;  // empty
+  registry::LlscVar* stalled = reg.register_var();
+  registry::LlscVar* other = reg.register_var();
+
+  EXPECT_EQ(slot.ll(stalled), nullptr);  // enqueuer reserves empty, stalls
+  EXPECT_EQ(slot.ll(other), nullptr);    // takeover
+  ASSERT_TRUE(slot.sc(other, B));        // fill
+  registry::LlscVar* other2 = reg.reregister(other);
+  EXPECT_EQ(slot.ll(other2), B);
+  ASSERT_TRUE(slot.sc(other2, nullptr));  // drain
+  EXPECT_FALSE(slot.sc(stalled, C)) << "stalled enqueuer must not insert into 1st interval";
+  reg.deregister(stalled);
+  reg.deregister(other2);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: a dequeuer reads Head=h then stalls; the array wraps so Q[h mod s]
+// now holds a NEWER item. The D10 re-check (`h == Head`) is what saves the
+// queue. Reconstructed with the actual components: the re-check must expose
+// the staleness.
+// ---------------------------------------------------------------------------
+
+TEST(AbaScenario, Fig4StaleHeadDetectedByRecheck) {
+  llsc::CounterCell head{1};  // snapshot of Fig. 4: Head = h = 1
+  llsc::VersionedLlsc<int*> slot1{A};  // Q[1] holds A (oldest)
+
+  const std::uint64_t h = head.load();  // dequeuer reads h = 1, stalls (D5)
+  // Interim traffic: A,B dequeued; C,D,E,F enqueued; Head ends at 3 and the
+  // wrapped Q[1] now holds F (not the oldest item).
+  head.store(3);
+  slot1.store(nullptr);
+  slot1.store(&g_items[5]);  // "F"
+  // Dequeuer resumes at D9/D10:
+  auto link = slot1.ll();
+  EXPECT_NE(link.value(), A) << "the slot indeed holds a newer item";
+  EXPECT_NE(h, head.load()) << "D10: h != Head — dequeuer must restart, not remove F";
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Per-implementation tests for the baseline queues (Michael–Scott variants,
+// Shann, mutex, unsynchronized ring). Cross-implementation behaviour is in
+// queue_conformance_test.cpp; these cover baseline-specific mechanics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/baselines/ms_pool_queue.hpp"
+#include "evq/baselines/ms_sim_queue.hpp"
+#include "evq/baselines/mutex_queue.hpp"
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/unsync_ring.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::baselines;
+
+struct Item {
+  std::uint64_t id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MsHpQueue
+// ---------------------------------------------------------------------------
+
+TEST(MsHpQueue, BasicFifo) {
+  MsHpQueue<Item> q;
+  auto h = q.handle();
+  Item items[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    items[i].id = i;
+    EXPECT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(MsHpQueue, UnboundedPushNeverFails) {
+  MsHpQueue<Item> q;
+  auto h = q.handle();
+  std::vector<Item> items(1000);
+  for (auto& item : items) {
+    EXPECT_TRUE(q.try_push(h, &item));
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_NE(q.try_pop(h), nullptr);
+  }
+}
+
+TEST(MsHpQueue, ReclamationActuallyFreesNodes) {
+  // Enough traffic to cross the scan threshold several times.
+  MsHpQueue<Item> q(hazard::ScanMode::kUnsorted, 4);
+  auto h = q.handle();
+  Item item;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.try_push(h, &item));
+    ASSERT_EQ(q.try_pop(h), &item);
+  }
+  EXPECT_GT(q.domain().reclaimed_count(), 0u) << "scans must have freed retired nodes";
+}
+
+TEST(MsHpQueue, SortedModeBehavesIdentically) {
+  MsHpQueue<Item> q(hazard::ScanMode::kSorted, 4);
+  auto h = q.handle();
+  Item items[20];
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    items[i].id = i;
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[0]));
+    ASSERT_NE(q.try_pop(h), nullptr);
+  }
+  EXPECT_GT(q.domain().reclaimed_count(), 0u);
+}
+
+TEST(MsHpQueue, HandlesTrackDomainRecords) {
+  MsHpQueue<Item> q;
+  {
+    auto h1 = q.handle();
+    auto h2 = q.handle();
+    EXPECT_EQ(q.domain().record_count(), 2u);
+  }
+  auto h3 = q.handle();  // recycles a released record
+  EXPECT_EQ(q.domain().record_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// MsPoolQueue
+// ---------------------------------------------------------------------------
+
+TEST(MsPoolQueue, BasicFifo) {
+  MsPoolQueue<Item> q;
+  auto h = q.handle();
+  Item items[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    items[i].id = i;
+    EXPECT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+}
+
+TEST(MsPoolQueue, NodesAreRecycledNotLeaked) {
+  MsPoolQueue<Item> q;
+  auto h = q.handle();
+  Item item;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(h, &item));
+    ASSERT_EQ(q.try_pop(h), &item);
+  }
+  // Steady-state single-thread traffic needs only a couple of nodes: the
+  // footprint must be far below the operation count.
+  EXPECT_LE(q.pool().allocated(), 8u);
+}
+
+TEST(MsPoolQueue, EmptyAfterDrain) {
+  MsPoolQueue<Item> q;
+  auto h = q.handle();
+  Item item;
+  ASSERT_TRUE(q.try_push(h, &item));
+  ASSERT_EQ(q.try_pop(h), &item);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// MsSimQueue (the MS-Doherty comparator)
+// ---------------------------------------------------------------------------
+
+TEST(MsSimQueue, BasicFifo) {
+  MsSimQueue<Item> q;
+  auto h = q.handle();
+  Item items[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    items[i].id = i;
+    EXPECT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(MsSimQueue, EmptyQueuePopsNullRepeatedly) {
+  MsSimQueue<Item> q;
+  auto h = q.handle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.try_pop(h), nullptr);
+  }
+}
+
+TEST(MsSimQueue, RegistryHoldsTwoVarsPerHandle) {
+  MsSimQueue<Item> q;
+  auto h1 = q.handle();
+  EXPECT_EQ(q.registry().claimed_count(), 2u);
+  {
+    auto h2 = q.handle();
+    EXPECT_EQ(q.registry().claimed_count(), 4u);
+  }
+  EXPECT_EQ(q.registry().claimed_count(), 2u);
+}
+
+TEST(MsSimQueue, PoolFootprintStaysBounded) {
+  MsSimQueue<Item> q;
+  auto h = q.handle();
+  Item item;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(h, &item));
+    ASSERT_EQ(q.try_pop(h), &item);
+  }
+  EXPECT_LE(q.pool().allocated(), 16u);
+}
+
+TEST(MsSimQueue, InterleavedHandles) {
+  MsSimQueue<Item> q;
+  auto h1 = q.handle();
+  auto h2 = q.handle();
+  Item a{1};
+  Item b{2};
+  EXPECT_TRUE(q.try_push(h1, &a));
+  EXPECT_TRUE(q.try_push(h2, &b));
+  EXPECT_EQ(q.try_pop(h2), &a);
+  EXPECT_EQ(q.try_pop(h1), &b);
+}
+
+// ---------------------------------------------------------------------------
+// ShannQueue
+// ---------------------------------------------------------------------------
+
+TEST(ShannQueue, BasicFifoAndBounds) {
+  ShannQueue<Item> q(4);
+  auto h = q.handle();
+  Item items[5];
+  for (int i = 0; i < 4; ++i) {
+    items[i].id = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  EXPECT_FALSE(q.try_push(h, &items[4]));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(ShannQueue, WrapAroundBumpsSlotVersions) {
+  ShannQueue<Item> q(2);
+  auto h = q.handle();
+  Item a{1};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(h, &a));
+    ASSERT_EQ(q.try_pop(h), &a);
+  }
+  EXPECT_EQ(q.size_estimate(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MutexQueue / UnsyncRing
+// ---------------------------------------------------------------------------
+
+TEST(MutexQueue, BasicFifoAndBounds) {
+  MutexQueue<Item> q(4);
+  auto h = q.handle();
+  Item items[5];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  EXPECT_FALSE(q.try_push(h, &items[4]));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.try_pop(h), &items[i]);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(UnsyncRing, BasicFifoAndBounds) {
+  UnsyncRing<Item> q(4);
+  auto h = q.handle();
+  Item items[5];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  EXPECT_FALSE(q.try_push(h, &items[4]));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.try_pop(h), &items[i]);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(UnsyncRing, LongWrap) {
+  UnsyncRing<Item> q(8);
+  auto h = q.handle();
+  Item items[3];
+  for (int round = 0; round < 10000; ++round) {
+    for (auto& item : items) {
+      ASSERT_TRUE(q.try_push(h, &item));
+    }
+    for (auto& item : items) {
+      ASSERT_EQ(q.try_pop(h), &item);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Unit tests for the common substrate: cache-line padding, backoff, tagged
+// pointers, PRNGs and the spin barrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "evq/common/backoff.hpp"
+#include "evq/common/cacheline.hpp"
+#include "evq/common/rng.hpp"
+#include "evq/common/spin_barrier.hpp"
+#include "evq/common/tagged_ptr.hpp"
+
+namespace {
+
+using namespace evq;
+
+// ---------------------------------------------------------------------------
+// CachePadded
+// ---------------------------------------------------------------------------
+
+TEST(CachePadded, SizeIsMultipleOfCacheLine) {
+  EXPECT_EQ(sizeof(CachePadded<char>) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(CachePadded<std::uint64_t>) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(CachePadded<std::atomic<std::uint64_t>>) % kCacheLineSize, 0u);
+}
+
+TEST(CachePadded, AlignmentIsCacheLine) {
+  EXPECT_EQ(alignof(CachePadded<char>), kCacheLineSize);
+}
+
+TEST(CachePadded, AdjacentElementsDoNotShareLines) {
+  CachePadded<std::uint64_t> a[2];
+  const auto pa = reinterpret_cast<std::uintptr_t>(&a[0].value);
+  const auto pb = reinterpret_cast<std::uintptr_t>(&a[1].value);
+  EXPECT_GE(pb - pa, kCacheLineSize);
+}
+
+TEST(CachePadded, ForwardsConstructorArguments) {
+  CachePadded<std::uint64_t> v{42u};
+  EXPECT_EQ(v.value, 42u);
+}
+
+TEST(CachePadded, LargerThanLineTypeRoundsUp) {
+  struct Big {
+    char data[100];
+  };
+  EXPECT_EQ(sizeof(CachePadded<Big>) % kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(CachePadded<Big>), sizeof(Big));
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, EscalatesToYieldingAfterEnoughRounds) {
+  Backoff b;
+  EXPECT_FALSE(b.is_yielding());
+  for (int i = 0; i < 20; ++i) {
+    b.pause();
+  }
+  EXPECT_TRUE(b.is_yielding());
+}
+
+TEST(Backoff, ResetReturnsToSpinning) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) {
+    b.pause();
+  }
+  b.reset();
+  EXPECT_FALSE(b.is_yielding());
+}
+
+TEST(Backoff, NullBackoffNeverYields) {
+  NullBackoff b;
+  for (int i = 0; i < 100; ++i) {
+    b.pause();
+  }
+  EXPECT_FALSE(b.is_yielding());
+}
+
+// ---------------------------------------------------------------------------
+// LSB tagging
+// ---------------------------------------------------------------------------
+
+TEST(LsbTag, RoundTrip) {
+  std::uint64_t x = 0;
+  const std::uintptr_t tagged = lsb_tag(&x);
+  EXPECT_TRUE(lsb_tagged(tagged));
+  EXPECT_EQ(lsb_untag<std::uint64_t>(tagged), &x);
+}
+
+TEST(LsbTag, PlainPointerIsNotTagged) {
+  std::uint64_t x = 0;
+  EXPECT_FALSE(lsb_tagged(reinterpret_cast<std::uintptr_t>(&x)));
+}
+
+TEST(LsbTag, NullIsNotTagged) { EXPECT_FALSE(lsb_tagged(0)); }
+
+// ---------------------------------------------------------------------------
+// PackedPtr
+// ---------------------------------------------------------------------------
+
+TEST(PackedPtr, RoundTripPointerAndVersion) {
+  std::uint64_t x = 0;
+  const auto p = PackedPtr::make(&x, 0x1234);
+  EXPECT_EQ(p.ptr<std::uint64_t>(), &x);
+  EXPECT_EQ(p.version(), 0x1234);
+}
+
+TEST(PackedPtr, NullPointerWithVersion) {
+  const auto p = PackedPtr::make(static_cast<std::uint64_t*>(nullptr), 7);
+  EXPECT_EQ(p.ptr<std::uint64_t>(), nullptr);
+  EXPECT_EQ(p.version(), 7);
+}
+
+TEST(PackedPtr, BumpAdvancesVersionAndSwapsPointer) {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  const auto p = PackedPtr::make(&x, 41);
+  const auto q = p.bumped(&y);
+  EXPECT_EQ(q.ptr<std::uint64_t>(), &y);
+  EXPECT_EQ(q.version(), 42);
+}
+
+TEST(PackedPtr, VersionWrapsAt16Bits) {
+  std::uint64_t x = 0;
+  const auto p = PackedPtr::make(&x, 0xFFFF);
+  EXPECT_EQ(p.bumped(&x).version(), 0);
+}
+
+TEST(PackedPtr, EqualityComparesWholeWord) {
+  std::uint64_t x = 0;
+  EXPECT_EQ(PackedPtr::make(&x, 1), PackedPtr::make(&x, 1));
+  EXPECT_NE(PackedPtr::make(&x, 1), PackedPtr::make(&x, 2));
+}
+
+// ---------------------------------------------------------------------------
+// PRNGs
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  XorShift64Star a(123);
+  XorShift64Star b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  auto a = XorShift64Star::for_stream(1, 0);
+  auto b = XorShift64Star::for_stream(1, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next() == b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  XorShift64Star rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, ZeroSeedIsRemapped) {
+  XorShift64Star rng(0);
+  EXPECT_NE(rng.next(), 0u);  // all-zero state would be a fixed point
+}
+
+TEST(Rng, ChanceZeroNeverFires) {
+  XorShift64Star rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  XorShift64Star rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.chance(25, 100) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+// ---------------------------------------------------------------------------
+// SpinBarrier
+// ---------------------------------------------------------------------------
+
+TEST(SpinBarrier, SingleParticipantPassesImmediately) {
+  SpinBarrier barrier(1);
+  EXPECT_TRUE(barrier.wait());
+  EXPECT_TRUE(barrier.wait());  // reusable
+}
+
+TEST(SpinBarrier, ExactlyOneLastArriverPerPhase) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kPhases = 25;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> last_count{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        if (barrier.wait()) {
+          last_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(last_count.load(), kPhases);
+}
+
+TEST(SpinBarrier, NoPhaseSkewUnderContention) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> skew{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        counter.fetch_add(1);
+        barrier.wait();
+        // After the barrier every thread's increment for this phase landed.
+        if (counter.load() < (p + 1) * static_cast<int>(kThreads)) {
+          skew.store(true);
+        }
+        barrier.wait();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(skew.load());
+}
+
+}  // namespace

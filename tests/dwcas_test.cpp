@@ -1,0 +1,82 @@
+// Unit and concurrency tests for the double-width CAS substrate.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "evq/common/dwcas.hpp"
+
+namespace {
+
+using namespace evq;
+
+TEST(DwWord, EqualityComparesBothLanes) {
+  EXPECT_EQ((DwWord{1, 2}), (DwWord{1, 2}));
+  EXPECT_FALSE((DwWord{1, 2}) == (DwWord{1, 3}));
+  EXPECT_FALSE((DwWord{0, 2}) == (DwWord{1, 2}));
+}
+
+TEST(AtomicDwWord, LoadReturnsInitialValue) {
+  AtomicDwWord cell(DwWord{0xDEAD, 0xBEEF});
+  const DwWord v = cell.load();
+  EXPECT_EQ(v.lo, 0xDEADu);
+  EXPECT_EQ(v.hi, 0xBEEFu);
+}
+
+TEST(AtomicDwWord, StoreThenLoadRoundTrips) {
+  AtomicDwWord cell;
+  cell.store(DwWord{7, 9});
+  EXPECT_EQ(cell.load(), (DwWord{7, 9}));
+}
+
+TEST(AtomicDwWord, CasSucceedsOnMatch) {
+  AtomicDwWord cell(DwWord{1, 1});
+  DwWord expected{1, 1};
+  EXPECT_TRUE(cell.compare_exchange(expected, DwWord{2, 2}));
+  EXPECT_EQ(cell.load(), (DwWord{2, 2}));
+}
+
+TEST(AtomicDwWord, CasFailsOnMismatchAndReportsActual) {
+  AtomicDwWord cell(DwWord{1, 1});
+  DwWord expected{1, 2};  // hi lane differs
+  EXPECT_FALSE(cell.compare_exchange(expected, DwWord{9, 9}));
+  EXPECT_EQ(expected, (DwWord{1, 1}));  // failure writes back the real value
+  EXPECT_EQ(cell.load(), (DwWord{1, 1}));
+}
+
+TEST(AtomicDwWord, CasIsSensitiveToEachLaneIndividually) {
+  AtomicDwWord cell(DwWord{5, 6});
+  DwWord bad_lo{4, 6};
+  EXPECT_FALSE(cell.compare_exchange(bad_lo, DwWord{0, 0}));
+  DwWord bad_hi{5, 7};
+  EXPECT_FALSE(cell.compare_exchange(bad_hi, DwWord{0, 0}));
+  DwWord good{5, 6};
+  EXPECT_TRUE(cell.compare_exchange(good, DwWord{0, 0}));
+}
+
+// The canonical torture test: concurrent increments of BOTH lanes through
+// CAS must lose no updates and keep the lanes in lock-step (any tearing or
+// lost update breaks lo == hi at the end).
+TEST(AtomicDwWord, ConcurrentCasLosesNoUpdates) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  AtomicDwWord cell(DwWord{0, 0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        DwWord cur = cell.load();
+        while (!cell.compare_exchange(cur, DwWord{cur.lo + 1, cur.hi + 1})) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const DwWord v = cell.load();
+  EXPECT_EQ(v.lo, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(v.hi, v.lo);
+}
+
+}  // namespace

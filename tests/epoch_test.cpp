@@ -1,0 +1,196 @@
+// Tests for epoch-based reclamation and the MS-EBR extension baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/ms_ebr_queue.hpp"
+#include "evq/reclaim/epoch.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::reclaim;
+
+struct ENode {
+  int id = 0;
+};
+
+using Domain = EpochDomain<ENode>;
+
+TEST(Epoch, AcquireRecyclesReleasedRecords) {
+  Domain domain;
+  auto* r1 = domain.acquire();
+  domain.release(r1);
+  EXPECT_EQ(domain.acquire(), r1);
+  domain.release(r1);
+}
+
+TEST(Epoch, AdvanceSucceedsWhenNobodyIsPinned) {
+  Domain domain(1);
+  auto* rec = domain.acquire();
+  const std::uint64_t before = domain.epoch();
+  EXPECT_TRUE(domain.try_advance(rec));
+  EXPECT_EQ(domain.epoch(), before + 1);
+  domain.release(rec);
+}
+
+TEST(Epoch, PinnedLaggardBlocksAdvance) {
+  Domain domain(1);
+  auto* fast = domain.acquire();
+  auto* slow = domain.acquire();
+  domain.pin(slow);
+  ASSERT_TRUE(domain.try_advance(fast)) << "laggard has observed the current epoch";
+  // slow is now pinned in the PREVIOUS epoch: no further advance possible.
+  EXPECT_FALSE(domain.try_advance(fast));
+  EXPECT_FALSE(domain.try_advance(fast));
+  domain.unpin(slow);
+  EXPECT_TRUE(domain.try_advance(fast)) << "unpinned: epoch may move again";
+  domain.release(fast);
+  domain.release(slow);
+}
+
+TEST(Epoch, RetiredNodesFreeAfterTwoAdvances) {
+  Domain domain(1000);  // manual advances only
+  auto* rec = domain.acquire();
+  domain.pin(rec);
+  domain.retire(rec, new ENode{1});
+  domain.unpin(rec);
+  EXPECT_EQ(domain.reclaimed_count(), 0u);
+  ASSERT_TRUE(domain.try_advance(rec));  // e -> e+1: still too young
+  EXPECT_EQ(domain.reclaimed_count(), 0u);
+  ASSERT_TRUE(domain.try_advance(rec));  // e+1 -> e+2: our bucket frees
+  EXPECT_EQ(domain.reclaimed_count(), 1u);
+  domain.release(rec);
+}
+
+TEST(Epoch, RetireTriggersAdvanceAtThreshold) {
+  Domain domain(4);
+  auto* rec = domain.acquire();
+  for (int round = 0; round < 10; ++round) {
+    domain.pin(rec);
+    for (int i = 0; i < 4; ++i) {
+      domain.retire(rec, new ENode{i});
+    }
+    domain.unpin(rec);
+  }
+  EXPECT_GT(domain.reclaimed_count(), 0u) << "thresholded retires must reclaim eventually";
+  domain.release(rec);
+}
+
+TEST(Epoch, ConcurrentPinUnpinRetireIsSafe) {
+  Domain domain(8);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto* rec = domain.acquire();
+      for (int i = 0; i < kIters; ++i) {
+        domain.pin(rec);
+        domain.retire(rec, new ENode{i});
+        domain.unpin(rec);
+      }
+      domain.release(rec);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_GT(domain.reclaimed_count(), 0u);
+  // Whatever was not reclaimed is freed by the domain destructor (ASan
+  // verifies no leak and no double free).
+}
+
+// ---------------------------------------------------------------------------
+// MsEbrQueue
+// ---------------------------------------------------------------------------
+
+struct Item {
+  std::uint64_t id = 0;
+};
+
+TEST(MsEbrQueue, BasicFifo) {
+  baselines::MsEbrQueue<Item> q;
+  auto h = q.handle();
+  Item items[5];
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    items[i].id = i;
+    EXPECT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(MsEbrQueue, ReclaimsNodesDuringTraffic) {
+  baselines::MsEbrQueue<Item> q(8);
+  auto h = q.handle();
+  Item item;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(h, &item));
+    ASSERT_EQ(q.try_pop(h), &item);
+  }
+  EXPECT_GT(q.domain().reclaimed_count(), 0u);
+}
+
+TEST(MsEbrQueue, MpmcConservation) {
+  baselines::MsEbrQueue<Item> q(16);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 3000;
+  std::vector<std::vector<Item>> items(kThreads);
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    items[t].resize(kPerThread);
+    threads.emplace_back([&, t] {
+      auto h = q.handle();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        while (!q.try_push(h, &items[t][i])) {
+        }
+        while (q.try_pop(h) == nullptr) {
+          std::this_thread::yield();
+        }
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(popped.load(), kThreads * kPerThread);
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(MsEbrQueue, StalledHandleDoesNotBlockOperationsOnlyReclamation) {
+  // The EBR weakness, demonstrated: a handle pinned "forever" (simulated by
+  // a raw pin without unpin) stops the epoch, but the QUEUE stays lock-free
+  // — operations keep succeeding, memory just stops being recycled.
+  baselines::MsEbrQueue<Item> q(4);
+  auto stalled = q.handle();
+  // Pin via an operation-sized window we never close: emulate by pinning
+  // the record directly through the domain.
+  auto& domain = q.domain();
+  auto* rec = domain.acquire();
+  domain.pin(rec);
+  const std::uint64_t epoch_before = domain.epoch();
+
+  auto h = q.handle();
+  Item item;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(q.try_push(h, &item));
+    ASSERT_EQ(q.try_pop(h), &item);
+  }
+  EXPECT_LE(domain.epoch(), epoch_before + 1)
+      << "a stalled pin must freeze the epoch (at most one more advance)";
+  domain.unpin(rec);
+  domain.release(rec);
+}
+
+}  // namespace

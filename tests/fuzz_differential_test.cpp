@@ -1,0 +1,160 @@
+// Differential fuzzing: every queue implementation is driven with long
+// randomized push/pop sequences and compared operation-by-operation against
+// a reference std::deque model. Single-threaded, so the comparison is exact
+// — this nails the sequential corner cases (full/empty boundaries, wrap
+// parity, helping left-overs) that the concurrent stress suites can only
+// probe statistically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "evq/baselines/ms_ebr_queue.hpp"
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/baselines/ms_pool_queue.hpp"
+#include "evq/baselines/ms_sim_queue.hpp"
+#include "evq/baselines/mutex_queue.hpp"
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/tsigas_zhang_queue.hpp"
+#include "evq/baselines/unsync_ring.hpp"
+#include "evq/common/rng.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+template <typename Q>
+Q* make_queue(std::size_t capacity) {
+  if constexpr (std::is_constructible_v<Q, std::size_t>) {
+    return new Q(capacity);
+  } else {
+    return new Q();
+  }
+}
+
+/// Drives `ops` random operations against queue and model in lock-step.
+/// bias_push in [0,100]: probability that a step is a push.
+template <typename Q>
+void fuzz_against_model(std::size_t capacity, std::uint64_t seed, int ops, int bias_push) {
+  std::unique_ptr<Q> q(make_queue<Q>(capacity));
+  std::size_t model_capacity = SIZE_MAX;
+  if constexpr (BoundedPtrQueue<Q>) {
+    model_capacity = q->capacity();
+  }
+  auto h = q->handle();
+  XorShift64Star rng(seed);
+  std::vector<Token> arena(static_cast<std::size_t>(ops) + 1);
+  std::size_t next_token = 0;
+  std::deque<Token*> model;
+  for (int i = 0; i < ops; ++i) {
+    if (rng.chance(static_cast<std::uint64_t>(bias_push), 100)) {
+      Token* tok = &arena[next_token];
+      const bool pushed = q->try_push(h, tok);
+      const bool model_pushed = model.size() < model_capacity;
+      ASSERT_EQ(pushed, model_pushed) << "push disagreement at op " << i;
+      if (pushed) {
+        model.push_back(tok);
+        ++next_token;
+      }
+    } else {
+      Token* popped = q->try_pop(h);
+      if (model.empty()) {
+        ASSERT_EQ(popped, nullptr) << "pop from empty disagreement at op " << i;
+      } else {
+        ASSERT_EQ(popped, model.front()) << "FIFO order disagreement at op " << i;
+        model.pop_front();
+      }
+    }
+  }
+  // Drain and compare the leftovers too.
+  while (!model.empty()) {
+    ASSERT_EQ(q->try_pop(h), model.front());
+    model.pop_front();
+  }
+  ASSERT_EQ(q->try_pop(h), nullptr);
+}
+
+struct FuzzCase {
+  std::size_t capacity;
+  std::uint64_t seed;
+  int bias_push;  // percent
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+constexpr int kOps = 20000;
+
+TEST_P(DifferentialFuzz, LlscArrayQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<LlscArrayQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, LlscArrayQueuePacked) {
+  const auto p = GetParam();
+  fuzz_against_model<LlscArrayQueue<Token, llsc::PackedLlsc>>(p.capacity, p.seed, kOps,
+                                                              p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CasArrayQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<CasArrayQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShannQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::ShannQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, TsigasZhangQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::TsigasZhangQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, MutexQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::MutexQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, UnsyncRing) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::UnsyncRing<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, MsHpQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::MsHpQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, MsPoolQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::MsPoolQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, MsEbrQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::MsEbrQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, MsSimQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<baselines::MsSimQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DifferentialFuzz,
+    ::testing::Values(FuzzCase{2, 0xA11CE, 50}, FuzzCase{2, 0xB0B, 80}, FuzzCase{2, 0xC0DE, 20},
+                      FuzzCase{8, 0xD00D, 50}, FuzzCase{8, 0xE66, 90},
+                      FuzzCase{64, 0xF00D, 50}, FuzzCase{1024, 0xFEED, 60}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "cap" + std::to_string(info.param.capacity) + "_bias" +
+             std::to_string(info.param.bias_push) + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Tests for the benchmark harness: stats, queue registry, workload
+// mechanics (capacity rule, run accounting) and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "evq/harness/any_queue.hpp"
+#include "evq/harness/cli.hpp"
+#include "evq/harness/queue_registry.hpp"
+#include "evq/harness/stats.hpp"
+#include "evq/harness/workload.hpp"
+
+namespace {
+
+using namespace evq::harness;
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, KnownDistribution) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);  // sample stddev
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Queue registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ContainsAllFigureSixAlgorithms) {
+  for (const char* name : {"fifo-llsc", "fifo-simcas", "ms-hp", "ms-hp-sorted", "ms-doherty",
+                           "shann"}) {
+    const QueueSpec& spec = find_queue(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.paper_label.empty());
+  }
+}
+
+TEST(Registry, EveryFactoryProducesAWorkingQueue) {
+  for (const QueueSpec& spec : all_queues()) {
+    SCOPED_TRACE(spec.name);
+    auto queue = spec.make(16);
+    ASSERT_NE(queue, nullptr);
+    auto handle = queue->handle();
+    auto* p = new Payload{7, nullptr};
+    ASSERT_TRUE(handle->try_push(p));
+    Payload* out = handle->try_pop();
+    ASSERT_EQ(out, p);
+    EXPECT_EQ(out->value, 7u);
+    delete out;
+    EXPECT_EQ(handle->try_pop(), nullptr);
+  }
+}
+
+TEST(Registry, BoundedQueuesRespectCapacity) {
+  for (const QueueSpec& spec : all_queues()) {
+    if (!spec.bounded) {
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    auto queue = spec.make(4);
+    auto handle = queue->handle();
+    std::vector<Payload*> nodes;
+    int pushed = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto* p = new Payload{static_cast<std::uint64_t>(i), nullptr};
+      if (handle->try_push(p)) {
+        ++pushed;
+        nodes.push_back(p);
+      } else {
+        delete p;
+      }
+    }
+    EXPECT_EQ(pushed, 4) << "capacity-4 queue must accept exactly 4 of 10 pushes";
+    for (int i = 0; i < pushed; ++i) {
+      delete handle->try_pop();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+TEST(Workload, AutoCapacityRespectsDeadlockBound) {
+  WorkloadParams p;
+  p.threads = 64;
+  p.burst = 5;
+  p.capacity = 0;
+  EXPECT_GE(effective_capacity(p), 5u * 64u);
+  p.threads = 1;
+  EXPECT_GE(effective_capacity(p), 256u) << "floor keeps small runs comparable";
+}
+
+TEST(Workload, ExplicitCapacityWins) {
+  WorkloadParams p;
+  p.capacity = 1024;
+  EXPECT_EQ(effective_capacity(p), 1024u);
+}
+
+TEST(Workload, RunOnceCompletesAndReturnsPositiveTime) {
+  const QueueSpec& spec = find_queue("fifo-simcas");
+  WorkloadParams p;
+  p.threads = 2;
+  p.iterations = 200;
+  p.runs = 1;
+  auto queue = spec.make(effective_capacity(p));
+  const double seconds = run_once(*queue, p);
+  EXPECT_GT(seconds, 0.0);
+  // Queue must be drained: the workload is balanced.
+  auto h = queue->handle();
+  EXPECT_EQ(h->try_pop(), nullptr);
+}
+
+TEST(Workload, RunWorkloadProducesRequestedRunCount) {
+  const QueueSpec& spec = find_queue("mutex");
+  WorkloadParams p;
+  p.threads = 2;
+  p.iterations = 100;
+  p.runs = 3;
+  const std::vector<double> times = run_workload(spec, p);
+  EXPECT_EQ(times.size(), 3u);
+  for (double t : times) {
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+TEST(Workload, RandomMixedPatternCompletesBalanced) {
+  const QueueSpec& spec = find_queue("fifo-simcas");
+  WorkloadParams p;
+  p.threads = 3;
+  p.iterations = 100;
+  p.runs = 1;
+  p.pattern = WorkloadPattern::kRandomMixed;
+  p.push_bias_pct = 70;
+  // run_workload asserts the queue drained; completing without the
+  // EVQ_CHECK aborting is the balance proof.
+  const std::vector<double> times = run_workload(spec, p);
+  EXPECT_EQ(times.size(), 1u);
+  EXPECT_GT(times[0], 0.0);
+}
+
+TEST(Workload, RandomMixedRespectsBiasExtremes) {
+  for (unsigned bias : {0u, 100u}) {
+    const QueueSpec& spec = find_queue("mutex");
+    WorkloadParams p;
+    p.threads = 2;
+    p.iterations = 50;
+    p.runs = 1;
+    p.pattern = WorkloadPattern::kRandomMixed;
+    p.push_bias_pct = bias;  // degenerate biases must still terminate
+    const std::vector<double> times = run_workload(spec, p);
+    EXPECT_GT(times[0], 0.0) << "bias=" << bias;
+  }
+}
+
+TEST(Workload, AllConcurrentQueuesSurviveASmallRun) {
+  WorkloadParams p;
+  p.threads = 3;
+  p.iterations = 50;
+  p.runs = 1;
+  for (const QueueSpec& spec : all_queues()) {
+    if (!spec.concurrent) {
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    const std::vector<double> times = run_workload(spec, p);
+    EXPECT_EQ(times.size(), 1u);
+    EXPECT_GT(times[0], 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+std::vector<char*> argv_of(std::initializer_list<const char*> args) {
+  static std::vector<std::string> storage;
+  storage.assign(args.begin(), args.end());
+  std::vector<char*> out;
+  for (auto& s : storage) {
+    out.push_back(s.data());
+  }
+  return out;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  auto argv = argv_of({"bench"});
+  const CliOptions opts = parse_cli(1, argv.data(), {1, 2, 4}, 1000, 3);
+  EXPECT_EQ(opts.thread_counts, (std::vector<unsigned>{1, 2, 4}));
+  EXPECT_EQ(opts.workload.iterations, 1000u);
+  EXPECT_EQ(opts.workload.runs, 3u);
+  EXPECT_FALSE(opts.csv);
+}
+
+TEST(Cli, ParsesThreadListAndScalars) {
+  auto argv = argv_of({"bench", "--threads", "1,8,32", "--iters", "500", "--runs", "7",
+                       "--burst", "3", "--capacity", "128", "--csv"});
+  const CliOptions opts = parse_cli(static_cast<int>(argv.size()), argv.data(), {1}, 10, 1);
+  EXPECT_EQ(opts.thread_counts, (std::vector<unsigned>{1, 8, 32}));
+  EXPECT_EQ(opts.workload.iterations, 500u);
+  EXPECT_EQ(opts.workload.runs, 7u);
+  EXPECT_EQ(opts.workload.burst, 3u);
+  EXPECT_EQ(opts.workload.capacity, 128u);
+  EXPECT_TRUE(opts.csv);
+}
+
+TEST(Cli, PaperFlagSelectsPaperScale) {
+  auto argv = argv_of({"bench", "--paper"});
+  const CliOptions opts = parse_cli(static_cast<int>(argv.size()), argv.data(), {1}, 10, 1);
+  EXPECT_EQ(opts.workload.iterations, 100000u);
+  EXPECT_EQ(opts.workload.runs, 50u);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Tests for the hazard-pointer domain: protection semantics, scan behaviour
+// (sorted and unsorted), thresholds, and population-oblivious records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "evq/hazard/hp_domain.hpp"
+
+namespace {
+
+using namespace evq::hazard;
+
+struct HpNode {
+  int id = 0;
+};
+
+using Domain = HpDomain<HpNode, 2>;
+
+TEST(Hazard, AcquireRecyclesReleasedRecords) {
+  Domain domain;
+  auto* r1 = domain.acquire();
+  domain.release(r1);
+  auto* r2 = domain.acquire();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(domain.record_count(), 1u);
+  domain.release(r2);
+}
+
+TEST(Hazard, ConcurrentHoldersGetDistinctRecords) {
+  Domain domain;
+  auto* r1 = domain.acquire();
+  auto* r2 = domain.acquire();
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(domain.record_count(), 2u);
+  domain.release(r1);
+  domain.release(r2);
+}
+
+TEST(Hazard, ProtectPinsCurrentPointer) {
+  Domain domain;
+  auto* rec = domain.acquire();
+  auto* node = new HpNode{1};
+  std::atomic<HpNode*> src{node};
+  HpNode* got = domain.protect(rec, 0, src);
+  EXPECT_EQ(got, node);
+  EXPECT_EQ(rec->hp[0].load(), node);
+  domain.clear(rec, 0);
+  domain.release(rec);
+  delete node;
+}
+
+TEST(Hazard, ProtectFollowsConcurrentChange) {
+  // If the source changes between read and publication, protect must retry
+  // and return the (eventually) consistent pointer.
+  Domain domain;
+  auto* rec = domain.acquire();
+  auto* a = new HpNode{1};
+  std::atomic<HpNode*> src{a};
+  EXPECT_EQ(domain.protect(rec, 0, src), a);
+  domain.release(rec);
+  delete a;
+}
+
+TEST(Hazard, ScanFreesUnprotectedNodes) {
+  Domain domain;
+  auto* rec = domain.acquire();
+  std::atomic<int> freed{0};
+  auto reclaim = [&freed](HpNode* n) {
+    ++freed;
+    delete n;
+  };
+  rec->retired.push_back(new HpNode{1});
+  rec->retired.push_back(new HpNode{2});
+  EXPECT_EQ(domain.scan(*rec, reclaim), 2u);
+  EXPECT_EQ(freed.load(), 2);
+  EXPECT_TRUE(rec->retired.empty());
+  domain.release(rec);
+}
+
+TEST(Hazard, ScanSparesProtectedNodes) {
+  Domain domain;
+  auto* holder = domain.acquire();
+  auto* scanner = domain.acquire();
+  auto* node = new HpNode{1};
+  std::atomic<HpNode*> src{node};
+  domain.protect(holder, 0, src);
+
+  scanner->retired.push_back(node);
+  EXPECT_EQ(domain.scan(*scanner), 0u) << "protected node must survive the scan";
+  ASSERT_EQ(scanner->retired.size(), 1u);
+
+  domain.clear(holder, 0);
+  EXPECT_EQ(domain.scan(*scanner), 1u) << "unprotected now: must be freed";
+  domain.release(holder);
+  domain.release(scanner);
+}
+
+TEST(Hazard, SortedAndUnsortedScansAgree) {
+  for (ScanMode mode : {ScanMode::kUnsorted, ScanMode::kSorted}) {
+    HpDomain<HpNode, 2> domain(mode);
+    auto* holder = domain.acquire();
+    auto* scanner = domain.acquire();
+    std::vector<HpNode*> nodes;
+    for (int i = 0; i < 10; ++i) {
+      nodes.push_back(new HpNode{i});
+    }
+    std::atomic<HpNode*> src0{nodes[3]};
+    std::atomic<HpNode*> src1{nodes[7]};
+    domain.protect(holder, 0, src0);
+    domain.protect(holder, 1, src1);
+    for (HpNode* n : nodes) {
+      scanner->retired.push_back(n);
+    }
+    EXPECT_EQ(domain.scan(*scanner), 8u) << "mode=" << static_cast<int>(mode);
+    ASSERT_EQ(scanner->retired.size(), 2u);
+    domain.clear(holder, 0);
+    domain.clear(holder, 1);
+    EXPECT_EQ(domain.scan(*scanner), 2u);
+    domain.release(holder);
+    domain.release(scanner);
+  }
+}
+
+TEST(Hazard, RetireScansAtThreshold) {
+  // threshold = multiplier x records; with one record and multiplier 4 the
+  // 4th retire triggers a scan.
+  HpDomain<HpNode, 2> domain(ScanMode::kUnsorted, 4);
+  auto* rec = domain.acquire();
+  for (int i = 0; i < 3; ++i) {
+    domain.retire(rec, new HpNode{i});
+    EXPECT_EQ(domain.reclaimed_count(), 0u);
+  }
+  domain.retire(rec, new HpNode{3});
+  EXPECT_EQ(domain.reclaimed_count(), 4u);
+  domain.release(rec);
+}
+
+TEST(Hazard, ReleasedRecordLeftoversSurviveUntilDomainDies) {
+  // A node still hazard-protected at release time must not be freed; the
+  // domain destructor reclaims it (quiescent teardown).
+  std::atomic<int> freed{0};
+  {
+    Domain domain;
+    auto* holder = domain.acquire();
+    auto* leaver = domain.acquire();
+    auto* node = new HpNode{1};
+    std::atomic<HpNode*> src{node};
+    domain.protect(holder, 0, src);
+    leaver->retired.push_back(node);
+    domain.release(leaver);  // scan runs, node survives (protected)
+    EXPECT_EQ(domain.reclaimed_count(), 0u);
+    domain.release(holder);
+  }
+  // domain destructor deleted `node`; nothing to assert beyond no crash
+  // (ASan build would flag a leak or double-free).
+  (void)freed;
+}
+
+TEST(Hazard, ManyThreadsAcquireDistinctRecords) {
+  constexpr int kThreads = 8;
+  Domain domain;
+  std::vector<Domain::Record*> recs(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      recs[t] = domain.acquire();
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+        std::this_thread::yield();
+      }
+      domain.release(recs[t]);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    for (int j = i + 1; j < kThreads; ++j) {
+      EXPECT_NE(recs[i], recs[j]);
+    }
+  }
+  EXPECT_LE(domain.record_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(Hazard, ConcurrentRetireScanNeverFreesProtected) {
+  // One thread holds a hazard on a node while others retire unrelated nodes
+  // causing scans; the protected node must stay alive (its id readable).
+  Domain domain;
+  auto* holder = domain.acquire();
+  auto* node = new HpNode{42};
+  std::atomic<HpNode*> src{node};
+  domain.protect(holder, 0, src);
+
+  std::atomic<bool> corrupted{false};
+  std::thread churner([&] {
+    auto* rec = domain.acquire();
+    for (int i = 0; i < 5000; ++i) {
+      domain.retire(rec, new HpNode{i});
+    }
+    domain.release(rec);
+  });
+  for (int i = 0; i < 10000; ++i) {
+    if (node->id != 42) {
+      corrupted.store(true);
+      break;
+    }
+  }
+  churner.join();
+  EXPECT_FALSE(corrupted.load());
+  domain.clear(holder, 0);
+  auto* rec = domain.acquire();
+  domain.retire(rec, node);
+  domain.release(rec);
+  domain.release(holder);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Tests for the Wing–Gong-style exhaustive linearizability checker, plus
+// end-to-end checks of recorded histories from the real queues.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/verify/history.hpp"
+#include "evq/verify/lin_check.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::verify;
+
+Operation push_op(std::uint64_t v, bool ok, std::uint64_t inv, std::uint64_t resp,
+                  std::uint32_t thread = 0) {
+  return Operation{OpKind::kPush, v, 0, ok, inv, resp, thread};
+}
+
+Operation pop_op(std::uint64_t result, std::uint64_t inv, std::uint64_t resp,
+                 std::uint32_t thread = 0) {
+  return Operation{OpKind::kPop, 0, result, true, inv, resp, thread};
+}
+
+// ---------------------------------------------------------------------------
+// Sequential histories (precedence fully ordered)
+// ---------------------------------------------------------------------------
+
+TEST(LinCheck, AcceptsSequentialFifo) {
+  LinearizabilityChecker chk(0);
+  EXPECT_TRUE(chk.check({push_op(1, true, 0, 1), push_op(2, true, 2, 3), pop_op(1, 4, 5),
+                         pop_op(2, 6, 7)}));
+}
+
+TEST(LinCheck, RejectsLifoOrder) {
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), push_op(2, true, 2, 3), pop_op(2, 4, 5),
+                          pop_op(1, 6, 7)}));
+}
+
+TEST(LinCheck, RejectsPopOfNeverPushedValue) {
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), pop_op(9, 2, 3)}));
+}
+
+TEST(LinCheck, AcceptsEmptyPopBeforeAnyPush) {
+  LinearizabilityChecker chk(0);
+  EXPECT_TRUE(chk.check({pop_op(0, 0, 1), push_op(1, true, 2, 3), pop_op(1, 4, 5)}));
+}
+
+TEST(LinCheck, RejectsEmptyPopWhileItemQueued) {
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), pop_op(0, 2, 3)}));
+}
+
+TEST(LinCheck, RejectsDoublePop) {
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), pop_op(1, 2, 3), pop_op(1, 4, 5)}));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-queue semantics
+// ---------------------------------------------------------------------------
+
+TEST(LinCheck, AcceptsLegitimateFullReport) {
+  LinearizabilityChecker chk(1);
+  EXPECT_TRUE(chk.check({push_op(1, true, 0, 1), push_op(2, false, 2, 3), pop_op(1, 4, 5)}));
+}
+
+TEST(LinCheck, RejectsBogusFullReport) {
+  LinearizabilityChecker chk(2);  // capacity 2, only one item in
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), push_op(2, false, 2, 3)}));
+}
+
+TEST(LinCheck, RejectsPushBeyondCapacity) {
+  LinearizabilityChecker chk(1);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1), push_op(2, true, 2, 3)}));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent (overlapping) histories
+// ---------------------------------------------------------------------------
+
+TEST(LinCheck, OverlappingOpsMayReorder) {
+  // push(1) and push(2) overlap; pop sees 2 first — legal, because the
+  // pushes may linearize in either order.
+  LinearizabilityChecker chk(0);
+  EXPECT_TRUE(chk.check({push_op(1, true, 0, 10, 0), push_op(2, true, 1, 9, 1),
+                         pop_op(2, 11, 12), pop_op(1, 13, 14)}));
+}
+
+TEST(LinCheck, NonOverlappingOpsMayNot) {
+  // push(1) completes strictly before push(2) begins; pop order 2,1 is a
+  // genuine FIFO violation.
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(1, true, 0, 1, 0), push_op(2, true, 2, 3, 1),
+                          pop_op(2, 4, 5), pop_op(1, 6, 7)}));
+}
+
+TEST(LinCheck, PopOverlappingPushMaySeeIt) {
+  // pop overlaps the only push: both pop()=v and pop()=empty are legal.
+  LinearizabilityChecker chk(0);
+  EXPECT_TRUE(chk.check({push_op(5, true, 0, 10), pop_op(5, 1, 9, 1)}));
+  EXPECT_TRUE(chk.check({push_op(5, true, 0, 10), pop_op(0, 1, 9, 1)}));
+}
+
+TEST(LinCheck, EmptyPopAfterCompletedPushIsIllegal) {
+  LinearizabilityChecker chk(0);
+  EXPECT_FALSE(chk.check({push_op(5, true, 0, 1), pop_op(0, 2, 3, 1)}));
+}
+
+TEST(LinCheck, ThreeThreadInterleavingSearchesAllOrders) {
+  // pushes of 1,2,3 all overlap; the pops (sequential afterwards) may report
+  // any permutation order — every one must be accepted.
+  LinearizabilityChecker chk(0);
+  for (std::uint64_t a = 1; a <= 3; ++a) {
+    for (std::uint64_t b = 1; b <= 3; ++b) {
+      for (std::uint64_t c = 1; c <= 3; ++c) {
+        if (a == b || b == c || a == c) {
+          continue;
+        }
+        EXPECT_TRUE(chk.check({push_op(1, true, 0, 10, 0), push_op(2, true, 1, 11, 1),
+                               push_op(3, true, 2, 12, 2), pop_op(a, 20, 21), pop_op(b, 22, 23),
+                               pop_op(c, 24, 25)}))
+            << a << b << c;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recorded histories from the real queues
+// ---------------------------------------------------------------------------
+
+TEST(LinCheck, RecordedCasQueueHistoriesAreLinearizable) {
+  // Unique-pointer-per-value variant: each push uses a distinct arena cell,
+  // so pointer identity <-> value identity and the model applies exactly.
+  constexpr std::uint32_t kThreads = 3;
+  constexpr int kPushesPerThread = 3;
+  for (int round = 0; round < 20; ++round) {
+    CasArrayQueue<std::uint64_t> queue(2);  // tiny capacity: full is reachable
+    static std::uint64_t arena[kThreads * kPushesPerThread + 1];
+    for (std::uint64_t i = 1; i <= kThreads * kPushesPerThread; ++i) {
+      arena[i] = i;
+    }
+    HistoryRecorder recorder(kThreads, 2 * kPushesPerThread);
+    std::vector<std::thread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto h = queue.handle();
+        for (int i = 0; i < kPushesPerThread; ++i) {
+          const std::uint64_t value = t * kPushesPerThread + i + 1;
+          const std::uint64_t inv = recorder.begin();
+          const bool ok = queue.try_push(h, &arena[value]);
+          recorder.end_push(t, inv, value, ok);
+          const std::uint64_t inv2 = recorder.begin();
+          std::uint64_t* out = queue.try_pop(h);
+          recorder.end_pop(t, inv2, out == nullptr ? 0 : *out);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    LinearizabilityChecker chk(queue.capacity());
+    EXPECT_TRUE(chk.check(recorder.collect())) << "round " << round;
+  }
+}
+
+TEST(LinCheck, RecordedLlscQueueHistoriesAreLinearizable) {
+  constexpr std::uint32_t kThreads = 3;
+  constexpr int kPushesPerThread = 3;
+  for (int round = 0; round < 20; ++round) {
+    LlscArrayQueue<std::uint64_t> queue(2);
+    static std::uint64_t arena[kThreads * kPushesPerThread + 1];
+    for (std::uint64_t i = 1; i <= kThreads * kPushesPerThread; ++i) {
+      arena[i] = i;
+    }
+    HistoryRecorder recorder(kThreads, 2 * kPushesPerThread);
+    std::vector<std::thread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto h = queue.handle();
+        for (int i = 0; i < kPushesPerThread; ++i) {
+          const std::uint64_t value = t * kPushesPerThread + i + 1;
+          const std::uint64_t inv = recorder.begin();
+          const bool ok = queue.try_push(h, &arena[value]);
+          recorder.end_push(t, inv, value, ok);
+          const std::uint64_t inv2 = recorder.begin();
+          std::uint64_t* out = queue.try_pop(h);
+          recorder.end_pop(t, inv2, out == nullptr ? 0 : *out);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    LinearizabilityChecker chk(queue.capacity());
+    EXPECT_TRUE(chk.check(recorder.collect())) << "round " << round;
+  }
+}
+
+}  // namespace

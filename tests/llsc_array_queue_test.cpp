@@ -1,0 +1,158 @@
+// Tests for Algorithm 1 (Fig. 3), under each LL/SC emulation policy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+
+namespace {
+
+using namespace evq;
+
+struct Item {
+  std::uint64_t id = 0;
+};
+
+template <typename T>
+using Weak10 = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 10>;
+
+template <typename Q>
+class LlscQueueTest : public ::testing::Test {};
+
+using QueueTypes = ::testing::Types<LlscArrayQueue<Item, llsc::VersionedLlsc>,
+                                    LlscArrayQueue<Item, llsc::PackedLlsc>,
+                                    LlscArrayQueue<Item, Weak10>>;
+TYPED_TEST_SUITE(LlscQueueTest, QueueTypes);
+
+TYPED_TEST(LlscQueueTest, EmptyQueuePopsNull) {
+  TypeParam q(8);
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TYPED_TEST(LlscQueueTest, PushPopSingleItem) {
+  TypeParam q(8);
+  auto h = q.handle();
+  Item a{1};
+  EXPECT_TRUE(q.try_push(h, &a));
+  EXPECT_EQ(q.try_pop(h), &a);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TYPED_TEST(LlscQueueTest, FifoOrderPreserved) {
+  TypeParam q(16);
+  auto h = q.handle();
+  Item items[10];
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    items[i].id = i;
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Item* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, i);
+  }
+}
+
+TYPED_TEST(LlscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  TypeParam q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  TypeParam q2(8);
+  EXPECT_EQ(q2.capacity(), 8u);
+  TypeParam q3(1);
+  EXPECT_EQ(q3.capacity(), 2u);
+}
+
+TYPED_TEST(LlscQueueTest, FullQueueRejectsPush) {
+  TypeParam q(4);
+  auto h = q.handle();
+  Item items[5];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  EXPECT_FALSE(q.try_push(h, &items[4])) << "5th push into capacity-4 queue must report full";
+  ASSERT_NE(q.try_pop(h), nullptr);
+  EXPECT_TRUE(q.try_push(h, &items[4])) << "space freed: push must succeed again";
+}
+
+TYPED_TEST(LlscQueueTest, WrapAroundManyTimes) {
+  TypeParam q(4);
+  auto h = q.handle();
+  Item items[3];
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(q.try_push(h, &items[i]));
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(q.try_pop(h), &items[i]);
+    }
+  }
+  EXPECT_EQ(q.head_index(), 3000u);
+  EXPECT_EQ(q.tail_index(), 3000u);
+}
+
+TYPED_TEST(LlscQueueTest, SizeEstimateTracksOccupancy) {
+  TypeParam q(8);
+  auto h = q.handle();
+  Item items[5];
+  EXPECT_EQ(q.size_estimate(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[i]));
+  }
+  EXPECT_EQ(q.size_estimate(), 5u);
+  (void)q.try_pop(h);
+  EXPECT_EQ(q.size_estimate(), 4u);
+}
+
+TYPED_TEST(LlscQueueTest, AlternatingPushPopAtCapacityBoundary) {
+  TypeParam q(2);
+  auto h = q.handle();
+  Item a{1};
+  Item b{2};
+  for (int round = 0; round < 500; ++round) {
+    ASSERT_TRUE(q.try_push(h, &a));
+    ASSERT_TRUE(q.try_push(h, &b));
+    ASSERT_FALSE(q.try_push(h, &a));  // full
+    ASSERT_EQ(q.try_pop(h), &a);
+    ASSERT_EQ(q.try_pop(h), &b);
+    ASSERT_EQ(q.try_pop(h), nullptr);  // empty
+  }
+}
+
+TYPED_TEST(LlscQueueTest, TwoThreadPingPong) {
+  TypeParam q(4);
+  constexpr std::uint64_t kItems = 20000;
+  std::vector<Item> items(kItems);
+  std::thread producer([&] {
+    auto h = q.handle();
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      items[i].id = i;
+      while (!q.try_push(h, &items[i])) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  bool order_ok = true;
+  {
+    auto h = q.handle();
+    while (expected < kItems) {
+      Item* out = q.try_pop(h);
+      if (out == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      order_ok = order_ok && (out->id == expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(order_ok) << "single-producer/single-consumer order must be exact FIFO";
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Focused tests for Algorithm 1's interaction with imperfect LL/SC hardware
+// — the Sec. 5 limitations that motivate Algorithm 2. The WeakLlsc policy
+// models limitation #3 (spurious SC failure); these tests quantify and
+// bound its effects beyond what the conformance matrix samples.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/common/op_stats.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+
+namespace {
+
+using namespace evq;
+
+struct Item {
+  std::uint64_t id = 0;
+};
+
+template <typename T>
+using Weak50 = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 50>;
+
+TEST(WeakLlscQueue, HalfFailureRateStillCompletesEveryOperation) {
+  // 50% spurious SC failure: every queue operation still terminates (each
+  // retry re-reads fresh state and the failure coin is independent).
+  LlscArrayQueue<Item, Weak50> q(4);
+  auto h = q.handle();
+  Item items[3];
+  for (int round = 0; round < 2000; ++round) {
+    for (auto& item : items) {
+      ASSERT_TRUE(q.try_push(h, &item));
+    }
+    for (auto& item : items) {
+      ASSERT_EQ(q.try_pop(h), &item);
+    }
+  }
+}
+
+TEST(WeakLlscQueue, SpuriousFailureCostsAttemptsNotCorrectness) {
+  // Measured CAS attempts must exceed successes roughly in line with the
+  // injected failure rate; successes stay pinned at 2 per operation.
+  LlscArrayQueue<Item, Weak50> q(8);
+  auto h = q.handle();
+  Item item;
+  stats::OpCounters c;
+  constexpr int kOps = 2000;
+  {
+    stats::ScopedOpRecording rec(c);
+    for (int i = 0; i < kOps; ++i) {
+      ASSERT_TRUE(q.try_push(h, &item));
+      ASSERT_EQ(q.try_pop(h), &item);
+    }
+  }
+  // The narrow CASes are the index advances (1 per op, never injected);
+  // the slot SCs run on the wide (versioned) cell. A spurious failure
+  // short-circuits BEFORE the inner wide CAS, so it shows up as an extra
+  // retry iteration — i.e. an extra wide LL load — not as a failed CAS.
+  EXPECT_EQ(c.cas_success, 2u * kOps);       // tail/head advances
+  EXPECT_EQ(c.wide_cas_success, 2u * kOps);  // slot installs/removals
+  EXPECT_EQ(c.wide_cas_attempts, c.wide_cas_success)
+      << "uncontended: every wide CAS that actually executes succeeds";
+  EXPECT_GT(c.wide_loads, 2u * kOps + kOps / 2)
+      << "50% spurious SC failure must force a significant number of LL retries";
+}
+
+TEST(WeakLlscQueue, ConcurrentWeakQueueConserves) {
+  LlscArrayQueue<Item, Weak50> q(4);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1500;
+  std::vector<std::vector<Item>> items(kThreads);
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    items[t].resize(kPerThread);
+    threads.emplace_back([&, t] {
+      auto h = q.handle();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        while (!q.try_push(h, &items[t][i])) {
+          std::this_thread::yield();
+        }
+        while (q.try_pop(h) == nullptr) {
+          std::this_thread::yield();
+        }
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(popped.load(), kThreads * kPerThread);
+  EXPECT_EQ(q.head_index(), q.tail_index());
+}
+
+}  // namespace

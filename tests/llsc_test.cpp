@@ -1,0 +1,283 @@
+// Tests for the LL/SC emulation policies: Fig. 2 semantics (SC succeeds iff
+// no write since LL), nesting, independence of reservations across threads,
+// spurious-failure injection, and the version-width trade-offs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/llsc/counter_cell.hpp"
+#include "evq/llsc/llsc.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+
+namespace {
+
+using namespace evq;
+
+static_assert(llsc::LlscCell<llsc::VersionedLlsc<int*>>);
+static_assert(llsc::LlscCell<llsc::PackedLlsc<int*>>);
+static_assert(llsc::LlscCell<llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 10>>);
+
+int g_values[8];  // stable addresses for pointer payloads
+
+// Typed test over both pointer-cell policies.
+template <typename Cell>
+class LlscPolicyTest : public ::testing::Test {};
+
+using PointerCells = ::testing::Types<llsc::VersionedLlsc<int*>, llsc::PackedLlsc<int*>,
+                                      llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 0>>;
+TYPED_TEST_SUITE(LlscPolicyTest, PointerCells);
+
+TYPED_TEST(LlscPolicyTest, DefaultConstructedHoldsNull) {
+  TypeParam cell;
+  EXPECT_EQ(cell.load(), nullptr);
+}
+
+TYPED_TEST(LlscPolicyTest, InitialValueIsVisible) {
+  TypeParam cell(&g_values[0]);
+  EXPECT_EQ(cell.load(), &g_values[0]);
+  EXPECT_EQ(cell.ll().value(), &g_values[0]);
+}
+
+TYPED_TEST(LlscPolicyTest, ScSucceedsWithoutInterference) {
+  TypeParam cell(&g_values[0]);
+  auto link = cell.ll();
+  EXPECT_TRUE(cell.sc(link, &g_values[1]));
+  EXPECT_EQ(cell.load(), &g_values[1]);
+}
+
+TYPED_TEST(LlscPolicyTest, ScFailsAfterInterveningStore) {
+  TypeParam cell(&g_values[0]);
+  auto link = cell.ll();
+  cell.store(&g_values[2]);  // interference
+  EXPECT_FALSE(cell.sc(link, &g_values[1]));
+  EXPECT_EQ(cell.load(), &g_values[2]);
+}
+
+TYPED_TEST(LlscPolicyTest, ScFailsAfterAbaPattern) {
+  // The whole point versus plain CAS: A -> B -> A still fails the SC.
+  TypeParam cell(&g_values[0]);
+  auto link = cell.ll();
+  cell.store(&g_values[1]);
+  cell.store(&g_values[0]);  // back to the linked value
+  EXPECT_FALSE(cell.sc(link, &g_values[3]));
+}
+
+TYPED_TEST(LlscPolicyTest, ScConsumesTheLink) {
+  TypeParam cell(&g_values[0]);
+  auto link = cell.ll();
+  EXPECT_TRUE(cell.sc(link, &g_values[1]));
+  // Reusing the stale link must fail: a successful SC is a write.
+  EXPECT_FALSE(cell.sc(link, &g_values[2]));
+}
+
+TYPED_TEST(LlscPolicyTest, ValidateTracksInterference) {
+  TypeParam cell(&g_values[0]);
+  auto link = cell.ll();
+  EXPECT_TRUE(cell.validate(link));
+  cell.store(&g_values[1]);
+  EXPECT_FALSE(cell.validate(link));
+}
+
+TYPED_TEST(LlscPolicyTest, NestedReservationsAreIndependent) {
+  // Algorithm 1 nests LL(Tail) inside an open LL(slot); the emulation must
+  // keep per-link state, not per-thread state.
+  TypeParam a(&g_values[0]);
+  TypeParam b(&g_values[1]);
+  auto la = a.ll();
+  auto lb = b.ll();
+  EXPECT_TRUE(b.sc(lb, &g_values[2]));  // inner pair completes first
+  EXPECT_TRUE(a.sc(la, &g_values[3]));  // outer still valid
+  EXPECT_EQ(a.load(), &g_values[3]);
+  EXPECT_EQ(b.load(), &g_values[2]);
+}
+
+TYPED_TEST(LlscPolicyTest, ConcurrentScWinnersAreExclusive) {
+  // N threads LL the same cell, then all try SC: exactly one SC per round
+  // may succeed.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  TypeParam cell(&g_values[0]);
+  std::atomic<int> successes{0};
+  std::atomic<int> round_gate{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // crude round alignment: spin until all threads reach round r
+        round_gate.fetch_add(1);
+        while (round_gate.load() < (r + 1) * kThreads) {
+        }
+        auto link = cell.ll();
+        if (cell.sc(link, &g_values[t % 8])) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // At least one success per round is not guaranteed per-round by this
+  // crude alignment, but successes can never exceed rounds x 1 winner ...
+  // they CAN be fewer (a slow thread SCs after the next round's winner).
+  // The hard invariant testable here: successes <= kRounds * kThreads and
+  // > 0; exclusivity is covered deterministically by ScConsumesTheLink and
+  // ScFailsAfterInterveningStore.
+  EXPECT_GT(successes.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Policy-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(VersionedLlsc, VersionAdvancesOnEveryWrite) {
+  llsc::VersionedLlsc<int*> cell(&g_values[0]);
+  EXPECT_EQ(cell.version(), 0u);
+  auto link = cell.ll();
+  ASSERT_TRUE(cell.sc(link, &g_values[1]));
+  EXPECT_EQ(cell.version(), 1u);
+  cell.store(&g_values[2]);
+  EXPECT_EQ(cell.version(), 2u);
+}
+
+TEST(VersionedLlsc, WorksWithIntegerPayload) {
+  llsc::VersionedLlsc<std::uint64_t> cell(5);
+  auto link = cell.ll();
+  EXPECT_EQ(link.value(), 5u);
+  EXPECT_TRUE(cell.sc(link, 6));
+  EXPECT_EQ(cell.load(), 6u);
+}
+
+TEST(PackedLlsc, VersionWrapsAfter65536Writes) {
+  llsc::PackedLlsc<int*> cell(&g_values[0]);
+  for (int i = 0; i < 65536; ++i) {
+    cell.store(&g_values[i % 2]);
+  }
+  EXPECT_EQ(cell.version(), 0u);  // wrapped exactly
+  // ... and a reservation spanning exactly 2^16 writes that lands back on
+  // the SAME pointer is the documented false-positive window:
+  auto link = cell.ll();  // links {g_values[1], version 0}
+  for (int i = 0; i < 65536; ++i) {
+    cell.store(&g_values[1]);  // same value: only the version moves (and wraps)
+  }
+  EXPECT_EQ(cell.load(), &g_values[1]);
+  EXPECT_TRUE(cell.sc(link, &g_values[2]))
+      << "2^16-write wrap onto the same value is expected to slip past the "
+         "16-bit version (the documented PackedLlsc trade-off)";
+  // One write short of the wrap is still caught:
+  auto link2 = cell.ll();
+  for (int i = 0; i < 65535; ++i) {
+    cell.store(&g_values[2]);
+  }
+  EXPECT_FALSE(cell.sc(link2, &g_values[3]));
+}
+
+TEST(WeakLlsc, ZeroRateNeverFailsSpuriously) {
+  llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 0> cell(&g_values[0]);
+  for (int i = 0; i < 1000; ++i) {
+    auto link = cell.ll();
+    EXPECT_TRUE(cell.sc(link, &g_values[i % 4]));
+  }
+}
+
+TEST(WeakLlsc, InjectsRoughlyTheConfiguredFailureRate) {
+  llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 25> cell(&g_values[0]);
+  int failures = 0;
+  constexpr int kIters = 20000;
+  for (int i = 0; i < kIters; ++i) {
+    auto link = cell.ll();
+    if (!cell.sc(link, &g_values[i % 4])) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, kIters / 8);      // ~25% nominal
+  EXPECT_LT(failures, kIters * 3 / 8);
+}
+
+TEST(WeakLlsc, SpuriousFailureWritesNothing) {
+  llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 50> cell(&g_values[0]);
+  for (int i = 0; i < 200; ++i) {
+    auto link = cell.ll();
+    if (!cell.sc(link, &g_values[1])) {
+      EXPECT_EQ(cell.load(), &g_values[0]);  // still the old value
+    } else {
+      cell.store(&g_values[0]);  // reset for the next round
+    }
+  }
+}
+
+TEST(WeakLlsc, RetryLoopAlwaysEventuallySucceeds) {
+  llsc::WeakLlsc<llsc::VersionedLlsc<int*>, 50> cell(&g_values[0]);
+  for (int i = 0; i < 100; ++i) {
+    for (;;) {
+      auto link = cell.ll();
+      if (cell.sc(link, &g_values[i % 8])) {
+        break;
+      }
+    }
+    EXPECT_EQ(cell.load(), &g_values[i % 8]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CounterCell
+// ---------------------------------------------------------------------------
+
+TEST(CounterCell, LlScIncrement) {
+  llsc::CounterCell c(10);
+  auto link = c.ll();
+  EXPECT_EQ(link.value(), 10u);
+  EXPECT_TRUE(c.sc(link, 11));
+  EXPECT_EQ(c.load(), 11u);
+}
+
+TEST(CounterCell, ScFailsIfCounterMoved) {
+  llsc::CounterCell c(0);
+  auto link = c.ll();
+  c.store(1);
+  EXPECT_FALSE(c.sc(link, 1));
+}
+
+TEST(CounterCell, ValidateMatchesCurrentValue) {
+  llsc::CounterCell c(3);
+  auto link = c.ll();
+  EXPECT_TRUE(c.validate(link));
+  c.store(4);
+  EXPECT_FALSE(c.validate(link));
+}
+
+TEST(CounterCell, ConcurrentIncrementsNeverSkip) {
+  // Helping discipline of the queues: many threads all try to advance the
+  // counter by exactly one; the counter must never jump.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kTarget = 20000;
+  llsc::CounterCell c(0);
+  std::vector<std::thread> threads;
+  std::atomic<bool> skipped{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto link = c.ll();
+        const std::uint64_t v = link.value();
+        if (v >= kTarget) {
+          return;
+        }
+        if (c.sc(link, v + 1) && c.load() > kTarget) {
+          skipped.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(skipped.load());
+  EXPECT_EQ(c.load(), kTarget);
+}
+
+}  // namespace

@@ -1,0 +1,385 @@
+// Model-checking tests: exhaustive interleaving exploration of the paper's
+// algorithms and of deliberately weakened variants.
+//
+// The positive results ("no violation, search exhausted") mechanically
+// verify linearizability of the step-level algorithm models on small
+// configurations; the negative results reproduce the paper's Sec. 3/Sec. 5
+// failure scenarios as concrete counterexample schedules found by search —
+// not hand-picked interleavings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "evq/model/array_world.hpp"
+#include "evq/model/explorer.hpp"
+#include "evq/model/simcas_world.hpp"
+
+namespace {
+
+using namespace evq::model;
+
+// ---------------------------------------------------------------------------
+// Helper assertions
+// ---------------------------------------------------------------------------
+
+template <typename World>
+ExploreResult explore_world(World world, ExploreLimits limits = {}) {
+  Explorer<World> explorer(limits);
+  return explorer.explore(world);
+}
+
+void expect_clean(const ExploreResult& r) {
+  EXPECT_FALSE(r.violation_found) << "counterexample schedule of length "
+                                  << r.counterexample.size();
+  EXPECT_FALSE(r.budget_exhausted) << "state space not fully explored: raise limits";
+  EXPECT_GT(r.complete_schedules, 0u);
+}
+
+void expect_violation(const ExploreResult& r) {
+  ASSERT_TRUE(r.violation_found) << "expected the weakened variant to fail "
+                                 << "(nodes=" << r.nodes
+                                 << ", complete=" << r.complete_schedules << ")";
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (LL/SC slots): exhaustive correctness on small configurations
+// ---------------------------------------------------------------------------
+
+TEST(ModelAlg1, TwoThreadsProducerConsumerExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), push_op(11)}, {pop_op(), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, TwoThreadsMixedRolesExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op()}, {push_op(20), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, ThreeThreadsOneOpEachExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1};
+  cfg.programs = {{push_op(10)}, {pop_op()}, {pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, FullQueueBoundaryExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{push_op(10)}, {pop_op(), push_op(20)}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, WraparoundExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op(), push_op(11), pop_op()},
+                  {push_op(20), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// The weakened variants: the paper's Sec. 3 scenarios, found by search
+// ---------------------------------------------------------------------------
+
+TEST(ModelNaive, DataAbaFoundByExploration) {
+  // Sec. 3's 2-slot example: plain-CAS slots let a stalled dequeuer remove
+  // the WRONG instance of a value after drain-and-refill reuses it.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kPlainCas;
+  cfg.initial_items = {1};
+  cfg.programs = {{pop_op()}, {pop_op(), push_op(2), push_op(1), pop_op(), pop_op()}};
+  expect_violation(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, DataAbaScenarioIsCleanWithLlscSlots) {
+  // The exact configuration above, with Algorithm 1's slot protocol.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.initial_items = {1};
+  cfg.programs = {{pop_op()}, {pop_op(), push_op(2), push_op(1), pop_op(), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelTwoNull, DataAbaRemainsWithTwoNulls) {
+  // Tsigas–Zhang's two nulls fix null-ABA but NOT data-ABA — the same
+  // value-reuse schedule must still fail (values > 2 to clear the null
+  // encodings).
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kTwoNull;
+  cfg.initial_items = {7};
+  cfg.programs = {{pop_op()}, {pop_op(), push_op(8), push_op(7), pop_op(), pop_op()}};
+  expect_violation(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelNaive, NullAbaFoundByExploration) {
+  // Sec. 3's null-ABA: a stalled enqueuer inserts into a slot that was
+  // USED and drained while it slept (first interval), losing the item.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kPlainCas;
+  cfg.programs = {{push_op(5)}, {push_op(6), pop_op(), pop_op(), pop_op()}};
+  expect_violation(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelTwoNull, NullAbaScenarioIsCleanWithTwoNulls) {
+  // The same schedule against the two-null protocol: the stale insert CAS
+  // expects the wrong null and fails — Tsigas–Zhang's fix, verified.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kTwoNull;
+  cfg.programs = {{push_op(5)}, {push_op(6), pop_op(), pop_op(), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg1, NullAbaScenarioIsCleanWithLlscSlots) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.programs = {{push_op(5)}, {push_op(6), pop_op(), pop_op(), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelWrappedIndex, Fig1IndexAbaFoundByExploration) {
+  // Fig. 1: bounded (wrapping) index counters. The counter here wraps mod
+  // 2*capacity — the smallest honest model of wrapped indices that still
+  // distinguishes full from empty. LL/SC slots isolate the INDEX bug.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.index_modulus = 4;
+  cfg.programs = {{push_op(10)},
+                  {push_op(20), pop_op(), pop_op(), push_op(21), pop_op(), push_op(22),
+                   pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_violation(explore_world(ArrayQueueWorld(cfg), limits));
+}
+
+TEST(ModelAlg1, Fig1ScheduleIsCleanWithMonotoneCounters) {
+  // Identical programs with the paper's full-width monotone counters.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.index_modulus = 0;
+  cfg.programs = {{push_op(10)},
+                  {push_op(20), pop_op(), pop_op(), push_op(21), pop_op(), push_op(22),
+                   pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_clean(explore_world(ArrayQueueWorld(cfg), limits));
+}
+
+TEST(ModelNoRecheck, Fig4StaleIndexFoundByExploration) {
+  // Omitting the D10 "if (h == Head)" re-check: a stalled dequeuer acts on
+  // a stale index after the array wrapped (Fig. 4) and removes a non-oldest
+  // item. Needs head to lap, so thread B cycles the queue once.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.index_recheck = false;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{pop_op()},
+                  {pop_op(), pop_op(), push_op(3), push_op(4), pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_violation(explore_world(ArrayQueueWorld(cfg), limits));
+}
+
+TEST(ModelAlg1, Fig4ScheduleIsCleanWithRecheck) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kLlsc;
+  cfg.index_recheck = true;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{pop_op()},
+                  {pop_op(), pop_op(), push_op(3), push_op(4), pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_clean(explore_world(ArrayQueueWorld(cfg), limits));
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 (simulated LL/SC): exhaustive correctness + the Sec. 5 ABA
+// ---------------------------------------------------------------------------
+
+TEST(ModelAlg2, TwoThreadsProducerConsumerExhaustive) {
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), push_op(11)}, {pop_op(), pop_op()}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2, TwoThreadsMixedRolesExhaustive) {
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op()}, {push_op(20), pop_op()}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2, ThreeThreadsOneOpEachExhaustive) {
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1};
+  cfg.programs = {{push_op(10)}, {pop_op()}, {pop_op()}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2, ReservationTakeoverScheduleExhaustive) {
+  // Head-on reservation contention: both threads repeatedly pop the same
+  // slot region while a pusher refills — maximal tag-takeover traffic.
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{pop_op(), push_op(7)}, {pop_op(), pop_op()}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2PaperExact, Sec5WindowRaceFoundByExploration) {
+  // THE ERRATUM (DESIGN.md): the paper's Fig. 5 as published — refcount ON
+  // but no re-validation of the cell between the L7 FAA and the L8 node
+  // read — is racy. A reader preempted in the L5->L7 window FAAs too late
+  // to stop the owner's ReRegister; if the owner's next reservation lands
+  // on the same cell, the reader can adopt a node value belonging to a
+  // DIFFERENT cell and still win its L12 CAS. The explorer finds a concrete
+  // item-destroying schedule even in this 2-thread, 2-ops-each config.
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.use_refcount = true;
+  cfg.validate_after_faa = false;  // published pseudocode, verbatim
+  cfg.programs = {{push_op(10), pop_op()}, {push_op(20), pop_op()}};
+  expect_violation(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2, Sec5WindowScheduleIsCleanWithValidation) {
+  // Identical programs with the repaired protocol (validate after FAA).
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.use_refcount = true;
+  cfg.validate_after_faa = true;
+  cfg.programs = {{push_op(10), pop_op()}, {push_op(20), pop_op()}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2NoRefcount, Sec5AbaFoundByExploration) {
+  // The Sec. 5 scenario: without the refcount/ReRegister discipline, thread
+  // B reads A's variable, stalls, A finishes and REUSES the same variable
+  // for a new reservation on the same slot; B's stale takeover then
+  // resurrects an already-dequeued value.
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.use_refcount = false;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{pop_op(), push_op(7)}, {pop_op(), pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_violation(explore_world(SimCasQueueWorld(cfg), limits));
+}
+
+TEST(ModelAlg2, Sec5ScheduleIsCleanWithRefcount) {
+  // Identical programs with the full Fig. 5 protocol.
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.use_refcount = true;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{pop_op(), push_op(7)}, {pop_op(), pop_op(), pop_op()}};
+  ExploreLimits limits;
+  limits.max_depth = 200;
+  expect_clean(explore_world(SimCasQueueWorld(cfg), limits));
+}
+
+// ---------------------------------------------------------------------------
+// Deeper configurations (state-space growth is tamed by the explorer's
+// completion-rank memoization; each of these still finishes in seconds)
+// ---------------------------------------------------------------------------
+
+TEST(ModelAlg1, ThreeThreadsTwoOpsEachExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op()}, {push_op(20), pop_op()}, {push_op(30), pop_op()}};
+  ExploreLimits limits;
+  limits.max_nodes = 30'000'000;
+  expect_clean(explore_world(ArrayQueueWorld(cfg), limits));
+}
+
+TEST(ModelAlg1, CapacityFourBoundaryExhaustive) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 4;
+  cfg.initial_items = {1, 2, 3};
+  cfg.programs = {{push_op(10), push_op(11)}, {pop_op(), pop_op(), pop_op()}};
+  expect_clean(explore_world(ArrayQueueWorld(cfg)));
+}
+
+TEST(ModelAlg2, ThreeThreadsMixedExhaustive) {
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1};
+  cfg.programs = {{push_op(10)}, {pop_op(), pop_op()}, {push_op(30)}};
+  ExploreLimits limits;
+  limits.max_nodes = 30'000'000;
+  expect_clean(explore_world(SimCasQueueWorld(cfg), limits));
+}
+
+TEST(ModelAlg2, FullBoundaryExhaustive) {
+  SimCasModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.initial_items = {1, 2};
+  cfg.programs = {{push_op(10)}, {pop_op(), push_op(20)}};
+  expect_clean(explore_world(SimCasQueueWorld(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// Explorer mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ModelExplorer, SingleThreadHasExactlyOneSchedule) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op()}};
+  const ExploreResult r = explore_world(ArrayQueueWorld(cfg));
+  EXPECT_FALSE(r.violation_found);
+  EXPECT_EQ(r.complete_schedules, 1u);
+  EXPECT_EQ(r.truncated_schedules, 0u);
+}
+
+TEST(ModelExplorer, NodeBudgetIsHonored) {
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.programs = {{push_op(10), pop_op(), push_op(11), pop_op()},
+                  {push_op(20), pop_op(), push_op(21), pop_op()}};
+  ExploreLimits limits;
+  limits.max_nodes = 50;  // far too small to finish
+  const ExploreResult r = explore_world(ArrayQueueWorld(cfg), limits);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_LE(r.nodes, 50u);
+}
+
+TEST(ModelExplorer, CounterexampleScheduleReplaysToViolation) {
+  // The reported schedule must actually drive a fresh world to completion.
+  ArrayModelConfig cfg;
+  cfg.capacity = 2;
+  cfg.slot_protocol = SlotProtocol::kPlainCas;
+  cfg.initial_items = {1};
+  cfg.programs = {{pop_op()}, {pop_op(), push_op(2), push_op(1), pop_op(), pop_op()}};
+  const ExploreResult r = explore_world(ArrayQueueWorld(cfg));
+  ASSERT_TRUE(r.violation_found);
+  ArrayQueueWorld replay(cfg);
+  for (std::uint8_t tid : r.counterexample) {
+    ASSERT_FALSE(replay.thread_done(tid));
+    replay.step(tid);
+  }
+  EXPECT_TRUE(replay.all_done());
+  evq::verify::LinearizabilityChecker checker(replay.spec_capacity());
+  EXPECT_FALSE(checker.check(replay.history()));
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+// Cross-implementation conformance suite: every queue in the study must
+// satisfy the same FIFO contract. Typed tests instantiate the full matrix:
+// basic semantics, boundary behaviour, MPMC conservation, per-producer
+// order, tiny-capacity ABA hammering and oversubscribed stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/ms_ebr_queue.hpp"
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/baselines/ms_pool_queue.hpp"
+#include "evq/baselines/ms_sim_queue.hpp"
+#include "evq/baselines/mutex_queue.hpp"
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/tsigas_zhang_queue.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::CheckResult;
+using verify::ConsumerLog;
+using verify::Token;
+
+// Sorted-scan MS-HP as its own type so the typed suite covers it.
+struct MsHpSortedQueue : baselines::MsHpQueue<Token> {
+  MsHpSortedQueue() : MsHpQueue(hazard::ScanMode::kSorted, 4) {}
+};
+
+template <typename T>
+using WeakSlot = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 20>;
+
+/// Uniform construction: bounded queues get the capacity, unbounded ignore it.
+template <typename Q>
+Q* make_queue(std::size_t capacity) {
+  if constexpr (std::is_constructible_v<Q, std::size_t>) {
+    return new Q(capacity);
+  } else {
+    return new Q();
+  }
+}
+
+template <typename Q>
+class QueueConformanceTest : public ::testing::Test {};
+
+using AllQueues = ::testing::Types<LlscArrayQueue<Token, llsc::VersionedLlsc>,
+                                   LlscArrayQueue<Token, llsc::PackedLlsc>,
+                                   LlscArrayQueue<Token, WeakSlot>,
+                                   CasArrayQueue<Token>,
+                                   baselines::MsHpQueue<Token>,
+                                   MsHpSortedQueue,
+                                   baselines::MsPoolQueue<Token>,
+                                   baselines::MsEbrQueue<Token>,
+                                   baselines::MsSimQueue<Token>,
+                                   baselines::ShannQueue<Token>,
+                                   // Safe here: conformance tokens are
+                                   // pushed exactly once, so Tsigas-Zhang's
+                                   // data-ABA assumption is never stressed.
+                                   baselines::TsigasZhangQueue<Token>,
+                                   baselines::MutexQueue<Token>>;
+TYPED_TEST_SUITE(QueueConformanceTest, AllQueues);
+
+// ---------------------------------------------------------------------------
+// Sequential contract
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(QueueConformanceTest, StartsEmpty) {
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(8));
+  auto h = q->handle();
+  EXPECT_EQ(q->try_pop(h), nullptr);
+}
+
+TYPED_TEST(QueueConformanceTest, SequentialFifo) {
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(64));
+  auto h = q->handle();
+  std::vector<Token> tokens(32);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q->try_push(h, &tokens[i]));
+  }
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    Token* out = q->try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i);
+  }
+  EXPECT_EQ(q->try_pop(h), nullptr);
+}
+
+TYPED_TEST(QueueConformanceTest, InterleavedPushPop) {
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(8));
+  auto h = q->handle();
+  std::vector<Token> tokens(6);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tokens[i].seq = i;
+  }
+  ASSERT_TRUE(q->try_push(h, &tokens[0]));
+  ASSERT_TRUE(q->try_push(h, &tokens[1]));
+  EXPECT_EQ(q->try_pop(h)->seq, 0u);
+  ASSERT_TRUE(q->try_push(h, &tokens[2]));
+  EXPECT_EQ(q->try_pop(h)->seq, 1u);
+  EXPECT_EQ(q->try_pop(h)->seq, 2u);
+  EXPECT_EQ(q->try_pop(h), nullptr);
+}
+
+TYPED_TEST(QueueConformanceTest, DrainAlwaysTerminates) {
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(16));
+  auto h = q->handle();
+  std::vector<Token> tokens(10);
+  for (auto& t : tokens) {
+    ASSERT_TRUE(q->try_push(h, &t));
+  }
+  int popped = 0;
+  while (q->try_pop(h) != nullptr) {
+    ++popped;
+    ASSERT_LE(popped, 10);
+  }
+  EXPECT_EQ(popped, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent contract
+// ---------------------------------------------------------------------------
+
+struct StressConfig {
+  std::size_t producers;
+  std::size_t consumers;
+  std::uint64_t per_producer;
+  std::size_t capacity;
+};
+
+/// Dedicated producers push tagged tokens; dedicated consumers log what they
+/// pop; returns the consumer logs for checking.
+template <typename Q>
+std::vector<ConsumerLog> run_split_stress(Q& q, const StressConfig& cfg) {
+  std::vector<std::vector<Token>> tokens(cfg.producers);
+  for (std::size_t p = 0; p < cfg.producers; ++p) {
+    tokens[p].resize(cfg.per_producer);
+    for (std::uint64_t i = 0; i < cfg.per_producer; ++i) {
+      tokens[p][i].producer = static_cast<std::uint32_t>(p);
+      tokens[p][i].seq = i;
+    }
+  }
+  std::vector<ConsumerLog> logs(cfg.consumers);
+  std::atomic<std::uint64_t> popped{0};
+  const std::uint64_t total = cfg.producers * cfg.per_producer;
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < cfg.producers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q.handle();
+      for (auto& tok : tokens[p]) {
+        while (!q.try_push(h, &tok)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::size_t c = 0; c < cfg.consumers; ++c) {
+    threads.emplace_back([&, c] {
+      auto h = q.handle();
+      logs[c].reserve(total);
+      for (;;) {
+        Token* tok = q.try_pop(h);
+        if (tok != nullptr) {
+          logs[c].push_back(*tok);
+          popped.fetch_add(1);
+        } else if (popped.load() >= total) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(popped.load(), total);
+  return logs;
+}
+
+TYPED_TEST(QueueConformanceTest, MpmcConservation) {
+  const StressConfig cfg{2, 2, 4000, 64};
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(cfg.capacity));
+  auto logs = run_split_stress(*q, cfg);
+  const std::vector<std::uint64_t> pushed(cfg.producers, cfg.per_producer);
+  CheckResult conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << conservation.reason;
+  CheckResult order = verify::check_per_producer_order(logs, cfg.producers);
+  EXPECT_TRUE(order.ok) << order.reason;
+}
+
+TYPED_TEST(QueueConformanceTest, SingleConsumerSeesGaplessStreams) {
+  const StressConfig cfg{3, 1, 3000, 64};
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(cfg.capacity));
+  auto logs = run_split_stress(*q, cfg);
+  CheckResult gapless = verify::check_single_consumer_gapless(logs[0], cfg.producers);
+  EXPECT_TRUE(gapless.ok) << gapless.reason;
+}
+
+TYPED_TEST(QueueConformanceTest, TinyCapacityHammer) {
+  // Capacity 2 maximizes wraparound frequency — the regime where all three
+  // ABA classes of Sec. 3 would strike a naive implementation.
+  const StressConfig cfg{2, 2, 3000, 2};
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(cfg.capacity));
+  auto logs = run_split_stress(*q, cfg);
+  const std::vector<std::uint64_t> pushed(cfg.producers, cfg.per_producer);
+  CheckResult conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << conservation.reason;
+  CheckResult order = verify::check_per_producer_order(logs, cfg.producers);
+  EXPECT_TRUE(order.ok) << order.reason;
+}
+
+TYPED_TEST(QueueConformanceTest, MixedRoleThreadsConserveTokens) {
+  // Every thread both produces and consumes (the paper's workload shape).
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2500;
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(kThreads * 8));
+  std::vector<std::vector<Token>> tokens(kThreads);
+  std::vector<ConsumerLog> logs(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    tokens[t].resize(kPerThread);
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      tokens[t][i].producer = static_cast<std::uint32_t>(t);
+      tokens[t][i].seq = i;
+    }
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto h = q->handle();
+      logs[t].reserve(kPerThread);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        while (!q->try_push(h, &tokens[t][i])) {
+          std::this_thread::yield();
+        }
+        Token* out = nullptr;
+        while ((out = q->try_pop(h)) == nullptr) {
+          std::this_thread::yield();
+        }
+        logs[t].push_back(*out);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const std::vector<std::uint64_t> pushed(kThreads, kPerThread);
+  CheckResult conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << conservation.reason;
+  CheckResult order = verify::check_per_producer_order(logs, kThreads);
+  EXPECT_TRUE(order.ok) << order.reason;
+}
+
+TYPED_TEST(QueueConformanceTest, BoundedQueueNeverExceedsCapacity) {
+  if constexpr (BoundedPtrQueue<TypeParam>) {
+    std::unique_ptr<TypeParam> q(make_queue<TypeParam>(4));
+    constexpr std::size_t kThreads = 3;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> overflow{false};
+    std::atomic<std::int64_t> population{0};
+    std::vector<std::vector<Token>> tokens(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      tokens[t].resize(1);
+      threads.emplace_back([&, t] {
+        auto h = q->handle();
+        while (!stop.load()) {
+          if (q->try_push(h, &tokens[t][0])) {
+            // push linearized while population <= capacity held
+            if (population.fetch_add(1) + 1 > static_cast<std::int64_t>(q->capacity())) {
+              overflow.store(true);
+            }
+            Token* out = nullptr;
+            while ((out = q->try_pop(h)) == nullptr) {
+              std::this_thread::yield();
+            }
+            population.fetch_sub(1);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop.store(true);
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_FALSE(overflow.load());
+  } else {
+    GTEST_SKIP() << "unbounded queue";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Tests for the waiting wrappers (push_wait / pop_wait and their bounded
+// variants).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/queue_ops.hpp"
+
+namespace {
+
+using namespace evq;
+
+struct Item {
+  std::uint64_t id = 0;
+};
+
+TEST(QueueOps, PushWaitSucceedsImmediatelyWhenSpace) {
+  CasArrayQueue<Item> q(4);
+  auto h = q.handle();
+  Item a{1};
+  EXPECT_EQ(push_wait(q, h, &a), 0u);  // zero retries
+  EXPECT_EQ(q.try_pop(h), &a);
+}
+
+TEST(QueueOps, PopWaitReturnsImmediatelyWhenNonEmpty) {
+  CasArrayQueue<Item> q(4);
+  auto h = q.handle();
+  Item a{1};
+  ASSERT_TRUE(q.try_push(h, &a));
+  std::uint64_t retries = 99;
+  EXPECT_EQ(pop_wait(q, h, &retries), &a);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(QueueOps, PushWaitBlocksUntilConsumerMakesRoom) {
+  LlscArrayQueue<Item> q(2);
+  Item items[3];
+  auto h = q.handle();
+  ASSERT_TRUE(q.try_push(h, &items[0]));
+  ASSERT_TRUE(q.try_push(h, &items[1]));
+  std::thread consumer([&q] {
+    auto ch = q.handle();
+    (void)pop_wait(q, ch);  // frees one slot (eventually)
+  });
+  const std::uint64_t retries = push_wait(q, h, &items[2]);
+  consumer.join();
+  EXPECT_GE(retries, 0u);  // must have completed either way
+  // Queue now holds items[1], items[2].
+  EXPECT_EQ(q.try_pop(h), &items[1]);
+  EXPECT_EQ(q.try_pop(h), &items[2]);
+}
+
+TEST(QueueOps, PopWaitBlocksUntilProducerDelivers) {
+  CasArrayQueue<Item> q(2);
+  Item a{7};
+  std::thread producer([&q, &a] {
+    auto ph = q.handle();
+    (void)push_wait(q, ph, &a);
+  });
+  auto h = q.handle();
+  EXPECT_EQ(pop_wait(q, h), &a);
+  producer.join();
+}
+
+TEST(QueueOps, BoundedPushGivesUpOnPersistentlyFullQueue) {
+  CasArrayQueue<Item> q(2);
+  auto h = q.handle();
+  Item items[3];
+  ASSERT_TRUE(q.try_push(h, &items[0]));
+  ASSERT_TRUE(q.try_push(h, &items[1]));
+  EXPECT_FALSE(push_wait_bounded(q, h, &items[2], 50));
+}
+
+TEST(QueueOps, BoundedPopGivesUpOnPersistentlyEmptyQueue) {
+  CasArrayQueue<Item> q(2);
+  auto h = q.handle();
+  EXPECT_EQ(pop_wait_bounded(q, h, 50), nullptr);
+}
+
+TEST(QueueOps, BoundedVariantsSucceedWhenPossible) {
+  CasArrayQueue<Item> q(2);
+  auto h = q.handle();
+  Item a{1};
+  EXPECT_TRUE(push_wait_bounded(q, h, &a, 0));  // attempt 0 suffices
+  EXPECT_EQ(pop_wait_bounded(q, h, 0), &a);
+}
+
+}  // namespace

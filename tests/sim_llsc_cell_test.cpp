@@ -1,0 +1,187 @@
+// Tests for the CAS-simulated LL/SC cell (Fig. 5 L1–L17): reservation
+// install/steal semantics, logical-value preservation, refcount protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/common/tagged_ptr.hpp"
+#include "evq/registry/registry.hpp"
+#include "evq/registry/sim_llsc_cell.hpp"
+
+namespace {
+
+using namespace evq;
+using namespace evq::registry;
+
+int g_values[8];
+
+class SimCellTest : public ::testing::Test {
+ protected:
+  Registry reg_;
+};
+
+TEST_F(SimCellTest, LlReturnsLogicalValueAndInstallsTag) {
+  SimLlscCell<int*> cell(&g_values[0]);
+  LlscVar* var = reg_.register_var();
+  EXPECT_EQ(cell.ll(var), &g_values[0]);
+  EXPECT_TRUE(lsb_tagged(cell.raw()));
+  EXPECT_EQ(lsb_untag<LlscVar>(cell.raw()), var);
+  // The logical value lives in the var while reserved.
+  EXPECT_EQ(reinterpret_cast<int*>(var->node.load()), &g_values[0]);
+  reg_.deregister(var);
+}
+
+TEST_F(SimCellTest, ScWritesWhenReservationIntact) {
+  SimLlscCell<int*> cell(&g_values[0]);
+  LlscVar* var = reg_.register_var();
+  cell.ll(var);
+  EXPECT_TRUE(cell.sc(var, &g_values[1]));
+  EXPECT_EQ(cell.load(), &g_values[1]);
+  EXPECT_FALSE(lsb_tagged(cell.raw()));
+  reg_.deregister(var);
+}
+
+TEST_F(SimCellTest, ScFailsAfterTakeover) {
+  SimLlscCell<int*> cell(&g_values[0]);
+  LlscVar* a = reg_.register_var();
+  LlscVar* b = reg_.register_var();
+  cell.ll(a);
+  EXPECT_EQ(cell.ll(b), &g_values[0]) << "takeover must preserve the logical value";
+  EXPECT_FALSE(cell.sc(a, &g_values[1])) << "a's reservation was stolen by b";
+  EXPECT_TRUE(cell.sc(b, &g_values[2]));
+  EXPECT_EQ(cell.load(), &g_values[2]);
+  reg_.deregister(a);
+  reg_.deregister(b);
+}
+
+TEST_F(SimCellTest, LoadReadsThroughForeignReservation) {
+  SimLlscCell<int*> cell(&g_values[3]);
+  LlscVar* var = reg_.register_var();
+  cell.ll(var);
+  EXPECT_EQ(cell.load(), &g_values[3]) << "load must see the logical value under a tag";
+  reg_.deregister(var);
+}
+
+TEST_F(SimCellTest, ReleaseRestoresObservedValue) {
+  SimLlscCell<int*> cell(&g_values[4]);
+  LlscVar* var = reg_.register_var();
+  cell.ll(var);
+  cell.release(var);
+  EXPECT_FALSE(lsb_tagged(cell.raw()));
+  EXPECT_EQ(cell.load(), &g_values[4]);
+  reg_.deregister(var);
+}
+
+TEST_F(SimCellTest, ReleaseAfterTakeoverIsNoop) {
+  SimLlscCell<int*> cell(&g_values[0]);
+  LlscVar* a = reg_.register_var();
+  LlscVar* b = reg_.register_var();
+  cell.ll(a);
+  cell.ll(b);             // steals a's reservation
+  cell.release(a);        // must not disturb b's reservation
+  EXPECT_EQ(lsb_untag<LlscVar>(cell.raw()), b);
+  EXPECT_TRUE(cell.sc(b, &g_values[1]));
+  reg_.deregister(a);
+  reg_.deregister(b);
+}
+
+TEST_F(SimCellTest, TakeoverChainPreservesValue) {
+  SimLlscCell<int*> cell(&g_values[5]);
+  std::vector<LlscVar*> vars;
+  for (int i = 0; i < 6; ++i) {
+    vars.push_back(reg_.register_var());
+    EXPECT_EQ(cell.ll(vars.back()), &g_values[5]) << "takeover " << i;
+  }
+  EXPECT_TRUE(cell.sc(vars.back(), &g_values[6]));
+  EXPECT_EQ(cell.load(), &g_values[6]);
+  for (LlscVar* v : vars) {
+    reg_.deregister(v);
+  }
+}
+
+TEST_F(SimCellTest, RefcountReturnsToOwnerOnlyAfterReads) {
+  SimLlscCell<int*> cell(&g_values[0]);
+  LlscVar* a = reg_.register_var();
+  cell.ll(a);
+  // After a foreign ll completes, a's refcount must be back to 1 (owner):
+  LlscVar* b = reg_.register_var();
+  cell.ll(b);
+  EXPECT_EQ(a->r.load(), 1u);
+  EXPECT_TRUE(reg_.reregister(a) == a) << "no lingering reader => var kept";
+  cell.sc(b, &g_values[1]);
+  reg_.deregister(a);
+  reg_.deregister(b);
+}
+
+TEST_F(SimCellTest, NullLogicalValueRoundTrips) {
+  SimLlscCell<int*> cell;  // holds nullptr
+  LlscVar* var = reg_.register_var();
+  EXPECT_EQ(cell.ll(var), nullptr);
+  EXPECT_TRUE(cell.sc(var, &g_values[0]));
+  LlscVar* var2 = reg_.reregister(var);
+  EXPECT_EQ(cell.ll(var2), &g_values[0]);
+  EXPECT_TRUE(cell.sc(var2, nullptr));
+  EXPECT_EQ(cell.load(), nullptr);
+  reg_.deregister(var2);
+}
+
+TEST_F(SimCellTest, ConcurrentLlScSerializesWrites) {
+  // Each thread repeatedly ll+sc-increments a shared counter encoded as a
+  // pointer offset into a big array; total increments must be exact.
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  static int arena[kThreads * kIncrements + 1];
+  SimLlscCell<int*> cell(&arena[0]);
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Registration r(reg);
+      for (int i = 0; i < kIncrements;) {
+        LlscVar* var = r.fresh();
+        int* cur = cell.ll(var);
+        if (cell.sc(var, cur + 1)) {
+          ++i;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(cell.load(), &arena[kThreads * kIncrements]);
+}
+
+TEST_F(SimCellTest, ConcurrentLoadNeverSeesTornOrTaggedValue) {
+  // Writers flip the cell between two legal values via ll/sc while readers
+  // load(); readers must only ever see one of the two values.
+  SimLlscCell<int*> cell(&g_values[0]);
+  Registry reg;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::thread writer([&] {
+    Registration r(reg);
+    for (int i = 0; i < 20000; ++i) {
+      LlscVar* var = r.fresh();
+      int* cur = cell.ll(var);
+      cell.sc(var, cur == &g_values[0] ? &g_values[1] : &g_values[0]);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      int* v = cell.load();
+      if (v != &g_values[0] && v != &g_values[1]) {
+        bad.store(true);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace

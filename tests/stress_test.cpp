@@ -1,0 +1,165 @@
+// Heavier stress and failure-injection runs. These are the long-pole tests;
+// each is bounded to a few seconds on a single-core host (oversubscription
+// there maximizes mid-operation preemption — the adversarial regime the
+// paper's ABA analysis targets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/ms_sim_queue.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::CheckResult;
+using verify::ConsumerLog;
+using verify::Token;
+
+/// Mixed-role stress with parameterizable thread count and capacity:
+/// each thread pushes and pops `per_thread` tokens, logging pops.
+template <typename Q>
+void mixed_stress(Q& q, std::size_t threads, std::uint64_t per_thread) {
+  std::vector<std::vector<Token>> tokens(threads);
+  std::vector<ConsumerLog> logs(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    tokens[t].resize(per_thread);
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      tokens[t][i].producer = static_cast<std::uint32_t>(t);
+      tokens[t][i].seq = i;
+    }
+  }
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto h = q.handle();
+      logs[t].reserve(per_thread);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        while (!q.try_push(h, &tokens[t][i])) {
+          std::this_thread::yield();
+        }
+        Token* out = nullptr;
+        while ((out = q.try_pop(h)) == nullptr) {
+          std::this_thread::yield();
+        }
+        logs[t].push_back(*out);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const std::vector<std::uint64_t> pushed(threads, per_thread);
+  CheckResult conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << conservation.reason;
+  CheckResult order = verify::check_per_producer_order(logs, threads);
+  EXPECT_TRUE(order.ok) << order.reason;
+}
+
+// Parameterized sweep: (threads, capacity) grid for both core algorithms.
+struct StressParam {
+  std::size_t threads;
+  std::size_t capacity;
+  std::uint64_t per_thread;
+};
+
+class CoreStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(CoreStress, LlscArrayQueueConserves) {
+  const auto p = GetParam();
+  LlscArrayQueue<Token> q(p.capacity);
+  mixed_stress(q, p.threads, p.per_thread);
+}
+
+TEST_P(CoreStress, LlscArrayQueuePackedConserves) {
+  const auto p = GetParam();
+  LlscArrayQueue<Token, llsc::PackedLlsc> q(p.capacity);
+  mixed_stress(q, p.threads, p.per_thread);
+}
+
+TEST_P(CoreStress, CasArrayQueueConserves) {
+  const auto p = GetParam();
+  CasArrayQueue<Token> q(p.capacity);
+  mixed_stress(q, p.threads, p.per_thread);
+}
+
+TEST_P(CoreStress, MsSimQueueConserves) {
+  const auto p = GetParam();
+  baselines::MsSimQueue<Token> q;
+  mixed_stress(q, p.threads, p.per_thread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoreStress,
+    ::testing::Values(StressParam{2, 2, 4000}, StressParam{4, 4, 2500}, StressParam{4, 64, 2500},
+                      StressParam{8, 8, 1200}, StressParam{16, 16, 500}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return "t" + std::to_string(info.param.threads) + "_c" +
+             std::to_string(info.param.capacity);
+    });
+
+// Spurious-failure torture: Algorithm 1 under 33% SC failure must stay
+// correct (limitation #3 of Sec. 5 is a performance problem, not a
+// correctness one).
+template <typename T>
+using VeryWeak = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 33>;
+
+TEST(WeakLlscStress, AlgorithmOneSurvivesHeavySpuriousFailure) {
+  LlscArrayQueue<Token, VeryWeak> q(4);
+  mixed_stress(q, 4, 1500);
+}
+
+// Registry churn storm: handles are constructed/destroyed continuously while
+// traffic flows; the variable list must stay bounded by live concurrency.
+TEST(RegistryStress, HandleChurnKeepsSpaceBounded) {
+  CasArrayQueue<Token> q(32);
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kOps = 1500;
+  std::vector<std::vector<Token>> tokens(kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> popped{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    tokens[t].resize(kOps);
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        auto h = q.handle();  // fresh registration every iteration
+        while (!q.try_push(h, &tokens[t][i])) {
+          std::this_thread::yield();
+        }
+        Token* out = nullptr;
+        while ((out = q.try_pop(h)) == nullptr) {
+          std::this_thread::yield();
+        }
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(popped.load(), kThreads * kOps);
+  EXPECT_EQ(q.registry().claimed_count(), 0u);
+  // 2x live concurrency is a generous bound; total registrations were 9000.
+  EXPECT_LE(q.registry().list_length(), 2 * kThreads);
+}
+
+// Long-haul wraparound: indices pass many multiples of the capacity, with
+// concurrent traffic the whole time.
+TEST(WraparoundStress, IndicesLapTheArrayThousandsOfTimes) {
+  CasArrayQueue<Token> q(2);
+  constexpr std::size_t kThreads = 3;
+  constexpr std::uint64_t kOps = 4000;
+  mixed_stress(q, kThreads, kOps);
+  EXPECT_EQ(q.head_index(), q.tail_index());
+  EXPECT_EQ(q.head_index(), kThreads * kOps);
+  EXPECT_GE(q.head_index() / q.capacity(), 1000u) << "each slot was reused >= 1000 times";
+}
+
+}  // namespace

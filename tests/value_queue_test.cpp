@@ -1,0 +1,147 @@
+// Tests for the value-semantics adapter over the pointer queues.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/ms_hp_queue.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/value_queue.hpp"
+
+namespace {
+
+using namespace evq;
+
+TEST(ValueQueue, PushPopRoundTripsValues) {
+  ValueQueue<std::uint64_t, CasArrayQueue> q(8);
+  auto h = q.handle();
+  EXPECT_TRUE(q.try_push(h, 42));
+  auto out = q.try_pop(h);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 42u);
+  EXPECT_FALSE(q.try_pop(h).has_value());
+}
+
+TEST(ValueQueue, FifoOrder) {
+  ValueQueue<int, CasArrayQueue> q(16);
+  auto h = q.handle();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_push(h, i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto out = q.try_pop(h);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, i);
+  }
+}
+
+TEST(ValueQueue, FullReportsFalseAndValueNotLost) {
+  ValueQueue<int, CasArrayQueue> q(2);
+  auto h = q.handle();
+  ASSERT_TRUE(q.try_push(h, 1));
+  ASSERT_TRUE(q.try_push(h, 2));
+  EXPECT_FALSE(q.try_push(h, 3));
+  EXPECT_EQ(*q.try_pop(h), 1);
+  EXPECT_TRUE(q.try_push(h, 3));
+  EXPECT_EQ(*q.try_pop(h), 2);
+  EXPECT_EQ(*q.try_pop(h), 3);
+}
+
+TEST(ValueQueue, WorksWithMoveOnlyishTypes) {
+  ValueQueue<std::string, CasArrayQueue> q(8);
+  auto h = q.handle();
+  ASSERT_TRUE(q.try_push(h, std::string("hello")));
+  ASSERT_TRUE(q.try_push(h, std::string("world")));
+  EXPECT_EQ(*q.try_pop(h), "hello");
+  EXPECT_EQ(*q.try_pop(h), "world");
+}
+
+TEST(ValueQueue, RecyclesNodesThroughPool) {
+  ValueQueue<int, CasArrayQueue> q(4);
+  auto h = q.handle();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(h, i));
+    ASSERT_EQ(*q.try_pop(h), i);
+  }
+  // Steady-state single-threaded traffic must not keep allocating.
+  // (Pool stats are on the adapter's internal pool; reachable via no public
+  // accessor by design — the observable proxy is that this loop does not
+  // OOM and ASan reports no leak. Nothing to assert numerically here.)
+  SUCCEED();
+}
+
+TEST(ValueQueue, WorksOverLlscArrayQueue) {
+  ValueQueue<int, LlscArrayQueue> q(8);
+  auto h = q.handle();
+  ASSERT_TRUE(q.try_push(h, 5));
+  EXPECT_EQ(*q.try_pop(h), 5);
+}
+
+TEST(ValueQueue, WorksOverUnboundedMsQueue) {
+  ValueQueue<int, baselines::MsHpQueue> q;
+  auto h = q.handle();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.try_push(h, i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*q.try_pop(h), i);
+  }
+}
+
+TEST(ValueQueue, DestructionWithLeftoverValuesDoesNotLeak) {
+  auto* q = new ValueQueue<std::string, CasArrayQueue>(8);
+  {
+    // Handles must not outlive their queue (they hold a registration in the
+    // queue's registry), hence the scope.
+    auto h = q->handle();
+    ASSERT_TRUE(q->try_push(h, std::string("left")));
+    ASSERT_TRUE(q->try_push(h, std::string("over")));
+  }
+  delete q;  // ASan build verifies the boxed strings are reclaimed
+  SUCCEED();
+}
+
+TEST(ValueQueue, ConcurrentProducersConsumers) {
+  ValueQueue<std::uint64_t, CasArrayQueue> q(64);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 5000;
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto ph = q.handle();
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!q.try_push(ph, p * kPerProducer + i)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      auto ch = q.handle();
+      while (count.load() < kProducers * kPerProducer) {
+        auto v = q.try_pop(ch);
+        if (v.has_value()) {
+          sum.fetch_add(*v);
+          count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);  // values are 0..n-1 exactly once
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the stream-level FIFO checkers themselves: they must accept
+// valid executions and pinpoint each violation class.
+#include <gtest/gtest.h>
+
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq::verify;
+
+Token tok(std::uint32_t producer, std::uint64_t seq) {
+  Token t;
+  t.producer = producer;
+  t.seq = seq;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// check_conservation
+// ---------------------------------------------------------------------------
+
+TEST(Conservation, AcceptsExactCoverage) {
+  std::vector<ConsumerLog> logs{{tok(0, 0), tok(1, 0)}, {tok(0, 1)}};
+  EXPECT_TRUE(check_conservation(logs, {2, 1}).ok);
+}
+
+TEST(Conservation, DetectsLostToken) {
+  std::vector<ConsumerLog> logs{{tok(0, 0)}};
+  const auto r = check_conservation(logs, {2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("lost"), std::string::npos);
+}
+
+TEST(Conservation, DetectsDuplicatedToken) {
+  std::vector<ConsumerLog> logs{{tok(0, 0)}, {tok(0, 0), tok(0, 1)}};
+  const auto r = check_conservation(logs, {2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("twice"), std::string::npos);
+}
+
+TEST(Conservation, DetectsPhantomToken) {
+  std::vector<ConsumerLog> logs{{tok(0, 5)}};
+  const auto r = check_conservation(logs, {2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("never pushed"), std::string::npos);
+}
+
+TEST(Conservation, DetectsUnknownProducer) {
+  std::vector<ConsumerLog> logs{{tok(7, 0)}};
+  EXPECT_FALSE(check_conservation(logs, {2}).ok);
+}
+
+TEST(Conservation, AcceptsEmptyRun) {
+  EXPECT_TRUE(check_conservation({}, {0, 0}).ok);
+}
+
+// ---------------------------------------------------------------------------
+// check_per_producer_order
+// ---------------------------------------------------------------------------
+
+TEST(PerProducerOrder, AcceptsInterleavedProducersInOrder) {
+  std::vector<ConsumerLog> logs{{tok(0, 0), tok(1, 0), tok(0, 1), tok(1, 1)}};
+  EXPECT_TRUE(check_per_producer_order(logs, 2).ok);
+}
+
+TEST(PerProducerOrder, DetectsReorderingWithinProducer) {
+  std::vector<ConsumerLog> logs{{tok(0, 1), tok(0, 0)}};
+  const auto r = check_per_producer_order(logs, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("out of order"), std::string::npos);
+}
+
+TEST(PerProducerOrder, DetectsDuplicateAsOrderViolation) {
+  std::vector<ConsumerLog> logs{{tok(0, 0), tok(0, 0)}};
+  EXPECT_FALSE(check_per_producer_order(logs, 1).ok);
+}
+
+TEST(PerProducerOrder, ChecksEachConsumerIndependently) {
+  // Each consumer's view is ordered even though they split the stream.
+  std::vector<ConsumerLog> logs{{tok(0, 0), tok(0, 2)}, {tok(0, 1), tok(0, 3)}};
+  EXPECT_TRUE(check_per_producer_order(logs, 1).ok);
+}
+
+TEST(PerProducerOrder, GapsAreLegal) {
+  // Order checking permits gaps (another consumer may own the gap tokens).
+  std::vector<ConsumerLog> logs{{tok(0, 0), tok(0, 5), tok(0, 9)}};
+  EXPECT_TRUE(check_per_producer_order(logs, 1).ok);
+}
+
+// ---------------------------------------------------------------------------
+// check_single_consumer_gapless
+// ---------------------------------------------------------------------------
+
+TEST(SingleConsumer, AcceptsGaplessInterleaving) {
+  ConsumerLog log{tok(1, 0), tok(0, 0), tok(0, 1), tok(1, 1)};
+  EXPECT_TRUE(check_single_consumer_gapless(log, 2).ok);
+}
+
+TEST(SingleConsumer, RejectsGap) {
+  ConsumerLog log{tok(0, 0), tok(0, 2)};
+  const auto r = check_single_consumer_gapless(log, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("expected seq 1"), std::string::npos);
+}
+
+TEST(SingleConsumer, RejectsReplay) {
+  ConsumerLog log{tok(0, 0), tok(0, 0)};
+  EXPECT_FALSE(check_single_consumer_gapless(log, 1).ok);
+}
+
+}  // namespace
