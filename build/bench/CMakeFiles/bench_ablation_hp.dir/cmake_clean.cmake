@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hp.dir/bench_ablation_hp.cpp.o"
+  "CMakeFiles/bench_ablation_hp.dir/bench_ablation_hp.cpp.o.d"
+  "bench_ablation_hp"
+  "bench_ablation_hp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_llsc.dir/bench_ablation_llsc.cpp.o"
+  "CMakeFiles/bench_ablation_llsc.dir/bench_ablation_llsc.cpp.o.d"
+  "bench_ablation_llsc"
+  "bench_ablation_llsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_llsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cas_cost.dir/bench_cas_cost.cpp.o"
+  "CMakeFiles/bench_cas_cost.dir/bench_cas_cost.cpp.o.d"
+  "bench_cas_cost"
+  "bench_cas_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cas_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mixed.dir/bench_ext_mixed.cpp.o"
+  "CMakeFiles/bench_ext_mixed.dir/bench_ext_mixed.cpp.o.d"
+  "bench_ext_mixed"
+  "bench_ext_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reclaim.dir/bench_ext_reclaim.cpp.o"
+  "CMakeFiles/bench_ext_reclaim.dir/bench_ext_reclaim.cpp.o.d"
+  "bench_ext_reclaim"
+  "bench_ext_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

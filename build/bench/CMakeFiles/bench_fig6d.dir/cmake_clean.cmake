@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d.dir/bench_fig6d.cpp.o"
+  "CMakeFiles/bench_fig6d.dir/bench_fig6d.cpp.o.d"
+  "bench_fig6d"
+  "bench_fig6d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

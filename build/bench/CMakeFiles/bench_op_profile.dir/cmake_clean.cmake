@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_profile.dir/bench_op_profile.cpp.o"
+  "CMakeFiles/bench_op_profile.dir/bench_op_profile.cpp.o.d"
+  "bench_op_profile"
+  "bench_op_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

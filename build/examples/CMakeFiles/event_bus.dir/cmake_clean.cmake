@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_bus.dir/event_bus.cpp.o"
+  "CMakeFiles/event_bus.dir/event_bus.cpp.o.d"
+  "event_bus"
+  "event_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

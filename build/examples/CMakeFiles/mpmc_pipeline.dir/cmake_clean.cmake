@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpmc_pipeline.dir/mpmc_pipeline.cpp.o"
+  "CMakeFiles/mpmc_pipeline.dir/mpmc_pipeline.cpp.o.d"
+  "mpmc_pipeline"
+  "mpmc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpmc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_pool.dir/resource_pool.cpp.o"
+  "CMakeFiles/resource_pool.dir/resource_pool.cpp.o.d"
+  "resource_pool"
+  "resource_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evq_common.dir/src/op_stats.cpp.o"
+  "CMakeFiles/evq_common.dir/src/op_stats.cpp.o.d"
+  "libevq_common.a"
+  "libevq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

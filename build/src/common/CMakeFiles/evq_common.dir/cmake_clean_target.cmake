@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevq_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/src/cli.cpp" "src/harness/CMakeFiles/evq_harness.dir/src/cli.cpp.o" "gcc" "src/harness/CMakeFiles/evq_harness.dir/src/cli.cpp.o.d"
+  "/root/repo/src/harness/src/queue_registry.cpp" "src/harness/CMakeFiles/evq_harness.dir/src/queue_registry.cpp.o" "gcc" "src/harness/CMakeFiles/evq_harness.dir/src/queue_registry.cpp.o.d"
+  "/root/repo/src/harness/src/runner.cpp" "src/harness/CMakeFiles/evq_harness.dir/src/runner.cpp.o" "gcc" "src/harness/CMakeFiles/evq_harness.dir/src/runner.cpp.o.d"
+  "/root/repo/src/harness/src/workload.cpp" "src/harness/CMakeFiles/evq_harness.dir/src/workload.cpp.o" "gcc" "src/harness/CMakeFiles/evq_harness.dir/src/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

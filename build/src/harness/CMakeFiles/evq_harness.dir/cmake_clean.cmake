@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evq_harness.dir/src/cli.cpp.o"
+  "CMakeFiles/evq_harness.dir/src/cli.cpp.o.d"
+  "CMakeFiles/evq_harness.dir/src/queue_registry.cpp.o"
+  "CMakeFiles/evq_harness.dir/src/queue_registry.cpp.o.d"
+  "CMakeFiles/evq_harness.dir/src/runner.cpp.o"
+  "CMakeFiles/evq_harness.dir/src/runner.cpp.o.d"
+  "CMakeFiles/evq_harness.dir/src/workload.cpp.o"
+  "CMakeFiles/evq_harness.dir/src/workload.cpp.o.d"
+  "libevq_harness.a"
+  "libevq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

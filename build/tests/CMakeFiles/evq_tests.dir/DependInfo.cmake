@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aba_scenario_test.cpp" "tests/CMakeFiles/evq_tests.dir/aba_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/aba_scenario_test.cpp.o.d"
+  "/root/repo/tests/baseline_queues_test.cpp" "tests/CMakeFiles/evq_tests.dir/baseline_queues_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/baseline_queues_test.cpp.o.d"
+  "/root/repo/tests/cas_array_queue_test.cpp" "tests/CMakeFiles/evq_tests.dir/cas_array_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/cas_array_queue_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/evq_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/dwcas_test.cpp" "tests/CMakeFiles/evq_tests.dir/dwcas_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/dwcas_test.cpp.o.d"
+  "/root/repo/tests/epoch_test.cpp" "tests/CMakeFiles/evq_tests.dir/epoch_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/epoch_test.cpp.o.d"
+  "/root/repo/tests/free_pool_test.cpp" "tests/CMakeFiles/evq_tests.dir/free_pool_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/free_pool_test.cpp.o.d"
+  "/root/repo/tests/fuzz_differential_test.cpp" "tests/CMakeFiles/evq_tests.dir/fuzz_differential_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/fuzz_differential_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/evq_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/hazard_test.cpp" "tests/CMakeFiles/evq_tests.dir/hazard_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/hazard_test.cpp.o.d"
+  "/root/repo/tests/linearizability_test.cpp" "tests/CMakeFiles/evq_tests.dir/linearizability_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/linearizability_test.cpp.o.d"
+  "/root/repo/tests/llsc_array_queue_test.cpp" "tests/CMakeFiles/evq_tests.dir/llsc_array_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/llsc_array_queue_test.cpp.o.d"
+  "/root/repo/tests/llsc_queue_weak_test.cpp" "tests/CMakeFiles/evq_tests.dir/llsc_queue_weak_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/llsc_queue_weak_test.cpp.o.d"
+  "/root/repo/tests/llsc_test.cpp" "tests/CMakeFiles/evq_tests.dir/llsc_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/llsc_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/evq_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/op_stats_test.cpp" "tests/CMakeFiles/evq_tests.dir/op_stats_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/op_stats_test.cpp.o.d"
+  "/root/repo/tests/queue_conformance_test.cpp" "tests/CMakeFiles/evq_tests.dir/queue_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/queue_conformance_test.cpp.o.d"
+  "/root/repo/tests/queue_ops_test.cpp" "tests/CMakeFiles/evq_tests.dir/queue_ops_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/queue_ops_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/evq_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/sim_llsc_cell_test.cpp" "tests/CMakeFiles/evq_tests.dir/sim_llsc_cell_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/sim_llsc_cell_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/evq_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/tz_queue_test.cpp" "tests/CMakeFiles/evq_tests.dir/tz_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/tz_queue_test.cpp.o.d"
+  "/root/repo/tests/value_queue_test.cpp" "tests/CMakeFiles/evq_tests.dir/value_queue_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/value_queue_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/evq_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/evq_tests.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/evq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
