@@ -16,6 +16,7 @@
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/reclaim/epoch.hpp"
 
 namespace evq::baselines {
@@ -83,14 +84,18 @@ class MsEbrQueue {
     node->value = value;
     reclaim::EpochGuard<Node> guard(domain_, h.rec_);
     for (;;) {
+      EVQ_INJECT_POINT("ms.ebr.push.enter");
       Node* tail = tail_.value.load(std::memory_order_seq_cst);
       Node* next = tail->next.load(std::memory_order_seq_cst);  // safe: pinned
+      EVQ_INJECT_POINT("ms.ebr.push.reserved");
       if (tail != tail_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
       if (next != nullptr) {  // tail lagging: help swing it
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        if (!EVQ_INJECT_SC_FAILS("ms.ebr.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        }
         continue;
       }
       Node* expected = nullptr;
@@ -98,8 +103,12 @@ class MsEbrQueue {
           tail->next.compare_exchange_strong(expected, node, std::memory_order_seq_cst);
       stats::on_cas(linked);
       if (linked) {
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        // Linearized: node linked; Tail lags until the swing (or help).
+        EVQ_INJECT_POINT("ms.ebr.push.committed");
+        if (!EVQ_INJECT_SC_FAILS("ms.ebr.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        }
         return true;
       }
     }
@@ -108,9 +117,11 @@ class MsEbrQueue {
   T* try_pop(Handle& h) {
     reclaim::EpochGuard<Node> guard(domain_, h.rec_);
     for (;;) {
+      EVQ_INJECT_POINT("ms.ebr.pop.enter");
       Node* head = head_.value.load(std::memory_order_seq_cst);
       Node* tail = tail_.value.load(std::memory_order_seq_cst);
       Node* next = head->next.load(std::memory_order_seq_cst);  // safe: pinned
+      EVQ_INJECT_POINT("ms.ebr.pop.reserved");
       if (head != head_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
@@ -118,8 +129,10 @@ class MsEbrQueue {
         return nullptr;  // empty
       }
       if (head == tail) {  // tail lagging: help swing it
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        if (!EVQ_INJECT_SC_FAILS("ms.ebr.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        }
         continue;
       }
       T* value = next->value;
@@ -127,6 +140,7 @@ class MsEbrQueue {
           head_.value.compare_exchange_strong(head, next, std::memory_order_seq_cst);
       stats::on_cas(moved);
       if (moved) {
+        EVQ_INJECT_POINT("ms.ebr.pop.committed");
         domain_.retire(h.rec_, head);
         return value;
       }

@@ -17,6 +17,7 @@
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
 #include "evq/hazard/hp_domain.hpp"
+#include "evq/inject/inject.hpp"
 
 namespace evq::baselines {
 
@@ -78,14 +79,18 @@ class MsHpQueue {
     Node* node = new Node;
     node->value = value;
     for (;;) {
+      EVQ_INJECT_POINT("ms.hp.push.enter");
       Node* tail = domain_.protect(rec, 0, tail_.value);
       Node* next = tail->next.load(std::memory_order_seq_cst);
+      EVQ_INJECT_POINT("ms.hp.push.reserved");
       if (tail != tail_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
       if (next != nullptr) {  // tail lagging: help swing it
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        if (!EVQ_INJECT_SC_FAILS("ms.hp.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        }
         continue;
       }
       Node* expected = nullptr;
@@ -93,8 +98,13 @@ class MsHpQueue {
           tail->next.compare_exchange_strong(expected, node, std::memory_order_seq_cst);
       stats::on_cas(linked);
       if (linked) {
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        // Linearized: node is on the chain but Tail still points at its
+        // predecessor until the swing below (or a helper) lands.
+        EVQ_INJECT_POINT("ms.hp.push.committed");
+        if (!EVQ_INJECT_SC_FAILS("ms.hp.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
+        }
         domain_.clear(rec, 0);
         return true;
       }
@@ -104,9 +114,11 @@ class MsHpQueue {
   T* try_pop(Handle& h) {
     auto* rec = h.guard_.record();
     for (;;) {
+      EVQ_INJECT_POINT("ms.hp.pop.enter");
       Node* head = domain_.protect(rec, 0, head_.value);
       Node* tail = tail_.value.load(std::memory_order_seq_cst);
       Node* next = domain_.protect(rec, 1, head->next);
+      EVQ_INJECT_POINT("ms.hp.pop.reserved");
       if (head != head_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
@@ -116,14 +128,17 @@ class MsHpQueue {
         return nullptr;
       }
       if (head == tail) {  // tail lagging: help swing it
-        stats::on_cas(
-            tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        if (!EVQ_INJECT_SC_FAILS("ms.hp.tail.swing")) {
+          stats::on_cas(
+              tail_.value.compare_exchange_strong(tail, next, std::memory_order_seq_cst));
+        }
         continue;
       }
       T* value = next->value;  // read before the dummy hand-off
       const bool moved = head_.value.compare_exchange_strong(head, next, std::memory_order_seq_cst);
       stats::on_cas(moved);
       if (moved) {
+        EVQ_INJECT_POINT("ms.hp.pop.committed");
         domain_.clear(rec, 0);
         domain_.clear(rec, 1);
         domain_.retire(rec, head);

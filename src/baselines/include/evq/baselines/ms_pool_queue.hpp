@@ -18,6 +18,7 @@
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/reclaim/free_pool.hpp"
 
@@ -66,10 +67,12 @@ class MsPoolQueue {
     node->value.store(value, std::memory_order_relaxed);
     node->next.store(nullptr);  // version bump invalidates stale reservations
     for (;;) {
+      EVQ_INJECT_POINT("ms.pool.push.enter");
       auto tail_link = tail_.value.ll();
       Node* tail = tail_link.value();
       auto next_link = tail->next.ll();
       Node* next = next_link.value();
+      EVQ_INJECT_POINT("ms.pool.push.reserved");
       if (!tail_.value.validate(tail_link)) {
         continue;  // tail moved: our reads may be of a recycled node
       }
@@ -78,6 +81,8 @@ class MsPoolQueue {
         continue;
       }
       if (tail->next.sc(next_link, node)) {
+        // Linearized: node linked, Tail lags until the swing (or help).
+        EVQ_INJECT_POINT("ms.pool.push.committed");
         tail_.value.sc(tail_link, node);
         return true;
       }
@@ -86,11 +91,13 @@ class MsPoolQueue {
 
   T* try_pop(Handle&) {
     for (;;) {
+      EVQ_INJECT_POINT("ms.pool.pop.enter");
       auto head_link = head_.value.ll();
       Node* head = head_link.value();
       auto tail_link = tail_.value.ll();
       Node* tail = tail_link.value();
       Node* next = head->next.load();
+      EVQ_INJECT_POINT("ms.pool.pop.reserved");
       if (!head_.value.validate(head_link)) {
         continue;
       }
@@ -105,6 +112,8 @@ class MsPoolQueue {
       // pass it before our sc below — so a successful sc certifies `value`.
       T* value = next->value.load(std::memory_order_seq_cst);
       if (head_.value.sc(head_link, next)) {
+        // Linearized: Head moved; the old dummy is ours to recycle.
+        EVQ_INJECT_POINT("ms.pool.pop.committed");
         pool_.put(head);
         return value;
       }

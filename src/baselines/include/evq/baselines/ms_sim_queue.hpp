@@ -36,6 +36,7 @@
 #include "evq/common/op_stats.hpp"
 #include "evq/common/tagged_ptr.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/reclaim/free_pool.hpp"
 #include "evq/registry/registry.hpp"
 #include "evq/registry/sim_llsc_cell.hpp"
@@ -99,6 +100,7 @@ class MsSimQueue {
     registry::LlscVar* var_tail = h.primary_.fresh();
     registry::LlscVar* var_next = h.secondary_.fresh();
     for (;;) {
+      EVQ_INJECT_POINT("ms.sim.push.enter");
       Node* tail = tail_.value.ll(var_tail);
       tail->guards.fetch_add(1, std::memory_order_seq_cst);
       stats::on_faa();
@@ -115,6 +117,7 @@ class MsSimQueue {
         continue;
       }
       Node* observed = tail->next.ll(var_next);
+      EVQ_INJECT_POINT("ms.sim.push.reserved");
       if (observed != nullptr) {  // raced with another link-in
         tail->next.release(var_next);
         tail->guards.fetch_sub(1, std::memory_order_seq_cst);
@@ -123,6 +126,8 @@ class MsSimQueue {
         continue;
       }
       if (tail->next.sc(var_next, node)) {
+        // Linearized: node linked; Tail lags until the swing (or help).
+        EVQ_INJECT_POINT("ms.sim.push.committed");
         tail->guards.fetch_sub(1, std::memory_order_seq_cst);
         stats::on_faa();
         tail_.value.sc(var_tail, node);  // swing; failure means we were helped
@@ -138,6 +143,7 @@ class MsSimQueue {
     registry::LlscVar* var_head = h.primary_.fresh();
     registry::LlscVar* var_tail = h.secondary_.fresh();
     for (;;) {
+      EVQ_INJECT_POINT("ms.sim.pop.enter");
       Node* head = head_.value.ll(var_head);
       head->guards.fetch_add(1, std::memory_order_seq_cst);
       stats::on_faa();
@@ -146,6 +152,7 @@ class MsSimQueue {
         stats::on_faa();
         continue;
       }
+      EVQ_INJECT_POINT("ms.sim.pop.reserved");
       Node* tail = tail_.value.load();
       Node* next = head->next.load();
       if (next == nullptr) {  // empty (see file comment for linearization)
@@ -168,6 +175,8 @@ class MsSimQueue {
       }
       T* value = next->value.load(std::memory_order_seq_cst);
       if (head_.value.sc(var_head, next)) {
+        // Linearized: Head moved; the old dummy is ours to recycle.
+        EVQ_INJECT_POINT("ms.sim.pop.committed");
         head->guards.fetch_sub(1, std::memory_order_seq_cst);
         stats::on_faa();
         pool_.put(head);

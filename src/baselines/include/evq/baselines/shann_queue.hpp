@@ -26,6 +26,7 @@
 #include "evq/common/dwcas.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 
 namespace evq::baselines {
 
@@ -51,6 +52,7 @@ class ShannQueue {
   bool try_push(Handle&, T* node) noexcept {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
     for (;;) {
+      EVQ_INJECT_POINT("shann.push.enter");
       const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
       // Signed occupancy: stale `t` must not underflow into a spurious full
       // (see llsc_array_queue.hpp's E6 comment).
@@ -60,12 +62,14 @@ class ShannQueue {
       }
       AtomicDwWord& slot = slots_[t & mask_];
       DwWord s = slot.load();
+      EVQ_INJECT_POINT("shann.push.reserved");
       if (t != tail_.value.load(std::memory_order_seq_cst)) {
         continue;  // stale index: the slot we read may not be the tail slot
       }
       if (s.lo == 0) {
         // Empty slot: one wide CAS installs the value and bumps the counter.
         if (slot.compare_exchange(s, DwWord{reinterpret_cast<std::uint64_t>(node), s.hi + 1})) {
+          EVQ_INJECT_POINT("shann.push.committed");
           advance(tail_, t);
           return true;
         }
@@ -78,17 +82,20 @@ class ShannQueue {
 
   T* try_pop(Handle&) noexcept {
     for (;;) {
+      EVQ_INJECT_POINT("shann.pop.enter");
       const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
       if (h == tail_.value.load(std::memory_order_seq_cst)) {
         return nullptr;  // empty
       }
       AtomicDwWord& slot = slots_[h & mask_];
       DwWord s = slot.load();
+      EVQ_INJECT_POINT("shann.pop.reserved");
       if (h != head_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
       if (s.lo != 0) {
         if (slot.compare_exchange(s, DwWord{0, s.hi + 1})) {
+          EVQ_INJECT_POINT("shann.pop.committed");
           advance(head_, h);
           return reinterpret_cast<T*>(s.lo);
         }
@@ -110,6 +117,9 @@ class ShannQueue {
  private:
   static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
                       std::uint64_t expected) noexcept {
+    // Delay-only point — see CasArrayQueue::advance: the CAS must always be
+    // attempted, since failure means "already advanced by someone else".
+    EVQ_INJECT_POINT("shann.index.advance");
     stats::on_cas(
         index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
   }

@@ -43,6 +43,7 @@
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 
 namespace evq::baselines {
 
@@ -79,6 +80,7 @@ class TsigasZhangQueue {
   bool try_push(Handle&, T* node) noexcept {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
     for (;;) {
+      EVQ_INJECT_POINT("tz.push.enter");
       const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
       // Signed occupancy: stale `t` must not underflow into a spurious full
       // (see llsc_array_queue.hpp's E6 comment).
@@ -91,6 +93,7 @@ class TsigasZhangQueue {
       // by the PREVIOUS generation's dequeuer (or the initializer).
       std::uintptr_t expected_null = null_for_generation((t / capacity_) - 1);
       std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
+      EVQ_INJECT_POINT("tz.push.reserved");
       if (t != tail_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
@@ -99,6 +102,7 @@ class TsigasZhangQueue {
             expected_null, reinterpret_cast<std::uintptr_t>(node), std::memory_order_seq_cst);
         stats::on_cas(ok);
         if (ok) {
+          EVQ_INJECT_POINT("tz.push.committed");
           advance(tail_, t);
           return true;
         }
@@ -113,12 +117,14 @@ class TsigasZhangQueue {
 
   T* try_pop(Handle&) noexcept {
     for (;;) {
+      EVQ_INJECT_POINT("tz.pop.enter");
       const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
       if (h == tail_.value.load(std::memory_order_seq_cst)) {
         return nullptr;  // empty
       }
       std::atomic<std::uintptr_t>& slot = slots_[h & mask_];
       std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
+      EVQ_INJECT_POINT("tz.pop.reserved");
       if (h != head_.value.load(std::memory_order_seq_cst)) {
         continue;
       }
@@ -129,6 +135,7 @@ class TsigasZhangQueue {
             observed, null_for_generation(h / capacity_), std::memory_order_seq_cst);
         stats::on_cas(ok);
         if (ok) {
+          EVQ_INJECT_POINT("tz.pop.committed");
           advance(head_, h);
           return reinterpret_cast<T*>(observed);
         }
@@ -163,6 +170,9 @@ class TsigasZhangQueue {
 
   static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
                       std::uint64_t expected) noexcept {
+    // Delay-only point — see CasArrayQueue::advance: the CAS must always be
+    // attempted, since failure means "already advanced by someone else".
+    EVQ_INJECT_POINT("tz.index.advance");
     stats::on_cas(
         index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
   }

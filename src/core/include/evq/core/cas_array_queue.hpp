@@ -31,6 +31,7 @@
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/registry/registry.hpp"
 #include "evq/registry/sim_llsc_cell.hpp"
 
@@ -73,6 +74,7 @@ class CasArrayQueue {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
     registry::LlscVar* var = h.registration_.fresh();  // the paper's ReRegister
     for (;;) {
+      EVQ_INJECT_POINT("core.cas.push.enter");
       const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
       // Signed occupancy: a stale `t` (Head already passed it) must read as
       // negative, not as a spurious full — see llsc_array_queue.hpp's E6
@@ -83,6 +85,7 @@ class CasArrayQueue {
       }
       SlotCell& slot = slots_[t & mask_];
       T* observed = slot.ll(var);
+      EVQ_INJECT_POINT("core.cas.push.reserved");
       if (t == tail_.value.load(std::memory_order_seq_cst)) {
         if (observed != nullptr) {
           // Slot filled by a preempted enqueuer whose Tail update lags:
@@ -90,6 +93,8 @@ class CasArrayQueue {
           slot.release(var);
           advance(tail_, t);
         } else if (slot.sc(var, node)) {
+          // Linearized: item installed, Tail lags until advance() lands.
+          EVQ_INJECT_POINT("core.cas.push.committed");
           advance(tail_, t);
           return true;
         }
@@ -104,12 +109,14 @@ class CasArrayQueue {
   T* try_pop(Handle& h) noexcept {
     registry::LlscVar* var = h.registration_.fresh();
     for (;;) {
+      EVQ_INJECT_POINT("core.cas.pop.enter");
       const std::uint64_t head = head_.value.load(std::memory_order_seq_cst);
       if (head == tail_.value.load(std::memory_order_seq_cst)) {
         return nullptr;  // empty
       }
       SlotCell& slot = slots_[head & mask_];
       T* observed = slot.ll(var);
+      EVQ_INJECT_POINT("core.cas.pop.reserved");
       if (head == head_.value.load(std::memory_order_seq_cst)) {
         if (observed == nullptr) {
           // Item already removed by a dequeuer whose Head update lags:
@@ -117,6 +124,8 @@ class CasArrayQueue {
           slot.release(var);
           advance(head_, head);
         } else if (slot.sc(var, nullptr)) {
+          // Linearized: slot cleared, Head lags until advance() lands.
+          EVQ_INJECT_POINT("core.cas.pop.committed");
           advance(head_, head);
           return observed;
         }
@@ -150,6 +159,12 @@ class CasArrayQueue {
   /// LL/SC increment because the counters are monotone; see counter_cell.hpp).
   static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
                       std::uint64_t expected) noexcept {
+    // Delay-only point: the advance CAS must always be ATTEMPTED, because
+    // its failure is read as "another thread already advanced the index" —
+    // skipping it on a stream's final operation would forge a permanently
+    // lagging index no real preemption can produce (a CAS, unlike weak
+    // LL/SC, never fails spuriously).
+    EVQ_INJECT_POINT("core.cas.index.advance");
     stats::on_cas(
         index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
   }

@@ -35,6 +35,7 @@
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/counter_cell.hpp"
 #include "evq/llsc/llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
@@ -73,6 +74,7 @@ class LlscArrayQueue {
   bool try_push(Handle&, T* node) noexcept {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
     for (;;) {
+      EVQ_INJECT_POINT("core.llsc.push.enter");
       const std::uint64_t t = tail_.value.load();                    // E5
       // E6 — full check. The occupancy must be compared SIGNED: `t` may be
       // stale (another thread advanced Head past it between our two reads),
@@ -85,6 +87,7 @@ class LlscArrayQueue {
       }
       SlotCell& slot = slots_[t & mask_];                            // E8
       auto link = slot.ll();                                         // E9
+      EVQ_INJECT_POINT("core.llsc.push.reserved");
       if (t != tail_.value.load()) {                                 // E10
         continue;
       }
@@ -96,6 +99,9 @@ class LlscArrayQueue {
           tail_.value.sc(tail_link, t + 1);                          // E13
         }
       } else if (slot.sc(link, node)) {                              // E15
+        // Linearized: the item is in the array but Tail still lags — the
+        // state the kill-mid-enqueue profile freezes.
+        EVQ_INJECT_POINT("core.llsc.push.committed");
         auto tail_link = tail_.value.ll();                           // E16
         if (tail_link.value() == t) {
           tail_.value.sc(tail_link, t + 1);                          // E17
@@ -110,12 +116,14 @@ class LlscArrayQueue {
   /// during the call.
   T* try_pop(Handle&) noexcept {
     for (;;) {
+      EVQ_INJECT_POINT("core.llsc.pop.enter");
       const std::uint64_t h = head_.value.load();                    // D5
       if (h == tail_.value.load()) {                                 // D6
         return nullptr;                                              // D7
       }
       SlotCell& slot = slots_[h & mask_];                            // D8
       auto link = slot.ll();                                         // D9
+      EVQ_INJECT_POINT("core.llsc.pop.reserved");
       if (h != head_.value.load()) {                                 // D10
         continue;
       }
@@ -127,6 +135,8 @@ class LlscArrayQueue {
           head_.value.sc(head_link, h + 1);                          // D13
         }
       } else if (slot.sc(link, nullptr)) {                           // D15
+        // Linearized: the slot is empty but Head still lags.
+        EVQ_INJECT_POINT("core.llsc.pop.committed");
         auto head_link = head_.value.ll();                           // D16
         if (head_link.value() == h) {
           head_.value.sc(head_link, h + 1);                          // D17

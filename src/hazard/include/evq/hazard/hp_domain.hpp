@@ -29,6 +29,7 @@
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
+#include "evq/inject/inject.hpp"
 
 namespace evq::hazard {
 
@@ -123,6 +124,9 @@ class HpDomain {
     Node* ptr = src.load(std::memory_order_acquire);
     for (;;) {
       rec->hp[slot].store(ptr, std::memory_order_seq_cst);
+      // Widens the publish/re-read race: the pointer may leave `src` while
+      // the hazard store is in flight, forcing another protect iteration.
+      EVQ_INJECT_POINT("hazard.protect");
       Node* again = src.load(std::memory_order_seq_cst);
       if (again == ptr) {
         return ptr;
@@ -140,6 +144,7 @@ class HpDomain {
   /// the per-thread retired count reaches multiplier x (current records).
   template <typename Reclaim>
   void retire(Record* rec, Node* node, Reclaim&& reclaim) {
+    EVQ_INJECT_POINT("hazard.reclaim.retire");
     rec->retired.push_back(node);
     const std::size_t threshold =
         threshold_multiplier_ * std::max<std::size_t>(1, records_.load(std::memory_order_relaxed));
@@ -156,6 +161,7 @@ class HpDomain {
   /// published as a hazard by any record. Returns the number reclaimed.
   template <typename Reclaim>
   std::size_t scan(Record& rec, Reclaim&& reclaim) {
+    EVQ_INJECT_POINT("hazard.reclaim.scan.enter");
     std::vector<const Node*> hazards;
     hazards.reserve(K * records_.load(std::memory_order_relaxed));
     for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
@@ -166,6 +172,9 @@ class HpDomain {
         }
       }
     }
+    // A stall here is a scanner working from a stale hazard snapshot —
+    // safe (retired nodes cannot gain new hazards), but it delays frees.
+    EVQ_INJECT_POINT("hazard.reclaim.scan.collected");
     if (mode_ == ScanMode::kSorted) {
       std::sort(hazards.begin(), hazards.end());
     }

@@ -1,0 +1,96 @@
+// Fault-injection substrate: named per-thread injection points compiled into
+// the hot paths of every queue and reclamation layer.
+//
+// The paper's central claims are liveness and safety under adversarial
+// schedules — spurious SC failures (Sec. 5 limitation #3), stalled threads
+// holding reservations, helped (lagging) indices. The stress suites only
+// *sample* those schedules and the model checker only explores tiny
+// step-machine configurations; this layer lets tests FORCE the rare
+// interleavings on the full-size implementations:
+//
+//   EVQ_INJECT_POINT("core.llsc.push.reserved");   // delay / stall / kill here
+//   if (EVQ_INJECT_SC_FAILS("packed_llsc.sc")) return false;  // spurious SC
+//
+// Cost model. Injection is a *compile-time* feature: unless the translation
+// unit is built with EVQ_INJECT_ENABLED=1, both macros expand to constants
+// (`(void)0` / `false`) and the queues compile to exactly the code they had
+// before this header existed — verified by the bench guard (bench_micro_ops,
+// built without the flag, must stay within noise of the seed numbers). Only
+// the dedicated torture binary (tests/torture_test.cpp) defines the flag, so
+// the injected and uninjected worlds never mix inside one binary (mixing
+// would be an ODR violation for the header-only queue templates).
+//
+// Dispatch model. When enabled, each point consults a THREAD-LOCAL Injector
+// (nullptr by default → a single predictable branch). Per-thread injectors
+// are what make schedules scriptable: a torture run gives every worker its
+// own deterministic decision stream seeded from (profile seed, thread id),
+// and a scripted test can park exactly one victim thread at exactly one
+// point while the driver arranges the adversarial state around it.
+#pragma once
+
+#include <cstdint>
+
+namespace evq::inject {
+
+/// Receives injection-point callbacks for the installing thread. Implement
+/// at_point() to delay/stall/park and fail_sc() to force spurious SC
+/// failures. Both run on the queue's hot path with the operation's state
+/// live, so implementations must be async-signal-ish in spirit: no locks
+/// shared with queue code, no reentrant queue calls.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Called at every EVQ_INJECT_POINT the thread passes.
+  virtual void at_point(const char* point) noexcept = 0;
+
+  /// Called at every EVQ_INJECT_SC_FAILS site; returning true makes the SC
+  /// (or helper CAS) fail spuriously WITHOUT attempting the hardware
+  /// operation — indistinguishable from a reservation lost to preemption.
+  virtual bool fail_sc(const char* point) noexcept = 0;
+};
+
+/// The calling thread's current injector slot (nullptr = injection inert).
+inline Injector*& current() noexcept {
+  thread_local Injector* injector = nullptr;
+  return injector;
+}
+
+inline void hit(const char* point) noexcept {
+  if (Injector* injector = current()) {
+    injector->at_point(point);
+  }
+}
+
+[[nodiscard]] inline bool sc_fails(const char* point) noexcept {
+  Injector* injector = current();
+  return injector != nullptr && injector->fail_sc(point);
+}
+
+/// RAII installation of an injector for the current thread (restores the
+/// previous one, so scripted tests can nest).
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector& injector) noexcept : prev_(current()) {
+    current() = &injector;
+  }
+
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+  ~ScopedInjector() { current() = prev_; }
+
+ private:
+  Injector* prev_;
+};
+
+}  // namespace evq::inject
+
+#if defined(EVQ_INJECT_ENABLED) && EVQ_INJECT_ENABLED
+#define EVQ_INJECT_POINT(point) (::evq::inject::hit(point))
+#define EVQ_INJECT_SC_FAILS(point) (::evq::inject::sc_fails(point))
+#else
+/// No-ops unless the TU opts in: injection must cost zero in release builds.
+#define EVQ_INJECT_POINT(point) ((void)0)
+#define EVQ_INJECT_SC_FAILS(point) (false)
+#endif

@@ -1,0 +1,225 @@
+// Named, seeded fault-injection profiles for the torture harness.
+//
+// A Profile is a declarative description of an adversarial schedule shape:
+// how often SCs fail spuriously, where yield-bursts open preemption windows,
+// and which single victim thread gets parked at which injection point. A
+// ProfileInjector turns that description into a deterministic per-thread
+// decision stream — thread t of a run with seed s always draws the same
+// decisions, so a failing (queue, profile, seed) triple reproduces.
+//
+// The four registered profiles map to the failure classes the paper argues
+// about (see DESIGN.md §8 and tests/torture_test.cpp):
+//
+//   sc-storm          heavy spurious SC failure on every cell + scattered
+//                     yield bursts (Sec. 5 limitation #3 at full size)
+//   stalled-consumer  one consumer parked while holding a freshly-taken
+//                     reservation; everyone else must take it over / help
+//   reclaim-pressure  long delays inside retire/scan/pool/epoch paths, so
+//                     reclamation lags far behind the mutators
+//   kill-mid-enqueue  one producer "killed" (parked for a long schedule
+//                     quantum) right after its slot write linearizes but
+//                     BEFORE it publishes Tail — the canonical lagging-index
+//                     state that only helping can repair
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "evq/common/config.hpp"
+#include "evq/common/rng.hpp"
+#include "evq/inject/inject.hpp"
+
+namespace evq::inject {
+
+/// Which workload role a thread plays — profiles can aim a stall at one side.
+enum class Role : std::uint8_t { kProducer, kConsumer, kMixed, kAny };
+
+[[nodiscard]] constexpr bool role_matches(Role wanted, Role actual) noexcept {
+  return wanted == Role::kAny || wanted == actual;
+}
+
+struct Profile {
+  const char* name;
+  const char* description;
+
+  // Spurious SC failure at EVQ_INJECT_SC_FAILS sites whose name contains
+  // sc_fail_match ("" = every site). Probability sc_fail_num/sc_fail_den.
+  std::uint32_t sc_fail_num = 0;
+  std::uint32_t sc_fail_den = 100;
+  const char* sc_fail_match = "";
+
+  // Yield bursts (1..delay_max_yields sched yields) with probability
+  // delay_num/delay_den at points whose name contains delay_match.
+  std::uint32_t delay_num = 0;
+  std::uint32_t delay_den = 100;
+  std::uint32_t delay_max_yields = 0;
+  const char* delay_match = "";
+
+  // Single-victim stall: the FIRST thread of stall_role to reach a point
+  // containing stall_match parks there (once per run) until the run's
+  // StallGate releases it or its spin budget runs out.
+  const char* stall_match = nullptr;
+  Role stall_role = Role::kAny;
+};
+
+/// Cross-thread coordination for one torture run's single-victim stall.
+/// Claiming is first-come-first-served; parking is a bounded yield loop so a
+/// run can never deadlock even if the driver forgets to release.
+class StallGate {
+ public:
+  explicit StallGate(std::uint64_t max_park_yields = 1u << 16)
+      : max_park_yields_(max_park_yields) {}
+
+  StallGate(const StallGate&) = delete;
+  StallGate& operator=(const StallGate&) = delete;
+
+  /// True for exactly one caller per run.
+  [[nodiscard]] bool try_claim() noexcept {
+    bool expected = false;
+    return claimed_.compare_exchange_strong(expected, true, std::memory_order_acq_rel);
+  }
+
+  /// Parks the victim until release() or the yield budget is exhausted.
+  void park() noexcept {
+    parked_.store(true, std::memory_order_release);
+    for (std::uint64_t spins = 0;
+         !released_.load(std::memory_order_acquire) && spins < max_park_yields_; ++spins) {
+      std::this_thread::yield();
+    }
+    parked_.store(false, std::memory_order_release);
+  }
+
+  void release() noexcept { released_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool claimed() const noexcept { return claimed_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool parked() const noexcept { return parked_.load(std::memory_order_acquire); }
+
+ private:
+  const std::uint64_t max_park_yields_;
+  std::atomic<bool> claimed_{false};
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> released_{false};
+};
+
+/// Deterministic per-thread realization of a Profile. One instance per
+/// worker thread, seeded from (run seed, thread id); all threads of a run
+/// share the run's StallGate.
+class ProfileInjector final : public Injector {
+ public:
+  ProfileInjector(const Profile& profile, std::uint64_t seed, std::uint32_t thread_id, Role role,
+                  StallGate* gate = nullptr) noexcept
+      : profile_(profile),
+        rng_(XorShift64Star::for_stream(seed, thread_id)),
+        role_(role),
+        gate_(gate) {}
+
+  void at_point(const char* point) noexcept override {
+    points_hit_ += 1;
+    maybe_stall(point);
+    maybe_delay(point);
+  }
+
+  bool fail_sc(const char* point) noexcept override {
+    points_hit_ += 1;
+    maybe_stall(point);
+    maybe_delay(point);
+    if (profile_.sc_fail_num == 0 || !matches(point, profile_.sc_fail_match)) {
+      return false;
+    }
+    const bool fail = rng_.chance(profile_.sc_fail_num, profile_.sc_fail_den);
+    sc_failures_forced_ += fail ? 1 : 0;
+    return fail;
+  }
+
+  [[nodiscard]] std::uint64_t points_hit() const noexcept { return points_hit_; }
+  [[nodiscard]] std::uint64_t sc_failures_forced() const noexcept { return sc_failures_forced_; }
+  [[nodiscard]] std::uint64_t delays() const noexcept { return delays_; }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
+ private:
+  static bool matches(const char* point, const char* pattern) noexcept {
+    if (pattern == nullptr) {
+      return false;
+    }
+    return pattern[0] == '\0' || std::strstr(point, pattern) != nullptr;
+  }
+
+  void maybe_stall(const char* point) noexcept {
+    if (stalled_ || gate_ == nullptr || profile_.stall_match == nullptr ||
+        !role_matches(profile_.stall_role, role_) || !matches(point, profile_.stall_match)) {
+      return;
+    }
+    if (gate_->try_claim()) {
+      stalled_ = true;  // set before parking: never re-enter from this thread
+      gate_->park();
+    }
+  }
+
+  void maybe_delay(const char* point) noexcept {
+    if (profile_.delay_num == 0 || profile_.delay_max_yields == 0 ||
+        !matches(point, profile_.delay_match) ||
+        !rng_.chance(profile_.delay_num, profile_.delay_den)) {
+      return;
+    }
+    delays_ += 1;
+    const std::uint64_t yields = 1 + rng_.next_below(profile_.delay_max_yields);
+    for (std::uint64_t i = 0; i < yields; ++i) {
+      std::this_thread::yield();
+    }
+  }
+
+  const Profile& profile_;
+  XorShift64Star rng_;
+  const Role role_;
+  StallGate* gate_;
+  std::uint64_t points_hit_ = 0;
+  std::uint64_t sc_failures_forced_ = 0;
+  std::uint64_t delays_ = 0;
+  bool stalled_ = false;
+};
+
+/// All registered torture profiles, in documentation order.
+inline const std::vector<Profile>& all_profiles() {
+  static const std::vector<Profile> profiles = {
+      {"sc-storm",
+       "spurious SC failure on every cell (25%) plus scattered yield bursts",
+       /*sc_fail=*/25, 100, "",
+       /*delay=*/1, 8, 3, "",
+       /*stall=*/nullptr, Role::kAny},
+      {"stalled-consumer",
+       "one consumer parked holding a fresh reservation; mild SC noise",
+       /*sc_fail=*/5, 100, "",
+       /*delay=*/1, 10, 2, "",
+       /*stall=*/"pop.reserved", Role::kConsumer},
+      {"reclaim-pressure",
+       "long delays inside retire/scan/pool/epoch paths; mild SC noise",
+       /*sc_fail=*/10, 100, "",
+       /*delay=*/3, 4, 6, "reclaim",
+       /*stall=*/nullptr, Role::kAny},
+      {"kill-mid-enqueue",
+       "one producer parked between its linearizing slot write and the Tail "
+       "publication — the lagging index only helping repairs",
+       /*sc_fail=*/5, 100, "",
+       /*delay=*/1, 12, 2, "",
+       /*stall=*/"push.committed", Role::kProducer},
+  };
+  return profiles;
+}
+
+/// Lookup by name; fatal on unknown names (profiles are test infrastructure,
+/// so a typo is a bug, not an input error).
+inline const Profile& find_profile(std::string_view name) {
+  for (const Profile& profile : all_profiles()) {
+    if (name == profile.name) {
+      return profile;
+    }
+  }
+  EVQ_CHECK(false, "unknown injection profile");
+  __builtin_unreachable();
+}
+
+}  // namespace evq::inject

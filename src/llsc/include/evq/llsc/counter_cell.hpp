@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "evq/common/op_stats.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/llsc.hpp"
 
 namespace evq::llsc {
@@ -40,7 +41,16 @@ class CounterCell {
 
   /// Valid only for monotone use: desired must differ from every value the
   /// counter held since `link` (trivially true for increments).
+  ///
+  /// Deliberately a delay/stall point, NOT an EVQ_INJECT_SC_FAILS site: the
+  /// CAS==LL/SC equivalence is EXACT (a CAS never fails spuriously), and
+  /// Algorithm 1's one-shot index advances (E13/E17, D13/D17) lean on that
+  /// exactness — they interpret failure as "another thread already advanced
+  /// the index". A forced spurious failure on the stream's final operation
+  /// would leave the index lagging with no helper ever coming, an execution
+  /// no real schedule produces.
   bool sc(Link link, std::uint64_t desired) noexcept {
+    EVQ_INJECT_POINT("counter_cell.sc");
     std::uint64_t expected = link.snap_;
     const bool ok = word_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
     stats::on_cas(ok);

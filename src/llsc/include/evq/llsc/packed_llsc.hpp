@@ -16,6 +16,7 @@
 
 #include "evq/common/op_stats.hpp"
 #include "evq/common/tagged_ptr.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/llsc.hpp"
 
 namespace evq::llsc {
@@ -47,6 +48,9 @@ class PackedLlsc {
   }
 
   bool sc(Link link, T desired) noexcept {
+    if (EVQ_INJECT_SC_FAILS("packed_llsc.sc")) {
+      return false;  // injected reservation loss — nothing written
+    }
     std::uint64_t expected = link.snap_.raw();
     const std::uint64_t next = link.snap_.bumped(desired).raw();
     const bool ok = word_.compare_exchange_strong(expected, next, std::memory_order_seq_cst);

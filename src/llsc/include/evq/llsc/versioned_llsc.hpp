@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "evq/common/dwcas.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/llsc.hpp"
 
 namespace evq::llsc {
@@ -41,6 +42,9 @@ class VersionedLlsc {
 
   /// Store-conditional: succeeds iff no successful write happened since `link`.
   bool sc(Link link, T desired) noexcept {
+    if (EVQ_INJECT_SC_FAILS("versioned_llsc.sc")) {
+      return false;  // injected reservation loss — nothing written
+    }
     DwWord expected = link.snap_;
     return cell_.compare_exchange(expected, DwWord{to_word(desired), expected.hi + 1});
   }

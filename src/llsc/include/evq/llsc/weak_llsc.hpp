@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "evq/common/rng.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/llsc.hpp"
 
 namespace evq::llsc {
@@ -33,6 +34,9 @@ class WeakLlsc {
   [[nodiscard]] Link ll() noexcept { return inner_.ll(); }
 
   bool sc(Link link, value_type desired) noexcept {
+    if (EVQ_INJECT_SC_FAILS("weak_llsc.sc")) {
+      return false;  // injected reservation loss — nothing written
+    }
     if (FailNum != 0 && spurious_failure()) {
       return false;  // reservation "lost" — nothing written
     }

@@ -23,6 +23,7 @@
 
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
+#include "evq/inject/inject.hpp"
 
 namespace evq::reclaim {
 
@@ -103,6 +104,7 @@ class EpochDomain {
   /// advance the epoch (and free two-epochs-old garbage) when the local
   /// batch grows past the threshold.
   void retire(Record* rec, Node* node) {
+    EVQ_INJECT_POINT("epoch.reclaim.retire");
     const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
     auto& bucket = rec->retired[e % kEpochs];
     bucket.push_back(node);
@@ -116,6 +118,7 @@ class EpochDomain {
   /// documented weakness). On success frees this record's bucket from two
   /// epochs ago.
   bool try_advance(Record* rec) {
+    EVQ_INJECT_POINT("epoch.reclaim.flush");
     const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
     for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
          r = r->next.load(std::memory_order_acquire)) {

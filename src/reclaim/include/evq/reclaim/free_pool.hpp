@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "evq/common/config.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 
 // Node linkage is accessed through std::atomic_ref: a racing take() may read
@@ -47,6 +48,7 @@ class FreePool {
   void put(Node* node) noexcept {
     EVQ_DCHECK(node != nullptr, "null node returned to pool");
     for (;;) {
+      EVQ_INJECT_POINT("free_pool.reclaim.put");
       auto link = top_.ll();
       std::atomic_ref<Node*>(node->free_next).store(link.value(), std::memory_order_relaxed);
       if (top_.sc(link, node)) {
@@ -68,6 +70,9 @@ class FreePool {
         return nullptr;
       }
       Node* next = std::atomic_ref<Node*>(node->free_next).load(std::memory_order_relaxed);
+      // The classic Treiber pop ABA window: top may be popped and re-pushed
+      // while we sleep here; the versioned top then fails our sc.
+      EVQ_INJECT_POINT("free_pool.reclaim.take.reserved");
       if (top_.sc(link, next)) {
         size_.fetch_sub(1, std::memory_order_relaxed);
         return node;

@@ -33,6 +33,7 @@
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/common/tagged_ptr.hpp"
+#include "evq/inject/inject.hpp"
 #include "evq/registry/llsc_var.hpp"
 
 namespace evq::registry {
@@ -74,6 +75,9 @@ class SimLlscCell {
       LlscVar* other = nullptr;
       if (lsb_tagged(observed)) {                                       // L6
         other = lsb_untag<LlscVar>(observed);
+        // A stall between L5 and L7 is exactly the Sec. 5 window the L7b
+        // re-read closes — this point lets the torture profiles pry it open.
+        EVQ_INJECT_POINT("registry.sim_llsc.ll.window");
         other->r.fetch_add(1, std::memory_order_seq_cst);               // L7
         stats::on_faa();
         if (word_.load(std::memory_order_seq_cst) != observed) {        // L7b
@@ -101,6 +105,15 @@ class SimLlscCell {
 
   /// Store-conditional: writes `desired` iff our reservation tag survived.
   bool sc(LlscVar* var, T desired) noexcept {
+    if (EVQ_INJECT_SC_FAILS("sim_llsc.sc")) {
+      // Injected takeover, simulated as "a foreign ll() stole the
+      // reservation and then released it". The tag must NOT stay behind: a
+      // failed-sc caller may exit its operation, and ReRegister would then
+      // reuse the var (r == 1) while its stale tag still sits in this cell
+      // — a forged instance of the Sec. 5 ABA no real schedule produces.
+      release(var);
+      return false;
+    }
     std::uintptr_t expected = lsb_tag(var);
     const bool ok = word_.compare_exchange_strong(expected, to_word(desired),
                                                   std::memory_order_seq_cst);

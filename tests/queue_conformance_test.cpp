@@ -4,8 +4,11 @@
 // order, tiny-capacity ABA hammering and oversubscribed stress.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,10 +21,12 @@
 #include "evq/baselines/tsigas_zhang_queue.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/harness/queue_registry.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 #include "evq/llsc/weak_llsc.hpp"
 #include "evq/verify/fifo_checkers.hpp"
+#include "torture_queues.hpp"
 
 namespace {
 
@@ -295,6 +300,199 @@ TYPED_TEST(QueueConformanceTest, BoundedQueueNeverExceedsCapacity) {
     EXPECT_FALSE(overflow.load());
   } else {
     GTEST_SKIP() << "unbounded queue";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Boundary edges: full-queue wraparound, enqueue-on-full, dequeue-on-empty
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(QueueConformanceTest, FullQueueWraparoundCycles) {
+  // Fill to the brim, (for bounded queues) bounce an extra push off the full
+  // queue, drain to empty — 64 times, so Head and Tail cross the slot-array
+  // boundary on every cycle. This is the regime where a wraparound bug would
+  // mistake generation g's slot state for generation g-1's.
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(4));
+  auto h = q->handle();
+  std::vector<Token> tokens(4);
+  std::uint64_t seq = 0;
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    for (auto& tok : tokens) {
+      tok.seq = seq++;
+      ASSERT_TRUE(q->try_push(h, &tok)) << "cycle " << cycle;
+    }
+    if constexpr (BoundedPtrQueue<TypeParam>) {
+      Token extra;
+      EXPECT_FALSE(q->try_push(h, &extra)) << "push must fail on a full queue, cycle " << cycle;
+    }
+    for (const auto& tok : tokens) {
+      Token* out = q->try_pop(h);
+      ASSERT_NE(out, nullptr) << "cycle " << cycle;
+      EXPECT_EQ(out->seq, tok.seq);
+    }
+    EXPECT_EQ(q->try_pop(h), nullptr) << "drained queue must report empty, cycle " << cycle;
+  }
+}
+
+TYPED_TEST(QueueConformanceTest, EnqueueOnFullReopensAfterOnePop) {
+  if constexpr (BoundedPtrQueue<TypeParam>) {
+    // Capacity 2: every reopened slot is a wrapped slot.
+    std::unique_ptr<TypeParam> q(make_queue<TypeParam>(2));
+    auto h = q->handle();
+    std::vector<Token> tokens(5);
+    for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+      tokens[i].seq = i;
+    }
+    ASSERT_TRUE(q->try_push(h, &tokens[0]));
+    ASSERT_TRUE(q->try_push(h, &tokens[1]));
+    EXPECT_FALSE(q->try_push(h, &tokens[2]));
+    EXPECT_FALSE(q->try_push(h, &tokens[2])) << "full must be stable, not one-shot";
+    EXPECT_EQ(q->try_pop(h)->seq, 0u);
+    ASSERT_TRUE(q->try_push(h, &tokens[2])) << "one pop must reopen exactly one slot";
+    EXPECT_FALSE(q->try_push(h, &tokens[3]));
+    EXPECT_EQ(q->try_pop(h)->seq, 1u);
+    ASSERT_TRUE(q->try_push(h, &tokens[3]));
+    EXPECT_EQ(q->try_pop(h)->seq, 2u);
+    EXPECT_EQ(q->try_pop(h)->seq, 3u);
+    EXPECT_EQ(q->try_pop(h), nullptr);
+  } else {
+    GTEST_SKIP() << "unbounded queue";
+  }
+}
+
+TYPED_TEST(QueueConformanceTest, DequeueOnEmptyIsStableAndSideEffectFree) {
+  std::unique_ptr<TypeParam> q(make_queue<TypeParam>(4));
+  auto h = q->handle();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q->try_pop(h), nullptr);
+  }
+  // Failed pops must not have consumed capacity or corrupted the indices.
+  Token tok;
+  tok.seq = 7;
+  ASSERT_TRUE(q->try_push(h, &tok));
+  Token* out = q->try_pop(h);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->seq, 7u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q->try_pop(h), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry-driven conformance: every entry of harness::all_queues(), through
+// the same type-erased interface the benchmarks use.
+// ---------------------------------------------------------------------------
+
+class RegistryQueueTest : public ::testing::TestWithParam<harness::QueueSpec> {};
+
+TEST_P(RegistryQueueTest, SequentialFifoThroughTypeErasure) {
+  const harness::QueueSpec& spec = GetParam();
+  auto q = spec.make(8);
+  auto h = q->handle();
+  std::vector<harness::Payload> payloads(8);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    payloads[i].value = i;
+  }
+  for (auto& p : payloads) {
+    ASSERT_TRUE(h->try_push(&p)) << spec.name;
+  }
+  if (spec.bounded) {
+    harness::Payload extra;
+    EXPECT_FALSE(h->try_push(&extra)) << spec.name << " must report full at capacity";
+  }
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    harness::Payload* out = h->try_pop();
+    ASSERT_NE(out, nullptr) << spec.name;
+    EXPECT_EQ(out->value, i) << spec.name;
+  }
+  EXPECT_EQ(h->try_pop(), nullptr) << spec.name;
+}
+
+TEST_P(RegistryQueueTest, MpmcConservationWhenConcurrent) {
+  const harness::QueueSpec& spec = GetParam();
+  if (!spec.concurrent) {
+    GTEST_SKIP() << spec.name << " is single-threaded by contract";
+  }
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 2000;
+  auto q = spec.make(16);
+
+  std::vector<std::vector<harness::Payload>> payloads(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    payloads[p].resize(kPerProducer);
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      payloads[p][i].value = p * kPerProducer + i;
+    }
+  }
+  std::vector<ConsumerLog> logs(kConsumers);
+  std::atomic<std::uint64_t> popped{0};
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q->handle();
+      for (auto& payload : payloads[p]) {
+        while (!h->try_push(&payload)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      auto h = q->handle();
+      for (;;) {
+        if (harness::Payload* out = h->try_pop()) {
+          // Recover (producer, seq) from the payload value so the stream
+          // checkers apply unchanged.
+          logs[c].push_back(Token{static_cast<std::uint32_t>(out->value / kPerProducer),
+                                  out->value % kPerProducer, nullptr});
+          popped.fetch_add(1);
+        } else if (popped.load() >= kTotal) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const std::vector<std::uint64_t> pushed(kProducers, kPerProducer);
+  CheckResult conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << spec.name << ": " << conservation.reason;
+  CheckResult order = verify::check_per_producer_order(logs, kProducers);
+  EXPECT_TRUE(order.ok) << spec.name << ": " << order.reason;
+}
+
+std::string registry_test_name(const ::testing::TestParamInfo<harness::QueueSpec>& info) {
+  std::string name = info.param.name;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistryQueues, RegistryQueueTest,
+                         ::testing::ValuesIn(harness::all_queues()), registry_test_name);
+
+// The uninjected half of the torture-coverage handshake (see
+// tests/torture_queues.hpp): every queue the registry knows must be covered
+// by the fault-injection torture harness, whose binary cannot link the
+// registry itself.
+TEST(TortureCoverageRegistrySide, EveryRegistryQueueHasATortureRunner) {
+  for (const harness::QueueSpec& spec : harness::all_queues()) {
+    const bool covered =
+        std::any_of(std::begin(evq::testing::kTortureCoveredQueues),
+                    std::end(evq::testing::kTortureCoveredQueues),
+                    [&](const char* name) { return spec.name == name; });
+    EXPECT_TRUE(covered) << "queue '" << spec.name
+                         << "' is registered but not torture-covered — add it to "
+                            "tests/torture_queues.hpp and tests/torture_test.cpp";
   }
 }
 

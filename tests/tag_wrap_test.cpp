@@ -1,0 +1,193 @@
+// Tag-overflow and index-wrap edges of the single-word synchronization
+// cells, with the ABA windows forced deterministically through the
+// fault-injection substrate (this TU is part of evq_torture and is compiled
+// with EVQ_INJECT_ENABLED=1).
+//
+// What is being pinned down:
+//  * PackedLlsc's 16-bit version makes its LL/SC emulation exact only up to
+//    2^16 successful writes inside one reservation window (the bound the
+//    paper accepts for its indices, here with a smaller constant). The first
+//    two tests EXHIBIT the bound — a stale sc really does land after an
+//    exact wrap, and the 64-bit VersionedLlsc rejects the same history.
+//  * Algorithm 1 does not rest on the cell version alone: the E10/D10 index
+//    re-validation rejects a stale operation even when its slot's version
+//    has wrapped to an identical word. The third test parks a pusher in
+//    that exact state (via a scripted stall) and shows the queue stays
+//    correct — defense in depth over the wrapped cell.
+//  * CounterCell's CAS==LL/SC equivalence holds across the 2^64 index wrap.
+//    (CounterCell deliberately has NO spurious-failure site: the one-shot
+//    index advances E13/E17/D13/D17 read an sc failure as "someone else
+//    advanced the index", so forcing one would forge an execution no real
+//    CAS can produce — see the comment in counter_cell.hpp. Spurious
+//    failure is injected only where a retry loop absorbs it, and the last
+//    test checks that contract on PackedLlsc.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/llsc/counter_cell.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+#if !defined(EVQ_INJECT_ENABLED) || !EVQ_INJECT_ENABLED
+#error "tag_wrap_test.cpp must be compiled with EVQ_INJECT_ENABLED=1"
+#endif
+
+namespace evq {
+namespace {
+
+using verify::Token;
+
+TEST(PackedLlscWrap, StaleScSucceedsAfterExactVersionWrap) {
+  Token a{0, 0};
+  Token b{0, 1};
+  Token c{0, 2};
+  llsc::PackedLlsc<Token*> cell(&a);
+  const std::uint16_t v0 = cell.version();
+
+  auto link = cell.ll();
+  // 2^16 successful writes ending on the linked value: the version field
+  // wraps to exactly where the reservation saw it.
+  for (int i = 0; i < 1 << 15; ++i) {
+    cell.store(&b);
+    cell.store(&a);
+  }
+  ASSERT_EQ(cell.version(), v0);
+  ASSERT_EQ(cell.load(), &a);
+
+  // The emulation can no longer tell the difference — this IS the bound.
+  EXPECT_TRUE(cell.validate(link));
+  EXPECT_TRUE(cell.sc(link, &c));
+  EXPECT_EQ(cell.load(), &c);
+}
+
+TEST(PackedLlscWrap, VersionedCellRejectsTheSameHistory) {
+  Token a{0, 0};
+  Token b{0, 1};
+  Token c{0, 2};
+  llsc::VersionedLlsc<Token*> cell(&a);
+
+  auto link = cell.ll();
+  for (int i = 0; i < 1 << 15; ++i) {
+    cell.store(&b);
+    cell.store(&a);
+  }
+  ASSERT_EQ(cell.load(), &a);
+
+  // 64-bit version: 2^16 writes move it, full stop.
+  EXPECT_FALSE(cell.validate(link));
+  EXPECT_FALSE(cell.sc(link, &c));
+  EXPECT_EQ(cell.load(), &a);
+}
+
+/// Park a pusher between its slot LL and the E10 index re-validation, wrap
+/// its slot's 16-bit version to an IDENTICAL word underneath it (32768
+/// push/pop cycles through the capacity-2 ring), and let it resume. The
+/// slot cell alone would now accept the stale sc (first test above) — the
+/// queue must still be correct because E10 sees that Tail moved.
+TEST(PackedLlscWrap, QueueIndexRevalidationMasksCellWrap) {
+  LlscArrayQueue<Token, llsc::PackedLlsc> q(2);
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-wrap-stall",
+                               "park one pusher with a reservation while its slot version wraps",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/"core.llsc.push.reserved", inject::Role::kAny};
+
+  Token x{0, 0};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    auto h = q.handle();
+    EXPECT_TRUE(q.try_push(h, &x));
+  });
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "victim never reached core.llsc.push.reserved";
+
+  // 65536 single-item cycles: slot 0 takes one push-write and one pop-write
+  // every second cycle — exactly 2^16 version bumps — and Head == Tail ends
+  // back on slot 0 with the slot word bit-identical to the victim's link.
+  auto h = q.handle();
+  Token filler{1, 0};
+  for (int i = 0; i < 1 << 16; ++i) {
+    ASSERT_TRUE(q.try_push(h, &filler));
+    ASSERT_EQ(q.try_pop(h), &filler);
+  }
+  gate.release();
+  victim.join();
+
+  // The victim's push must have landed exactly once, at the NEW tail.
+  EXPECT_EQ(q.try_pop(h), &x);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(CounterCellEdge, IncrementWrapsAtUint64Max) {
+  llsc::CounterCell counter(~std::uint64_t{0});
+  auto link = counter.ll();
+  EXPECT_EQ(link.value(), ~std::uint64_t{0});
+  // The 2^64 index wrap the paper writes off as unreachable — the cell
+  // itself handles it like any other increment.
+  EXPECT_TRUE(counter.sc(link, link.value() + 1));
+  EXPECT_EQ(counter.load(), 0u);
+  EXPECT_FALSE(counter.validate(link));
+}
+
+TEST(CounterCellEdge, LosingContenderFailsAndRevalidates) {
+  llsc::CounterCell counter(7);
+  auto first = counter.ll();
+  auto second = counter.ll();
+  EXPECT_TRUE(counter.sc(first, 8));
+  EXPECT_FALSE(counter.sc(second, 8)) << "stale link must not double-advance the index";
+  EXPECT_FALSE(counter.validate(second));
+  EXPECT_EQ(counter.load(), 8u);
+}
+
+/// Forces one SC failure via the substrate and checks the contract the
+/// queues rely on: an injected failure attempts NO hardware operation, so
+/// the cell is untouched and the very same link still succeeds on retry
+/// (indistinguishable from a reservation lost to preemption).
+class ScFailOnce final : public inject::Injector {
+ public:
+  explicit ScFailOnce(const char* match) noexcept : match_(match) {}
+
+  void at_point(const char* /*point*/) noexcept override {}
+
+  bool fail_sc(const char* point) noexcept override {
+    if (!armed_ || std::strstr(point, match_) == nullptr) {
+      return false;
+    }
+    armed_ = false;
+    return true;
+  }
+
+ private:
+  const char* match_;
+  bool armed_ = true;
+};
+
+TEST(PackedLlscWrap, InjectedScFailureLeavesWordUntouched) {
+  Token a{0, 0};
+  Token b{0, 1};
+  llsc::PackedLlsc<Token*> cell(&a);
+  ScFailOnce injector("packed_llsc.sc");
+  inject::ScopedInjector install(injector);
+
+  auto link = cell.ll();
+  const std::uint16_t v0 = cell.version();
+  EXPECT_FALSE(cell.sc(link, &b));
+  EXPECT_EQ(cell.load(), &a);
+  EXPECT_EQ(cell.version(), v0);
+  EXPECT_TRUE(cell.sc(link, &b));
+  EXPECT_EQ(cell.load(), &b);
+}
+
+}  // namespace
+}  // namespace evq
