@@ -24,7 +24,7 @@ QueueSpec hp_spec(hazard::ScanMode mode, std::size_t multiplier) {
   QueueFactory make = [mode, multiplier](std::size_t) -> std::unique_ptr<AnyQueue> {
     return std::make_unique<QueueAdapter<baselines::MsHpQueue<Payload>>>(mode, multiplier);
   };
-  return QueueSpec{name, name, false, true, std::move(make)};
+  return QueueSpec{name, name, false, true, true, std::move(make)};
 }
 
 }  // namespace

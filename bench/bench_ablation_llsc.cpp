@@ -37,7 +37,7 @@ QueueSpec weak_spec(const std::string& name, const std::string& label, int which
       return std::make_unique<QueueAdapter<LlscArrayQueue<Payload, Weak25>>>(cap);
     };
   }
-  return QueueSpec{name, label, true, true, std::move(make)};
+  return QueueSpec{name, label, true, true, true, std::move(make)};
 }
 
 }  // namespace

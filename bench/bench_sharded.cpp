@@ -1,0 +1,48 @@
+// Sharded scaling layer vs the flat paper queues (core/sharded_queue.hpp).
+//
+// The paper's array queues funnel every operation through one Head and one
+// Tail counter; the sharded composition stripes the same per-slot protocol
+// across 4 independent rings with handle affinity + overflow/steal. This
+// bench measures what that buys (and what strict FIFO costs) by sweeping
+// threads over each flat queue and its 4-shard composition.
+//
+// Expected shape: near parity single-threaded (affinity makes the scans
+// degenerate to one shard), widening aggregate-throughput advantage for the
+// sharded variants as threads — and therefore counter contention — grow.
+#include <cstdio>
+
+#include "evq/harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evq::harness;
+  const CliOptions opts = parse_cli(argc, argv, {1, 2, 4, 8}, 5000, 3);
+  const std::vector<std::string> algos = {"fifo-llsc", "sharded-llsc", "fifo-simcas",
+                                          "sharded-simcas"};
+  const FigureResult fig = run_figure(algos, opts);
+  print_absolute(fig, opts, "Sharded scaling: 4-shard compositions vs flat paper queues");
+
+  if (!opts.csv) {
+    // Aggregate-throughput ratio (flat time / sharded time) per thread count.
+    auto series_of = [&](const std::string& name) -> const SeriesResult* {
+      for (const SeriesResult& s : fig.series) {
+        if (s.name == name) {
+          return &s;
+        }
+      }
+      return nullptr;
+    };
+    std::printf("\nSharded speedup (flat mean time / sharded mean time):\n");
+    std::printf("%8s %14s %14s\n", "threads", "llsc", "simcas");
+    for (std::size_t i = 0; i < fig.thread_counts.size(); ++i) {
+      const SeriesResult* flat_llsc = series_of("fifo-llsc");
+      const SeriesResult* shard_llsc = series_of("sharded-llsc");
+      const SeriesResult* flat_cas = series_of("fifo-simcas");
+      const SeriesResult* shard_cas = series_of("sharded-simcas");
+      std::printf("%8u %13.2fx %13.2fx\n", fig.thread_counts[i],
+                  flat_llsc->by_threads[i].mean / shard_llsc->by_threads[i].mean,
+                  flat_cas->by_threads[i].mean / shard_cas->by_threads[i].mean);
+    }
+    std::printf("(>1 means the sharded composition finished the same workload faster)\n");
+  }
+  return 0;
+}

@@ -1,10 +1,11 @@
 // Shann–Huang–Chen-style circular array queue [12] — the double-width-CAS
-// comparator of Fig. 6b/6d.
+// comparator of Fig. 6b/6d, expressed as a SlotPolicy over the shared ring
+// engine (core/ring_engine.hpp).
 //
 // Each slot packs {node pointer, modification counter} into one 16-byte word
 // updated by a single wide CAS; the counter kills both the data-ABA and
 // null-ABA problems (Sec. 3's "most common solution"). Head/Tail are the
-// same monotone single-word counters as everywhere else.
+// same monotone single-word counters as everywhere else (CasIndexPolicy).
 //
 // This is the design the paper argues is architecture-limited: it needs an
 // atomic twice the pointer width (32+32 on the paper's AMD, 64+64 here via
@@ -15,120 +16,72 @@
 // here by bench_cas_cost.
 #pragma once
 
-#include <atomic>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 
-#include "evq/common/cacheline.hpp"
-#include "evq/common/config.hpp"
+#include "evq/common/backoff.hpp"
 #include "evq/common/dwcas.hpp"
-#include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
-#include "evq/inject/inject.hpp"
+#include "evq/core/ring_engine.hpp"
 
 namespace evq::baselines {
 
+inline constexpr char kShannIndexAdvancePoint[] = "shann.index.advance";
+
+/// Shann slot behaviour: a double-width {pointer, counter} word. reserve() is
+/// a wide load, commits are one wide CAS that installs/clears the pointer
+/// AND bumps the counter (the ABA defence), abandon() a no-op.
 template <typename T>
-class ShannQueue {
-  static_assert(kQueueableV<T>);
+class ShannSlotPolicy {
+ public:
+  using Slot = AtomicDwWord;
+  using Handle = TrivialHandle;
+  struct OpCtx {};
+  using Reservation = DwWord;
+
+  static constexpr const char* kPushEnter = "shann.push.enter";
+  static constexpr const char* kPushReserved = "shann.push.reserved";
+  static constexpr const char* kPushCommitted = "shann.push.committed";
+  static constexpr const char* kPopEnter = "shann.pop.enter";
+  static constexpr const char* kPopReserved = "shann.pop.reserved";
+  static constexpr const char* kPopCommitted = "shann.pop.committed";
+
+  void attach(std::size_t) noexcept {}
+  void init_slot(Slot&, std::uint64_t) noexcept {}  // zero word: null pointer, counter 0
+  [[nodiscard]] Handle make_handle() noexcept { return {}; }
+  OpCtx begin_op(Handle&) noexcept { return {}; }
+
+  Reservation reserve(Slot& slot, OpCtx&) noexcept { return slot.load(); }
+
+  SlotClass classify(const Reservation& res, std::uint64_t) noexcept {
+    return res.lo == 0 ? SlotClass::kEmptyFresh : SlotClass::kOccupied;
+  }
+
+  bool commit_push(Slot& slot, Reservation& res, T* node, std::uint64_t, OpCtx&) noexcept {
+    // Empty slot: one wide CAS installs the value and bumps the counter.
+    DwWord expected = res;
+    return slot.compare_exchange(expected,
+                                 DwWord{reinterpret_cast<std::uint64_t>(node), res.hi + 1});
+  }
+
+  bool commit_pop(Slot& slot, Reservation& res, std::uint64_t, OpCtx&) noexcept {
+    DwWord expected = res;
+    return slot.compare_exchange(expected, DwWord{0, res.hi + 1});
+  }
+
+  T* value_of(const Reservation& res) noexcept { return reinterpret_cast<T*>(res.lo); }
+
+  void abandon(Slot&, Reservation&, OpCtx&) noexcept {}  // a wide load reserves nothing
+};
+
+template <typename T, typename ContentionPolicy = NoBackoff>
+class ShannQueue : public BoundedRing<T, ShannSlotPolicy<T>,
+                                      CasIndexPolicy<kShannIndexAdvancePoint>, ContentionPolicy> {
+  using Base =
+      BoundedRing<T, ShannSlotPolicy<T>, CasIndexPolicy<kShannIndexAdvancePoint>, ContentionPolicy>;
 
  public:
-  using value_type = T;
-  using pointer = T*;
-  using Handle = TrivialHandle;
-
-  explicit ShannQueue(std::size_t min_capacity)
-      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
-        mask_(capacity_ - 1),
-        slots_(std::make_unique<AtomicDwWord[]>(capacity_)) {}
-
-  ShannQueue(const ShannQueue&) = delete;
-  ShannQueue& operator=(const ShannQueue&) = delete;
-
-  [[nodiscard]] Handle handle() noexcept { return {}; }
-
-  bool try_push(Handle&, T* node) noexcept {
-    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
-    for (;;) {
-      EVQ_INJECT_POINT("shann.push.enter");
-      const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-      // Signed occupancy: stale `t` must not underflow into a spurious full
-      // (see llsc_array_queue.hpp's E6 comment).
-      if (static_cast<std::int64_t>(t - head_.value.load(std::memory_order_seq_cst)) >=
-          static_cast<std::int64_t>(capacity_)) {
-        return false;  // full
-      }
-      AtomicDwWord& slot = slots_[t & mask_];
-      DwWord s = slot.load();
-      EVQ_INJECT_POINT("shann.push.reserved");
-      if (t != tail_.value.load(std::memory_order_seq_cst)) {
-        continue;  // stale index: the slot we read may not be the tail slot
-      }
-      if (s.lo == 0) {
-        // Empty slot: one wide CAS installs the value and bumps the counter.
-        if (slot.compare_exchange(s, DwWord{reinterpret_cast<std::uint64_t>(node), s.hi + 1})) {
-          EVQ_INJECT_POINT("shann.push.committed");
-          advance(tail_, t);
-          return true;
-        }
-      } else {
-        // Occupied: the filling enqueuer has not advanced Tail — help it.
-        advance(tail_, t);
-      }
-    }
-  }
-
-  T* try_pop(Handle&) noexcept {
-    for (;;) {
-      EVQ_INJECT_POINT("shann.pop.enter");
-      const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
-      if (h == tail_.value.load(std::memory_order_seq_cst)) {
-        return nullptr;  // empty
-      }
-      AtomicDwWord& slot = slots_[h & mask_];
-      DwWord s = slot.load();
-      EVQ_INJECT_POINT("shann.pop.reserved");
-      if (h != head_.value.load(std::memory_order_seq_cst)) {
-        continue;
-      }
-      if (s.lo != 0) {
-        if (slot.compare_exchange(s, DwWord{0, s.hi + 1})) {
-          EVQ_INJECT_POINT("shann.pop.committed");
-          advance(head_, h);
-          return reinterpret_cast<T*>(s.lo);
-        }
-      } else {
-        // Already emptied by a dequeuer whose Head update lags — help it.
-        advance(head_, h);
-      }
-    }
-  }
-
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-
-  [[nodiscard]] std::size_t size_estimate() noexcept {
-    const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
-    const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-    return t >= h ? static_cast<std::size_t>(t - h) : 0;
-  }
-
- private:
-  static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
-                      std::uint64_t expected) noexcept {
-    // Delay-only point — see CasArrayQueue::advance: the CAS must always be
-    // attempted, since failure means "already advanced by someone else".
-    EVQ_INJECT_POINT("shann.index.advance");
-    stats::on_cas(
-        index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
-  }
-
-  const std::size_t capacity_;
-  const std::size_t mask_;
-  CachePadded<std::atomic<std::uint64_t>> head_{0};
-  CachePadded<std::atomic<std::uint64_t>> tail_{0};
-  std::unique_ptr<AtomicDwWord[]> slots_;
+  using Base::Base;
 };
 
 }  // namespace evq::baselines

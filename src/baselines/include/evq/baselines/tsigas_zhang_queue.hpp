@@ -1,5 +1,6 @@
 // Tsigas–Zhang-style circular array queue [14] — the related-work baseline
-// the paper positions itself against.
+// the paper positions itself against, expressed as a SlotPolicy over the
+// shared ring engine (core/ring_engine.hpp).
 //
 // Tsigas & Zhang gave the first practical array FIFO on single-word CAS.
 // Its two signature ideas are reproduced here:
@@ -7,7 +8,10 @@
 //  * TWO null values. An empty slot is marked null0 or null1 depending on
 //    which "generation" (wrap of the array) emptied it, so an enqueuer that
 //    slept through a whole drain-and-refill cannot insert into a stale
-//    empty slot — the null-ABA fix the paper describes in Sec. 3.
+//    empty slot — the null-ABA fix the paper describes in Sec. 3. In engine
+//    terms this is the kStaleEmpty slot class: the only policy in the family
+//    that uses it (an enqueuer that reads the WRONG null has a stale index
+//    and must retry, not help).
 //  * Values are CASed into slots DIRECTLY, with no reservation or version:
 //    one narrow CAS per slot update — cheaper than both of the paper's
 //    algorithms, but at a price (below).
@@ -34,132 +38,85 @@
 #pragma once
 
 #include <atomic>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 
-#include "evq/common/cacheline.hpp"
-#include "evq/common/config.hpp"
+#include "evq/common/backoff.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/core/queue_traits.hpp"
-#include "evq/inject/inject.hpp"
+#include "evq/core/ring_engine.hpp"
 
 namespace evq::baselines {
 
+inline constexpr char kTzIndexAdvancePoint[] = "tz.index.advance";
+
+/// Tsigas–Zhang slot behaviour: a bare atomic word holding either a node
+/// pointer or one of two generation-tagged null sentinels; no reservation
+/// (reserve() is a plain load, abandon() a no-op) — the direct-CAS window in
+/// which the documented data-ABA assumption applies.
 template <typename T>
-class TsigasZhangQueue {
-  static_assert(kQueueableV<T>);
-  // The two null sentinels must be impossible pointer values: with >=8-byte
-  // alignment, 2 and 4 are never valid addresses.
-  static_assert(alignof(T) >= 8, "two-null encoding needs >=8-byte-aligned elements");
-
+class TzSlotPolicy {
  public:
-  using value_type = T;
-  using pointer = T*;
-  using Handle = TrivialHandle;
-
   static constexpr std::uintptr_t kNull0 = 0x2;
   static constexpr std::uintptr_t kNull1 = 0x4;
 
-  explicit TsigasZhangQueue(std::size_t min_capacity)
-      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
-        mask_(capacity_ - 1),
-        slots_(std::make_unique<std::atomic<std::uintptr_t>[]>(capacity_)) {
-    for (std::size_t i = 0; i < capacity_; ++i) {
-      // As if emptied in "generation -1": generation-0 enqueues expect it.
-      slots_[i].store(null_for_generation(~std::uint64_t{0}), std::memory_order_relaxed);
+  using Slot = std::atomic<std::uintptr_t>;
+  using Handle = TrivialHandle;
+  struct OpCtx {};
+  using Reservation = std::uintptr_t;
+
+  static constexpr const char* kPushEnter = "tz.push.enter";
+  static constexpr const char* kPushReserved = "tz.push.reserved";
+  static constexpr const char* kPushCommitted = "tz.push.committed";
+  static constexpr const char* kPopEnter = "tz.pop.enter";
+  static constexpr const char* kPopReserved = "tz.pop.reserved";
+  static constexpr const char* kPopCommitted = "tz.pop.committed";
+
+  void attach(std::size_t capacity) noexcept { capacity_ = capacity; }
+
+  void init_slot(Slot& slot, std::uint64_t) noexcept {
+    // As if emptied in "generation -1": generation-0 enqueues expect it.
+    slot.store(null_for_generation(~std::uint64_t{0}), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Handle make_handle() noexcept { return {}; }
+  OpCtx begin_op(Handle&) noexcept { return {}; }
+
+  Reservation reserve(Slot& slot, OpCtx&) noexcept {
+    return slot.load(std::memory_order_seq_cst);
+  }
+
+  SlotClass classify(const Reservation& res, std::uint64_t index) noexcept {
+    // The slot is empty-for-this-generation iff it holds the null written by
+    // the PREVIOUS generation's dequeuer (or the initializer). The other
+    // null means the index is stale (kStaleEmpty: a dequeue of the current
+    // generation already emptied it, or — on the push side — the slot has
+    // not been drained since the previous lap); anything non-null is a value.
+    if (res == null_for_generation(index / capacity_ - 1)) {
+      return SlotClass::kEmptyFresh;
     }
+    return is_null(res) ? SlotClass::kStaleEmpty : SlotClass::kOccupied;
   }
 
-  TsigasZhangQueue(const TsigasZhangQueue&) = delete;
-  TsigasZhangQueue& operator=(const TsigasZhangQueue&) = delete;
-
-  [[nodiscard]] Handle handle() noexcept { return {}; }
-
-  bool try_push(Handle&, T* node) noexcept {
-    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr");
-    for (;;) {
-      EVQ_INJECT_POINT("tz.push.enter");
-      const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-      // Signed occupancy: stale `t` must not underflow into a spurious full
-      // (see llsc_array_queue.hpp's E6 comment).
-      if (static_cast<std::int64_t>(t - head_.value.load(std::memory_order_seq_cst)) >=
-          static_cast<std::int64_t>(capacity_)) {
-        return false;  // full
-      }
-      std::atomic<std::uintptr_t>& slot = slots_[t & mask_];
-      // The slot is empty-for-this-generation iff it holds the null written
-      // by the PREVIOUS generation's dequeuer (or the initializer).
-      std::uintptr_t expected_null = null_for_generation((t / capacity_) - 1);
-      std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
-      EVQ_INJECT_POINT("tz.push.reserved");
-      if (t != tail_.value.load(std::memory_order_seq_cst)) {
-        continue;
-      }
-      if (observed == expected_null) {
-        const bool ok = slot.compare_exchange_strong(
-            expected_null, reinterpret_cast<std::uintptr_t>(node), std::memory_order_seq_cst);
-        stats::on_cas(ok);
-        if (ok) {
-          EVQ_INJECT_POINT("tz.push.committed");
-          advance(tail_, t);
-          return true;
-        }
-      } else if (!is_null(observed)) {
-        // Filled by a concurrent enqueuer whose Tail update lags: help.
-        advance(tail_, t);
-      }
-      // observed is the WRONG null: a dequeuer of this generation has not
-      // yet ... cannot happen for tail's slot; stale index — retry.
-    }
+  bool commit_push(Slot& slot, Reservation& res, T* node, std::uint64_t, OpCtx&) noexcept {
+    std::uintptr_t expected = res;
+    const bool ok = slot.compare_exchange_strong(
+        expected, reinterpret_cast<std::uintptr_t>(node), std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
   }
 
-  T* try_pop(Handle&) noexcept {
-    for (;;) {
-      EVQ_INJECT_POINT("tz.pop.enter");
-      const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
-      if (h == tail_.value.load(std::memory_order_seq_cst)) {
-        return nullptr;  // empty
-      }
-      std::atomic<std::uintptr_t>& slot = slots_[h & mask_];
-      std::uintptr_t observed = slot.load(std::memory_order_seq_cst);
-      EVQ_INJECT_POINT("tz.pop.reserved");
-      if (h != head_.value.load(std::memory_order_seq_cst)) {
-        continue;
-      }
-      if (!is_null(observed)) {
-        // Direct CAS of the value out — NO reservation: this is the window
-        // in which the documented data-ABA assumption applies.
-        const bool ok = slot.compare_exchange_strong(
-            observed, null_for_generation(h / capacity_), std::memory_order_seq_cst);
-        stats::on_cas(ok);
-        if (ok) {
-          EVQ_INJECT_POINT("tz.pop.committed");
-          advance(head_, h);
-          return reinterpret_cast<T*>(observed);
-        }
-      } else {
-        // Emptied by a dequeuer whose Head update lags: help.
-        advance(head_, h);
-      }
-    }
+  bool commit_pop(Slot& slot, Reservation& res, std::uint64_t index, OpCtx&) noexcept {
+    std::uintptr_t expected = res;
+    const bool ok = slot.compare_exchange_strong(expected, null_for_generation(index / capacity_),
+                                                 std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  T* value_of(const Reservation& res) noexcept { return reinterpret_cast<T*>(res); }
 
-  [[nodiscard]] std::size_t size_estimate() noexcept {
-    const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
-    const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-    return t >= h ? static_cast<std::size_t>(t - h) : 0;
-  }
-
-  [[nodiscard]] std::uint64_t head_index() noexcept {
-    return head_.value.load(std::memory_order_seq_cst);
-  }
-  [[nodiscard]] std::uint64_t tail_index() noexcept {
-    return tail_.value.load(std::memory_order_seq_cst);
-  }
+  void abandon(Slot&, Reservation&, OpCtx&) noexcept {}  // a plain load reserves nothing
 
  private:
   static bool is_null(std::uintptr_t word) noexcept { return word == kNull0 || word == kNull1; }
@@ -168,20 +125,25 @@ class TsigasZhangQueue {
     return (generation & 1) == 0 ? kNull0 : kNull1;
   }
 
-  static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
-                      std::uint64_t expected) noexcept {
-    // Delay-only point — see CasArrayQueue::advance: the CAS must always be
-    // attempted, since failure means "already advanced by someone else".
-    EVQ_INJECT_POINT("tz.index.advance");
-    stats::on_cas(
-        index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
-  }
+  std::size_t capacity_ = 0;
+};
 
-  const std::size_t capacity_;
-  const std::size_t mask_;
-  CachePadded<std::atomic<std::uint64_t>> head_{0};
-  CachePadded<std::atomic<std::uint64_t>> tail_{0};
-  std::unique_ptr<std::atomic<std::uintptr_t>[]> slots_;
+template <typename T, typename ContentionPolicy = NoBackoff>
+class TsigasZhangQueue : public BoundedRing<T, TzSlotPolicy<T>,
+                                            CasIndexPolicy<kTzIndexAdvancePoint>,
+                                            ContentionPolicy> {
+  // The two null sentinels must be impossible pointer values: with >=8-byte
+  // alignment, 2 and 4 are never valid addresses.
+  static_assert(alignof(T) >= 8, "two-null encoding needs >=8-byte-aligned elements");
+
+  using Base =
+      BoundedRing<T, TzSlotPolicy<T>, CasIndexPolicy<kTzIndexAdvancePoint>, ContentionPolicy>;
+
+ public:
+  static constexpr std::uintptr_t kNull0 = TzSlotPolicy<T>::kNull0;
+  static constexpr std::uintptr_t kNull1 = TzSlotPolicy<T>::kNull1;
+
+  using Base::Base;
 };
 
 }  // namespace evq::baselines

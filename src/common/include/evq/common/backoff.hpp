@@ -63,4 +63,11 @@ class NullBackoff {
   void reset() noexcept {}
 };
 
+/// ContentionPolicy names used by the ring engine (core/ring_engine.hpp):
+/// NoBackoff is the paper-faithful default (the published loops retry
+/// immediately); ExpBackoff is the opt-in spin-then-yield policy priced by
+/// bench_backoff.
+using NoBackoff = NullBackoff;
+using ExpBackoff = Backoff;
+
 }  // namespace evq

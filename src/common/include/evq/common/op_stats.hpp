@@ -25,6 +25,13 @@ struct OpCounters {
   std::uint64_t wide_loads = 0;     // double-width atomic loads (cmpxchg16b)
   std::uint64_t faa = 0;            // FetchAndAdd / FetchAndSub
 
+  // Ring-engine algorithm-level events (core/ring_engine.hpp), uniform across
+  // the array-queue family. Kept separate from the primitive counters above
+  // so the paper's exact instruction-count assertions are unaffected.
+  std::uint64_t slot_sc_attempts = 0;  // slot commit attempts (SC or the CAS standing in for it)
+  std::uint64_t slot_sc_failures = 0;  // ... that failed (lost/spurious reservation)
+  std::uint64_t help_advances = 0;     // lagging Head/Tail repaired on a peer's behalf (E11-E13/D11-D13)
+
   OpCounters& operator-=(const OpCounters& other) noexcept {
     cas_attempts -= other.cas_attempts;
     cas_success -= other.cas_success;
@@ -32,6 +39,9 @@ struct OpCounters {
     wide_cas_success -= other.wide_cas_success;
     wide_loads -= other.wide_loads;
     faa -= other.faa;
+    slot_sc_attempts -= other.slot_sc_attempts;
+    slot_sc_failures -= other.slot_sc_failures;
+    help_advances -= other.help_advances;
     return *this;
   }
 };
@@ -63,6 +73,17 @@ inline void on_wide_load() noexcept {
 inline void on_faa() noexcept {
   if (OpCounters* rec = detail::t_recorder) {
     ++rec->faa;
+  }
+}
+inline void on_slot_sc(bool success) noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->slot_sc_attempts;
+    rec->slot_sc_failures += success ? 0 : 1;
+  }
+}
+inline void on_help_advance() noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->help_advances;
   }
 }
 

@@ -1,8 +1,9 @@
 // Algorithm 2 of the paper (Fig. 5): the CAS-only non-blocking circular
-// array FIFO queue with simulated LL/SC.
+// array FIFO queue with simulated LL/SC — expressed as a SlotPolicy over the
+// shared ring engine (core/ring_engine.hpp).
 //
-// Same circular-array skeleton as Algorithm 1, but each slot is a
-// SimLlscCell: LL is simulated by swapping in the LSB-tagged address of a
+// Same circular-array skeleton as Algorithm 1 (the engine), but each slot is
+// a SimLlscCell: LL is simulated by swapping in the LSB-tagged address of a
 // thread-owned LLSCvar (the reservation marker), SC by a CAS that expects
 // that tag. Only pointer-wide CAS and FetchAndAdd are used — the paper's
 // portability requirement for 64-bit machines without double-width CAS.
@@ -10,41 +11,41 @@
 // Per-thread state: each operating thread holds a registered LLSCvar,
 // obtained from the queue's population-oblivious Registry (Fig. 5
 // Register/ReRegister/Deregister) and carried in a Handle. ReRegister runs
-// between consecutive operations: if any foreign reader still holds a
-// reference to the variable (r > 1), the variable is abandoned and a fresh
+// between consecutive operations — begin_op() below, once per try_push/
+// try_pop AND once per element of a batch: if any foreign reader still holds
+// a reference to the variable (r > 1), the variable is abandoned and a fresh
 // one claimed — this closes the tagged-pointer ABA analysed in Sec. 5.
 //
 // Index-ABA is handled exactly as in Algorithm 1 (monotone 64-bit counters,
-// `CAS(&Tail, t, t+1)`); data/null-ABA by the simulated reservations; and
-// any staleness the simulation's takeover semantics admit is caught by
-// re-validating the index after LL (`if (t == Tail)`), per the paper's
-// closing observation of Sec. 5.
+// `CAS(&Tail, t, t+1)` via CasIndexPolicy); data/null-ABA by the simulated
+// reservations; and any staleness the simulation's takeover semantics admit
+// is caught by the engine's index re-validation after LL (`if (t == Tail)`),
+// per the paper's closing observation of Sec. 5. Unlike Algorithm 1, an
+// abandoned attempt must RELEASE its reservation (abandon() below): the
+// simulated LL leaves a tag in the slot that would otherwise wedge it.
 #pragma once
 
 #include <atomic>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 
-#include "evq/common/cacheline.hpp"
-#include "evq/common/config.hpp"
-#include "evq/common/op_stats.hpp"
+#include "evq/common/backoff.hpp"
 #include "evq/core/queue_traits.hpp"
-#include "evq/inject/inject.hpp"
+#include "evq/core/ring_engine.hpp"
 #include "evq/registry/registry.hpp"
 #include "evq/registry/sim_llsc_cell.hpp"
 
 namespace evq {
 
-template <typename T>
-class CasArrayQueue {
-  static_assert(kQueueableV<T>, "element type must be at least 2-byte aligned");
+inline constexpr char kCasIndexAdvancePoint[] = "core.cas.index.advance";
 
+/// Fig. 5's slot behaviour for the ring engine: simulated LL/SC through
+/// registered LLSCvars. The policy owns the queue's Registry.
+template <typename T>
+class CasSlotPolicy {
  public:
-  using value_type = T;
-  using pointer = T*;
   using SlotCell = registry::SimLlscCell<T*>;
+  using Slot = SlotCell;
 
   /// RAII per-thread registration. Cheap to construct (recycles an existing
   /// LLSCvar when one is free); destruction deregisters. A Handle must not
@@ -55,126 +56,71 @@ class CasArrayQueue {
     explicit Handle(registry::Registry& reg) : registration_(reg) {}
 
    private:
-    friend class CasArrayQueue;
+    friend class CasSlotPolicy;
     registry::Registration registration_;
   };
 
-  explicit CasArrayQueue(std::size_t min_capacity)
-      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
-        mask_(capacity_ - 1),
-        slots_(std::make_unique<SlotCell[]>(capacity_)) {}
+  /// The operation's LLSCvar, fetched by ReRegister at operation start.
+  struct OpCtx {
+    registry::LlscVar* var;
+  };
+  using Reservation = T*;
 
-  CasArrayQueue(const CasArrayQueue&) = delete;
-  CasArrayQueue& operator=(const CasArrayQueue&) = delete;
+  static constexpr const char* kPushEnter = "core.cas.push.enter";
+  static constexpr const char* kPushReserved = "core.cas.push.reserved";
+  static constexpr const char* kPushCommitted = "core.cas.push.committed";
+  static constexpr const char* kPopEnter = "core.cas.pop.enter";
+  static constexpr const char* kPopReserved = "core.cas.pop.reserved";
+  static constexpr const char* kPopCommitted = "core.cas.pop.committed";
 
-  [[nodiscard]] Handle handle() { return Handle{registry_}; }
+  void attach(std::size_t) noexcept {}
+  void init_slot(Slot&, std::uint64_t) noexcept {}  // default-constructed cell == nullptr == empty
+  [[nodiscard]] Handle make_handle() { return Handle{registry_}; }
 
-  /// Fig. 5 Enqueue. Returns false iff the queue was full.
-  bool try_push(Handle& h, T* node) noexcept {
-    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
-    registry::LlscVar* var = h.registration_.fresh();  // the paper's ReRegister
-    for (;;) {
-      EVQ_INJECT_POINT("core.cas.push.enter");
-      const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-      // Signed occupancy: a stale `t` (Head already passed it) must read as
-      // negative, not as a spurious full — see llsc_array_queue.hpp's E6
-      // comment for the model-checker finding behind this.
-      if (static_cast<std::int64_t>(t - head_.value.load(std::memory_order_seq_cst)) >=
-          static_cast<std::int64_t>(capacity_)) {
-        return false;  // FULL_QUEUE
-      }
-      SlotCell& slot = slots_[t & mask_];
-      T* observed = slot.ll(var);
-      EVQ_INJECT_POINT("core.cas.push.reserved");
-      if (t == tail_.value.load(std::memory_order_seq_cst)) {
-        if (observed != nullptr) {
-          // Slot filled by a preempted enqueuer whose Tail update lags:
-          // undo our reservation, help advance Tail, retry.
-          slot.release(var);
-          advance(tail_, t);
-        } else if (slot.sc(var, node)) {
-          // Linearized: item installed, Tail lags until advance() lands.
-          EVQ_INJECT_POINT("core.cas.push.committed");
-          advance(tail_, t);
-          return true;
-        }
-        // sc failed: reservation taken over — retry from the top.
-      } else {
-        slot.release(var);  // index moved under us: restore and retry
-      }
-    }
+  OpCtx begin_op(Handle& h) noexcept {
+    return OpCtx{h.registration_.fresh()};  // the paper's ReRegister
   }
 
-  /// Fig. 5 Dequeue. Returns nullptr iff the queue was empty.
-  T* try_pop(Handle& h) noexcept {
-    registry::LlscVar* var = h.registration_.fresh();
-    for (;;) {
-      EVQ_INJECT_POINT("core.cas.pop.enter");
-      const std::uint64_t head = head_.value.load(std::memory_order_seq_cst);
-      if (head == tail_.value.load(std::memory_order_seq_cst)) {
-        return nullptr;  // empty
-      }
-      SlotCell& slot = slots_[head & mask_];
-      T* observed = slot.ll(var);
-      EVQ_INJECT_POINT("core.cas.pop.reserved");
-      if (head == head_.value.load(std::memory_order_seq_cst)) {
-        if (observed == nullptr) {
-          // Item already removed by a dequeuer whose Head update lags:
-          // undo our reservation, help advance Head, retry.
-          slot.release(var);
-          advance(head_, head);
-        } else if (slot.sc(var, nullptr)) {
-          // Linearized: slot cleared, Head lags until advance() lands.
-          EVQ_INJECT_POINT("core.cas.pop.committed");
-          advance(head_, head);
-          return observed;
-        }
-      } else {
-        slot.release(var);
-      }
-    }
+  Reservation reserve(Slot& slot, OpCtx& ctx) noexcept { return slot.ll(ctx.var); }
+
+  SlotClass classify(const Reservation& res, std::uint64_t) noexcept {
+    return res == nullptr ? SlotClass::kEmptyFresh : SlotClass::kOccupied;
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-
-  [[nodiscard]] std::size_t size_estimate() noexcept {
-    const std::uint64_t h = head_.value.load(std::memory_order_seq_cst);
-    const std::uint64_t t = tail_.value.load(std::memory_order_seq_cst);
-    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  bool commit_push(Slot& slot, Reservation&, T* node, std::uint64_t, OpCtx& ctx) noexcept {
+    return slot.sc(ctx.var, node);
   }
+
+  bool commit_pop(Slot& slot, Reservation&, std::uint64_t, OpCtx& ctx) noexcept {
+    return slot.sc(ctx.var, nullptr);
+  }
+
+  T* value_of(const Reservation& res) noexcept { return res; }
+
+  /// Undo a live reservation (retry and help paths). The engine never calls
+  /// this after a failed sc — there the reservation was taken over and is no
+  /// longer ours to release, exactly Fig. 5's "retry from the top".
+  void abandon(Slot& slot, Reservation&, OpCtx& ctx) noexcept { slot.release(ctx.var); }
+
+  [[nodiscard]] registry::Registry& registry() noexcept { return registry_; }
+
+ private:
+  registry::Registry registry_;
+};
+
+template <typename T, typename ContentionPolicy = NoBackoff>
+class CasArrayQueue : public BoundedRing<T, CasSlotPolicy<T>,
+                                         CasIndexPolicy<kCasIndexAdvancePoint>, ContentionPolicy> {
+  using Base =
+      BoundedRing<T, CasSlotPolicy<T>, CasIndexPolicy<kCasIndexAdvancePoint>, ContentionPolicy>;
+
+ public:
+  using SlotCell = typename CasSlotPolicy<T>::SlotCell;
+  using Base::Base;
 
   /// The queue's registry — exposed so tests can assert the space bound
   /// (LLSCvar count tracks max concurrency, not total threads ever).
-  [[nodiscard]] registry::Registry& registry() noexcept { return registry_; }
-
-  [[nodiscard]] std::uint64_t head_index() noexcept {
-    return head_.value.load(std::memory_order_seq_cst);
-  }
-  [[nodiscard]] std::uint64_t tail_index() noexcept {
-    return tail_.value.load(std::memory_order_seq_cst);
-  }
-
- private:
-  /// `CAS(&Index, i, i+1)` — the paper's index advance (identical to an
-  /// LL/SC increment because the counters are monotone; see counter_cell.hpp).
-  static void advance(CachePadded<std::atomic<std::uint64_t>>& index,
-                      std::uint64_t expected) noexcept {
-    // Delay-only point: the advance CAS must always be ATTEMPTED, because
-    // its failure is read as "another thread already advanced the index" —
-    // skipping it on a stream's final operation would forge a permanently
-    // lagging index no real preemption can produce (a CAS, unlike weak
-    // LL/SC, never fails spuriously).
-    EVQ_INJECT_POINT("core.cas.index.advance");
-    stats::on_cas(
-        index.value.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
-  }
-
-  const std::size_t capacity_;
-  const std::size_t mask_;
-  CachePadded<std::atomic<std::uint64_t>> head_{0};
-  CachePadded<std::atomic<std::uint64_t>> tail_{0};
-  std::unique_ptr<SlotCell[]> slots_;
-  registry::Registry registry_;
+  [[nodiscard]] registry::Registry& registry() noexcept { return this->slot_policy().registry(); }
 };
 
 }  // namespace evq

@@ -1,12 +1,15 @@
 // Algorithm 1 of the paper (Fig. 3): the LL/SC-based non-blocking circular
-// array FIFO queue.
+// array FIFO queue — expressed as a SlotPolicy over the shared ring engine
+// (core/ring_engine.hpp), which owns the skeleton the E/D line comments
+// refer to.
 //
 // State:
 //   * slots_[0 .. capacity-1], each an LL/SC cell holding a node pointer or
 //     nullptr (empty). capacity is a power of two.
 //   * head_/tail_ — monotonically increasing 64-bit counters; slot index is
 //     counter mod capacity. Queue empty when head == tail, full when
-//     tail == head + capacity.
+//     tail == head + capacity. Both are LL/SC CounterCells advanced via
+//     LlscIndexPolicy (E12-E13/E16-E17).
 //
 // Why it is ABA-free (Sec. 3 of the paper):
 //   * index-ABA: the counters occupy a full word and only increment, so a
@@ -21,151 +24,85 @@
 // advances Tail on that thread's behalf (lines E11–E13), and symmetrically
 // for dequeue and Head. This is what makes the queue lock-free: a stalled
 // thread leaves at most one lagging index, which any other thread repairs.
+// In engine terms: classify() maps nullptr to kEmptyFresh and anything else
+// to kOccupied, and the engine's kOccupied arm is the help path.
 //
 // The SlotCell template parameter selects the LL/SC emulation policy
 // (VersionedLlsc = reference semantics, PackedLlsc = single-word,
 // WeakLlsc<...> = spurious-failure injection); see evq/llsc/llsc.hpp.
+// ContentionPolicy defaults to NoBackoff — the paper's loops retry
+// immediately; ExpBackoff is the opt-in bounded spin-then-yield.
 #pragma once
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 
-#include "evq/common/cacheline.hpp"
-#include "evq/common/config.hpp"
+#include "evq/common/backoff.hpp"
 #include "evq/core/queue_traits.hpp"
-#include "evq/inject/inject.hpp"
-#include "evq/llsc/counter_cell.hpp"
+#include "evq/core/ring_engine.hpp"
 #include "evq/llsc/llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 
 namespace evq {
 
-template <typename T, template <typename> class SlotCellT = llsc::VersionedLlsc>
-class LlscArrayQueue {
-  static_assert(kQueueableV<T>, "element type must be at least 2-byte aligned");
-
+/// Fig. 3's slot behaviour for the ring engine: a slot is an LL/SC cell over
+/// T*, nullptr denotes empty, reservations are stack-local Links (nothing to
+/// abandon on retry — an unmatched LL has no footprint, which is exactly what
+/// makes Algorithm 1 population-oblivious).
+template <typename T, template <typename> class SlotCellT>
+class LlscSlotPolicy {
  public:
-  using value_type = T;
-  using pointer = T*;
   using SlotCell = SlotCellT<T*>;
   static_assert(llsc::LlscCell<SlotCell>);
 
+  using Slot = SlotCell;
   /// No per-thread state: LL/SC reservations are carried in stack-local
   /// Links, which is exactly what makes Algorithm 1 population-oblivious
   /// with space depending only on the queue length.
   using Handle = TrivialHandle;
+  struct OpCtx {};
+  using Reservation = typename SlotCell::Link;
 
-  /// Capacity is rounded up to a power of two (the paper requires Q_LENGTH
-  /// to be a power of 2 so index wraparound never skips slots).
-  explicit LlscArrayQueue(std::size_t min_capacity)
-      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
-        mask_(capacity_ - 1),
-        slots_(std::make_unique<SlotCell[]>(capacity_)) {}
+  static constexpr const char* kPushEnter = "core.llsc.push.enter";
+  static constexpr const char* kPushReserved = "core.llsc.push.reserved";
+  static constexpr const char* kPushCommitted = "core.llsc.push.committed";
+  static constexpr const char* kPopEnter = "core.llsc.pop.enter";
+  static constexpr const char* kPopReserved = "core.llsc.pop.reserved";
+  static constexpr const char* kPopCommitted = "core.llsc.pop.committed";
 
-  LlscArrayQueue(const LlscArrayQueue&) = delete;
-  LlscArrayQueue& operator=(const LlscArrayQueue&) = delete;
+  void attach(std::size_t) noexcept {}
+  void init_slot(Slot&, std::uint64_t) noexcept {}  // default-constructed cell == nullptr == empty
+  [[nodiscard]] Handle make_handle() noexcept { return {}; }
+  OpCtx begin_op(Handle&) noexcept { return {}; }
 
-  [[nodiscard]] Handle handle() noexcept { return {}; }
+  Reservation reserve(Slot& slot, OpCtx&) noexcept { return slot.ll(); }  // E9/D9
 
-  /// Fig. 3 E1–E21. Returns false iff the queue was full at some instant
-  /// during the call (the paper's FULL_QUEUE).
-  bool try_push(Handle&, T* node) noexcept {
-    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
-    for (;;) {
-      EVQ_INJECT_POINT("core.llsc.push.enter");
-      const std::uint64_t t = tail_.value.load();                    // E5
-      // E6 — full check. The occupancy must be compared SIGNED: `t` may be
-      // stale (another thread advanced Head past it between our two reads),
-      // making the unsigned difference underflow and report full spuriously
-      // — a bug our model checker found in an earlier unsigned version. A
-      // stale-negative occupancy simply proceeds; E10 then catches it.
-      if (static_cast<std::int64_t>(t - head_.value.load()) >=
-          static_cast<std::int64_t>(capacity_)) {
-        return false;                                                // E7
-      }
-      SlotCell& slot = slots_[t & mask_];                            // E8
-      auto link = slot.ll();                                         // E9
-      EVQ_INJECT_POINT("core.llsc.push.reserved");
-      if (t != tail_.value.load()) {                                 // E10
-        continue;
-      }
-      if (link.value() != nullptr) {                                 // E11
-        // A concurrent enqueuer filled this slot but has not advanced Tail
-        // yet — help it (E12–E13) and retry with the fresh index.
-        auto tail_link = tail_.value.ll();                           // E12
-        if (tail_link.value() == t) {
-          tail_.value.sc(tail_link, t + 1);                          // E13
-        }
-      } else if (slot.sc(link, node)) {                              // E15
-        // Linearized: the item is in the array but Tail still lags — the
-        // state the kill-mid-enqueue profile freezes.
-        EVQ_INJECT_POINT("core.llsc.push.committed");
-        auto tail_link = tail_.value.ll();                           // E16
-        if (tail_link.value() == t) {
-          tail_.value.sc(tail_link, t + 1);                          // E17
-        }
-        return true;                                                 // E18
-      }
-      // SC failed: the slot changed under our reservation — start over.
-    }
+  SlotClass classify(const Reservation& res, std::uint64_t) noexcept {    // E11/D11
+    return res.value() == nullptr ? SlotClass::kEmptyFresh : SlotClass::kOccupied;
   }
 
-  /// Fig. 3 D1–D21. Returns nullptr iff the queue was empty at some instant
-  /// during the call.
-  T* try_pop(Handle&) noexcept {
-    for (;;) {
-      EVQ_INJECT_POINT("core.llsc.pop.enter");
-      const std::uint64_t h = head_.value.load();                    // D5
-      if (h == tail_.value.load()) {                                 // D6
-        return nullptr;                                              // D7
-      }
-      SlotCell& slot = slots_[h & mask_];                            // D8
-      auto link = slot.ll();                                         // D9
-      EVQ_INJECT_POINT("core.llsc.pop.reserved");
-      if (h != head_.value.load()) {                                 // D10
-        continue;
-      }
-      if (link.value() == nullptr) {                                 // D11
-        // The item at h was already removed by a dequeuer that has not
-        // advanced Head yet — help it (D12–D13) and retry.
-        auto head_link = head_.value.ll();                           // D12
-        if (head_link.value() == h) {
-          head_.value.sc(head_link, h + 1);                          // D13
-        }
-      } else if (slot.sc(link, nullptr)) {                           // D15
-        // Linearized: the slot is empty but Head still lags.
-        EVQ_INJECT_POINT("core.llsc.pop.committed");
-        auto head_link = head_.value.ll();                           // D16
-        if (head_link.value() == h) {
-          head_.value.sc(head_link, h + 1);                          // D17
-        }
-        return link.value();                                         // D18
-      }
-    }
+  bool commit_push(Slot& slot, Reservation& res, T* node, std::uint64_t, OpCtx&) noexcept {
+    return slot.sc(res, node);                                            // E15
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-
-  /// Instantaneous size estimate (exact when quiescent).
-  [[nodiscard]] std::size_t size_estimate() noexcept {
-    const std::uint64_t h = head_.value.load();
-    const std::uint64_t t = tail_.value.load();
-    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  bool commit_pop(Slot& slot, Reservation& res, std::uint64_t, OpCtx&) noexcept {
+    return slot.sc(res, nullptr);                                         // D15
   }
 
-  /// Diagnostic counters for tests.
-  [[nodiscard]] std::uint64_t head_index() noexcept { return head_.value.load(); }
-  [[nodiscard]] std::uint64_t tail_index() noexcept { return tail_.value.load(); }
+  T* value_of(const Reservation& res) noexcept { return res.value(); }    // D18
 
- private:
-  const std::size_t capacity_;
-  const std::size_t mask_;
-  // Indices on their own cache lines: both are write-hot and shared.
-  CachePadded<llsc::CounterCell> head_{};
-  CachePadded<llsc::CounterCell> tail_{};
-  std::unique_ptr<SlotCell[]> slots_;
+  void abandon(Slot&, Reservation&, OpCtx&) noexcept {}  // an LL leaves no trace
+};
+
+template <typename T, template <typename> class SlotCellT = llsc::VersionedLlsc,
+          typename ContentionPolicy = NoBackoff>
+class LlscArrayQueue
+    : public BoundedRing<T, LlscSlotPolicy<T, SlotCellT>, LlscIndexPolicy, ContentionPolicy> {
+  using Base = BoundedRing<T, LlscSlotPolicy<T, SlotCellT>, LlscIndexPolicy, ContentionPolicy>;
+
+ public:
+  using SlotCell = typename LlscSlotPolicy<T, SlotCellT>::SlotCell;
+  using Base::Base;
 };
 
 }  // namespace evq

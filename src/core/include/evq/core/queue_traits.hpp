@@ -42,6 +42,18 @@ concept BoundedPtrQueue = ConcurrentPtrQueue<Q> && requires(const Q& q) {
   { q.capacity() } -> std::convertible_to<std::size_t>;
 };
 
+/// A pointer queue with native batch operations (the ring-engine family and
+/// compositions over it): try_push_n pushes a maximal FIFO prefix and
+/// try_pop_n pops a maximal FIFO run, each returning the count transferred.
+template <typename Q>
+concept BatchPtrQueue =
+    ConcurrentPtrQueue<Q> &&
+    requires(Q& q, typename Q::Handle& h, typename Q::pointer const* in, typename Q::pointer* out,
+             std::size_t n) {
+      { q.try_push_n(h, in, n) } -> std::same_as<std::size_t>;
+      { q.try_pop_n(h, out, n) } -> std::same_as<std::size_t>;
+    };
+
 /// Element types legal for pointer queues: the LSB of a valid element
 /// pointer must be unused.
 template <typename T>

@@ -1,0 +1,350 @@
+// The policy-based circular-array ring engine.
+//
+// Both paper algorithms (Fig. 3 and Fig. 5) and the array baselines
+// (Tsigas-Zhang, Shann et al.) share one skeleton: monotone 64-bit Head/Tail
+// counters, a power-of-two slot array, and per operation
+//
+//   load index -> full/empty check -> reserve slot -> re-validate index ->
+//   classify slot -> commit | help-advance the lagging index | retry.
+//
+// BoundedRing factors that skeleton out once; what distinguishes the
+// algorithms is injected through three policies:
+//
+//   SlotPolicy   — what a slot IS and how it is reserved/committed/abandoned
+//                  (LL/SC cell, simulated-LL/SC cell, bare two-null CAS word,
+//                  double-width {pointer, counter} word). Also owns per-queue
+//                  shared state (Algorithm 2's Registry) and the fault-
+//                  injection point names, so a policy-instantiated queue hits
+//                  byte-identical injection streams to its hand-written
+//                  predecessor.
+//   IndexPolicy  — what Head/Tail ARE and how a lagging one is advanced
+//                  (LL/SC CounterCell for Fig. 3 E12-E13/E16-E17 vs. plain
+//                  `CAS(&Index, i, i+1)` for Fig. 5 and the baselines).
+//   ContentionPolicy — what a retry costs. NoBackoff reproduces the paper's
+//                  published loops (retry immediately); ExpBackoff adds the
+//                  bounded spin-then-yield of common/backoff.hpp on every
+//                  retry path. Priced by bench_backoff.
+//
+// The engine also provides batch operations try_push_n/try_pop_n: after a
+// successful operation the next slot index is already known (t+1), so a batch
+// seeds the next iteration's index read with it and skips one shared-counter
+// load per amortized operation. The hint is only ever <= the live index
+// (indices are monotone and the hint is an index this thread itself advanced
+// past), which keeps both boundary checks conservative: a stale-low tail can
+// only under-report occupancy (the signed E6 check and the E10 re-validation
+// catch it), and a stale-low head makes the D6 empty check compare equal only
+// when the queue is genuinely empty at the moment of the Tail load.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "evq/common/backoff.hpp"
+#include "evq/common/cacheline.hpp"
+#include "evq/common/config.hpp"
+#include "evq/common/op_stats.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/llsc/counter_cell.hpp"
+
+namespace evq {
+
+/// What a reservation found in its slot, relative to operation index i:
+///   kEmptyFresh — empty and writable for index i's generation (push commits
+///                 here; pop treats it as a lagging-Head leftover and helps);
+///   kOccupied   — holds a value (pop commits here; push helps the lagging
+///                 Tail, Fig. 3 E11-E13);
+///   kStaleEmpty — empty but for the WRONG generation (Tsigas-Zhang's
+///                 other-null): the index is stale, plain retry.
+enum class SlotClass : std::uint8_t { kEmptyFresh, kOccupied, kStaleEmpty };
+
+/// The slot-side policy contract. A policy is an instance member of the ring
+/// (it may own shared state such as Algorithm 2's Registry) and must provide
+/// the six injection-point names of the torture substrate.
+template <typename P, typename T>
+concept RingSlotPolicy =
+    requires(P p, typename P::Slot& slot, typename P::Handle& h, typename P::OpCtx& ctx,
+             typename P::Reservation& res, T* node, std::uint64_t index) {
+      { p.attach(std::size_t{1}) };
+      { p.init_slot(slot, index) };
+      { p.make_handle() } -> std::same_as<typename P::Handle>;
+      { p.begin_op(h) } -> std::same_as<typename P::OpCtx>;
+      { p.reserve(slot, ctx) } -> std::same_as<typename P::Reservation>;
+      { p.classify(res, index) } -> std::same_as<SlotClass>;
+      { p.commit_push(slot, res, node, index, ctx) } -> std::same_as<bool>;
+      { p.commit_pop(slot, res, index, ctx) } -> std::same_as<bool>;
+      { p.value_of(res) } -> std::same_as<T*>;
+      { p.abandon(slot, res, ctx) };
+      { P::kPushEnter } -> std::convertible_to<const char*>;
+      { P::kPushReserved } -> std::convertible_to<const char*>;
+      { P::kPushCommitted } -> std::convertible_to<const char*>;
+      { P::kPopEnter } -> std::convertible_to<const char*>;
+      { P::kPopReserved } -> std::convertible_to<const char*>;
+      { P::kPopCommitted } -> std::convertible_to<const char*>;
+    };
+
+/// The index-side policy contract: a Cell holding a monotone 64-bit counter.
+template <typename P>
+concept RingIndexPolicy = requires(typename P::Cell& cell, std::uint64_t expected) {
+  { P::load(cell) } -> std::same_as<std::uint64_t>;
+  { P::advance(cell, expected) };
+};
+
+/// Fig. 3's index handling: Head/Tail are LL/SC cells and a lagging index is
+/// advanced with LL; compare; SC (E12-E13 on behalf of a peer, E16-E17 to
+/// publish one's own operation — the paper uses the identical sequence for
+/// both, which is why helping is safe: a failed SC means someone else already
+/// moved the index).
+struct LlscIndexPolicy {
+  using Cell = llsc::CounterCell;
+
+  static std::uint64_t load(Cell& cell) noexcept { return cell.load(); }
+
+  static void advance(Cell& cell, std::uint64_t expected) noexcept {
+    auto link = cell.ll();          // E12/E16 (D12/D16)
+    if (link.value() == expected) {
+      cell.sc(link, expected + 1);  // E13/E17 (D13/D17)
+    }
+  }
+};
+
+/// Fig. 5's (and the CAS baselines') index handling: plain
+/// `CAS(&Index, i, i+1)` — identical to an LL/SC increment because the
+/// counters are monotone (see counter_cell.hpp). AdvancePoint is the
+/// queue-specific injection-point name ("core.cas.index.advance", ...).
+template <const char* AdvancePoint>
+struct CasIndexPolicy {
+  using Cell = std::atomic<std::uint64_t>;
+
+  static std::uint64_t load(Cell& cell) noexcept {
+    return cell.load(std::memory_order_seq_cst);
+  }
+
+  static void advance(Cell& cell, std::uint64_t expected) noexcept {
+    // Delay-only point: the advance CAS must always be ATTEMPTED, because
+    // its failure is read as "another thread already advanced the index" —
+    // skipping it on a stream's final operation would forge a permanently
+    // lagging index no real preemption can produce (a CAS, unlike weak
+    // LL/SC, never fails spuriously).
+    EVQ_INJECT_POINT(AdvancePoint);
+    stats::on_cas(
+        cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
+  }
+};
+
+/// The shared circular-array skeleton. Thin queue fronts (LlscArrayQueue,
+/// CasArrayQueue, TsigasZhangQueue, ShannQueue) derive from this and add only
+/// their documentation and algorithm-specific accessors.
+template <typename T, typename SlotPolicy, typename IndexPolicy,
+          typename ContentionPolicy = NoBackoff>
+  requires RingSlotPolicy<SlotPolicy, T> && RingIndexPolicy<IndexPolicy>
+class BoundedRing {
+  static_assert(kQueueableV<T>, "element type must be at least 2-byte aligned");
+
+ public:
+  using value_type = T;
+  using pointer = T*;
+  using Handle = typename SlotPolicy::Handle;
+  using Slot = typename SlotPolicy::Slot;
+
+  /// Capacity is rounded up to a power of two (the paper requires Q_LENGTH
+  /// to be a power of 2 so index wraparound never skips slots).
+  explicit BoundedRing(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {
+    policy_.attach(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      policy_.init_slot(slots_[i], static_cast<std::uint64_t>(i));
+    }
+  }
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  [[nodiscard]] Handle handle() { return policy_.make_handle(); }
+
+  /// Fig. 3 E1-E21 / Fig. 5 Enqueue. Returns false iff the queue was full at
+  /// some instant during the call (the paper's FULL_QUEUE).
+  bool try_push(Handle& h, T* node) noexcept { return push_one(h, node, nullptr); }
+
+  /// Fig. 3 D1-D21 / Fig. 5 Dequeue. Returns nullptr iff the queue was empty
+  /// at some instant during the call.
+  T* try_pop(Handle& h) noexcept { return pop_one(h, nullptr); }
+
+  /// Pushes up to `count` nodes in FIFO order; returns how many landed. Stops
+  /// at the first full-queue report, so a short return means the queue was
+  /// full at that instant. Consecutive pushes seed each other's index read
+  /// (one shared Tail load saved per amortized operation); each element still
+  /// runs the full per-operation protocol (Algorithm 2 re-registers per
+  /// element, as the paper's ReRegister requires between operations).
+  std::size_t try_push_n(Handle& h, T* const* nodes, std::size_t count) noexcept {
+    std::uint64_t hint = kNoHint;
+    std::size_t done = 0;
+    while (done < count && push_one(h, nodes[done], &hint)) {
+      ++done;
+    }
+    return done;
+  }
+
+  /// Pops up to `count` nodes in FIFO order into `out`; returns how many were
+  /// obtained. Stops at the first empty report.
+  std::size_t try_pop_n(Handle& h, T** out, std::size_t count) noexcept {
+    std::uint64_t hint = kNoHint;
+    std::size_t done = 0;
+    while (done < count) {
+      T* node = pop_one(h, &hint);
+      if (node == nullptr) {
+        break;
+      }
+      out[done++] = node;
+    }
+    return done;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Instantaneous size estimate (exact when quiescent).
+  [[nodiscard]] std::size_t size_estimate() noexcept {
+    const std::uint64_t h = IndexPolicy::load(head_.value);
+    const std::uint64_t t = IndexPolicy::load(tail_.value);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  /// Diagnostic counters for tests.
+  [[nodiscard]] std::uint64_t head_index() noexcept { return IndexPolicy::load(head_.value); }
+  [[nodiscard]] std::uint64_t tail_index() noexcept { return IndexPolicy::load(tail_.value); }
+
+ protected:
+  /// The policy instance — derived queues expose algorithm-specific state
+  /// through it (e.g. CasArrayQueue::registry()).
+  [[nodiscard]] SlotPolicy& slot_policy() noexcept { return policy_; }
+
+ private:
+  static constexpr std::uint64_t kNoHint = ~std::uint64_t{0};
+
+  /// One full enqueue. `hint`, when non-null and armed, replaces the initial
+  /// Tail load (batch amortization) and is re-armed with t+1 on success; any
+  /// retry falls back to the live index.
+  bool push_one(Handle& h, T* node, std::uint64_t* hint) noexcept {
+    EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
+    typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
+    ContentionPolicy backoff;
+    for (;;) {
+      EVQ_INJECT_POINT(SlotPolicy::kPushEnter);
+      std::uint64_t t;
+      if (hint != nullptr && *hint != kNoHint) {
+        t = *hint;
+        *hint = kNoHint;  // one-shot: any retry reloads the live index
+      } else {
+        t = IndexPolicy::load(tail_.value);                          // E5
+      }
+      // E6 — full check. The occupancy must be compared SIGNED: `t` may be
+      // stale (another thread advanced Head past it between our two reads),
+      // making the unsigned difference underflow and report full spuriously
+      // — a bug our model checker found in an earlier unsigned version. A
+      // stale-negative occupancy simply proceeds; E10 then catches it.
+      if (static_cast<std::int64_t>(t - IndexPolicy::load(head_.value)) >=
+          static_cast<std::int64_t>(capacity_)) {
+        return false;                                                // E7
+      }
+      Slot& slot = slots_[t & mask_];                                // E8
+      typename SlotPolicy::Reservation res = policy_.reserve(slot, ctx);  // E9
+      EVQ_INJECT_POINT(SlotPolicy::kPushReserved);
+      if (t != IndexPolicy::load(tail_.value)) {                     // E10
+        policy_.abandon(slot, res, ctx);  // index moved under us: restore and retry
+        backoff.pause();
+        continue;
+      }
+      switch (policy_.classify(res, t)) {
+        case SlotClass::kOccupied:
+          // A concurrent enqueuer filled this slot but has not advanced Tail
+          // yet — help it (E11-E13) and retry with the fresh index.
+          policy_.abandon(slot, res, ctx);
+          stats::on_help_advance();
+          IndexPolicy::advance(tail_.value, t);
+          break;
+        case SlotClass::kEmptyFresh:
+          if (policy_.commit_push(slot, res, node, t, ctx)) {        // E15
+            stats::on_slot_sc(true);
+            // Linearized: the item is in the array but Tail still lags —
+            // the state the kill-mid-enqueue profile freezes.
+            EVQ_INJECT_POINT(SlotPolicy::kPushCommitted);
+            IndexPolicy::advance(tail_.value, t);                    // E16-E17
+            if (hint != nullptr) {
+              *hint = t + 1;
+            }
+            return true;                                             // E18
+          }
+          // SC failed: the slot changed under our reservation — start over.
+          stats::on_slot_sc(false);
+          break;
+        case SlotClass::kStaleEmpty:
+          // Empty for the wrong generation (two-null scheme): stale index.
+          break;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// One full dequeue; `hint` as in push_one.
+  T* pop_one(Handle& h, std::uint64_t* hint) noexcept {
+    typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
+    ContentionPolicy backoff;
+    for (;;) {
+      EVQ_INJECT_POINT(SlotPolicy::kPopEnter);
+      std::uint64_t head;
+      if (hint != nullptr && *hint != kNoHint) {
+        head = *hint;
+        *hint = kNoHint;
+      } else {
+        head = IndexPolicy::load(head_.value);                       // D5
+      }
+      if (head == IndexPolicy::load(tail_.value)) {                  // D6
+        return nullptr;                                              // D7
+      }
+      Slot& slot = slots_[head & mask_];                             // D8
+      typename SlotPolicy::Reservation res = policy_.reserve(slot, ctx);  // D9
+      EVQ_INJECT_POINT(SlotPolicy::kPopReserved);
+      if (head != IndexPolicy::load(head_.value)) {                  // D10
+        policy_.abandon(slot, res, ctx);
+        backoff.pause();
+        continue;
+      }
+      if (policy_.classify(res, head) == SlotClass::kOccupied) {
+        if (policy_.commit_pop(slot, res, head, ctx)) {              // D15
+          stats::on_slot_sc(true);
+          // Linearized: the slot is empty but Head still lags.
+          EVQ_INJECT_POINT(SlotPolicy::kPopCommitted);
+          IndexPolicy::advance(head_.value, head);                   // D16-D17
+          if (hint != nullptr) {
+            *hint = head + 1;
+          }
+          return policy_.value_of(res);                              // D18
+        }
+        stats::on_slot_sc(false);
+      } else {
+        // The item at head was already removed by a dequeuer that has not
+        // advanced Head yet — help it (D11-D13) and retry.
+        policy_.abandon(slot, res, ctx);
+        stats::on_help_advance();
+        IndexPolicy::advance(head_.value, head);
+      }
+      backoff.pause();
+    }
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  // Indices on their own cache lines: both are write-hot and shared.
+  CachePadded<typename IndexPolicy::Cell> head_{};
+  CachePadded<typename IndexPolicy::Cell> tail_{};
+  std::unique_ptr<Slot[]> slots_;
+  [[no_unique_address]] SlotPolicy policy_;
+};
+
+}  // namespace evq

@@ -1,0 +1,200 @@
+// Sharded composition layer: N independent rings behind one queue facade.
+//
+// The paper's array queues serialize every operation through two shared
+// counters; past a handful of cores the counters' cache lines are the
+// bottleneck no matter how cheap the per-slot protocol is (the flat segment
+// of Fig. 6 past the knee). ShardedQueue trades strict global FIFO for
+// scalability the way SCQ/wCQ-era designs partition load: it stripes
+// operations across `shards` inner queues, giving each handle an affinity
+// shard (round-robin at handle creation) so steady-state traffic from
+// different threads lands on different counters.
+//
+//   * push: try the affinity shard; when it reports full, overflow into the
+//     next shards in ring order (so a push fails only when EVERY shard is
+//     full at its probe — total capacity, not shard capacity, is the bound).
+//   * pop: try the affinity shard; when it reports empty, steal from the
+//     next shards in ring order (a pop fails only when every shard probe
+//     reported empty).
+//
+// Ordering contract: per-handle sequential FIFO is preserved (a single
+// thread's fill-then-drain scans shards in the same order on both sides),
+// but cross-thread per-producer FIFO is NOT — two items pushed by one
+// producer into different shards can be popped in either order. Registry
+// entries therefore carry `fifo = false` and the checkers skip the
+// per-producer order assertion; conservation and lock-freedom are unchanged
+// (each shard is the unmodified paper algorithm).
+//
+// Batch operations forward natively when the inner queue is a BatchPtrQueue
+// (the ring engine), draining/filling one shard before moving to the next.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "evq/common/config.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+
+namespace evq {
+
+template <ConcurrentPtrQueue Q>
+class ShardedQueue {
+ public:
+  using value_type = typename Q::value_type;
+  using pointer = typename Q::pointer;
+  using T = value_type;
+
+  /// One inner handle per shard plus the affinity start index. Movable, not
+  /// copyable (inner handles may hold registrations).
+  class Handle {
+   public:
+    Handle(Handle&&) = default;
+    Handle& operator=(Handle&&) = default;
+
+   private:
+    friend class ShardedQueue;
+    Handle(std::vector<typename Q::Handle> inner, std::size_t start)
+        : inner_(std::move(inner)), start_(start) {}
+
+    std::vector<typename Q::Handle> inner_;
+    std::size_t start_;
+  };
+
+  /// `min_total_capacity` is split evenly across `shards` rings. The shard
+  /// count is clamped so every shard holds at least 2 slots (the ring
+  /// minimum) WITHOUT inflating the total: a capacity-4 request with 4
+  /// shards yields 2 shards of 2, not 4 shards of 2 — so for power-of-two
+  /// shard counts capacity() stays exactly what a single ring of the same
+  /// request would report.
+  explicit ShardedQueue(std::size_t min_total_capacity, std::size_t shards = 4)
+      : shard_count_(std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(
+                                                            1, min_total_capacity / 2))) {
+    const std::size_t per_shard =
+        (min_total_capacity + shard_count_ - 1) / shard_count_;
+    shards_.reserve(shard_count_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_.push_back(std::make_unique<Q>(per_shard < 2 ? 2 : per_shard));
+    }
+  }
+
+  ShardedQueue(const ShardedQueue&) = delete;
+  ShardedQueue& operator=(const ShardedQueue&) = delete;
+
+  [[nodiscard]] Handle handle() {
+    std::vector<typename Q::Handle> inner;
+    inner.reserve(shard_count_);
+    for (auto& shard : shards_) {
+      inner.push_back(shard->handle());
+    }
+    const std::size_t start =
+        next_affinity_.fetch_add(1, std::memory_order_relaxed) % shard_count_;
+    return Handle{std::move(inner), start};
+  }
+
+  /// False only when every shard reported full during the scan.
+  bool try_push(Handle& h, T* node) noexcept {
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      const std::size_t s = shard_of(h, i);
+      if (shards_[s]->try_push(h.inner_[s], node)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// nullptr only when every shard reported empty during the scan.
+  T* try_pop(Handle& h) noexcept {
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      const std::size_t s = shard_of(h, i);
+      if (T* node = shards_[s]->try_pop(h.inner_[s])) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t try_push_n(Handle& h, T* const* nodes, std::size_t count) noexcept {
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < shard_count_ && done < count; ++i) {
+      const std::size_t s = shard_of(h, i);
+      if constexpr (BatchPtrQueue<Q>) {
+        done += shards_[s]->try_push_n(h.inner_[s], nodes + done, count - done);
+      } else {
+        while (done < count && shards_[s]->try_push(h.inner_[s], nodes[done])) {
+          ++done;
+        }
+      }
+    }
+    return done;
+  }
+
+  std::size_t try_pop_n(Handle& h, T** out, std::size_t count) noexcept {
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < shard_count_ && done < count; ++i) {
+      const std::size_t s = shard_of(h, i);
+      if constexpr (BatchPtrQueue<Q>) {
+        done += shards_[s]->try_pop_n(h.inner_[s], out + done, count - done);
+      } else {
+        while (done < count) {
+          T* node = shards_[s]->try_pop(h.inner_[s]);
+          if (node == nullptr) {
+            break;
+          }
+          out[done++] = node;
+        }
+      }
+    }
+    return done;
+  }
+
+  /// Sum of the shard capacities (the real bound on population).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->capacity();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t size_estimate() noexcept {
+    std::size_t total = 0;
+    for (auto& shard : shards_) {
+      total += shard->size_estimate();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// Direct shard access for tests and diagnostics.
+  [[nodiscard]] Q& shard(std::size_t s) noexcept { return *shards_[s]; }
+
+ private:
+  /// The i-th shard a handle probes: affinity first, then ring order.
+  [[nodiscard]] std::size_t shard_of(const Handle& h, std::size_t i) const noexcept {
+    const std::size_t s = h.start_ + i;
+    return s >= shard_count_ ? s - shard_count_ : s;
+  }
+
+  std::size_t shard_count_;
+  std::vector<std::unique_ptr<Q>> shards_;
+  std::atomic<std::size_t> next_affinity_{0};
+};
+
+static_assert(BoundedPtrQueue<ShardedQueue<CasArrayQueue<int>>>);
+static_assert(BatchPtrQueue<ShardedQueue<CasArrayQueue<int>>>);
+
+/// Single-template-parameter aliases so the sharded layer composes with
+/// ValueQueue (which takes a template<typename> class).
+template <typename T>
+using ShardedCasQueue = ShardedQueue<CasArrayQueue<T>>;
+template <typename T>
+using ShardedLlscQueue = ShardedQueue<LlscArrayQueue<T, llsc::PackedLlsc>>;
+
+}  // namespace evq

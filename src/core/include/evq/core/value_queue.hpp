@@ -62,17 +62,26 @@ class ValueQueue {
 
   [[nodiscard]] Handle handle() { return Handle{queue_.handle()}; }
 
-  /// Enqueues a copy/move of `value`; false when the queue is full.
-  bool try_push(Handle& h, T value) {
-    Node* node = pool_.take();
-    if (node != nullptr) {
-      node->value = std::move(value);  // reinitialize a recycled node
-    } else {
-      node = pool_.make(std::move(value));
-    }
+  /// Enqueues a copy of `value`; false when the queue is full. The argument
+  /// is untouched on failure.
+  bool try_push(Handle& h, const T& value) {
+    Node* node = box(value);
     if (queue_.try_push(h.inner_, node)) {
       return true;
     }
+    pool_.put(node);
+    return false;
+  }
+
+  /// Enqueues a moved-from `value`; false when the queue is full. On failure
+  /// the value is moved BACK into the argument, so the caller still owns it
+  /// and can retry — a full queue must not destroy the caller's data.
+  bool try_push(Handle& h, T&& value) {
+    Node* node = box(std::move(value));
+    if (queue_.try_push(h.inner_, node)) {
+      return true;
+    }
+    value = std::move(node->value);
     pool_.put(node);
     return false;
   }
@@ -91,6 +100,18 @@ class ValueQueue {
   [[nodiscard]] Queue& underlying() noexcept { return queue_; }
 
  private:
+  /// Boxes a value into a pool-recycled node.
+  template <typename U>
+  Node* box(U&& value) {
+    Node* node = pool_.take();
+    if (node != nullptr) {
+      node->value = std::forward<U>(value);  // reinitialize a recycled node
+    } else {
+      node = pool_.make(std::forward<U>(value));
+    }
+    return node;
+  }
+
   Queue queue_;
   reclaim::FreePool<Node> pool_;
 };

@@ -9,6 +9,7 @@
 // dequeue.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -29,6 +30,29 @@ class AnyHandle {
   virtual ~AnyHandle() = default;
   virtual bool try_push(Payload* p) = 0;
   virtual Payload* try_pop() = 0;
+
+  /// Batch entry points. Queues with native batch support (BatchPtrQueue)
+  /// override these with a single amortized call; for everything else the
+  /// defaults degrade to an op-by-op loop with the same maximal-prefix
+  /// semantics, so harness code can always use the batch form.
+  virtual std::size_t try_push_n(Payload* const* in, std::size_t count) {
+    std::size_t done = 0;
+    while (done < count && try_push(in[done])) {
+      ++done;
+    }
+    return done;
+  }
+  virtual std::size_t try_pop_n(Payload** out, std::size_t count) {
+    std::size_t done = 0;
+    while (done < count) {
+      Payload* p = try_pop();
+      if (p == nullptr) {
+        break;
+      }
+      out[done++] = p;
+    }
+    return done;
+  }
 };
 
 /// A queue instance, type-erased. handle() is called once per worker thread.
@@ -58,6 +82,21 @@ class QueueAdapter final : public AnyQueue {
     explicit HandleAdapter(Q& q) : queue_(q), handle_(q.handle()) {}
     bool try_push(Payload* p) override { return queue_.try_push(handle_, p); }
     Payload* try_pop() override { return queue_.try_pop(handle_); }
+
+    std::size_t try_push_n(Payload* const* in, std::size_t count) override {
+      if constexpr (BatchPtrQueue<Q>) {
+        return queue_.try_push_n(handle_, in, count);
+      } else {
+        return AnyHandle::try_push_n(in, count);
+      }
+    }
+    std::size_t try_pop_n(Payload** out, std::size_t count) override {
+      if constexpr (BatchPtrQueue<Q>) {
+        return queue_.try_pop_n(handle_, out, count);
+      } else {
+        return AnyHandle::try_pop_n(out, count);
+      }
+    }
 
    private:
     Q& queue_;

@@ -19,6 +19,11 @@
 //   tsigas-zhang       Tsigas-Zhang two-null array queue (assumption-bound)
 //   mutex              blocking baseline
 //   unsync             single-thread unsynchronized ring (overhead baseline)
+//   fifo-llsc-backoff  Algorithm 1 with exponential backoff in retry loops
+//   fifo-simcas-backoff Algorithm 2 with exponential backoff in retry loops
+//   sharded-llsc       4-shard ShardedQueue over Algorithm 1 (not per-
+//                      producer FIFO under MPMC; see core/sharded_queue.hpp)
+//   sharded-simcas     4-shard ShardedQueue over Algorithm 2 (ditto)
 #pragma once
 
 #include <cstddef>
@@ -40,6 +45,9 @@ struct QueueSpec {
   std::string paper_label; // label used in the paper's Fig. 6, if any
   bool bounded = false;    // array-based: respects `capacity`
   bool concurrent = true;  // false only for the unsynchronized ring
+  bool fifo = true;        // per-producer FIFO under MPMC (sharded queues
+                           // trade this for scalability; checkers skip the
+                           // order assertion when false)
   QueueFactory make;
 };
 

@@ -11,8 +11,10 @@
 #include "evq/baselines/shann_queue.hpp"
 #include "evq/baselines/tsigas_zhang_queue.hpp"
 #include "evq/baselines/unsync_ring.hpp"
+#include "evq/common/backoff.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 
@@ -48,30 +50,42 @@ std::vector<QueueSpec> build_registry() {
   // versioned (double-width) emulation has the exact Fig. 2 semantics but
   // pays a cmpxchg16b per LL, which real LL/SC hardware does not — it is
   // kept as the reference-semantics variant for the A1 ablation.
-  specs.push_back({"fifo-llsc", "FIFO Array LL/SC", true, true,
+  specs.push_back({"fifo-llsc", "FIFO Array LL/SC", true, true, true,
                    make_factory<LlscPackedQueue>()});
-  specs.push_back({"fifo-llsc-versioned", "FIFO Array LL/SC (versioned DWCAS)", true, true,
+  specs.push_back({"fifo-llsc-versioned", "FIFO Array LL/SC (versioned DWCAS)", true, true, true,
                    make_factory<LlscQueue>()});
-  specs.push_back({"fifo-simcas", "FIFO Array Simulated CAS", true, true,
+  specs.push_back({"fifo-simcas", "FIFO Array Simulated CAS", true, true, true,
                    make_factory<CasArrayQueue<Payload>>()});
-  specs.push_back({"ms-hp", "MS-Hazard Pointers Not Sorted", false, true,
+  specs.push_back({"ms-hp", "MS-Hazard Pointers Not Sorted", false, true, true,
                    make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kUnsorted, std::size_t{4})});
-  specs.push_back({"ms-hp-sorted", "MS-Hazard Pointers Sorted", false, true,
+  specs.push_back({"ms-hp-sorted", "MS-Hazard Pointers Sorted", false, true, true,
                    make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kSorted, std::size_t{4})});
-  specs.push_back({"ms-doherty", "MS-Doherty et al.", false, true,
+  specs.push_back({"ms-doherty", "MS-Doherty et al.", false, true, true,
                    make_factory<MsSimQueue<Payload>>()});
-  specs.push_back({"shann", "Shann et al. (CAS2w)", true, true,
+  specs.push_back({"shann", "Shann et al. (CAS2w)", true, true, true,
                    make_factory<ShannQueue<Payload>>()});
-  specs.push_back({"ms-pool", "MS free-pool", false, true,
+  specs.push_back({"ms-pool", "MS free-pool", false, true, true,
                    make_factory<MsPoolQueue<Payload>>()});
-  specs.push_back({"ms-ebr", "MS epoch-based reclamation", false, true,
+  specs.push_back({"ms-ebr", "MS epoch-based reclamation", false, true, true,
                    make_factory<baselines::MsEbrQueue<Payload>>()});
-  specs.push_back({"tsigas-zhang", "Tsigas-Zhang (two-null, assumption-bound)", true, true,
+  specs.push_back({"tsigas-zhang", "Tsigas-Zhang (two-null, assumption-bound)", true, true, true,
                    make_factory<baselines::TsigasZhangQueue<Payload>>()});
-  specs.push_back({"mutex", "Mutex ring", true, true,
+  specs.push_back({"mutex", "Mutex ring", true, true, true,
                    make_factory<MutexQueue<Payload>>()});
-  specs.push_back({"unsync", "Unsynchronized ring", true, false,
+  specs.push_back({"unsync", "Unsynchronized ring", true, false, true,
                    make_factory<UnsyncRing<Payload>>()});
+  // Contention-management ablation: the same two paper algorithms with
+  // ExpBackoff threaded through every retry loop (bench_backoff's subjects).
+  specs.push_back({"fifo-llsc-backoff", "FIFO Array LL/SC + exp backoff", true, true, true,
+                   make_factory<LlscArrayQueue<Payload, llsc::PackedLlsc, ExpBackoff>>()});
+  specs.push_back({"fifo-simcas-backoff", "FIFO Array Simulated CAS + exp backoff", true, true,
+                   true, make_factory<CasArrayQueue<Payload, ExpBackoff>>()});
+  // Sharded scaling layer: 4 shards over each paper algorithm. Per-producer
+  // MPMC FIFO is traded away (fifo = false) for counter decontention.
+  specs.push_back({"sharded-llsc", "Sharded FIFO Array LL/SC (4 shards)", true, true, false,
+                   make_factory<ShardedLlscQueue<Payload>>(std::size_t{4})});
+  specs.push_back({"sharded-simcas", "Sharded FIFO Array Simulated CAS (4 shards)", true, true,
+                   false, make_factory<ShardedCasQueue<Payload>>(std::size_t{4})});
   return specs;
 }
 

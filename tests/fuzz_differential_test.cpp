@@ -6,9 +6,11 @@
 // probe statistically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "evq/baselines/ms_ebr_queue.hpp"
@@ -22,6 +24,7 @@
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/verify/fifo_checkers.hpp"
 
@@ -79,6 +82,93 @@ void fuzz_against_model(std::size_t capacity, std::uint64_t seed, int ops, int b
     model.pop_front();
   }
   ASSERT_EQ(q->try_pop(h), nullptr);
+}
+
+/// Batch differential: random try_push_n / try_pop_n calls (sizes 0..8)
+/// against the same deque model. Batch semantics are the maximal prefix —
+/// push_n transfers min(n, free) items, pop_n min(n, size), both in FIFO
+/// order — so the model predicts the exact count AND the exact items.
+template <typename Q>
+void fuzz_batch_against_model(std::size_t capacity, std::uint64_t seed, int ops, int bias_push) {
+  std::unique_ptr<Q> q(make_queue<Q>(capacity));
+  const std::size_t model_capacity = q->capacity();
+  auto h = q->handle();
+  XorShift64Star rng(seed);
+  std::vector<Token> arena(static_cast<std::size_t>(ops) * 8 + 8);
+  std::size_t next_token = 0;
+  std::deque<Token*> model;
+  for (int i = 0; i < ops; ++i) {
+    const std::size_t n = rng.next() % 9;
+    if (rng.chance(static_cast<std::uint64_t>(bias_push), 100)) {
+      std::vector<Token*> in(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        in[k] = &arena[next_token + k];
+      }
+      const std::size_t pushed = q->try_push_n(h, in.data(), n);
+      const std::size_t expect = std::min(n, model_capacity - model.size());
+      ASSERT_EQ(pushed, expect) << "push_n count disagreement at op " << i;
+      for (std::size_t k = 0; k < pushed; ++k) {
+        model.push_back(in[k]);
+      }
+      next_token += pushed;
+    } else {
+      std::vector<Token*> out(n, nullptr);
+      const std::size_t popped = q->try_pop_n(h, out.data(), n);
+      ASSERT_EQ(popped, std::min(n, model.size())) << "pop_n count disagreement at op " << i;
+      for (std::size_t k = 0; k < popped; ++k) {
+        ASSERT_EQ(out[k], model.front()) << "pop_n order disagreement at op " << i;
+        model.pop_front();
+      }
+    }
+  }
+  while (!model.empty()) {
+    ASSERT_EQ(q->try_pop(h), model.front());
+    model.pop_front();
+  }
+  ASSERT_EQ(q->try_pop(h), nullptr);
+}
+
+/// Sharded differential: cross-shard scans drop global FIFO, so the model is
+/// a multiset with the total-capacity bound — push fails only when the whole
+/// structure is full, pop only when it is empty, and every pop returns a live
+/// member (single-threaded, so probes cannot race and these are exact).
+template <typename Q>
+void fuzz_sharded_against_multiset(std::size_t capacity, std::size_t shards, std::uint64_t seed,
+                                   int ops, int bias_push) {
+  ShardedQueue<Q> q(capacity, shards);
+  const std::size_t total_capacity = q.capacity();
+  auto h = q.handle();
+  XorShift64Star rng(seed);
+  std::vector<Token> arena(static_cast<std::size_t>(ops) + 1);
+  std::size_t next_token = 0;
+  std::multiset<Token*> model;
+  for (int i = 0; i < ops; ++i) {
+    if (rng.chance(static_cast<std::uint64_t>(bias_push), 100)) {
+      Token* tok = &arena[next_token];
+      const bool pushed = q.try_push(h, tok);
+      ASSERT_EQ(pushed, model.size() < total_capacity) << "push disagreement at op " << i;
+      if (pushed) {
+        model.insert(tok);
+        ++next_token;
+      }
+    } else {
+      Token* popped = q.try_pop(h);
+      if (model.empty()) {
+        ASSERT_EQ(popped, nullptr) << "pop from empty disagreement at op " << i;
+      } else {
+        auto it = model.find(popped);
+        ASSERT_NE(it, model.end()) << "pop returned a non-member at op " << i;
+        model.erase(it);
+      }
+    }
+  }
+  while (!model.empty()) {
+    Token* popped = q.try_pop(h);
+    auto it = model.find(popped);
+    ASSERT_NE(it, model.end()) << "drain returned a non-member";
+    model.erase(it);
+  }
+  ASSERT_EQ(q.try_pop(h), nullptr);
 }
 
 struct FuzzCase {
@@ -145,6 +235,50 @@ TEST_P(DifferentialFuzz, MsEbrQueue) {
 TEST_P(DifferentialFuzz, MsSimQueue) {
   const auto p = GetParam();
   fuzz_against_model<baselines::MsSimQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, LlscArrayQueueBackoff) {
+  const auto p = GetParam();
+  fuzz_against_model<LlscArrayQueue<Token, llsc::PackedLlsc, ExpBackoff>>(p.capacity, p.seed, kOps,
+                                                                          p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CasArrayQueueBackoff) {
+  const auto p = GetParam();
+  fuzz_against_model<CasArrayQueue<Token, ExpBackoff>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, LlscArrayQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<LlscArrayQueue<Token, llsc::PackedLlsc>>(p.capacity, p.seed, kOps / 4,
+                                                                    p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CasArrayQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<CasArrayQueue<Token>>(p.capacity, p.seed, kOps / 4, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShannQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<baselines::ShannQueue<Token>>(p.capacity, p.seed, kOps / 4, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, TsigasZhangQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<baselines::TsigasZhangQueue<Token>>(p.capacity, p.seed, kOps / 4,
+                                                               p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShardedLlscQueue) {
+  const auto p = GetParam();
+  fuzz_sharded_against_multiset<LlscArrayQueue<Token, llsc::PackedLlsc>>(p.capacity * 4, 4, p.seed,
+                                                                         kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShardedCasQueue) {
+  const auto p = GetParam();
+  fuzz_sharded_against_multiset<CasArrayQueue<Token>>(p.capacity * 4, 4, p.seed, kOps, p.bias_push);
 }
 
 INSTANTIATE_TEST_SUITE_P(

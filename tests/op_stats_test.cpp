@@ -14,6 +14,8 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/llsc/weak_llsc.hpp"
 
 namespace {
 
@@ -24,6 +26,9 @@ using stats::ScopedOpRecording;
 struct Item {
   int x = 0;
 };
+
+template <typename T>
+using WeakSlot = llsc::WeakLlsc<llsc::VersionedLlsc<T>, 20>;
 
 TEST(OpStats, DisabledByDefault) {
   // No recording scope: hooks must not crash and must count nowhere.
@@ -205,6 +210,62 @@ TEST(OpProfile, MsDoherty_ManyOpsPerQueueOperation) {
   EXPECT_GE(c.cas_attempts, 8u);
   EXPECT_GE(c.faa, 4u) << "guard protocol: +1/-1 per dereferenced node";
   EXPECT_EQ(c.wide_cas_attempts, 0u) << "Doherty-style scheme is pointer-wide only";
+}
+
+// ---------------------------------------------------------------------------
+// Ring-engine algorithm-level counters (slot SC attempts/failures, help
+// advances). The deterministic schedules that FORCE a failure and a help live
+// in the injected binary (tests/stats_injection_test.cpp); here the counters
+// are pinned in the uncontended regime and against a spuriously-failing cell.
+// ---------------------------------------------------------------------------
+
+TEST(OpProfile, RingEngineCountersUncontendedBaseline) {
+  // Uncontended, both algorithms: every slot commit succeeds on the first
+  // try and nobody needs help — and the new counters must not perturb the
+  // exact primitive counts asserted above.
+  LlscArrayQueue<Item, llsc::PackedLlsc> llsc_q(8);
+  CasArrayQueue<Item> cas_q(8);
+  auto lh = llsc_q.handle();
+  auto ch = cas_q.handle();
+  Item item;
+  OpCounters c;
+  {
+    ScopedOpRecording rec(c);
+    ASSERT_TRUE(llsc_q.try_push(lh, &item));
+    ASSERT_EQ(llsc_q.try_pop(lh), &item);
+  }
+  EXPECT_EQ(c.slot_sc_attempts, 2u);  // one commit per operation
+  EXPECT_EQ(c.slot_sc_failures, 0u);
+  EXPECT_EQ(c.help_advances, 0u);
+  {
+    ScopedOpRecording rec(c);
+    ASSERT_TRUE(cas_q.try_push(ch, &item));
+    ASSERT_EQ(cas_q.try_pop(ch), &item);
+  }
+  EXPECT_EQ(c.slot_sc_attempts, 2u);
+  EXPECT_EQ(c.slot_sc_failures, 0u);
+  EXPECT_EQ(c.help_advances, 0u);
+}
+
+TEST(OpProfile, RingEngineCountsSpuriousScFailures) {
+  // WeakLlsc makes the slot SC fail spuriously ~20% of the time from a
+  // deterministic per-object stream; the engine's retry loop absorbs every
+  // failure and the counter must see each one.
+  LlscArrayQueue<Item, WeakSlot> q(8);
+  auto h = q.handle();
+  Item item;
+  OpCounters c;
+  {
+    ScopedOpRecording rec(c);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(q.try_push(h, &item));
+      ASSERT_EQ(q.try_pop(h), &item);
+    }
+  }
+  EXPECT_EQ(c.slot_sc_attempts - c.slot_sc_failures, 400u)
+      << "exactly one SUCCESSFUL slot commit per completed operation";
+  EXPECT_GT(c.slot_sc_failures, 0u) << "a 20% spurious-failure cell must trip the counter";
+  EXPECT_EQ(c.help_advances, 0u) << "single-threaded: no lagging index to repair";
 }
 
 TEST(OpProfile, ContendedAttemptAccountingIsConsistent) {

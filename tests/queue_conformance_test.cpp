@@ -56,10 +56,17 @@ Q* make_queue(std::size_t capacity) {
 template <typename Q>
 class QueueConformanceTest : public ::testing::Test {};
 
+// Contention-management variants: ExpBackoff only changes how retry loops
+// wait, so the paper-faithful semantics must survive the typed suite intact.
+using LlscBackoffQueue = LlscArrayQueue<Token, llsc::PackedLlsc, ExpBackoff>;
+using CasBackoffQueue = CasArrayQueue<Token, ExpBackoff>;
+
 using AllQueues = ::testing::Types<LlscArrayQueue<Token, llsc::VersionedLlsc>,
                                    LlscArrayQueue<Token, llsc::PackedLlsc>,
                                    LlscArrayQueue<Token, WeakSlot>,
+                                   LlscBackoffQueue,
                                    CasArrayQueue<Token>,
+                                   CasBackoffQueue,
                                    baselines::MsHpQueue<Token>,
                                    MsHpSortedQueue,
                                    baselines::MsPoolQueue<Token>,
@@ -463,8 +470,47 @@ TEST_P(RegistryQueueTest, MpmcConservationWhenConcurrent) {
   const std::vector<std::uint64_t> pushed(kProducers, kPerProducer);
   CheckResult conservation = verify::check_conservation(logs, pushed);
   EXPECT_TRUE(conservation.ok) << spec.name << ": " << conservation.reason;
-  CheckResult order = verify::check_per_producer_order(logs, kProducers);
-  EXPECT_TRUE(order.ok) << spec.name << ": " << order.reason;
+  if (spec.fifo) {
+    CheckResult order = verify::check_per_producer_order(logs, kProducers);
+    EXPECT_TRUE(order.ok) << spec.name << ": " << order.reason;
+  }
+}
+
+TEST_P(RegistryQueueTest, BatchEntryPointsMatchSingleOpSemantics) {
+  // The AnyHandle batch API must transfer a maximal prefix whether the queue
+  // forwards natively (ring-engine family) or through the op-by-op default.
+  const harness::QueueSpec& spec = GetParam();
+  auto q = spec.make(8);
+  auto h = q->handle();
+  std::vector<harness::Payload> payloads(12);
+  std::vector<harness::Payload*> in(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    payloads[i].value = i;
+    in[i] = &payloads[i];
+  }
+  const std::size_t pushed = h->try_push_n(in.data(), in.size());
+  if (spec.bounded) {
+    EXPECT_EQ(pushed, 8u) << spec.name << " must stop a batch at capacity";
+    EXPECT_FALSE(h->try_push(in[pushed])) << spec.name;
+  } else {
+    EXPECT_EQ(pushed, in.size()) << spec.name;
+  }
+  std::vector<harness::Payload*> out(payloads.size(), nullptr);
+  const std::size_t popped = h->try_pop_n(out.data(), out.size());
+  ASSERT_EQ(popped, pushed) << spec.name << " batch pop must drain exactly what was pushed";
+  if (spec.fifo) {
+    for (std::size_t i = 0; i < popped; ++i) {
+      EXPECT_EQ(out[i]->value, i) << spec.name;
+    }
+  } else {
+    // Sharded queues reorder across shards; a single handle still conserves.
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < popped; ++i) {
+      mask |= std::uint64_t{1} << out[i]->value;
+    }
+    EXPECT_EQ(mask, (std::uint64_t{1} << popped) - 1) << spec.name;
+  }
+  EXPECT_EQ(h->try_pop(), nullptr) << spec.name;
 }
 
 std::string registry_test_name(const ::testing::TestParamInfo<harness::QueueSpec>& info) {

@@ -1,0 +1,195 @@
+// Ring-engine-specific contract tests: the batch operations and index-hint
+// amortization added by core/ring_engine.hpp on top of the paper-faithful
+// single-op protocol. The single-op semantics themselves are covered by the
+// conformance, fuzz and torture suites; these tests pin down what the batch
+// layer promises on top:
+//
+//  * try_push_n transfers a maximal FIFO prefix (stops exactly at capacity),
+//    try_pop_n a maximal FIFO run (stops exactly at empty);
+//  * batches interleave correctly with single ops and with wraparound, i.e.
+//    the one-shot hint can never observe a stale index as fresher than it is;
+//  * a zero-length batch is a no-op on state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/tsigas_zhang_queue.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/queue_traits.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+template <typename Q>
+class RingEngineBatchTest : public ::testing::Test {};
+
+using BatchQueues = ::testing::Types<LlscArrayQueue<Token, llsc::PackedLlsc>,
+                                     LlscArrayQueue<Token, llsc::VersionedLlsc>,
+                                     CasArrayQueue<Token>,
+                                     baselines::ShannQueue<Token>,
+                                     baselines::TsigasZhangQueue<Token>>;
+TYPED_TEST_SUITE(RingEngineBatchTest, BatchQueues);
+
+// Every ring-engine instantiation must satisfy the batch concept.
+static_assert(BatchPtrQueue<LlscArrayQueue<Token>>);
+static_assert(BatchPtrQueue<CasArrayQueue<Token>>);
+static_assert(BatchPtrQueue<baselines::ShannQueue<Token>>);
+static_assert(BatchPtrQueue<baselines::TsigasZhangQueue<Token>>);
+
+TYPED_TEST(RingEngineBatchTest, PushBatchStopsExactlyAtCapacity) {
+  TypeParam q(8);
+  auto h = q.handle();
+  std::vector<Token> tokens(12);
+  std::vector<Token*> in(tokens.size());
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+    in[i] = &tokens[i];
+  }
+  EXPECT_EQ(q.try_push_n(h, in.data(), in.size()), q.capacity());
+  EXPECT_FALSE(q.try_push(h, in[q.capacity()])) << "batch must have filled the ring";
+  for (std::uint64_t i = 0; i < q.capacity(); ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i) << "batch prefix must land in FIFO order";
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TYPED_TEST(RingEngineBatchTest, PopBatchStopsExactlyAtEmpty) {
+  TypeParam q(8);
+  auto h = q.handle();
+  std::vector<Token> tokens(5);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &tokens[i]));
+  }
+  std::vector<Token*> out(8, nullptr);
+  EXPECT_EQ(q.try_pop_n(h, out.data(), out.size()), tokens.size());
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(out[i]->seq, i);
+  }
+  EXPECT_EQ(q.try_pop_n(h, out.data(), out.size()), 0u) << "empty queue must yield a zero batch";
+}
+
+TYPED_TEST(RingEngineBatchTest, ZeroLengthBatchesAreNoOps) {
+  TypeParam q(4);
+  auto h = q.handle();
+  Token tok{0, 7};
+  EXPECT_EQ(q.try_push_n(h, nullptr, 0), 0u);
+  EXPECT_EQ(q.try_pop_n(h, nullptr, 0), 0u);
+  ASSERT_TRUE(q.try_push(h, &tok));
+  EXPECT_EQ(q.try_pop_n(h, nullptr, 0), 0u);
+  EXPECT_EQ(q.try_pop(h), &tok);
+}
+
+TYPED_TEST(RingEngineBatchTest, BatchesInterleaveWithSingleOpsAcrossWraps) {
+  // Capacity 4, 64 rounds of (batch-push 3, single push 1, batch-pop 2,
+  // single pops): every round crosses the slot-array boundary, so a stale
+  // push or pop hint would surface as a wrong-generation slot access.
+  TypeParam q(4);
+  auto h = q.handle();
+  std::vector<Token> tokens(4);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 64; ++round) {
+    std::vector<Token*> in(3);
+    for (int k = 0; k < 3; ++k) {
+      tokens[k].seq = seq++;
+      in[k] = &tokens[k];
+    }
+    ASSERT_EQ(q.try_push_n(h, in.data(), 3), 3u) << "round " << round;
+    tokens[3].seq = seq++;
+    ASSERT_TRUE(q.try_push(h, &tokens[3]));
+    ASSERT_EQ(q.try_push_n(h, in.data(), 1), 0u) << "full must stop a batch, round " << round;
+
+    std::vector<Token*> out(2, nullptr);
+    ASSERT_EQ(q.try_pop_n(h, out.data(), 2), 2u);
+    EXPECT_EQ(out[0]->seq, seq - 4);
+    EXPECT_EQ(out[1]->seq, seq - 3);
+    Token* third = q.try_pop(h);
+    ASSERT_NE(third, nullptr);
+    EXPECT_EQ(third->seq, seq - 2);
+    ASSERT_EQ(q.try_pop_n(h, out.data(), 2), 1u) << "partial batch at the tail, round " << round;
+    EXPECT_EQ(out[0]->seq, seq - 1);
+    EXPECT_EQ(q.try_pop(h), nullptr) << "round " << round;
+  }
+}
+
+TYPED_TEST(RingEngineBatchTest, LargeBatchesConserveUnderMpmcStress) {
+  // 2 producers push batches of 1..5, 2 consumers pop batches of 1..5;
+  // conservation through the batch paths under real interleaving.
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 3000;
+  TypeParam q(16);
+  std::vector<std::vector<Token>> tokens(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    tokens[p].resize(kPerProducer);
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      tokens[p][i].producer = static_cast<std::uint32_t>(p);
+      tokens[p][i].seq = i;
+    }
+  }
+  std::vector<verify::ConsumerLog> logs(kConsumers);
+  std::atomic<std::uint64_t> popped{0};
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q.handle();
+      std::uint64_t sent = 0;
+      while (sent < kPerProducer) {
+        std::vector<Token*> in;
+        const std::uint64_t n = std::min<std::uint64_t>(1 + (sent % 5), kPerProducer - sent);
+        for (std::uint64_t k = 0; k < n; ++k) {
+          in.push_back(&tokens[p][sent + k]);
+        }
+        const std::size_t ok = q.try_push_n(h, in.data(), in.size());
+        sent += ok;
+        if (ok == 0) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      auto h = q.handle();
+      logs[c].reserve(kTotal);
+      std::vector<Token*> out(5, nullptr);
+      for (;;) {
+        const std::size_t n = q.try_pop_n(h, out.data(), 1 + (logs[c].size() % 5));
+        if (n > 0) {
+          for (std::size_t k = 0; k < n; ++k) {
+            logs[c].push_back(*out[k]);
+          }
+          popped.fetch_add(n);
+        } else if (popped.load() >= kTotal) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const std::vector<std::uint64_t> pushed(kProducers, kPerProducer);
+  auto conservation = verify::check_conservation(logs, pushed);
+  EXPECT_TRUE(conservation.ok) << conservation.reason;
+  auto order = verify::check_per_producer_order(logs, kProducers);
+  EXPECT_TRUE(order.ok) << order.reason;
+}
+
+}  // namespace

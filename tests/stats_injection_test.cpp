@@ -1,0 +1,147 @@
+// Deterministic coverage for the ring engine's algorithm-level op_stats
+// counters (slot_sc_attempts / slot_sc_failures / help_advances), using the
+// fault-injection substrate to force the exact schedules — this TU is part
+// of evq_torture and is compiled with EVQ_INJECT_ENABLED=1.
+//
+// Both paper algorithms must report:
+//  * an SC failure when the slot commit loses its reservation (forced here
+//    with an injected spurious failure — one per queue, so the counts are
+//    exact, not statistical);
+//  * a help-advance when an operation finds a lagging index some peer
+//    committed past but did not publish (forced by parking the peer between
+//    its slot commit and the Tail update, the paper's E15→E16 window).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "evq/common/op_stats.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+#if !defined(EVQ_INJECT_ENABLED) || !EVQ_INJECT_ENABLED
+#error "stats_injection_test.cpp must be compiled with EVQ_INJECT_ENABLED=1"
+#endif
+
+namespace evq {
+namespace {
+
+using verify::Token;
+
+/// Forces exactly one spurious SC failure at the first point whose name
+/// contains `match`.
+class ScFailOnce final : public inject::Injector {
+ public:
+  explicit ScFailOnce(const char* match) noexcept : match_(match) {}
+
+  void at_point(const char* /*point*/) noexcept override {}
+
+  bool fail_sc(const char* point) noexcept override {
+    if (!armed_ || std::strstr(point, match_) == nullptr) {
+      return false;
+    }
+    armed_ = false;
+    return true;
+  }
+
+ private:
+  const char* match_;
+  bool armed_ = true;
+};
+
+TEST(StatsInjection, LlscQueueReportsForcedScFailure) {
+  LlscArrayQueue<Token, llsc::PackedLlsc> q(4);
+  ScFailOnce injector("packed_llsc.sc");
+  inject::ScopedInjector install(injector);
+
+  stats::OpCounters counters;
+  stats::ScopedOpRecording rec(counters);
+  auto h = q.handle();
+  Token tok{0, 0};
+  ASSERT_TRUE(q.try_push(h, &tok));
+
+  // One failed slot SC (injected), one successful retry. The index-advance
+  // SCs (E13/E17) are deliberately NOT slot attempts.
+  EXPECT_EQ(counters.slot_sc_failures, 1u);
+  EXPECT_EQ(counters.slot_sc_attempts, 2u);
+  EXPECT_EQ(q.try_pop(h), &tok);
+}
+
+TEST(StatsInjection, CasQueueReportsForcedScFailure) {
+  CasArrayQueue<Token> q(4);
+  ScFailOnce injector("sim_llsc.sc");
+  inject::ScopedInjector install(injector);
+
+  stats::OpCounters counters;
+  stats::ScopedOpRecording rec(counters);
+  auto h = q.handle();
+  Token tok{0, 0};
+  ASSERT_TRUE(q.try_push(h, &tok));
+
+  EXPECT_EQ(counters.slot_sc_failures, 1u);
+  EXPECT_EQ(counters.slot_sc_attempts, 2u);
+  EXPECT_EQ(q.try_pop(h), &tok);
+}
+
+/// Parks a victim pusher at `stall_point` — after its slot commit, before
+/// its Tail advance (the E15→E16 window) — then pushes from the observing
+/// thread, which must repair the lagging Tail (one help-advance) before its
+/// own token lands.
+template <typename Q>
+void run_help_advance_schedule(Q& q, const char* stall_point) {
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-help-window",
+                               "park one pusher between slot commit and Tail publication",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/stall_point, inject::Role::kAny};
+
+  Token committed{0, 0};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    auto h = q.handle();
+    EXPECT_TRUE(q.try_push(h, &committed));
+  });
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "victim never reached " << stall_point;
+
+  stats::OpCounters counters;
+  Token helper{1, 0};
+  auto h = q.handle();
+  {
+    stats::ScopedOpRecording rec(counters);
+    ASSERT_TRUE(q.try_push(h, &helper));
+  }
+  EXPECT_EQ(counters.help_advances, 1u)
+      << "the observing pusher must advance the parked peer's Tail exactly once";
+  EXPECT_EQ(counters.slot_sc_failures, 0u);
+
+  gate.release();
+  victim.join();
+
+  // The victim committed first (its slot precedes the helper's).
+  EXPECT_EQ(q.try_pop(h), &committed);
+  EXPECT_EQ(q.try_pop(h), &helper);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(StatsInjection, LlscQueueReportsHelpAdvance) {
+  LlscArrayQueue<Token, llsc::PackedLlsc> q(4);
+  run_help_advance_schedule(q, "core.llsc.push.committed");
+}
+
+TEST(StatsInjection, CasQueueReportsHelpAdvance) {
+  CasArrayQueue<Token> q(4);
+  run_help_advance_schedule(q, "core.cas.push.committed");
+}
+
+}  // namespace
+}  // namespace evq

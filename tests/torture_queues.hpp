@@ -19,6 +19,7 @@ inline constexpr const char* kTortureCoveredQueues[] = {
     "fifo-llsc", "fifo-llsc-versioned", "fifo-simcas", "ms-hp",
     "ms-hp-sorted", "ms-doherty", "shann", "ms-pool",
     "ms-ebr", "tsigas-zhang", "mutex", "unsync",
+    "fifo-llsc-backoff", "fifo-simcas-backoff", "sharded-llsc", "sharded-simcas",
 };
 
 inline constexpr std::size_t kTortureCoveredQueueCount =

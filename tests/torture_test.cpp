@@ -56,6 +56,7 @@
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/sharded_queue.hpp"
 #include "evq/hazard/hp_domain.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/inject/profile.hpp"
@@ -317,6 +318,33 @@ constexpr RunnerEntry kRunners[] = {
        return run_torture(q, p, c);
      }},
     {"unsync", +[](const inject::Profile& p, const TortureConfig& c) { return run_unsync(p, c); }},
+    {"fifo-llsc-backoff",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       LlscArrayQueue<Token, llsc::PackedLlsc, ExpBackoff> q(c.capacity);
+       return run_torture(q, p, c);
+     }},
+    {"fifo-simcas-backoff",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       CasArrayQueue<Token, ExpBackoff> q(c.capacity);
+       return run_torture(q, p, c);
+     }},
+    // The sharded compositions do not promise per-producer FIFO under MPMC
+    // (overflow/steal reorder across shards), so the order check is cleared;
+    // conservation and wedge-freedom are still asserted in full.
+    {"sharded-llsc",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ShardedQueue<LlscArrayQueue<Token, llsc::PackedLlsc>> q(c.capacity * 4, 4);
+       TortureOutcome out = run_torture(q, p, c);
+       out.order = {};
+       return out;
+     }},
+    {"sharded-simcas",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ShardedQueue<CasArrayQueue<Token>> q(c.capacity * 4, 4);
+       TortureOutcome out = run_torture(q, p, c);
+       out.order = {};
+       return out;
+     }},
 };
 
 const RunnerEntry* find_runner(std::string_view name) {

@@ -50,6 +50,29 @@ TEST(ValueQueue, FullReportsFalseAndValueNotLost) {
   EXPECT_EQ(*q.try_pop(h), 3);
 }
 
+TEST(ValueQueue, FailedPushLeavesCallersValueRecoverable) {
+  // Regression: a rejected push used to move the argument into a node and
+  // then destroy it with the node — a full queue silently ate the value.
+  // Both overloads must leave the caller's data usable after a failure.
+  ValueQueue<std::string, CasArrayQueue> q(2);
+  auto h = q.handle();
+  ASSERT_TRUE(q.try_push(h, std::string("a")));
+  ASSERT_TRUE(q.try_push(h, std::string("b")));
+
+  const std::string original(1000, 'x');  // long enough to defeat SSO
+  std::string value = original;
+  EXPECT_FALSE(q.try_push(h, std::move(value)));
+  EXPECT_EQ(value, original) << "a failed rvalue push must move the value back";
+
+  EXPECT_FALSE(q.try_push(h, value));  // lvalue overload copies
+  EXPECT_EQ(value, original) << "a failed lvalue push must not touch the argument";
+
+  EXPECT_EQ(*q.try_pop(h), "a");
+  EXPECT_TRUE(q.try_push(h, std::move(value)));
+  EXPECT_EQ(*q.try_pop(h), "b");
+  EXPECT_EQ(*q.try_pop(h), original);
+}
+
 TEST(ValueQueue, WorksWithMoveOnlyishTypes) {
   ValueQueue<std::string, CasArrayQueue> q(8);
   auto h = q.handle();
