@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two evq-bench JSON documents and flag perf regressions.
+
+Joins the two documents on (scenario, series name, row label) and reports
+every cell whose mean time or throughput moved by more than the threshold.
+Intended for the BENCH_*.json trajectory workflow (EXPERIMENTS.md): keep one
+JSON per milestone, diff the newest against the previous one.
+
+Warn-only by default — timing on shared CI machines is noisy, so the exit
+code stays 0 unless --fail-over is given a (larger) threshold that a
+regression exceeds.
+
+usage: bench_diff.py baseline.json candidate.json [--threshold PCT]
+                     [--fail-over PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    version = doc.get("schema_version")
+    if version != 1:
+        sys.exit(f"{path}: unsupported schema_version {version!r} (expected 1)")
+    return doc
+
+
+def cells(doc):
+    """Yields ((scenario, series, row_label), cell) for every cell."""
+    for scenario in doc.get("scenarios", []):
+        labels = [row["label"] for row in scenario.get("rows", [])]
+        for series in scenario.get("series", []):
+            for label, cell in zip(labels, series.get("cells", [])):
+                yield (scenario["name"], series["name"], label), cell
+
+
+def pct_change(old, new):
+    if old <= 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="report changes beyond this percent (default 10)")
+    parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                        help="exit 1 if any regression exceeds PCT percent "
+                             "(default: warn only)")
+    args = parser.parse_args()
+
+    base = dict(cells(load(args.baseline)))
+    cand = dict(cells(load(args.candidate)))
+
+    regressions = []      # (key, metric, pct) — worse
+    improvements = []     # faster / higher throughput
+    worst = 0.0
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key], cand[key]
+        dt = pct_change(b["mean_seconds"], c["mean_seconds"])
+        dq = pct_change(b["throughput_ops_per_sec"], c["throughput_ops_per_sec"])
+        if dt > args.threshold:
+            regressions.append((key, "mean_seconds", dt))
+            worst = max(worst, dt)
+        elif dt < -args.threshold:
+            improvements.append((key, "mean_seconds", dt))
+        if dq < -args.threshold:
+            regressions.append((key, "throughput", -dq))
+            worst = max(worst, -dq)
+
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+
+    def show(name, rows, sign):
+        if not rows:
+            return
+        print(f"{name}:")
+        for (scenario, series, label), metric, pct in rows:
+            print(f"  {scenario:>18s} {series:<20s} {metric.replace('_', ' ')}"
+                  f"[{label}]: {sign}{abs(pct):.1f}%")
+
+    print(f"compared {len(base.keys() & cand.keys())} cells "
+          f"({args.baseline} -> {args.candidate}, threshold {args.threshold:.0f}%)")
+    show("regressions", regressions, "+")
+    show("improvements", improvements, "-")
+    if only_base:
+        print(f"dropped cells (baseline only): {len(only_base)}")
+    if only_cand:
+        print(f"new cells (candidate only): {len(only_cand)}")
+    if not regressions and not improvements:
+        print("no changes beyond threshold")
+
+    if args.fail_over is not None and worst > args.fail_over:
+        print(f"FAIL: worst regression {worst:.1f}% exceeds --fail-over "
+              f"{args.fail_over:.0f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

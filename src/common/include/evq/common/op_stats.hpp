@@ -32,6 +32,19 @@ struct OpCounters {
   std::uint64_t slot_sc_failures = 0;  // ... that failed (lost/spurious reservation)
   std::uint64_t help_advances = 0;     // lagging Head/Tail repaired on a peer's behalf (E11-E13/D11-D13)
 
+  OpCounters& operator+=(const OpCounters& other) noexcept {
+    cas_attempts += other.cas_attempts;
+    cas_success += other.cas_success;
+    wide_cas_attempts += other.wide_cas_attempts;
+    wide_cas_success += other.wide_cas_success;
+    wide_loads += other.wide_loads;
+    faa += other.faa;
+    slot_sc_attempts += other.slot_sc_attempts;
+    slot_sc_failures += other.slot_sc_failures;
+    help_advances += other.help_advances;
+    return *this;
+  }
+
   OpCounters& operator-=(const OpCounters& other) noexcept {
     cas_attempts -= other.cas_attempts;
     cas_success -= other.cas_success;

@@ -1,0 +1,58 @@
+// The versioned JSON perf document emitted by `evq-bench ... --json`.
+//
+// Schema (kBenchJsonSchemaVersion — bump when changing ANY key or shape;
+// tests/scenario_test.cpp pins the layout with a golden file):
+//
+//   {
+//     "schema_version": 1,
+//     "generator": "evq-bench",
+//     "timestamp": "...",              // omitted when empty (deterministic runs)
+//     "host": { "hardware_concurrency", "compiler", "build" },
+//     "scenarios": [ {
+//       "name", "title", "axis",
+//       "rows": [ { "label", "threads", "iterations", "runs", "burst",
+//                   "capacity", "pattern", "push_bias_pct",
+//                   "latency_sample_every", "stable_cv", "max_runs" } ],
+//       "series": [ { "name", "label", "cells": [ {
+//         "mean_seconds", "stddev_seconds", "median_seconds", "min_seconds",
+//         "max_seconds", "cv", "runs_executed",
+//         "throughput_ops_per_sec", "total_ops",
+//         "latency_ns": { "count", "min", "max", "mean",
+//                         "p50", "p90", "p99", "p999" },   // when sampled
+//         "op_counters": { ... }                           // when recorded
+//       } ] } ]
+//     } ]
+//   }
+//
+// rows[i] and every series' cells[i] correspond; scripts/bench_diff.py joins
+// two documents on (scenario, series, row label) to flag regressions across
+// the BENCH_*.json trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evq/harness/scenario.hpp"
+
+namespace evq::harness {
+
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// Host/build provenance recorded into the document header.
+struct BenchHostInfo {
+  unsigned hardware_concurrency = 0;
+  std::string compiler;   // e.g. "GNU 13.2.0"
+  std::string build;      // e.g. "Release"
+  std::string timestamp;  // ISO-8601; empty = omit (keeps golden tests stable)
+};
+
+/// Current host info with `timestamp` filled from the system clock.
+BenchHostInfo current_host_info();
+
+/// Serializes scenario results (each paired with the options it ran under)
+/// into the schema above. Deterministic for deterministic inputs.
+std::string bench_results_to_json(const BenchHostInfo& host,
+                                  const std::vector<ScenarioResult>& results,
+                                  const std::vector<CliOptions>& options);
+
+}  // namespace evq::harness

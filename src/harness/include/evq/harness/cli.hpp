@@ -1,7 +1,7 @@
-// Minimal command-line options shared by the bench binaries.
+// Command-line options shared by the evq-bench driver (and, historically,
+// the per-figure bench binaries).
 //
-// Every binary runs with NO arguments using CI-scale defaults (so a plain
-// `for b in build/bench/*; do $b; done` regenerates everything), and accepts:
+// Every scenario runs with NO arguments using CI-scale defaults, and accepts:
 //
 //   --threads 1,2,4,...    thread counts to sweep
 //   --iters N              iterations per thread (paper: 100000)
@@ -10,9 +10,18 @@
 //   --capacity C           array queue capacity (0 = auto)
 //   --csv                  machine-readable CSV instead of the table
 //   --paper                paper-scale parameters (iters=100000, runs=50)
+//   --latency-sample N     time every Nth op per thread (0 = off)
+//   --stable-cv PCT        adaptively repeat runs until CV <= PCT/100
+//   --max-runs N           cap for --stable-cv repetition
+//   --op-stats             record aggregate atomic-op counters per cell
+//   --json PATH            also emit the versioned JSON document to PATH
+//
+// Because each scenario carries its own defaults, flags are parsed into a
+// CliOverrides (only what the user actually set) and applied per scenario.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,10 +33,34 @@ struct CliOptions {
   WorkloadParams workload;               // threads field unused (swept)
   std::vector<unsigned> thread_counts;   // sweep
   bool csv = false;
+  std::string json_path;                 // empty = no JSON output
 };
 
-/// Parses argv; prints usage and exits(2) on malformed input. `default_threads`
-/// supplies the sweep used when --threads is absent.
+/// Flags the user explicitly passed; everything else stays at the
+/// scenario's defaults when applied.
+struct CliOverrides {
+  std::optional<std::vector<unsigned>> thread_counts;
+  std::optional<std::uint64_t> iterations;
+  std::optional<unsigned> runs;
+  std::optional<unsigned> burst;
+  std::optional<std::size_t> capacity;
+  std::optional<unsigned> latency_sample_every;
+  std::optional<double> stable_cv;
+  std::optional<unsigned> max_runs;
+  bool op_stats = false;
+  bool csv = false;
+  bool paper = false;
+  std::string json_path;
+
+  void apply(CliOptions& opts) const;
+};
+
+/// Parses argv[first..argc); prints usage and exits(2) on malformed input or
+/// on any token that is not a recognized flag.
+CliOverrides parse_overrides(int argc, char** argv, int first = 1);
+
+/// Legacy single-binary entry point: scenario defaults + overrides in one
+/// call. `default_threads` supplies the sweep used when --threads is absent.
 CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_threads,
                      std::uint64_t default_iters, unsigned default_runs);
 

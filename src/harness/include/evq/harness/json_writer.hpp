@@ -1,0 +1,156 @@
+// Minimal streaming JSON writer for the bench document (bench_json.hpp).
+//
+// Deliberately tiny — the repo has no JSON dependency and the bench document
+// only needs objects, arrays, strings and numbers. Output is deterministic:
+// keys are emitted in call order and numbers are formatted with
+// std::to_chars (shortest round-trip), so equal documents are equal strings
+// and the golden-file test can pin the schema byte-for-byte.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "evq/common/config.hpp"
+
+namespace evq::harness {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    pop();
+    out_ += '}';
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    pop();
+    out_ += ']';
+  }
+
+  /// Emits `"name":`; the next value call supplies the member value.
+  void key(std::string_view name) {
+    comma();
+    quote(name);
+    out_ += ':';
+    pending_key_ = true;
+  }
+
+  void string(std::string_view v) {
+    comma();
+    quote(v);
+  }
+  void boolean(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void number(std::uint64_t v) { number_impl(v); }
+  void number(std::int64_t v) { number_impl(v); }
+  void number(unsigned v) { number_impl(static_cast<std::uint64_t>(v)); }
+  void number(int v) { number_impl(static_cast<std::int64_t>(v)); }
+  void number(double v) { number_impl(v); }
+
+  // key/value in one call, for the common case.
+  void member(std::string_view name, std::string_view v) {
+    key(name);
+    string(v);
+  }
+  void member(std::string_view name, const char* v) {
+    key(name);
+    string(v);
+  }
+  template <typename N>
+    requires std::is_arithmetic_v<N>
+  void member(std::string_view name, N v) {
+    key(name);
+    number(v);
+  }
+
+  [[nodiscard]] const std::string& str() const {
+    EVQ_CHECK(stack_.empty(), "unbalanced JSON document");
+    return out_;
+  }
+
+ private:
+  /// Emits the separating comma unless this value is an object/array's first
+  /// element or the value belonging to a just-written key.
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) {
+        out_ += ',';
+      }
+      stack_.back() = true;
+    }
+  }
+
+  void pop() {
+    EVQ_CHECK(!stack_.empty() && !pending_key_, "unbalanced JSON container");
+    stack_.pop_back();
+    if (!stack_.empty()) {
+      stack_.back() = true;
+    }
+  }
+
+  template <typename N>
+  void number_impl(N v) {
+    comma();
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    EVQ_CHECK(ec == std::errc{}, "number formatting failed");
+    out_.append(buf, ptr);
+  }
+
+  void quote(std::string_view v) {
+    out_ += '"';
+    for (const char c : v) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "already has an element"
+  bool pending_key_ = false;
+};
+
+}  // namespace evq::harness

@@ -1,9 +1,16 @@
-// Summary statistics over repeated benchmark runs.
+// Summary statistics over repeated benchmark runs, plus the latency
+// substrate of the unified evq-bench driver: a mergeable fixed-bucket
+// log-scale histogram (percentile summaries over sampled per-op latencies)
+// and a coefficient-of-variation stop rule so runs can adaptively repeat
+// until the per-run time series is stable.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "evq/common/config.hpp"
@@ -17,6 +24,10 @@ struct Summary {
   double max = 0.0;
   double median = 0.0;
   std::size_t n = 0;
+
+  /// Coefficient of variation (stddev / mean); 0 when the mean is not
+  /// positive (degenerate or empty sample sets).
+  [[nodiscard]] double cv() const noexcept { return mean > 0.0 ? stddev / mean : 0.0; }
 };
 
 /// Computes mean/stddev (sample, n-1)/min/max/median of `samples`.
@@ -44,6 +55,145 @@ inline Summary summarize(std::vector<double> samples) {
   const std::size_t mid = s.n / 2;
   s.median = (s.n % 2 == 1) ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
   return s;
+}
+
+/// Fixed-bucket log-scale histogram over non-negative 64-bit values
+/// (nanoseconds in the workload layer). HdrHistogram-style layout: values
+/// below 2^kSubBucketBits are recorded exactly; every higher octave is split
+/// into 2^kSubBucketBits sub-buckets, bounding the relative quantization
+/// error at 1/2^kSubBucketBits (~6%). The bucket array is a plain value
+/// member, so histograms copy, and merging is element-wise addition —
+/// associative and commutative, which lets per-thread recorders merge into
+/// per-run and per-experiment aggregates in any order.
+class LogHistogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 4;
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBucketBits) * static_cast<std::size_t>(kSubBuckets);
+
+  void record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+  void record_n(std::uint64_t value, std::uint64_t weight) noexcept {
+    if (weight == 0) {
+      return;
+    }
+    counts_[index_of(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    min_ = count_ == weight ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void merge(const LogHistogram& other) noexcept {
+    if (other.count_ == 0) {
+      return;
+    }
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at percentile `pct` in [0, 100]: the representative (bucket
+  /// midpoint; exact below 2^kSubBucketBits) of the bucket holding the
+  /// pct-th ranked recording. 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t value_at_percentile(double pct) const noexcept {
+    if (count_ == 0) {
+      return 0;
+    }
+    pct = std::clamp(pct, 0.0, 100.0);
+    const double want = pct / 100.0 * static_cast<double>(count_);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
+    target = std::max<std::uint64_t>(1, std::min(target, count_));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= target) {
+        return std::min(representative(i), max_);
+      }
+    }
+    return max_;  // unreachable: cumulative == count_ at the last bucket
+  }
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return value_at_percentile(50.0); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return value_at_percentile(90.0); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return value_at_percentile(99.0); }
+  [[nodiscard]] std::uint64_t p999() const noexcept { return value_at_percentile(99.9); }
+
+  bool operator==(const LogHistogram& other) const noexcept {
+    return count_ == other.count_ && sum_ == other.sum_ && min() == other.min() &&
+           max_ == other.max_ && counts_ == other.counts_;
+  }
+
+ private:
+  static std::size_t index_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) {
+      return static_cast<std::size_t>(v);
+    }
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const std::uint64_t sub = (v >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+    return kSubBuckets + static_cast<std::size_t>(msb - kSubBucketBits) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Midpoint of bucket `idx`'s value range (exact for the direct buckets).
+  static std::uint64_t representative(std::size_t idx) noexcept {
+    if (idx < kSubBuckets) {
+      return idx;
+    }
+    const std::size_t octave = (idx - kSubBuckets) / kSubBuckets;
+    const std::uint64_t sub = (idx - kSubBuckets) % kSubBuckets;
+    const unsigned shift = static_cast<unsigned>(octave);  // msb - kSubBucketBits
+    const std::uint64_t lower = (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+    const std::uint64_t width = std::uint64_t{1} << shift;
+    return lower + width / 2;
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Adaptive-repetition stop rule: keep collecting per-run samples until the
+/// coefficient of variation falls to `cv_target`, bounded by [min_runs,
+/// max_runs]. A non-positive cv_target disables adaptation (stop exactly at
+/// min_runs — the paper-faithful fixed run count).
+struct StopRule {
+  double cv_target = 0.0;
+  unsigned min_runs = 1;
+  unsigned max_runs = 0;  // 0 = 4 x min_runs
+
+  [[nodiscard]] unsigned effective_max() const noexcept {
+    return max_runs != 0 ? std::max(max_runs, min_runs) : 4 * std::max(1u, min_runs);
+  }
+};
+
+/// True when sampling should stop under `rule` given the samples so far.
+inline bool stop_sampling(const std::vector<double>& samples, const StopRule& rule) {
+  const unsigned n = static_cast<unsigned>(samples.size());
+  if (n < std::max(1u, rule.min_runs)) {
+    return false;
+  }
+  if (rule.cv_target <= 0.0) {
+    return true;
+  }
+  if (n >= rule.effective_max()) {
+    return true;
+  }
+  return n >= 2 && summarize(samples).cv() <= rule.cv_target;
 }
 
 }  // namespace evq::harness

@@ -13,13 +13,22 @@
 // item appears. The workload is deadlock-free provided the queue holds
 // burst x threads items (each thread has at most `burst` un-popped pushes
 // outstanding); run_workload enforces that precondition.
+//
+// Beyond the paper-fidelity mean-time metric, every run also records wall
+// time and completed-op counts (throughput = total ops / wall time), and can
+// optionally sample per-op latencies (every Nth op per thread, rdtsc
+// timestamps into per-thread log-scale histograms — see stats.hpp) and
+// aggregate op_stats atomic-instruction counters. Both extras are off by
+// default so the paper's metric is unperturbed.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "evq/common/op_stats.hpp"
 #include "evq/harness/any_queue.hpp"
 #include "evq/harness/queue_registry.hpp"
+#include "evq/harness/stats.hpp"
 
 namespace evq::harness {
 
@@ -38,6 +47,32 @@ struct WorkloadParams {
   WorkloadPattern pattern = WorkloadPattern::kPaperBurst;
   unsigned push_bias_pct = 50;        // kRandomMixed: P(step is a push)
   std::uint64_t seed = 42;            // kRandomMixed: per-thread stream base
+
+  // Measurement extras (all off by default: paper-fidelity mode).
+  unsigned latency_sample_every = 0;  // 0 = off; else time every Nth op per thread
+  double stable_cv = 0.0;             // >0: repeat runs until per-run CV <= this
+  unsigned max_runs = 0;              // adaptive cap; 0 = 4 x runs
+  bool record_op_stats = false;       // aggregate OpCounters over all workers
+};
+
+/// One run's raw measurements.
+struct RunResult {
+  double thread_seconds = 0.0;  // mean per-thread completion time (paper metric)
+  double wall_seconds = 0.0;    // makespan: first worker start to last finish
+  std::uint64_t total_ops = 0;  // pushes + pops completed across all threads
+};
+
+/// Full experiment result for one (queue, params) cell.
+struct WorkloadResult {
+  std::vector<RunResult> runs;
+  LogHistogram latency;         // merged sampled per-op latencies (ns); empty when off
+  stats::OpCounters ops{};      // aggregate counters; all-zero unless record_op_stats
+
+  /// The paper's per-run time series (thread_seconds of each run).
+  [[nodiscard]] std::vector<double> times() const;
+  /// Aggregate throughput: total completed ops / total wall time.
+  [[nodiscard]] double throughput_ops_per_sec() const;
+  [[nodiscard]] std::uint64_t total_ops() const;
 };
 
 /// Capacity actually used for bounded queues under `p` (auto rule above).
@@ -48,8 +83,18 @@ std::size_t effective_capacity(const WorkloadParams& p);
 /// per-thread completion time in seconds (the paper's per-run metric).
 double run_once(AnyQueue& queue, const WorkloadParams& p);
 
+/// One run with full measurements. `latency` (may be null) receives sampled
+/// per-op latencies when p.latency_sample_every > 0; `ops` (may be null)
+/// receives aggregated counters when p.record_op_stats.
+RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* latency,
+                      stats::OpCounters* ops);
+
 /// Full experiment for one algorithm: constructs a fresh queue per run via
 /// `spec` and returns the p.runs per-run times in seconds.
 std::vector<double> run_workload(const QueueSpec& spec, const WorkloadParams& p);
+
+/// Full experiment with throughput/latency/op-stats measurements and the
+/// CV-based adaptive repetition rule (p.stable_cv / p.max_runs).
+WorkloadResult run_workload_ex(const QueueSpec& spec, const WorkloadParams& p);
 
 }  // namespace evq::harness

@@ -1,0 +1,172 @@
+#include "evq/harness/bench_json.hpp"
+
+#include <ctime>
+#include <thread>
+
+#include "evq/common/config.hpp"
+#include "evq/harness/json_writer.hpp"
+
+namespace evq::harness {
+
+namespace {
+
+const char* pattern_name(WorkloadPattern p) {
+  switch (p) {
+    case WorkloadPattern::kPaperBurst:
+      return "paper-burst";
+    case WorkloadPattern::kRandomMixed:
+      return "random-mixed";
+  }
+  return "unknown";
+}
+
+void write_row(JsonWriter& w, const ScenarioRow& row) {
+  w.begin_object();
+  w.member("label", row.label);
+  w.member("threads", row.params.threads);
+  w.member("iterations", row.params.iterations);
+  w.member("runs", row.params.runs);
+  w.member("burst", row.params.burst);
+  w.member("capacity", static_cast<std::uint64_t>(row.params.capacity));
+  w.member("pattern", pattern_name(row.params.pattern));
+  w.member("push_bias_pct", row.params.push_bias_pct);
+  w.member("latency_sample_every", row.params.latency_sample_every);
+  w.member("stable_cv", row.params.stable_cv);
+  w.member("max_runs", row.params.max_runs);
+  w.end_object();
+}
+
+void write_latency(JsonWriter& w, const LogHistogram& h) {
+  w.key("latency_ns");
+  w.begin_object();
+  w.member("count", h.count());
+  w.member("min", h.min());
+  w.member("max", h.max());
+  w.member("mean", h.mean());
+  w.member("p50", h.p50());
+  w.member("p90", h.p90());
+  w.member("p99", h.p99());
+  w.member("p999", h.p999());
+  w.end_object();
+}
+
+void write_op_counters(JsonWriter& w, const stats::OpCounters& c) {
+  w.key("op_counters");
+  w.begin_object();
+  w.member("cas_attempts", c.cas_attempts);
+  w.member("cas_success", c.cas_success);
+  w.member("wide_cas_attempts", c.wide_cas_attempts);
+  w.member("wide_cas_success", c.wide_cas_success);
+  w.member("wide_loads", c.wide_loads);
+  w.member("faa", c.faa);
+  w.member("slot_sc_attempts", c.slot_sc_attempts);
+  w.member("slot_sc_failures", c.slot_sc_failures);
+  w.member("help_advances", c.help_advances);
+  w.end_object();
+}
+
+void write_cell(JsonWriter& w, const CellStats& cell) {
+  w.begin_object();
+  w.member("mean_seconds", cell.time.mean);
+  w.member("stddev_seconds", cell.time.stddev);
+  w.member("median_seconds", cell.time.median);
+  w.member("min_seconds", cell.time.min);
+  w.member("max_seconds", cell.time.max);
+  w.member("cv", cell.time.cv());
+  w.member("runs_executed", static_cast<std::uint64_t>(cell.time.n));
+  w.member("throughput_ops_per_sec", cell.throughput);
+  w.member("total_ops", cell.total_ops);
+  if (cell.latency.count() > 0) {
+    write_latency(w, cell.latency);
+  }
+  if (cell.has_ops) {
+    write_op_counters(w, cell.ops);
+  }
+  w.end_object();
+}
+
+void write_scenario(JsonWriter& w, const ScenarioResult& r) {
+  w.begin_object();
+  w.member("name", r.name);
+  w.member("title", r.title);
+  w.member("axis", r.axis);
+  w.key("rows");
+  w.begin_array();
+  for (const ScenarioRow& row : r.rows) {
+    write_row(w, row);
+  }
+  w.end_array();
+  w.key("series");
+  w.begin_array();
+  for (const ScenarioSeries& s : r.series) {
+    w.begin_object();
+    w.member("name", s.name);
+    w.member("label", s.label);
+    w.key("cells");
+    w.begin_array();
+    for (const CellStats& cell : s.cells) {
+      write_cell(w, cell);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+BenchHostInfo current_host_info() {
+  BenchHostInfo info;
+  info.hardware_concurrency = std::thread::hardware_concurrency();
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build = "Release";
+#else
+  info.build = "Debug";
+#endif
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &now);
+#else
+  gmtime_r(&now, &tm_utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  info.timestamp = buf;
+  return info;
+}
+
+std::string bench_results_to_json(const BenchHostInfo& host,
+                                  const std::vector<ScenarioResult>& results,
+                                  const std::vector<CliOptions>& options) {
+  EVQ_CHECK(results.size() == options.size(), "results/options size mismatch");
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", kBenchJsonSchemaVersion);
+  w.member("generator", "evq-bench");
+  if (!host.timestamp.empty()) {
+    w.member("timestamp", host.timestamp);
+  }
+  w.key("host");
+  w.begin_object();
+  w.member("hardware_concurrency", host.hardware_concurrency);
+  w.member("compiler", host.compiler);
+  w.member("build", host.build);
+  w.end_object();
+  w.key("scenarios");
+  w.begin_array();
+  for (const ScenarioResult& r : results) {
+    write_scenario(w, r);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace evq::harness

@@ -11,7 +11,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
-               "          [--capacity C] [--csv] [--paper]\n"
+               "          [--capacity C] [--csv] [--paper] [--latency-sample N]\n"
+               "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--json PATH]\n"
                "Runs with CI-scale defaults when given no arguments; --paper\n"
                "selects the paper's parameters (100000 iterations, 50 runs).\n",
                argv0);
@@ -48,15 +49,59 @@ std::uint64_t parse_u64(const char* s, const char* argv0) {
   return v;
 }
 
+double parse_double(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0) {
+    usage(argv0);
+  }
+  return v;
+}
+
 }  // namespace
 
-CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_threads,
-                     std::uint64_t default_iters, unsigned default_runs) {
-  CliOptions opts;
-  opts.thread_counts = std::move(default_threads);
-  opts.workload.iterations = default_iters;
-  opts.workload.runs = default_runs;
+void CliOverrides::apply(CliOptions& opts) const {
+  if (thread_counts) {
+    opts.thread_counts = *thread_counts;
+  }
+  if (paper) {
+    opts.workload.iterations = 100000;
+    opts.workload.runs = 50;
+  }
+  if (iterations) {
+    opts.workload.iterations = *iterations;
+  }
+  if (runs) {
+    opts.workload.runs = *runs;
+  }
+  if (burst) {
+    opts.workload.burst = *burst;
+  }
+  if (capacity) {
+    opts.workload.capacity = *capacity;
+  }
+  if (latency_sample_every) {
+    opts.workload.latency_sample_every = *latency_sample_every;
+  }
+  if (stable_cv) {
+    opts.workload.stable_cv = *stable_cv;
+  }
+  if (max_runs) {
+    opts.workload.max_runs = *max_runs;
+  }
+  if (op_stats) {
+    opts.workload.record_op_stats = true;
+  }
+  if (csv) {
+    opts.csv = true;
+  }
+  if (!json_path.empty()) {
+    opts.json_path = json_path;
+  }
+}
 
+CliOverrides parse_overrides(int argc, char** argv, int first) {
+  CliOverrides ov;
   auto need_value = [&](int i) -> const char* {
     if (i + 1 >= argc) {
       usage(argv[0]);
@@ -64,35 +109,59 @@ CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_thread
     return argv[i + 1];
   };
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--threads") == 0) {
-      opts.thread_counts = parse_list(need_value(i), argv[0]);
+      ov.thread_counts = parse_list(need_value(i), argv[0]);
       ++i;
     } else if (std::strcmp(arg, "--iters") == 0) {
-      opts.workload.iterations = parse_u64(need_value(i), argv[0]);
+      ov.iterations = parse_u64(need_value(i), argv[0]);
       ++i;
     } else if (std::strcmp(arg, "--runs") == 0) {
-      opts.workload.runs = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ov.runs = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
       ++i;
     } else if (std::strcmp(arg, "--burst") == 0) {
-      opts.workload.burst = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ov.burst = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
       ++i;
     } else if (std::strcmp(arg, "--capacity") == 0) {
-      opts.workload.capacity = static_cast<std::size_t>(parse_u64(need_value(i), argv[0]));
+      ov.capacity = static_cast<std::size_t>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--latency-sample") == 0) {
+      ov.latency_sample_every = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--stable-cv") == 0) {
+      // Given as a percentage ("5" = stop once stddev/mean <= 0.05).
+      ov.stable_cv = parse_double(need_value(i), argv[0]) / 100.0;
+      ++i;
+    } else if (std::strcmp(arg, "--max-runs") == 0) {
+      ov.max_runs = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(arg, "--op-stats") == 0) {
+      ov.op_stats = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      ov.json_path = need_value(i);
       ++i;
     } else if (std::strcmp(arg, "--csv") == 0) {
-      opts.csv = true;
+      ov.csv = true;
     } else if (std::strcmp(arg, "--paper") == 0) {
-      opts.workload.iterations = 100000;
-      opts.workload.runs = 50;
+      ov.paper = true;
     } else {
       usage(argv[0]);
     }
   }
-  if (opts.workload.runs == 0 || opts.workload.burst == 0) {
+  if ((ov.runs && *ov.runs == 0) || (ov.burst && *ov.burst == 0)) {
     usage(argv[0]);
   }
+  return ov;
+}
+
+CliOptions parse_cli(int argc, char** argv, std::vector<unsigned> default_threads,
+                     std::uint64_t default_iters, unsigned default_runs) {
+  CliOptions opts;
+  opts.thread_counts = std::move(default_threads);
+  opts.workload.iterations = default_iters;
+  opts.workload.runs = default_runs;
+  parse_overrides(argc, argv).apply(opts);
   return opts;
 }
 

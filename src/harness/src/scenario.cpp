@@ -1,0 +1,166 @@
+#include "evq/harness/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "evq/common/config.hpp"
+
+namespace evq::harness {
+
+const ScenarioSeries* ScenarioResult::series_named(const std::string& name) const {
+  for (const ScenarioSeries& s : series) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+CliOptions scenario_options(const ScenarioSpec& spec, const CliOverrides& overrides) {
+  CliOptions opts;
+  opts.thread_counts = spec.default_threads;
+  opts.workload.iterations = spec.default_iters;
+  opts.workload.runs = spec.default_runs;
+  overrides.apply(opts);
+  return opts;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
+  if (spec.run) {
+    return spec.run(spec, opts);
+  }
+  ScenarioResult result;
+  result.name = spec.name;
+  result.title = spec.title;
+  result.axis = spec.axis;
+  result.rows = spec.rows(opts);
+  for (const QueueSpec& queue : spec.series()) {
+    ScenarioSeries series{queue.name, queue.paper_label, {}};
+    for (const ScenarioRow& row : result.rows) {
+      std::fprintf(stderr, "# %-18s %s=%-6s iters=%llu runs=%u ...\n", queue.name.c_str(),
+                   spec.axis.c_str(), row.label.c_str(),
+                   static_cast<unsigned long long>(row.params.iterations), row.params.runs);
+      const WorkloadResult w = run_workload_ex(queue, row.params);
+      CellStats cell;
+      cell.time = summarize(w.times());
+      cell.throughput = w.throughput_ops_per_sec();
+      cell.total_ops = w.total_ops();
+      cell.latency = w.latency;
+      cell.ops = w.ops;
+      cell.has_ops = row.params.record_op_stats;
+      series.cells.push_back(std::move(cell));
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void print_scenario(const ScenarioSpec& spec, const ScenarioResult& result,
+                    const CliOptions& opts) {
+  if (opts.csv && spec.print_csv) {
+    spec.print_csv(result, opts);
+  } else if (!opts.csv && spec.print_table) {
+    spec.print_table(result, opts);
+  } else {
+    print_absolute(result, opts, result.title);
+  }
+}
+
+std::vector<ScenarioRow> thread_rows(const CliOptions& opts) {
+  std::vector<ScenarioRow> rows;
+  rows.reserve(opts.thread_counts.size());
+  for (unsigned threads : opts.thread_counts) {
+    WorkloadParams p = opts.workload;
+    p.threads = threads;
+    rows.push_back({std::to_string(threads), p});
+  }
+  return rows;
+}
+
+std::function<std::vector<QueueSpec>()> registry_series(std::vector<std::string> names) {
+  return [names = std::move(names)]() {
+    std::vector<QueueSpec> specs;
+    specs.reserve(names.size());
+    for (const std::string& name : names) {
+      specs.push_back(find_queue(name));
+    }
+    return specs;
+  };
+}
+
+namespace {
+
+void print_header(const ScenarioResult& result, const std::string& axis, bool csv) {
+  std::printf(csv ? "%s" : "%-8s", axis.c_str());
+  for (const ScenarioSeries& s : result.series) {
+    if (csv) {
+      std::printf(",%s", s.name.c_str());
+    } else {
+      std::printf("  %-18s", s.name.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+void print_absolute(const ScenarioResult& result, const CliOptions& opts,
+                    const std::string& title) {
+  if (!opts.csv) {
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("(seconds per run: mean per-thread completion time; mean of %u runs)\n",
+                opts.workload.runs);
+  }
+  print_header(result, result.axis, opts.csv);
+  for (std::size_t row = 0; row < result.rows.size(); ++row) {
+    std::printf(opts.csv ? "%s" : "%-8s", result.rows[row].label.c_str());
+    for (const ScenarioSeries& s : result.series) {
+      if (opts.csv) {
+        std::printf(",%.6f", s.cells[row].time.mean);
+      } else {
+        std::printf("  %10.4f s       ", s.cells[row].time.mean);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_normalized(const ScenarioResult& result, const CliOptions& opts,
+                      const std::string& title, const std::string& baseline_name) {
+  const ScenarioSeries* baseline = result.series_named(baseline_name);
+  EVQ_CHECK(baseline != nullptr, "normalization baseline missing from figure");
+  if (!opts.csv) {
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("(running time normalized to %s, as in the paper's Fig. 6c/6d)\n",
+                baseline_name.c_str());
+  }
+  print_header(result, result.axis, opts.csv);
+  for (std::size_t row = 0; row < result.rows.size(); ++row) {
+    std::printf(opts.csv ? "%s" : "%-8s", result.rows[row].label.c_str());
+    const double base = baseline->cells[row].time.mean;
+    for (const ScenarioSeries& s : result.series) {
+      const double norm = base > 0.0 ? s.cells[row].time.mean / base : 0.0;
+      if (opts.csv) {
+        std::printf(",%.4f", norm);
+      } else {
+        std::printf("  %10.3fx        ", norm);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+const ScenarioSpec& find_scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  std::fprintf(stderr, "unknown scenario '%s'; known scenarios:\n", name.c_str());
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    std::fprintf(stderr, "  %-20s %s\n", spec.name.c_str(), spec.summary.c_str());
+  }
+  std::exit(2);
+}
+
+}  // namespace evq::harness

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -9,10 +10,13 @@
 #include "evq/common/config.hpp"
 #include "evq/common/rng.hpp"
 #include "evq/common/spin_barrier.hpp"
+#include "evq/harness/tsc.hpp"
 
 namespace evq::harness {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void blocking_push(AnyHandle& handle, Payload* node, Backoff& backoff) {
   backoff.reset();
@@ -31,66 +35,162 @@ Payload* blocking_pop(AnyHandle& handle, Backoff& backoff) {
   return node;
 }
 
+/// Per-worker measurements beyond the paper's per-thread seconds.
+struct WorkerResult {
+  double seconds = 0.0;
+  Clock::time_point start{};
+  Clock::time_point end{};
+  std::uint64_t ops = 0;
+};
+
+/// Sampled per-op latency recorder: times every Nth op into `hist`. With
+/// period 0 the per-op cost is one predictable branch, keeping the paper's
+/// mean-time metric unperturbed when sampling is off.
+class LatencySampler {
+ public:
+  LatencySampler(unsigned period, LogHistogram* hist) noexcept
+      : period_(hist != nullptr ? period : 0), hist_(hist) {}
+
+  [[nodiscard]] bool armed() noexcept {
+    if (period_ == 0) {
+      return false;
+    }
+    if (++since_ < period_) {
+      return false;
+    }
+    since_ = 0;
+    return true;
+  }
+
+  void record(std::uint64_t start_ticks) noexcept {
+    hist_->record(tsc_to_ns(tsc_now() - start_ticks));
+  }
+
+ private:
+  const unsigned period_;
+  LogHistogram* hist_;
+  unsigned since_ = 0;
+};
+
 /// One worker running the paper's iteration body (burst allocations +
 /// enqueues, then burst dequeues + frees), timed from the common start
 /// signal.
-double paper_burst_worker(AnyHandle& handle, const WorkloadParams& p) {
-  const auto start = std::chrono::steady_clock::now();
+WorkerResult paper_burst_worker(AnyHandle& handle, const WorkloadParams& p, LogHistogram* hist) {
+  LatencySampler sampler(p.latency_sample_every, hist);
+  WorkerResult out;
+  out.start = Clock::now();
   Backoff backoff;
   for (std::uint64_t it = 0; it < p.iterations; ++it) {
     for (unsigned b = 0; b < p.burst; ++b) {
       auto* node = new Payload{it * p.burst + b, nullptr};
-      blocking_push(handle, node, backoff);
+      if (sampler.armed()) {
+        const std::uint64_t t0 = tsc_now();
+        blocking_push(handle, node, backoff);
+        sampler.record(t0);
+      } else {
+        blocking_push(handle, node, backoff);
+      }
     }
     for (unsigned b = 0; b < p.burst; ++b) {
-      delete blocking_pop(handle, backoff);
+      if (sampler.armed()) {
+        const std::uint64_t t0 = tsc_now();
+        Payload* node = blocking_pop(handle, backoff);
+        sampler.record(t0);
+        delete node;
+      } else {
+        delete blocking_pop(handle, backoff);
+      }
     }
   }
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
+  out.end = Clock::now();
+  out.seconds = std::chrono::duration<double>(out.end - out.start).count();
+  out.ops = p.iterations * 2 * p.burst;
+  return out;
 }
 
 /// Randomized variant: each of iterations x 2 x burst steps is a push with
 /// probability push_bias_pct, bounded so a thread never holds more than
 /// `burst` un-popped pushes (the deadlock-freedom bound) nor a deficit;
 /// ends balanced by draining its remainder.
-double random_mixed_worker(AnyHandle& handle, const WorkloadParams& p, unsigned thread_index) {
+WorkerResult random_mixed_worker(AnyHandle& handle, const WorkloadParams& p,
+                                 unsigned thread_index, LogHistogram* hist) {
   auto rng = XorShift64Star::for_stream(p.seed, thread_index);
-  const auto start = std::chrono::steady_clock::now();
+  LatencySampler sampler(p.latency_sample_every, hist);
+  WorkerResult out;
+  out.start = Clock::now();
   Backoff backoff;
   const std::uint64_t steps = p.iterations * 2 * p.burst;
   std::uint64_t outstanding = 0;
+  std::uint64_t ops = 0;
   for (std::uint64_t s = 0; s < steps; ++s) {
     const bool want_push = outstanding == 0 ||
                            (outstanding < p.burst && rng.chance(p.push_bias_pct, 100));
+    const bool sampled = sampler.armed();
+    const std::uint64_t t0 = sampled ? tsc_now() : 0;
     if (want_push) {
       auto* node = new Payload{s, nullptr};
       blocking_push(handle, node, backoff);
       ++outstanding;
+      if (sampled) {
+        sampler.record(t0);
+      }
     } else {
-      delete blocking_pop(handle, backoff);
+      Payload* node = blocking_pop(handle, backoff);
+      if (sampled) {
+        sampler.record(t0);
+      }
+      delete node;
       --outstanding;
     }
+    ++ops;
   }
   while (outstanding > 0) {
     delete blocking_pop(handle, backoff);
     --outstanding;
+    ++ops;
   }
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
+  out.end = Clock::now();
+  out.seconds = std::chrono::duration<double>(out.end - out.start).count();
+  out.ops = ops;
+  return out;
 }
 
-double worker(AnyQueue& queue, const WorkloadParams& p, SpinBarrier& barrier,
-              unsigned thread_index) {
+WorkerResult worker(AnyQueue& queue, const WorkloadParams& p, SpinBarrier& barrier,
+                    unsigned thread_index, LogHistogram* hist) {
   auto handle = queue.handle();  // initialization phase (registration etc.)
   barrier.wait();
   if (p.pattern == WorkloadPattern::kRandomMixed) {
-    return random_mixed_worker(*handle, p, thread_index);
+    return random_mixed_worker(*handle, p, thread_index, hist);
   }
-  return paper_burst_worker(*handle, p);
+  return paper_burst_worker(*handle, p, hist);
 }
 
 }  // namespace
+
+std::vector<double> WorkloadResult::times() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const RunResult& r : runs) {
+    out.push_back(r.thread_seconds);
+  }
+  return out;
+}
+
+double WorkloadResult::throughput_ops_per_sec() const {
+  double wall = 0.0;
+  for (const RunResult& r : runs) {
+    wall += r.wall_seconds;
+  }
+  return wall > 0.0 ? static_cast<double>(total_ops()) / wall : 0.0;
+}
+
+std::uint64_t WorkloadResult::total_ops() const {
+  std::uint64_t ops = 0;
+  for (const RunResult& r : runs) {
+    ops += r.total_ops;
+  }
+  return ops;
+}
 
 std::size_t effective_capacity(const WorkloadParams& p) {
   if (p.capacity != 0) {
@@ -103,15 +203,31 @@ std::size_t effective_capacity(const WorkloadParams& p) {
   return std::bit_ceil(std::max<std::size_t>(need, 256));
 }
 
-double run_once(AnyQueue& queue, const WorkloadParams& p) {
+RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* latency,
+                      stats::OpCounters* ops) {
   EVQ_CHECK(p.threads >= 1, "workload needs at least one thread");
   SpinBarrier barrier(p.threads);
-  std::vector<double> seconds(p.threads, 0.0);
+  std::vector<WorkerResult> results(p.threads);
+  std::vector<LogHistogram> hists(p.latency_sample_every > 0 && latency != nullptr ? p.threads
+                                                                                   : 0);
+  std::mutex ops_mutex;
   std::vector<std::thread> workers;
   workers.reserve(p.threads);
   for (unsigned t = 0; t < p.threads; ++t) {
-    workers.emplace_back(
-        [&queue, &p, &barrier, &seconds, t] { seconds[t] = worker(queue, p, barrier, t); });
+    workers.emplace_back([&, t] {
+      LogHistogram* hist = hists.empty() ? nullptr : &hists[t];
+      if (p.record_op_stats && ops != nullptr) {
+        stats::OpCounters local;
+        {
+          stats::ScopedOpRecording rec(local);
+          results[t] = worker(queue, p, barrier, t, hist);
+        }
+        const std::lock_guard<std::mutex> lock(ops_mutex);
+        *ops += local;
+      } else {
+        results[t] = worker(queue, p, barrier, t, hist);
+      }
+    });
   }
   for (auto& w : workers) {
     w.join();
@@ -119,26 +235,52 @@ double run_once(AnyQueue& queue, const WorkloadParams& p) {
   // Both patterns are balanced per thread: the queue must drain to empty.
   auto handle = queue.handle();
   EVQ_CHECK(handle->try_pop() == nullptr, "workload left items behind (queue bug?)");
-  double sum = 0.0;
-  for (double s : seconds) {
-    sum += s;
+
+  for (const LogHistogram& h : hists) {
+    latency->merge(h);
   }
-  return sum / static_cast<double>(p.threads);  // the paper's per-run metric
+  RunResult run;
+  Clock::time_point first_start = results.front().start;
+  Clock::time_point last_end = results.front().end;
+  double sum = 0.0;
+  for (const WorkerResult& r : results) {
+    sum += r.seconds;
+    run.total_ops += r.ops;
+    first_start = std::min(first_start, r.start);
+    last_end = std::max(last_end, r.end);
+  }
+  run.thread_seconds = sum / static_cast<double>(p.threads);  // the paper's per-run metric
+  run.wall_seconds = std::chrono::duration<double>(last_end - first_start).count();
+  return run;
 }
 
-std::vector<double> run_workload(const QueueSpec& spec, const WorkloadParams& p) {
+double run_once(AnyQueue& queue, const WorkloadParams& p) {
+  return run_once_ex(queue, p, nullptr, nullptr).thread_seconds;
+}
+
+WorkloadResult run_workload_ex(const QueueSpec& spec, const WorkloadParams& p) {
   const std::size_t capacity = effective_capacity(p);
   EVQ_CHECK(!spec.bounded || capacity >= static_cast<std::size_t>(p.burst) * p.threads,
             "bounded queue too small for the burst workload (deadlock)");
   EVQ_CHECK(spec.concurrent || p.threads == 1,
             "non-concurrent baseline limited to one thread");
+  WorkloadResult result;
+  const StopRule rule{p.stable_cv, p.runs, p.max_runs};
   std::vector<double> times;
-  times.reserve(p.runs);
-  for (unsigned r = 0; r < p.runs; ++r) {
+  while (!stop_sampling(times, rule)) {
     auto queue = spec.make(capacity);
-    times.push_back(run_once(*queue, p));
+    const RunResult run =
+        run_once_ex(*queue, p, &result.latency, p.record_op_stats ? &result.ops : nullptr);
+    result.runs.push_back(run);
+    times.push_back(run.thread_seconds);
   }
-  return times;
+  return result;
+}
+
+std::vector<double> run_workload(const QueueSpec& spec, const WorkloadParams& p) {
+  WorkloadParams fixed = p;
+  fixed.stable_cv = 0.0;  // legacy entry point: exactly p.runs runs
+  return run_workload_ex(spec, fixed).times();
 }
 
 }  // namespace evq::harness

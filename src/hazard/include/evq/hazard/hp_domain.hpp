@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "evq/common/cacheline.hpp"
@@ -40,13 +42,19 @@ enum class ScanMode : std::uint8_t {
 };
 
 /// Safe memory reclamation domain for nodes of type Node, reclaimed with
-/// `delete` by default or a custom Reclaim callable (e.g. a free pool).
+/// `delete` by default or a custom reclaimer supplied at construction (e.g.
+/// a free pool). The reclaimer is a domain property, not a per-call
+/// argument: every reclamation path — threshold scans, the release()
+/// last-chance scan, and the destructor's quiescent sweep — must route
+/// retired nodes to the same place, or nodes retired to a pool would be
+/// `delete`d when the domain shuts down.
 ///
 /// K is the number of hazard slots per thread (the MS queue needs 2:
 /// head/tail plus next).
 template <typename Node, std::size_t K = 2>
 class HpDomain {
  public:
+  using Reclaimer = std::function<void(Node*)>;
   struct Record {
     std::atomic<const Node*> hp[K];
     std::atomic<bool> active{false};
@@ -57,21 +65,25 @@ class HpDomain {
     std::vector<Node*> retired;
   };
 
-  explicit HpDomain(ScanMode mode = ScanMode::kUnsorted, std::size_t threshold_multiplier = 4)
-      : mode_(mode), threshold_multiplier_(threshold_multiplier) {
+  explicit HpDomain(ScanMode mode = ScanMode::kUnsorted, std::size_t threshold_multiplier = 4,
+                    Reclaimer reclaimer = {})
+      : mode_(mode),
+        threshold_multiplier_(threshold_multiplier),
+        reclaimer_(reclaimer ? std::move(reclaimer) : Reclaimer([](Node* n) { delete n; })) {
     EVQ_CHECK(threshold_multiplier >= 1, "scan threshold multiplier must be >= 1");
   }
 
   HpDomain(const HpDomain&) = delete;
   HpDomain& operator=(const HpDomain&) = delete;
 
-  /// Quiescent destruction: reclaims every retired node and frees records.
+  /// Quiescent destruction: reclaims every retired node (through the
+  /// domain's reclaimer) and frees records.
   ~HpDomain() {
     Record* rec = head_.load(std::memory_order_acquire);
     while (rec != nullptr) {
       Record* next = rec->next.load(std::memory_order_relaxed);
       for (Node* node : rec->retired) {
-        delete node;
+        reclaimer_(node);
       }
       delete rec;
       rec = next;
@@ -142,25 +154,20 @@ class HpDomain {
 
   /// Retires a node removed from the data structure; reclaims a batch once
   /// the per-thread retired count reaches multiplier x (current records).
-  template <typename Reclaim>
-  void retire(Record* rec, Node* node, Reclaim&& reclaim) {
+  void retire(Record* rec, Node* node) {
     EVQ_INJECT_POINT("hazard.reclaim.retire");
     rec->retired.push_back(node);
     const std::size_t threshold =
         threshold_multiplier_ * std::max<std::size_t>(1, records_.load(std::memory_order_relaxed));
     if (rec->retired.size() >= threshold) {
-      scan(*rec, std::forward<Reclaim>(reclaim));
+      scan(*rec);
     }
   }
 
-  void retire(Record* rec, Node* node) {
-    retire(rec, node, [](Node* n) { delete n; });
-  }
-
-  /// One reclamation pass: frees every retired node whose address is not
-  /// published as a hazard by any record. Returns the number reclaimed.
-  template <typename Reclaim>
-  std::size_t scan(Record& rec, Reclaim&& reclaim) {
+  /// One reclamation pass: frees (through the domain's reclaimer) every
+  /// retired node whose address is not published as a hazard by any record.
+  /// Returns the number reclaimed.
+  std::size_t scan(Record& rec) {
     EVQ_INJECT_POINT("hazard.reclaim.scan.enter");
     std::vector<const Node*> hazards;
     hazards.reserve(K * records_.load(std::memory_order_relaxed));
@@ -190,17 +197,13 @@ class HpDomain {
       if (hazardous) {
         survivors.push_back(node);
       } else {
-        reclaim(node);
+        reclaimer_(node);
         ++freed;
       }
     }
     rec.retired = std::move(survivors);
     reclaimed_.fetch_add(freed, std::memory_order_relaxed);
     return freed;
-  }
-
-  std::size_t scan(Record& rec) {
-    return scan(rec, [](Node* n) { delete n; });
   }
 
   /// Total records ever created (= maximum concurrent acquires observed).
@@ -218,6 +221,7 @@ class HpDomain {
  private:
   const ScanMode mode_;
   const std::size_t threshold_multiplier_;
+  const Reclaimer reclaimer_;
   std::atomic<Record*> head_{nullptr};
   std::atomic<std::size_t> records_{0};
   std::atomic<std::uint64_t> reclaimed_{0};

@@ -230,4 +230,38 @@ TEST(Cli, PaperFlagSelectsPaperScale) {
   EXPECT_EQ(opts.workload.runs, 50u);
 }
 
+TEST(Cli, MeasurementFlagsParse) {
+  auto argv = argv_of({"bench", "--latency-sample", "64", "--stable-cv", "5", "--max-runs",
+                       "20", "--op-stats", "--json", "out.json"});
+  const CliOptions opts = parse_cli(static_cast<int>(argv.size()), argv.data(), {1}, 10, 1);
+  EXPECT_EQ(opts.workload.latency_sample_every, 64u);
+  EXPECT_DOUBLE_EQ(opts.workload.stable_cv, 0.05);  // --stable-cv takes a percentage
+  EXPECT_EQ(opts.workload.max_runs, 20u);
+  EXPECT_TRUE(opts.workload.record_op_stats);
+  EXPECT_EQ(opts.json_path, "out.json");
+}
+
+TEST(Cli, OverridesRecordOnlyWhatWasSet) {
+  auto argv = argv_of({"bench", "--runs", "7"});
+  const CliOverrides ov = parse_overrides(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(ov.runs.has_value());
+  EXPECT_FALSE(ov.iterations.has_value());
+  EXPECT_FALSE(ov.thread_counts.has_value());
+  EXPECT_FALSE(ov.op_stats);
+
+  // Applying over two different defaults keeps each scenario's own values.
+  CliOptions a;
+  a.workload.iterations = 111;
+  a.workload.runs = 1;
+  ov.apply(a);
+  EXPECT_EQ(a.workload.iterations, 111u);
+  EXPECT_EQ(a.workload.runs, 7u);
+
+  // Explicit flags beat --paper regardless of argument order.
+  auto argv2 = argv_of({"bench", "--iters", "42", "--paper"});
+  const CliOptions paper = parse_cli(static_cast<int>(argv2.size()), argv2.data(), {1}, 10, 1);
+  EXPECT_EQ(paper.workload.iterations, 42u);
+  EXPECT_EQ(paper.workload.runs, 50u);
+}
+
 }  // namespace

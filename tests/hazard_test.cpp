@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -64,19 +65,50 @@ TEST(Hazard, ProtectFollowsConcurrentChange) {
 }
 
 TEST(Hazard, ScanFreesUnprotectedNodes) {
-  Domain domain;
-  auto* rec = domain.acquire();
   std::atomic<int> freed{0};
-  auto reclaim = [&freed](HpNode* n) {
+  Domain domain(ScanMode::kUnsorted, 4, [&freed](HpNode* n) {
     ++freed;
     delete n;
-  };
+  });
+  auto* rec = domain.acquire();
   rec->retired.push_back(new HpNode{1});
   rec->retired.push_back(new HpNode{2});
-  EXPECT_EQ(domain.scan(*rec, reclaim), 2u);
+  EXPECT_EQ(domain.scan(*rec), 2u);
   EXPECT_EQ(freed.load(), 2);
   EXPECT_TRUE(rec->retired.empty());
   domain.release(rec);
+}
+
+TEST(Hazard, CustomReclaimerIsUsedOnEveryPath) {
+  // A pool-style reclaimer that never calls delete: nodes are owned by
+  // `pool` and the domain must only hand them back. Exercises all three
+  // reclamation paths — threshold scan (retire), release() leftovers, and
+  // the destructor's quiescent sweep. A domain that bypasses the reclaimer
+  // on any path double-frees pool-owned storage.
+  std::vector<std::unique_ptr<HpNode>> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(std::make_unique<HpNode>(HpNode{i}));
+  }
+  std::atomic<int> returned{0};
+  {
+    Domain domain(ScanMode::kUnsorted, 4, [&returned](HpNode*) { ++returned; });
+    auto* rec = domain.acquire();
+    // 4 retires hit the threshold scan (1 record x multiplier 4).
+    for (int i = 0; i < 4; ++i) {
+      domain.retire(rec, pool[static_cast<std::size_t>(i)].get());
+    }
+    EXPECT_EQ(returned.load(), 4) << "threshold scan must use the domain reclaimer";
+    // 2 leftovers are swept by release()'s last-chance scan.
+    domain.retire(rec, pool[4].get());
+    domain.retire(rec, pool[5].get());
+    domain.release(rec);
+    EXPECT_EQ(returned.load(), 6) << "release() scan must use the domain reclaimer";
+    // 2 more stay retired on the (released) record until the domain dies.
+    auto* rec2 = domain.acquire();
+    rec2->retired.push_back(pool[6].get());
+    rec2->retired.push_back(pool[7].get());
+  }
+  EXPECT_EQ(returned.load(), 8) << "destructor must route leftovers through the reclaimer";
 }
 
 TEST(Hazard, ScanSparesProtectedNodes) {

@@ -1,0 +1,250 @@
+// Tests for the scenario layer of evq-bench: registry completeness, the
+// default sweep runner, CLI override semantics, latency sampling and
+// adaptive repetition plumbed through run_workload_ex, and the versioned
+// JSON document — including a golden-file test that pins schema_version 1
+// byte-for-byte (changing ANY key or shape requires bumping
+// kBenchJsonSchemaVersion and regenerating tests/golden/bench_schema_v1.json).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "evq/harness/bench_json.hpp"
+#include "evq/harness/scenario.hpp"
+
+namespace {
+
+using namespace evq::harness;
+
+TEST(ScenarioRegistry, EveryRetiredBinaryHasAScenario) {
+  // The 13 harness-based bench mains this driver replaced. A scenario
+  // disappearing from the registry silently drops a reproduced experiment.
+  const std::set<std::string> expected = {
+      "fig6a",         "fig6b",       "fig6c",     "fig6d",             "overhead",
+      "op-profile",    "ablation-llsc", "ablation-hp", "ablation-capacity", "ext-mixed",
+      "ext-reclaim",   "sharded",     "backoff"};
+  std::set<std::string> got;
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    EXPECT_TRUE(got.insert(spec.name).second) << "duplicate scenario " << spec.name;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ScenarioRegistry, SpecsAreWellFormed) {
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.title.empty()) << spec.name;
+    EXPECT_FALSE(spec.summary.empty()) << spec.name;
+    EXPECT_FALSE(spec.default_threads.empty()) << spec.name;
+    if (!spec.run) {
+      EXPECT_TRUE(static_cast<bool>(spec.rows)) << spec.name;
+      EXPECT_TRUE(static_cast<bool>(spec.series)) << spec.name;
+    }
+    EXPECT_NO_FATAL_FAILURE(find_scenario(spec.name));
+  }
+}
+
+TEST(ScenarioOptions, DefaultsComeFromSpecAndOverridesWin) {
+  const ScenarioSpec& fig6a = find_scenario("fig6a");
+  CliOverrides none;
+  const CliOptions defaults = scenario_options(fig6a, none);
+  EXPECT_EQ(defaults.thread_counts, fig6a.default_threads);
+  EXPECT_EQ(defaults.workload.iterations, fig6a.default_iters);
+  EXPECT_EQ(defaults.workload.runs, fig6a.default_runs);
+
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{1, 2};
+  ov.iterations = 123;
+  ov.latency_sample_every = 7;
+  ov.stable_cv = 0.10;
+  ov.max_runs = 9;
+  const CliOptions tuned = scenario_options(fig6a, ov);
+  EXPECT_EQ(tuned.thread_counts, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(tuned.workload.iterations, 123u);
+  EXPECT_EQ(tuned.workload.runs, fig6a.default_runs) << "unset override must not apply";
+  EXPECT_EQ(tuned.workload.latency_sample_every, 7u);
+  EXPECT_DOUBLE_EQ(tuned.workload.stable_cv, 0.10);
+  EXPECT_EQ(tuned.workload.max_runs, 9u);
+}
+
+CliOptions tiny_options(const ScenarioSpec& spec) {
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{1, 2};
+  ov.iterations = 50;
+  ov.runs = 2;
+  return scenario_options(spec, ov);
+}
+
+TEST(ScenarioRun, Fig6aShapeAndMeasurements) {
+  const ScenarioSpec& spec = find_scenario("fig6a");
+  const CliOptions opts = tiny_options(spec);
+  const ScenarioResult result = run_scenario(spec, opts);
+
+  EXPECT_EQ(result.name, "fig6a");
+  EXPECT_EQ(result.axis, "threads");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].label, "1");
+  EXPECT_EQ(result.rows[1].label, "2");
+  EXPECT_EQ(result.rows[1].params.threads, 2u);
+  ASSERT_EQ(result.series.size(), 5u);
+  EXPECT_NE(result.series_named("fifo-llsc"), nullptr);
+  EXPECT_NE(result.series_named("fifo-simcas"), nullptr);
+  EXPECT_EQ(result.series_named("no-such-algo"), nullptr);
+  for (const ScenarioSeries& s : result.series) {
+    ASSERT_EQ(s.cells.size(), 2u) << s.name;
+    for (const CellStats& cell : s.cells) {
+      EXPECT_GT(cell.time.mean, 0.0) << s.name;
+      EXPECT_EQ(cell.time.n, 2u) << s.name;
+      EXPECT_GT(cell.throughput, 0.0) << s.name;
+      // 2 runs x threads x iterations x burst x 2 (each push has its pop).
+      EXPECT_GT(cell.total_ops, 0u) << s.name;
+      EXPECT_EQ(cell.latency.count(), 0u) << "latency sampling must default off";
+      EXPECT_FALSE(cell.has_ops);
+    }
+  }
+}
+
+TEST(ScenarioRun, LatencySamplingFillsHistograms) {
+  const ScenarioSpec& spec = find_scenario("fig6a");
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{2};
+  ov.iterations = 100;
+  ov.runs = 1;
+  ov.latency_sample_every = 4;
+  ov.op_stats = true;
+  const CliOptions opts = scenario_options(spec, ov);
+  const ScenarioResult result = run_scenario(spec, opts);
+  for (const ScenarioSeries& s : result.series) {
+    const CellStats& cell = s.cells[0];
+    // 2 threads x 100 iters x 10 ops / sample period 4 = 500 samples/run.
+    EXPECT_GT(cell.latency.count(), 0u) << s.name;
+    EXPECT_GT(cell.latency.p99(), 0u) << s.name;
+    EXPECT_GE(cell.latency.max(), cell.latency.p50()) << s.name;
+    EXPECT_TRUE(cell.has_ops) << s.name;
+  }
+  const ScenarioSeries* simcas = result.series_named("fifo-simcas");
+  ASSERT_NE(simcas, nullptr);
+  EXPECT_GT(simcas->cells[0].ops.cas_attempts, 0u)
+      << "simulated-CAS queue must report CAS attempts under --op-stats";
+}
+
+TEST(ScenarioRun, AdaptiveRepetitionRespectsBounds) {
+  // An impossible CV target with a low cap: every cell runs exactly max_runs.
+  const ScenarioSpec& spec = find_scenario("overhead");
+  CliOverrides ov;
+  ov.iterations = 30;
+  ov.runs = 2;
+  ov.stable_cv = 1e-9;
+  ov.max_runs = 3;
+  const CliOptions opts = scenario_options(spec, ov);
+  const ScenarioResult result = run_scenario(spec, opts);
+  for (const ScenarioSeries& s : result.series) {
+    EXPECT_EQ(s.cells[0].time.n, 3u) << s.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON document
+// ---------------------------------------------------------------------------
+
+/// A fully deterministic synthetic result exercising every schema branch
+/// (latency present/absent, op counters present/absent, multiple series).
+ScenarioResult synthetic_result() {
+  ScenarioResult r;
+  r.name = "synthetic";
+  r.title = "Synthetic scenario for the schema golden file";
+  r.axis = "threads";
+  WorkloadParams p1;
+  p1.threads = 1;
+  p1.iterations = 100;
+  p1.runs = 2;
+  r.rows.push_back({"1", p1});
+  WorkloadParams p2 = p1;
+  p2.threads = 2;
+  p2.latency_sample_every = 4;
+  p2.stable_cv = 0.05;
+  p2.max_runs = 8;
+  p2.record_op_stats = true;
+  r.rows.push_back({"2", p2});
+
+  ScenarioSeries plain{"algo-a", "Algorithm A", {}};
+  CellStats c1;
+  c1.time = summarize({0.5, 1.5});
+  c1.throughput = 2000.0;
+  c1.total_ops = 4000;
+  plain.cells.push_back(c1);
+  CellStats c2;
+  c2.time = summarize({0.25, 0.75});
+  c2.throughput = 8000.0;
+  c2.total_ops = 4000;
+  c2.latency.record_n(100, 98);
+  c2.latency.record_n(1000, 2);
+  c2.has_ops = true;
+  c2.ops.cas_attempts = 10;
+  c2.ops.cas_success = 8;
+  c2.ops.faa = 4;
+  plain.cells.push_back(c2);
+  r.series.push_back(plain);
+  return r;
+}
+
+TEST(BenchJson, GoldenFilePinsSchemaV1) {
+  BenchHostInfo host;
+  host.hardware_concurrency = 8;
+  host.compiler = "test-compiler 1.0";
+  host.build = "Test";
+  host.timestamp = "";  // omitted: keeps the document deterministic
+
+  const ScenarioResult result = synthetic_result();
+  CliOptions opts;
+  const std::string doc = bench_results_to_json(host, {result}, {opts});
+
+  const std::string golden_path = std::string(EVQ_TEST_GOLDEN_DIR) + "/bench_schema_v1.json";
+  if (std::getenv("EVQ_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << golden_path;
+    out << doc << "\n";
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "missing golden file; see this test's header comment";
+  std::stringstream want;
+  want << golden.rdbuf();
+  // The golden file ends with a trailing newline (politeness to editors);
+  // the serializer's string does not.
+  std::string expected = want.str();
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(doc, expected)
+      << "JSON schema drifted. If intentional: bump kBenchJsonSchemaVersion, "
+         "regenerate tests/golden/bench_schema_v1.json, and update "
+         "scripts/bench_diff.py.";
+  EXPECT_EQ(kBenchJsonSchemaVersion, 1);
+}
+
+TEST(BenchJson, TimestampAppearsWhenSet) {
+  BenchHostInfo host = current_host_info();
+  EXPECT_GT(host.hardware_concurrency, 0u);
+  EXPECT_FALSE(host.timestamp.empty());
+  const std::string doc = bench_results_to_json(host, {}, {});
+  EXPECT_NE(doc.find("\"timestamp\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"scenarios\":[]"), std::string::npos);
+}
+
+TEST(BenchJson, EscapesControlAndQuoteCharacters) {
+  BenchHostInfo host;
+  host.compiler = "a\"b\\c\nd";
+  host.build = "x";
+  const std::string doc = bench_results_to_json(host, {}, {});
+  EXPECT_NE(doc.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the measurement substrate of evq-bench (harness/stats.hpp):
+// percentile correctness of the log-scale histogram on known distributions,
+// merge associativity, and the CV-based adaptive stop rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "evq/common/rng.hpp"
+#include "evq/harness/stats.hpp"
+#include "evq/harness/tsc.hpp"
+
+namespace {
+
+using namespace evq::harness;
+
+// The histogram's relative quantization error bound: values land in
+// sub-buckets of width 2^-kSubBucketBits of their octave, and the reported
+// representative is the bucket midpoint.
+constexpr double kRelTol = 1.0 / LogHistogram::kSubBuckets;
+
+void expect_close(std::uint64_t got, double want, const char* what) {
+  const double tol = std::max(1.0, want * kRelTol);
+  EXPECT_NEAR(static_cast<double>(got), want, tol) << what;
+}
+
+TEST(Summary, CoefficientOfVariation) {
+  const Summary s = summarize({10.0, 10.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+
+  const Summary spread = summarize({8.0, 12.0});
+  EXPECT_GT(spread.cv(), 0.0);
+  EXPECT_DOUBLE_EQ(spread.cv(), spread.stddev / spread.mean);
+
+  Summary zero;  // empty/degenerate: mean 0 must not divide
+  EXPECT_DOUBLE_EQ(zero.cv(), 0.0);
+}
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  // Values below 2^kSubBucketBits get one bucket each: percentiles are exact.
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), LogHistogram::kSubBuckets);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LogHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.value_at_percentile(100.0), LogHistogram::kSubBuckets - 1);
+  // 16 values: the 50th percentile is the 8th ranked recording, value 7.
+  EXPECT_EQ(h.p50(), LogHistogram::kSubBuckets / 2 - 1);
+}
+
+TEST(LogHistogram, PercentilesOnUniformDistribution) {
+  // Uniform over [1, 100000]: p-th percentile ~= p% of the range.
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 100000u);
+  expect_close(h.p50(), 50000.0, "p50");
+  expect_close(h.p90(), 90000.0, "p90");
+  expect_close(h.p99(), 99000.0, "p99");
+  expect_close(h.p999(), 99900.0, "p999");
+  expect_close(h.value_at_percentile(10.0), 10000.0, "p10");
+  EXPECT_EQ(h.value_at_percentile(0.0), h.min());
+  EXPECT_EQ(h.value_at_percentile(100.0), h.max());
+  expect_close(static_cast<std::uint64_t>(h.mean()), 50000.5, "mean");
+}
+
+TEST(LogHistogram, PercentilesOnBimodalDistribution) {
+  // 99% fast ops at ~100, 1% slow at ~100000: p50/p90 must sit in the fast
+  // mode and p999 in the slow mode — the exact shape a latency histogram
+  // exists to expose.
+  LogHistogram h;
+  h.record_n(100, 9900);
+  h.record_n(100000, 100);
+  expect_close(h.p50(), 100.0, "p50");
+  expect_close(h.p90(), 100.0, "p90");
+  expect_close(h.p999(), 100000.0, "p999");
+}
+
+TEST(LogHistogram, RecordNMatchesRepeatedRecord) {
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 37; ++i) {
+    a.record(1234);
+  }
+  b.record_n(1234, 37);
+  EXPECT_EQ(a, b);
+  b.record_n(99, 0);  // zero weight is a no-op
+  EXPECT_EQ(a, b);
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+  evq::SplitMix64 rng(7);
+  std::vector<LogHistogram> parts(3);
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 1000; ++i) {
+      parts[static_cast<std::size_t>(p)].record(rng.next() >> 40);
+    }
+  }
+  // (a + b) + c
+  LogHistogram left = parts[0];
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  // a + (b + c)
+  LogHistogram bc = parts[1];
+  bc.merge(parts[2]);
+  LogHistogram right = parts[0];
+  right.merge(bc);
+  // c + b + a
+  LogHistogram rev = parts[2];
+  rev.merge(parts[1]);
+  rev.merge(parts[0]);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, rev);
+  EXPECT_EQ(left.count(), 3000u);
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram h;
+  h.record(42);
+  h.record(7);
+  const LogHistogram before = h;
+  LogHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h, before);
+  empty.merge(h);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(StopRule, FixedRunCountWhenCvDisabled) {
+  const StopRule rule{0.0, 3, 0};
+  EXPECT_FALSE(stop_sampling({1.0}, rule));
+  EXPECT_FALSE(stop_sampling({1.0, 5.0}, rule));
+  // Stops at exactly min_runs regardless of how unstable the series is.
+  EXPECT_TRUE(stop_sampling({1.0, 5.0, 25.0}, rule));
+}
+
+TEST(StopRule, StopsEarlyOnceStable) {
+  const StopRule rule{0.05, 2, 10};
+  EXPECT_FALSE(stop_sampling({1.0}, rule)) << "below min_runs";
+  EXPECT_TRUE(stop_sampling({1.0, 1.0}, rule)) << "CV 0 <= target at min_runs";
+  EXPECT_FALSE(stop_sampling({1.0, 2.0}, rule)) << "CV far above target";
+}
+
+TEST(StopRule, CapsAtMaxRuns) {
+  const StopRule rule{0.0001, 2, 4};
+  std::vector<double> noisy = {1.0, 3.0, 9.0};
+  EXPECT_FALSE(stop_sampling(noisy, rule));
+  noisy.push_back(27.0);  // still wildly unstable, but n == max_runs
+  EXPECT_TRUE(stop_sampling(noisy, rule));
+
+  const StopRule defaulted{0.0001, 3, 0};  // max_runs 0 = 4 x min_runs
+  EXPECT_EQ(defaulted.effective_max(), 12u);
+}
+
+TEST(Tsc, MonotonicAndConvertible) {
+  const std::uint64_t a = tsc_now();
+  const std::uint64_t b = tsc_now();
+  EXPECT_GE(b, a);
+  EXPECT_GT(tsc_ns_per_tick(), 0.0);
+  // A 1ms spin must register between 0.1ms and 1s of converted time — loose
+  // bounds, but they catch a calibration that is off by orders of magnitude.
+  const std::uint64_t start = tsc_now();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+  const double ns = tsc_to_ns(tsc_now() - start);
+  EXPECT_GT(ns, 1e5);
+  EXPECT_LT(ns, 1e9);
+}
+
+}  // namespace
