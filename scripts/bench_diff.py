@@ -8,10 +8,11 @@ JSON per milestone, diff the newest against the previous one.
 
 Warn-only by default — timing on shared CI machines is noisy, so the exit
 code stays 0 unless --fail-over is given a (larger) threshold that a
-regression exceeds.
+regression exceeds, or --fail-on-regress makes ANY reported regression
+(i.e. beyond --threshold) fatal.
 
 usage: bench_diff.py baseline.json candidate.json [--threshold PCT]
-                     [--fail-over PCT]
+                     [--fail-over PCT] [--fail-on-regress]
 """
 
 import argparse
@@ -52,6 +53,8 @@ def main():
     parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
                         help="exit 1 if any regression exceeds PCT percent "
                              "(default: warn only)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 on any regression beyond --threshold")
     args = parser.parse_args()
 
     base = dict(cells(load(args.baseline)))
@@ -95,6 +98,10 @@ def main():
     if not regressions and not improvements:
         print("no changes beyond threshold")
 
+    if args.fail_on_regress and regressions:
+        print(f"FAIL: {len(regressions)} regression(s) beyond threshold "
+              f"{args.threshold:.0f}% with --fail-on-regress", file=sys.stderr)
+        return 1
     if args.fail_over is not None and worst > args.fail_over:
         print(f"FAIL: worst regression {worst:.1f}% exceeds --fail-over "
               f"{args.fail_over:.0f}%", file=sys.stderr)

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string_view>
 
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
@@ -18,6 +19,7 @@
 #include "evq/core/queue_traits.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/reclaim/epoch.hpp"
+#include "evq/telemetry/registry.hpp"
 
 namespace evq::baselines {
 
@@ -58,7 +60,9 @@ class MsEbrQueue {
     typename Domain::Record* rec_;
   };
 
-  explicit MsEbrQueue(std::size_t flush_threshold = 64) : domain_(flush_threshold) {
+  explicit MsEbrQueue(std::size_t flush_threshold = 64, std::string_view name = "ms-ebr")
+      : telemetry_(name), domain_(flush_threshold) {
+    domain_.set_metrics(&telemetry_.metrics());
     Node* dummy = new Node;
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);
@@ -109,6 +113,7 @@ class MsEbrQueue {
           stats::on_cas(
               tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
         }
+        telemetry_.inc(telemetry::Counter::kPushOk);
         return true;
       }
     }
@@ -126,6 +131,7 @@ class MsEbrQueue {
         continue;
       }
       if (next == nullptr) {
+        telemetry_.inc(telemetry::Counter::kPopEmpty);
         return nullptr;  // empty
       }
       if (head == tail) {  // tail lagging: help swing it
@@ -142,6 +148,7 @@ class MsEbrQueue {
       if (moved) {
         EVQ_INJECT_POINT("ms.ebr.pop.committed");
         domain_.retire(h.rec_, head);
+        telemetry_.inc(telemetry::Counter::kPopOk);
         return value;
       }
     }
@@ -150,6 +157,9 @@ class MsEbrQueue {
   [[nodiscard]] Domain& domain() noexcept { return domain_; }
 
  private:
+  // FIRST member: destroyed last, so the metrics pointer handed to domain_
+  // stays valid through the domain's destructor.
+  telemetry::ScopedQueueMetrics telemetry_;
   CachePadded<std::atomic<Node*>> head_{nullptr};
   CachePadded<std::atomic<Node*>> tail_{nullptr};
   Domain domain_;

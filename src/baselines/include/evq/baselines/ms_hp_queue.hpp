@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string_view>
 
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
@@ -18,6 +19,7 @@
 #include "evq/core/queue_traits.hpp"
 #include "evq/hazard/hp_domain.hpp"
 #include "evq/inject/inject.hpp"
+#include "evq/telemetry/registry.hpp"
 
 namespace evq::baselines {
 
@@ -48,8 +50,9 @@ class MsHpQueue {
   };
 
   explicit MsHpQueue(hazard::ScanMode mode = hazard::ScanMode::kUnsorted,
-                     std::size_t threshold_multiplier = 4)
-      : domain_(mode, threshold_multiplier) {
+                     std::size_t threshold_multiplier = 4, std::string_view name = "ms-hp")
+      : telemetry_(name), domain_(mode, threshold_multiplier) {
+    domain_.set_metrics(&telemetry_.metrics());
     Node* dummy = new Node;
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);
@@ -106,6 +109,7 @@ class MsHpQueue {
               tail_.value.compare_exchange_strong(tail, node, std::memory_order_seq_cst));
         }
         domain_.clear(rec, 0);
+        telemetry_.inc(telemetry::Counter::kPushOk);
         return true;
       }
     }
@@ -125,6 +129,7 @@ class MsHpQueue {
       if (next == nullptr) {  // empty
         domain_.clear(rec, 0);
         domain_.clear(rec, 1);
+        telemetry_.inc(telemetry::Counter::kPopEmpty);
         return nullptr;
       }
       if (head == tail) {  // tail lagging: help swing it
@@ -142,6 +147,7 @@ class MsHpQueue {
         domain_.clear(rec, 0);
         domain_.clear(rec, 1);
         domain_.retire(rec, head);
+        telemetry_.inc(telemetry::Counter::kPopOk);
         return value;
       }
     }
@@ -150,6 +156,9 @@ class MsHpQueue {
   [[nodiscard]] Domain& domain() noexcept { return domain_; }
 
  private:
+  // FIRST member: destroyed last, so the metrics pointer handed to domain_
+  // stays valid through the domain's destructor.
+  telemetry::ScopedQueueMetrics telemetry_;
   CachePadded<std::atomic<Node*>> head_{nullptr};
   CachePadded<std::atomic<Node*>> tail_{nullptr};
   Domain domain_;

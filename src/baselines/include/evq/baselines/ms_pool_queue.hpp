@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string_view>
 
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
@@ -21,6 +22,7 @@
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/reclaim/free_pool.hpp"
+#include "evq/telemetry/registry.hpp"
 
 namespace evq::baselines {
 
@@ -39,7 +41,8 @@ class MsPoolQueue {
     Node* free_next = nullptr;
   };
 
-  MsPoolQueue() {
+  explicit MsPoolQueue(std::string_view name = "ms-pool") : telemetry_(name) {
+    pool_.set_metrics(&telemetry_.metrics());
     Node* dummy = pool_.make();
     head_.value.store(dummy);
     tail_.value.store(dummy);
@@ -84,6 +87,7 @@ class MsPoolQueue {
         // Linearized: node linked, Tail lags until the swing (or help).
         EVQ_INJECT_POINT("ms.pool.push.committed");
         tail_.value.sc(tail_link, node);
+        telemetry_.inc(telemetry::Counter::kPushOk);
         return true;
       }
     }
@@ -102,6 +106,7 @@ class MsPoolQueue {
         continue;
       }
       if (next == nullptr) {
+        telemetry_.inc(telemetry::Counter::kPopEmpty);
         return nullptr;  // empty
       }
       if (head == tail) {  // tail lagging: help swing it
@@ -115,6 +120,7 @@ class MsPoolQueue {
         // Linearized: Head moved; the old dummy is ours to recycle.
         EVQ_INJECT_POINT("ms.pool.pop.committed");
         pool_.put(head);
+        telemetry_.inc(telemetry::Counter::kPopOk);
         return value;
       }
     }
@@ -123,6 +129,9 @@ class MsPoolQueue {
   [[nodiscard]] reclaim::FreePool<Node>& pool() noexcept { return pool_; }
 
  private:
+  // FIRST member: destroyed last, so the metrics pointer handed to pool_
+  // stays valid through the pool's destructor.
+  telemetry::ScopedQueueMetrics telemetry_;
   CachePadded<llsc::PackedLlsc<Node*>> head_{};
   CachePadded<llsc::PackedLlsc<Node*>> tail_{};
   reclaim::FreePool<Node> pool_;

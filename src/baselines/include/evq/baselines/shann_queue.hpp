@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "evq/common/backoff.hpp"
 #include "evq/common/dwcas.hpp"
@@ -81,7 +82,8 @@ class ShannQueue : public BoundedRing<T, ShannSlotPolicy<T>,
       BoundedRing<T, ShannSlotPolicy<T>, CasIndexPolicy<kShannIndexAdvancePoint>, ContentionPolicy>;
 
  public:
-  using Base::Base;
+  explicit ShannQueue(std::size_t min_capacity, std::string_view name = "shann")
+      : Base(min_capacity, name) {}
 };
 
 }  // namespace evq::baselines

@@ -40,6 +40,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "evq/common/backoff.hpp"
 #include "evq/common/op_stats.hpp"
@@ -143,7 +144,8 @@ class TsigasZhangQueue : public BoundedRing<T, TzSlotPolicy<T>,
   static constexpr std::uintptr_t kNull0 = TzSlotPolicy<T>::kNull0;
   static constexpr std::uintptr_t kNull1 = TzSlotPolicy<T>::kNull1;
 
-  using Base::Base;
+  explicit TsigasZhangQueue(std::size_t min_capacity, std::string_view name = "tsigas-zhang")
+      : Base(min_capacity, name) {}
 };
 
 }  // namespace evq::baselines

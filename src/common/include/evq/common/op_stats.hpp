@@ -32,6 +32,13 @@ struct OpCounters {
   std::uint64_t slot_sc_failures = 0;  // ... that failed (lost/spurious reservation)
   std::uint64_t help_advances = 0;     // lagging Head/Tail repaired on a peer's behalf (E11-E13/D11-D13)
 
+  // Hazard-pointer reclamation events (hazard/hp_domain.hpp). The telemetry
+  // layer reports the same events per queue; both read the same hooks so the
+  // two views can never disagree about what happened.
+  std::uint64_t hp_scans = 0;    // scan passes over the hazard table
+  std::uint64_t hp_retired = 0;  // nodes handed to a retired list
+  std::uint64_t hp_freed = 0;    // nodes reclaimed by scans
+
   OpCounters& operator+=(const OpCounters& other) noexcept {
     cas_attempts += other.cas_attempts;
     cas_success += other.cas_success;
@@ -42,6 +49,9 @@ struct OpCounters {
     slot_sc_attempts += other.slot_sc_attempts;
     slot_sc_failures += other.slot_sc_failures;
     help_advances += other.help_advances;
+    hp_scans += other.hp_scans;
+    hp_retired += other.hp_retired;
+    hp_freed += other.hp_freed;
     return *this;
   }
 
@@ -55,6 +65,9 @@ struct OpCounters {
     slot_sc_attempts -= other.slot_sc_attempts;
     slot_sc_failures -= other.slot_sc_failures;
     help_advances -= other.help_advances;
+    hp_scans -= other.hp_scans;
+    hp_retired -= other.hp_retired;
+    hp_freed -= other.hp_freed;
     return *this;
   }
 };
@@ -97,6 +110,21 @@ inline void on_slot_sc(bool success) noexcept {
 inline void on_help_advance() noexcept {
   if (OpCounters* rec = detail::t_recorder) {
     ++rec->help_advances;
+  }
+}
+inline void on_hp_scan() noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->hp_scans;
+  }
+}
+inline void on_hp_retire() noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    ++rec->hp_retired;
+  }
+}
+inline void on_hp_free(std::uint64_t n) noexcept {
+  if (OpCounters* rec = detail::t_recorder) {
+    rec->hp_freed += n;
   }
 }
 

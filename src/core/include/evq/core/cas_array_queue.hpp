@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "evq/common/backoff.hpp"
 #include "evq/core/queue_traits.hpp"
@@ -116,7 +117,9 @@ class CasArrayQueue : public BoundedRing<T, CasSlotPolicy<T>,
 
  public:
   using SlotCell = typename CasSlotPolicy<T>::SlotCell;
-  using Base::Base;
+
+  explicit CasArrayQueue(std::size_t min_capacity, std::string_view name = "fifo-simcas")
+      : Base(min_capacity, name) {}
 
   /// The queue's registry — exposed so tests can assert the space bound
   /// (LLSCvar count tracks max concurrency, not total threads ever).

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "evq/common/backoff.hpp"
 #include "evq/core/queue_traits.hpp"
@@ -102,7 +103,9 @@ class LlscArrayQueue
 
  public:
   using SlotCell = typename LlscSlotPolicy<T, SlotCellT>::SlotCell;
-  using Base::Base;
+
+  explicit LlscArrayQueue(std::size_t min_capacity, std::string_view name = "fifo-llsc")
+      : Base(min_capacity, name) {}
 };
 
 }  // namespace evq

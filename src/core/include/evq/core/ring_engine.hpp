@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "evq/common/backoff.hpp"
 #include "evq/common/cacheline.hpp"
@@ -50,6 +51,8 @@
 #include "evq/core/queue_traits.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/counter_cell.hpp"
+#include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/registry.hpp"
 
 namespace evq {
 
@@ -152,15 +155,19 @@ class BoundedRing {
   using Slot = typename SlotPolicy::Slot;
 
   /// Capacity is rounded up to a power of two (the paper requires Q_LENGTH
-  /// to be a power of 2 so index wraparound never skips slots).
-  explicit BoundedRing(std::size_t min_capacity)
+  /// to be a power of 2 so index wraparound never skips slots). `name` is the
+  /// stable telemetry name this instance registers (and aggregates) under.
+  explicit BoundedRing(std::size_t min_capacity, std::string_view name = "ring")
       : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
         mask_(capacity_ - 1),
-        slots_(std::make_unique<Slot[]>(capacity_)) {
+        slots_(std::make_unique<Slot[]>(capacity_)),
+        telemetry_(name) {
     policy_.attach(capacity_);
     for (std::size_t i = 0; i < capacity_; ++i) {
       policy_.init_slot(slots_[i], static_cast<std::uint64_t>(i));
     }
+    telemetry_.set_depth_gauge(
+        [this] { return static_cast<std::uint64_t>(size_estimate()); });
   }
 
   BoundedRing(const BoundedRing&) = delete;
@@ -219,6 +226,10 @@ class BoundedRing {
   [[nodiscard]] std::uint64_t head_index() noexcept { return IndexPolicy::load(head_.value); }
   [[nodiscard]] std::uint64_t tail_index() noexcept { return IndexPolicy::load(tail_.value); }
 
+  /// This instance's live telemetry counters (shared with same-name queues).
+  [[nodiscard]] telemetry::QueueMetrics& metrics() noexcept { return telemetry_.metrics(); }
+  [[nodiscard]] const std::string& telemetry_name() const noexcept { return telemetry_.name(); }
+
  protected:
   /// The policy instance — derived queues expose algorithm-specific state
   /// through it (e.g. CasArrayQueue::registry()).
@@ -234,6 +245,7 @@ class BoundedRing {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
     typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
     ContentionPolicy backoff;
+    std::uint32_t retries = 0;
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPushEnter);
       std::uint64_t t;
@@ -250,6 +262,8 @@ class BoundedRing {
       // stale-negative occupancy simply proceeds; E10 then catches it.
       if (static_cast<std::int64_t>(t - IndexPolicy::load(head_.value)) >=
           static_cast<std::int64_t>(capacity_)) {
+        telemetry_.inc(telemetry::Counter::kPushFull);
+        telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushFull, t, retries);
         return false;                                                // E7
       }
       Slot& slot = slots_[t & mask_];                                // E8
@@ -257,7 +271,9 @@ class BoundedRing {
       EVQ_INJECT_POINT(SlotPolicy::kPushReserved);
       if (t != IndexPolicy::load(tail_.value)) {                     // E10
         policy_.abandon(slot, res, ctx);  // index moved under us: restore and retry
+        telemetry_.inc(telemetry::Counter::kBackoffRound);
         backoff.pause();
+        ++retries;
         continue;
       }
       switch (policy_.classify(res, t)) {
@@ -266,6 +282,7 @@ class BoundedRing {
           // yet — help it (E11-E13) and retry with the fresh index.
           policy_.abandon(slot, res, ctx);
           stats::on_help_advance();
+          telemetry_.inc(telemetry::Counter::kHelpAdvance);
           IndexPolicy::advance(tail_.value, t);
           break;
         case SlotClass::kEmptyFresh:
@@ -278,16 +295,22 @@ class BoundedRing {
             if (hint != nullptr) {
               *hint = t + 1;
             }
+            telemetry_.inc(telemetry::Counter::kPushOk);
+            telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushOk, t,
+                                    retries);
             return true;                                             // E18
           }
           // SC failed: the slot changed under our reservation — start over.
           stats::on_slot_sc(false);
+          telemetry_.inc(telemetry::Counter::kSlotScFail);
           break;
         case SlotClass::kStaleEmpty:
           // Empty for the wrong generation (two-null scheme): stale index.
           break;
       }
+      telemetry_.inc(telemetry::Counter::kBackoffRound);
       backoff.pause();
+      ++retries;
     }
   }
 
@@ -295,6 +318,7 @@ class BoundedRing {
   T* pop_one(Handle& h, std::uint64_t* hint) noexcept {
     typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
     ContentionPolicy backoff;
+    std::uint32_t retries = 0;
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPopEnter);
       std::uint64_t head;
@@ -305,6 +329,9 @@ class BoundedRing {
         head = IndexPolicy::load(head_.value);                       // D5
       }
       if (head == IndexPolicy::load(tail_.value)) {                  // D6
+        telemetry_.inc(telemetry::Counter::kPopEmpty);
+        telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPopEmpty, head,
+                                retries);
         return nullptr;                                              // D7
       }
       Slot& slot = slots_[head & mask_];                             // D8
@@ -312,7 +339,9 @@ class BoundedRing {
       EVQ_INJECT_POINT(SlotPolicy::kPopReserved);
       if (head != IndexPolicy::load(head_.value)) {                  // D10
         policy_.abandon(slot, res, ctx);
+        telemetry_.inc(telemetry::Counter::kBackoffRound);
         backoff.pause();
+        ++retries;
         continue;
       }
       if (policy_.classify(res, head) == SlotClass::kOccupied) {
@@ -324,17 +353,24 @@ class BoundedRing {
           if (hint != nullptr) {
             *hint = head + 1;
           }
+          telemetry_.inc(telemetry::Counter::kPopOk);
+          telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPopOk, head,
+                                  retries);
           return policy_.value_of(res);                              // D18
         }
         stats::on_slot_sc(false);
+        telemetry_.inc(telemetry::Counter::kSlotScFail);
       } else {
         // The item at head was already removed by a dequeuer that has not
         // advanced Head yet — help it (D11-D13) and retry.
         policy_.abandon(slot, res, ctx);
         stats::on_help_advance();
+        telemetry_.inc(telemetry::Counter::kHelpAdvance);
         IndexPolicy::advance(head_.value, head);
       }
+      telemetry_.inc(telemetry::Counter::kBackoffRound);
       backoff.pause();
+      ++retries;
     }
   }
 
@@ -345,6 +381,9 @@ class BoundedRing {
   CachePadded<typename IndexPolicy::Cell> tail_{};
   std::unique_ptr<Slot[]> slots_;
   [[no_unique_address]] SlotPolicy policy_;
+  // LAST member on purpose: destroyed first, which clears the depth gauge
+  // (it reads head_/tail_ through `this`) while those indices still exist.
+  telemetry::ScopedQueueMetrics telemetry_;
 };
 
 }  // namespace evq

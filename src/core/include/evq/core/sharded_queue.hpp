@@ -33,6 +33,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "evq/common/config.hpp"
@@ -40,6 +43,7 @@
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/queue_traits.hpp"
 #include "evq/llsc/packed_llsc.hpp"
+#include "evq/telemetry/registry.hpp"
 
 namespace evq {
 
@@ -72,15 +76,29 @@ class ShardedQueue {
   /// shards yields 2 shards of 2, not 4 shards of 2 — so for power-of-two
   /// shard counts capacity() stays exactly what a single ring of the same
   /// request would report.
-  explicit ShardedQueue(std::size_t min_total_capacity, std::size_t shards = 4)
+  /// `name` is the facade's telemetry name; shards that accept a name (the
+  /// ring engine family) register individually as "<name>/<shard index>", so
+  /// the exporter can show both the facade aggregate and the per-shard depth
+  /// split the ISSUE's "which shard is hot?" question needs.
+  explicit ShardedQueue(std::size_t min_total_capacity, std::size_t shards = 4,
+                        std::string_view name = "sharded")
       : shard_count_(std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(
-                                                            1, min_total_capacity / 2))) {
+                                                            1, min_total_capacity / 2))),
+        telemetry_(name) {
     const std::size_t per_shard =
         (min_total_capacity + shard_count_ - 1) / shard_count_;
+    const std::size_t shard_capacity = per_shard < 2 ? 2 : per_shard;
     shards_.reserve(shard_count_);
     for (std::size_t s = 0; s < shard_count_; ++s) {
-      shards_.push_back(std::make_unique<Q>(per_shard < 2 ? 2 : per_shard));
+      if constexpr (std::is_constructible_v<Q, std::size_t, std::string_view>) {
+        shards_.push_back(
+            std::make_unique<Q>(shard_capacity, std::string(name) + "/" + std::to_string(s)));
+      } else {
+        shards_.push_back(std::make_unique<Q>(shard_capacity));
+      }
     }
+    telemetry_.set_depth_gauge(
+        [this] { return static_cast<std::uint64_t>(size_estimate()); });
   }
 
   ShardedQueue(const ShardedQueue&) = delete;
@@ -102,9 +120,11 @@ class ShardedQueue {
     for (std::size_t i = 0; i < shard_count_; ++i) {
       const std::size_t s = shard_of(h, i);
       if (shards_[s]->try_push(h.inner_[s], node)) {
+        telemetry_.inc(telemetry::Counter::kPushOk);
         return true;
       }
     }
+    telemetry_.inc(telemetry::Counter::kPushFull);
     return false;
   }
 
@@ -113,9 +133,11 @@ class ShardedQueue {
     for (std::size_t i = 0; i < shard_count_; ++i) {
       const std::size_t s = shard_of(h, i);
       if (T* node = shards_[s]->try_pop(h.inner_[s])) {
+        telemetry_.inc(telemetry::Counter::kPopOk);
         return node;
       }
     }
+    telemetry_.inc(telemetry::Counter::kPopEmpty);
     return nullptr;
   }
 
@@ -130,6 +152,10 @@ class ShardedQueue {
           ++done;
         }
       }
+    }
+    telemetry_.inc(telemetry::Counter::kPushOk, done);
+    if (done < count) {
+      telemetry_.inc(telemetry::Counter::kPushFull);
     }
     return done;
   }
@@ -149,6 +175,10 @@ class ShardedQueue {
           out[done++] = node;
         }
       }
+    }
+    telemetry_.inc(telemetry::Counter::kPopOk, done);
+    if (done < count) {
+      telemetry_.inc(telemetry::Counter::kPopEmpty);
     }
     return done;
   }
@@ -175,6 +205,9 @@ class ShardedQueue {
   /// Direct shard access for tests and diagnostics.
   [[nodiscard]] Q& shard(std::size_t s) noexcept { return *shards_[s]; }
 
+  /// Facade-level telemetry (each shard additionally has its own entry).
+  [[nodiscard]] telemetry::QueueMetrics& metrics() noexcept { return telemetry_.metrics(); }
+
  private:
   /// The i-th shard a handle probes: affinity first, then ring order.
   [[nodiscard]] std::size_t shard_of(const Handle& h, std::size_t i) const noexcept {
@@ -185,6 +218,9 @@ class ShardedQueue {
   std::size_t shard_count_;
   std::vector<std::unique_ptr<Q>> shards_;
   std::atomic<std::size_t> next_affinity_{0};
+  // LAST member: destroyed first, clearing the depth gauge (which walks
+  // shards_ through `this`) while the shards still exist.
+  telemetry::ScopedQueueMetrics telemetry_;
 };
 
 static_assert(BoundedPtrQueue<ShardedQueue<CasArrayQueue<int>>>);

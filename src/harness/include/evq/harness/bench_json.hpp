@@ -20,9 +20,16 @@
 //         "latency_ns": { "count", "min", "max", "mean",
 //                         "p50", "p90", "p99", "p999" },   // when sampled
 //         "op_counters": { ... }                           // when recorded
-//       } ] } ]
+//       } ] } ],
+//       "telemetry": [ { "queue", "counters": { ... },      // when --telemetry
+//                        "depth" } ]                        // gauge, if any
 //     } ]
 //   }
+//
+// The optional "telemetry" section (per-queue registry counter deltas
+// accumulated over the scenario) and the hp_* keys inside op_counters are
+// additive optional keys: consumers that ignore unknown keys keep working,
+// so the schema version stays 1.
 //
 // rows[i] and every series' cells[i] correspond; scripts/bench_diff.py joins
 // two documents on (scenario, series, row label) to flag regressions across

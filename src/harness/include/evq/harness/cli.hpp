@@ -14,6 +14,7 @@
 //   --stable-cv PCT        adaptively repeat runs until CV <= PCT/100
 //   --max-runs N           cap for --stable-cv repetition
 //   --op-stats             record aggregate atomic-op counters per cell
+//   --telemetry            capture per-queue telemetry counter deltas per cell
 //   --json PATH            also emit the versioned JSON document to PATH
 //
 // Because each scenario carries its own defaults, flags are parsed into a
@@ -33,6 +34,7 @@ struct CliOptions {
   WorkloadParams workload;               // threads field unused (swept)
   std::vector<unsigned> thread_counts;   // sweep
   bool csv = false;
+  bool telemetry = false;                // capture registry counter deltas
   std::string json_path;                 // empty = no JSON output
 };
 
@@ -48,6 +50,7 @@ struct CliOverrides {
   std::optional<double> stable_cv;
   std::optional<unsigned> max_runs;
   bool op_stats = false;
+  bool telemetry = false;
   bool csv = false;
   bool paper = false;
   std::string json_path;

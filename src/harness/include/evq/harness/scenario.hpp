@@ -19,6 +19,7 @@
 #include "evq/harness/queue_registry.hpp"
 #include "evq/harness/stats.hpp"
 #include "evq/harness/workload.hpp"
+#include "evq/telemetry/prometheus.hpp"
 
 namespace evq::harness {
 
@@ -52,6 +53,10 @@ struct ScenarioResult {
   std::string axis;  // row-label column header ("threads", "capacity", ...)
   std::vector<ScenarioRow> rows;
   std::vector<ScenarioSeries> series;
+  /// Per-queue telemetry counter deltas accumulated over the whole scenario
+  /// (only entries with at least one nonzero counter; populated when the
+  /// scenario runs with --telemetry).
+  std::vector<telemetry::QueueCounters> telemetry;
 
   [[nodiscard]] const ScenarioSeries* series_named(const std::string& name) const;
 };

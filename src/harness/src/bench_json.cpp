@@ -62,7 +62,34 @@ void write_op_counters(JsonWriter& w, const stats::OpCounters& c) {
   w.member("slot_sc_attempts", c.slot_sc_attempts);
   w.member("slot_sc_failures", c.slot_sc_failures);
   w.member("help_advances", c.help_advances);
+  w.member("hp_scans", c.hp_scans);
+  w.member("hp_retired", c.hp_retired);
+  w.member("hp_freed", c.hp_freed);
   w.end_object();
+}
+
+void write_telemetry(JsonWriter& w, const std::vector<telemetry::QueueCounters>& queues) {
+  w.key("telemetry");
+  w.begin_array();
+  for (const telemetry::QueueCounters& q : queues) {
+    w.begin_object();
+    w.member("queue", q.queue);
+    w.key("counters");
+    w.begin_object();
+    for (std::size_t c = 0; c < telemetry::kCounterCount; ++c) {
+      // Only nonzero counters: keeps documents small and diffs readable.
+      if (q.counters.counts[c] != 0) {
+        w.member(telemetry::counter_name(static_cast<telemetry::Counter>(c)),
+                 q.counters.counts[c]);
+      }
+    }
+    w.end_object();
+    if (q.has_depth) {
+      w.member("depth", q.depth);
+    }
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void write_cell(JsonWriter& w, const CellStats& cell) {
@@ -111,6 +138,9 @@ void write_scenario(JsonWriter& w, const ScenarioResult& r) {
     w.end_object();
   }
   w.end_array();
+  if (!r.telemetry.empty()) {
+    write_telemetry(w, r.telemetry);
+  }
   w.end_object();
 }
 

@@ -12,7 +12,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
                "          [--capacity C] [--csv] [--paper] [--latency-sample N]\n"
-               "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--json PATH]\n"
+               "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--telemetry]\n"
+               "          [--json PATH]\n"
                "Runs with CI-scale defaults when given no arguments; --paper\n"
                "selects the paper's parameters (100000 iterations, 50 runs).\n",
                argv0);
@@ -92,6 +93,9 @@ void CliOverrides::apply(CliOptions& opts) const {
   if (op_stats) {
     opts.workload.record_op_stats = true;
   }
+  if (telemetry) {
+    opts.telemetry = true;
+  }
   if (csv) {
     opts.csv = true;
   }
@@ -138,6 +142,8 @@ CliOverrides parse_overrides(int argc, char** argv, int first) {
       ++i;
     } else if (std::strcmp(arg, "--op-stats") == 0) {
       ov.op_stats = true;
+    } else if (std::strcmp(arg, "--telemetry") == 0) {
+      ov.telemetry = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       ov.json_path = need_value(i);
       ++i;

@@ -53,13 +53,14 @@ std::vector<QueueSpec> build_registry() {
   specs.push_back({"fifo-llsc", "FIFO Array LL/SC", true, true, true,
                    make_factory<LlscPackedQueue>()});
   specs.push_back({"fifo-llsc-versioned", "FIFO Array LL/SC (versioned DWCAS)", true, true, true,
-                   make_factory<LlscQueue>()});
+                   make_factory<LlscQueue>("fifo-llsc-versioned")});
   specs.push_back({"fifo-simcas", "FIFO Array Simulated CAS", true, true, true,
                    make_factory<CasArrayQueue<Payload>>()});
   specs.push_back({"ms-hp", "MS-Hazard Pointers Not Sorted", false, true, true,
                    make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kUnsorted, std::size_t{4})});
   specs.push_back({"ms-hp-sorted", "MS-Hazard Pointers Sorted", false, true, true,
-                   make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kSorted, std::size_t{4})});
+                   make_factory<MsHpQueue<Payload>>(hazard::ScanMode::kSorted, std::size_t{4},
+                                                    "ms-hp-sorted")});
   specs.push_back({"ms-doherty", "MS-Doherty et al.", false, true, true,
                    make_factory<MsSimQueue<Payload>>()});
   specs.push_back({"shann", "Shann et al. (CAS2w)", true, true, true,
@@ -77,15 +78,17 @@ std::vector<QueueSpec> build_registry() {
   // Contention-management ablation: the same two paper algorithms with
   // ExpBackoff threaded through every retry loop (bench_backoff's subjects).
   specs.push_back({"fifo-llsc-backoff", "FIFO Array LL/SC + exp backoff", true, true, true,
-                   make_factory<LlscArrayQueue<Payload, llsc::PackedLlsc, ExpBackoff>>()});
+                   make_factory<LlscArrayQueue<Payload, llsc::PackedLlsc, ExpBackoff>>(
+                       "fifo-llsc-backoff")});
   specs.push_back({"fifo-simcas-backoff", "FIFO Array Simulated CAS + exp backoff", true, true,
-                   true, make_factory<CasArrayQueue<Payload, ExpBackoff>>()});
+                   true, make_factory<CasArrayQueue<Payload, ExpBackoff>>("fifo-simcas-backoff")});
   // Sharded scaling layer: 4 shards over each paper algorithm. Per-producer
   // MPMC FIFO is traded away (fifo = false) for counter decontention.
   specs.push_back({"sharded-llsc", "Sharded FIFO Array LL/SC (4 shards)", true, true, false,
-                   make_factory<ShardedLlscQueue<Payload>>(std::size_t{4})});
+                   make_factory<ShardedLlscQueue<Payload>>(std::size_t{4}, "sharded-llsc")});
   specs.push_back({"sharded-simcas", "Sharded FIFO Array Simulated CAS (4 shards)", true, true,
-                   false, make_factory<ShardedCasQueue<Payload>>(std::size_t{4})});
+                   false,
+                   make_factory<ShardedCasQueue<Payload>>(std::size_t{4}, "sharded-simcas")});
   return specs;
 }
 

@@ -29,6 +29,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
   if (spec.run) {
     return spec.run(spec, opts);
   }
+  // With --telemetry, the scenario's counter contribution is the registry
+  // delta across the whole sweep: entries are never deleted, so a
+  // before/after snapshot pair is exact even though queue instances come and
+  // go per run.
+  telemetry::RegistrySnapshot before;
+  if (opts.telemetry) {
+    before = telemetry::snapshot_registry();
+  }
   ScenarioResult result;
   result.name = spec.name;
   result.title = spec.title;
@@ -51,6 +59,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
       series.cells.push_back(std::move(cell));
     }
     result.series.push_back(std::move(series));
+  }
+  if (opts.telemetry) {
+    const telemetry::RegistrySnapshot delta =
+        telemetry::snapshot_delta(before, telemetry::snapshot_registry());
+    for (const telemetry::QueueCounters& q : delta.queues) {
+      if (q.counters.any()) {
+        result.telemetry.push_back(q);
+      }
+    }
   }
   return result;
 }

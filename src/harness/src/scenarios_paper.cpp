@@ -641,6 +641,28 @@ ScenarioSpec backoff_spec() {
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry-overhead smoke: the fig6a workload shape on the two paper
+// algorithms, small enough for CI. Run once against a telemetry-on build and
+// once against -DEVQ_TELEMETRY=OFF, then diff the two JSON documents
+// (scripts/bench_diff.py --threshold 1 --fail-on-regress) to prove the
+// always-on counters cost < 1% throughput.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec telemetry_overhead_spec() {
+  ScenarioSpec spec;
+  spec.name = "telemetry-overhead";
+  spec.title = "Telemetry overhead: paper algorithms with always-on counters";
+  spec.summary = "Observability — telemetry-on vs -DEVQ_TELEMETRY=OFF cost (EXPERIMENTS.md)";
+  spec.default_threads = {1, 2, 4};
+  spec.rows = thread_rows;
+  // The two array queues are the worst case (40-60ns/op leaves the couple of
+  // striped-counter increments nowhere to hide); ms-hp shows the same
+  // absolute cost disappearing into a queue with realistic per-op work.
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas", "ms-hp"});
+  return spec;
+}
+
 std::vector<ScenarioSpec> build_scenarios() {
   std::vector<ScenarioSpec> specs;
   specs.push_back(fig6a_spec());
@@ -656,6 +678,7 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(ext_reclaim_spec());
   specs.push_back(sharded_spec());
   specs.push_back(backoff_spec());
+  specs.push_back(telemetry_overhead_spec());
   return specs;
 }
 

@@ -32,6 +32,7 @@
 #include "evq/common/config.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/inject/inject.hpp"
+#include "evq/telemetry/metrics.hpp"
 
 namespace evq::hazard {
 
@@ -156,6 +157,10 @@ class HpDomain {
   /// the per-thread retired count reaches multiplier x (current records).
   void retire(Record* rec, Node* node) {
     EVQ_INJECT_POINT("hazard.reclaim.retire");
+    stats::on_hp_retire();
+    if (metrics_ != nullptr) {
+      metrics_->inc(telemetry::Counter::kHpRetired);
+    }
     rec->retired.push_back(node);
     const std::size_t threshold =
         threshold_multiplier_ * std::max<std::size_t>(1, records_.load(std::memory_order_relaxed));
@@ -169,6 +174,10 @@ class HpDomain {
   /// Returns the number reclaimed.
   std::size_t scan(Record& rec) {
     EVQ_INJECT_POINT("hazard.reclaim.scan.enter");
+    stats::on_hp_scan();
+    if (metrics_ != nullptr) {
+      metrics_->inc(telemetry::Counter::kHpScan);
+    }
     std::vector<const Node*> hazards;
     hazards.reserve(K * records_.load(std::memory_order_relaxed));
     for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
@@ -203,6 +212,10 @@ class HpDomain {
     }
     rec.retired = std::move(survivors);
     reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+    stats::on_hp_free(freed);
+    if (metrics_ != nullptr && freed > 0) {
+      metrics_->inc(telemetry::Counter::kHpFreed, freed);
+    }
     return freed;
   }
 
@@ -218,6 +231,12 @@ class HpDomain {
 
   [[nodiscard]] ScanMode mode() const noexcept { return mode_; }
 
+  /// Routes this domain's retire/scan/free events into a queue's telemetry
+  /// counters. The owning queue installs this at construction and must keep
+  /// `metrics` alive for the domain's lifetime (including its destructor's
+  /// quiescent sweep, which does not count events).
+  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   const ScanMode mode_;
   const std::size_t threshold_multiplier_;
@@ -225,6 +244,7 @@ class HpDomain {
   std::atomic<Record*> head_{nullptr};
   std::atomic<std::size_t> records_{0};
   std::atomic<std::uint64_t> reclaimed_{0};
+  telemetry::QueueMetrics* metrics_ = nullptr;
 };
 
 /// RAII record holder.

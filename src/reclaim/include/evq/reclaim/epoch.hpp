@@ -24,6 +24,7 @@
 #include "evq/common/cacheline.hpp"
 #include "evq/common/config.hpp"
 #include "evq/inject/inject.hpp"
+#include "evq/telemetry/metrics.hpp"
 
 namespace evq::reclaim {
 
@@ -105,6 +106,9 @@ class EpochDomain {
   /// batch grows past the threshold.
   void retire(Record* rec, Node* node) {
     EVQ_INJECT_POINT("epoch.reclaim.retire");
+    if (metrics_ != nullptr) {
+      metrics_->inc(telemetry::Counter::kEpochRetired);
+    }
     const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
     auto& bucket = rec->retired[e % kEpochs];
     bucket.push_back(node);
@@ -136,6 +140,9 @@ class EpochDomain {
     // pinned thread. (e+1-2) % 3 == (e+2) % 3.
     auto& freeable = rec->retired[(e + 2) % kEpochs];
     reclaimed_.fetch_add(freeable.size(), std::memory_order_relaxed);
+    if (metrics_ != nullptr) {
+      metrics_->inc(telemetry::Counter::kEpochAdvance);
+    }
     for (Node* node : freeable) {
       delete node;
     }
@@ -150,11 +157,16 @@ class EpochDomain {
     return reclaimed_.load(std::memory_order_relaxed);
   }
 
+  /// Routes retire/advance events into a queue's telemetry counters; the
+  /// owning queue must keep `metrics` alive for the domain's lifetime.
+  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   const std::size_t flush_threshold_;
   CachePadded<std::atomic<std::uint64_t>> global_epoch_{std::uint64_t{0}};
   std::atomic<Record*> head_{nullptr};
   std::atomic<std::uint64_t> reclaimed_{0};
+  telemetry::QueueMetrics* metrics_ = nullptr;
 };
 
 /// RAII pin for one operation.

@@ -16,6 +16,7 @@
 #include "evq/common/config.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/packed_llsc.hpp"
+#include "evq/telemetry/metrics.hpp"
 
 // Node linkage is accessed through std::atomic_ref: a racing take() may read
 // the free_next of a node that another take() just popped and recycled; the
@@ -75,6 +76,9 @@ class FreePool {
       EVQ_INJECT_POINT("free_pool.reclaim.take.reserved");
       if (top_.sc(link, next)) {
         size_.fetch_sub(1, std::memory_order_relaxed);
+        if (metrics_ != nullptr) {
+          metrics_->inc(telemetry::Counter::kPoolHit);
+        }
         return node;
       }
     }
@@ -87,6 +91,9 @@ class FreePool {
   template <typename... Args>
   [[nodiscard]] Node* make(Args&&... args) {
     allocated_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) {
+      metrics_->inc(telemetry::Counter::kPoolMiss);
+    }
     return new Node(std::forward<Args>(args)...);
   }
 
@@ -108,10 +115,15 @@ class FreePool {
     return allocated_.load(std::memory_order_relaxed);
   }
 
+  /// Routes hit/miss events into a queue's telemetry counters; the owning
+  /// queue must keep `metrics` alive for the pool's lifetime.
+  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   llsc::PackedLlsc<Node*> top_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> allocated_{0};
+  telemetry::QueueMetrics* metrics_ = nullptr;
 };
 
 }  // namespace evq::reclaim

@@ -1,0 +1,154 @@
+// Flight recorder: per-thread lock-free rings of fixed-size trace records.
+//
+// When a torture run wedges, aggregate counters say WHAT happened but not
+// what each thread was doing at the end; the flight recorder answers that.
+// Each thread owns a ring of kRecords trace records (timestamp, queue id,
+// op, slot index, retry count) written only by that thread; dump routines on
+// OTHER threads may read a ring while its owner is still writing, so every
+// record field is a relaxed std::atomic — a torn logical record is
+// acceptable in a post-mortem, a data race is not (the torture binary runs
+// under TSan).
+//
+// Rings are pooled: a thread attaches on its first traced op, its ring
+// returns to a free list at thread exit and is reused by later threads, and
+// every ring ever created stays reachable for dumping — so memory is bounded
+// by the peak thread count, and records from exited threads survive for the
+// post-mortem. Tracing is off by default behind one relaxed global flag; the
+// torture harness switches it on, benches leave it off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "evq/telemetry/metrics.hpp"
+
+namespace evq::telemetry {
+
+enum class TraceOp : std::uint8_t {
+  kPushOk = 0,
+  kPushFull,
+  kPopOk,
+  kPopEmpty,
+};
+
+const char* trace_op_name(TraceOp op) noexcept;
+
+/// Cheap per-op timestamp: raw TSC where available (ordering within one
+/// thread is all dumps need), steady_clock ticks elsewhere.
+inline std::uint64_t trace_clock() noexcept {
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+class ThreadTrace {
+ public:
+  static constexpr std::size_t kRecords = 1024;  // power of two
+
+  struct Record {
+    std::atomic<std::uint64_t> tsc{0};
+    std::atomic<std::uint64_t> index{0};   // ring slot / queue-local position
+    std::atomic<std::uint32_t> queue_id{0};
+    std::atomic<std::uint32_t> retries{0};
+    std::atomic<std::uint32_t> thread_ord{0};  // owner at write time (rings are reused)
+    std::atomic<std::uint8_t> op{0};
+  };
+
+  void record(std::uint32_t queue_id, TraceOp op, std::uint64_t index,
+              std::uint32_t retries) noexcept {
+    const std::uint64_t at = pos_.fetch_add(1, std::memory_order_relaxed);
+    Record& r = records_[at & (kRecords - 1)];
+    r.tsc.store(trace_clock(), std::memory_order_relaxed);
+    r.index.store(index, std::memory_order_relaxed);
+    r.queue_id.store(queue_id, std::memory_order_relaxed);
+    r.retries.store(retries, std::memory_order_relaxed);
+    r.thread_ord.store(owner_ord_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    r.op.store(static_cast<std::uint8_t>(op), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_records() const noexcept {
+    return pos_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Record& record_at(std::uint64_t logical_pos) const noexcept {
+    return records_[logical_pos & (kRecords - 1)];
+  }
+  [[nodiscard]] std::uint32_t owner_ordinal() const noexcept {
+    return owner_ord_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool live() const noexcept { return live_.load(std::memory_order_relaxed); }
+
+  void assign_owner(std::uint32_t ordinal) noexcept {
+    owner_ord_.store(ordinal, std::memory_order_relaxed);
+    live_.store(true, std::memory_order_relaxed);
+  }
+  void mark_exited() noexcept { live_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> pos_{0};
+  std::atomic<std::uint32_t> owner_ord_{0};
+  std::atomic<bool> live_{false};
+  Record records_[kRecords];
+};
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+/// This thread's ring, nullptr until first traced op (defined in
+/// telemetry.cpp; not inline/COMDAT for the same reason as op_stats).
+extern thread_local ThreadTrace* t_trace;
+ThreadTrace& attach_trace();
+}  // namespace detail
+
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+void set_tracing(bool on) noexcept;
+
+/// The hot-path hook: one relaxed load when tracing is off.
+inline void record_trace(std::uint32_t queue_id, TraceOp op, std::uint64_t index,
+                         std::uint32_t retries) noexcept {
+#if EVQ_TELEMETRY
+  if (!tracing_enabled()) {
+    return;
+  }
+  ThreadTrace* t = detail::t_trace;
+  if (t == nullptr) {
+    t = &detail::attach_trace();
+  }
+  t->record(queue_id, op, index, retries);
+#else
+  (void)queue_id;
+  (void)op;
+  (void)index;
+  (void)retries;
+#endif
+}
+
+/// Snapshot of one ring's most recent record — the torture watchdog's
+/// per-thread "last known op" line.
+struct LastOpState {
+  std::uint32_t thread_ord = 0;
+  bool thread_live = false;
+  std::uint64_t total_records = 0;
+  std::uint64_t tsc = 0;
+  std::uint32_t queue_id = 0;
+  TraceOp op = TraceOp::kPushOk;
+  std::uint64_t index = 0;
+  std::uint32_t retries = 0;
+};
+
+/// One entry per ring that has recorded at least one event, in attach order.
+std::vector<LastOpState> last_ops_per_thread();
+
+/// Human-readable dump of the last `last_n` records of every ring (live and
+/// exited), plus a per-thread last-op summary. Safe to call while writers
+/// are still running (racy-but-atomic reads).
+void dump_flight_recorder(std::ostream& os, std::size_t last_n = 32);
+
+}  // namespace evq::telemetry

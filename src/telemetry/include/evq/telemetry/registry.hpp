@@ -1,0 +1,106 @@
+// The telemetry registry: stable queue names -> live QueueMetrics.
+//
+// Queues register themselves on construction (via ScopedQueueMetrics) under a
+// stable NAME, not a per-instance id. Two consequences, both deliberate:
+//
+//  * Entries are never deleted. A Prometheus counter must be monotone across
+//    the life of the process; if "fifo-llsc" disappeared and reappeared at
+//    zero every time a bench run rebuilt its queue, every scrape delta would
+//    be garbage. Entry pointers are therefore stable for the process
+//    lifetime (vector of unique_ptr, append-only).
+//  * Same-name live instances SHARE the entry. The harness constructs a
+//    fresh queue per run; aggregating them under one name is exactly what an
+//    operator (and the bench --telemetry delta) wants. A refcount tracks
+//    liveness; depth gauges are per-instance (keyed by owner) and removed on
+//    destruction, so depth never reads freed memory.
+//
+// The registry mutex guards only registration, gauge bookkeeping and
+// iteration — never the counter hot path, which is lock-free in
+// QueueMetrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "evq/telemetry/metrics.hpp"
+
+namespace evq::telemetry {
+
+class Registry {
+ public:
+  /// Depth gauges are sampled under the registry mutex; callbacks must be
+  /// cheap and touch only data that outlives their clear_gauge() call
+  /// (ScopedQueueMetrics guarantees this by clearing in its destructor).
+  using Gauge = std::function<std::uint64_t()>;
+
+  struct Entry {
+    std::string name;
+    std::uint32_t id = 0;  // registration order within this registry
+    QueueMetrics metrics;
+    // --- guarded by the owning registry's mutex ---
+    std::size_t live = 0;  // acquire() minus release()
+    std::vector<std::pair<const void*, Gauge>> gauges;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create the entry for `name`; bumps its live count.
+  Entry* acquire(std::string_view name);
+  void release(Entry* entry) noexcept;
+
+  /// Install/remove a per-instance depth gauge (keyed by `owner` so several
+  /// live instances of one name can each contribute).
+  void set_gauge(Entry* entry, const void* owner, Gauge fn);
+  void clear_gauge(Entry* entry, const void* owner) noexcept;
+
+  /// Visit every entry in registration order. `depth` is the sum of the
+  /// entry's gauges (0 when `gauge_count` is 0), sampled under the lock.
+  void for_each(
+      const std::function<void(const Entry&, std::size_t gauge_count, std::uint64_t depth)>& fn)
+      const;
+
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide registry every queue registers into by default.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// RAII registration handle owned by an instrumented queue. Declare it so
+/// that it is destroyed BEFORE the state any depth gauge reads (for a member
+/// gauge capturing `this`, declare the handle as the LAST member: members are
+/// destroyed in reverse order, so the gauge is cleared while the queue's
+/// indices are still alive).
+class ScopedQueueMetrics {
+ public:
+  explicit ScopedQueueMetrics(std::string_view name, Registry* registry = nullptr);
+  ~ScopedQueueMetrics();
+  ScopedQueueMetrics(const ScopedQueueMetrics&) = delete;
+  ScopedQueueMetrics& operator=(const ScopedQueueMetrics&) = delete;
+
+  void inc(Counter c, std::uint64_t n = 1) noexcept { entry_->metrics.inc(c, n); }
+  [[nodiscard]] QueueMetrics& metrics() noexcept { return entry_->metrics; }
+  [[nodiscard]] const std::string& name() const noexcept { return entry_->name; }
+  /// Registry-assigned id; the flight recorder stamps it into trace records.
+  [[nodiscard]] std::uint32_t queue_id() const noexcept { return entry_->id; }
+
+  void set_depth_gauge(Registry::Gauge fn);
+
+ private:
+  Registry* registry_;
+  Registry::Entry* entry_;
+};
+
+}  // namespace evq::telemetry

@@ -1,0 +1,394 @@
+// Out-of-line telemetry state: the stripe-ordinal thread_local, the global
+// registry, the flight-recorder ring pool, and the exporter. This TU is part
+// of every build (including the fault-injected torture binary) and must stay
+// free of injectable headers — it includes only telemetry/ and common/.
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/metrics.hpp"
+#include "evq/telemetry/prometheus.hpp"
+#include "evq/telemetry/registry.hpp"
+
+namespace evq::telemetry {
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kPushOk:
+      return "push_ok";
+    case Counter::kPushFull:
+      return "push_full";
+    case Counter::kPopOk:
+      return "pop_ok";
+    case Counter::kPopEmpty:
+      return "pop_empty";
+    case Counter::kSlotScFail:
+      return "slot_sc_fail";
+    case Counter::kHelpAdvance:
+      return "help_advance";
+    case Counter::kBackoffRound:
+      return "backoff_round";
+    case Counter::kHpScan:
+      return "hp_scan";
+    case Counter::kHpRetired:
+      return "hp_retired";
+    case Counter::kHpFreed:
+      return "hp_freed";
+    case Counter::kPoolHit:
+      return "pool_hit";
+    case Counter::kPoolMiss:
+      return "pool_miss";
+    case Counter::kEpochRetired:
+      return "epoch_retired";
+    case Counter::kEpochAdvance:
+      return "epoch_advance";
+  }
+  return "unknown";
+}
+
+CounterSnapshot counter_delta(const CounterSnapshot& before,
+                              const CounterSnapshot& after) noexcept {
+  CounterSnapshot d;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    // Counters are monotone per queue entry; guard anyway so a mismatched
+    // pair of snapshots degrades to zero instead of wrapping.
+    d.counts[i] = after.counts[i] >= before.counts[i] ? after.counts[i] - before.counts[i] : 0;
+  }
+  return d;
+}
+
+namespace detail {
+
+thread_local std::uint32_t t_stripe = kStripeUnassigned;
+
+std::uint32_t assign_stripe() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  t_stripe = next.fetch_add(1, std::memory_order_relaxed);
+  return t_stripe;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Entry* Registry::acquire(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name) {
+      ++e->live;
+      return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name);
+  entry->id = static_cast<std::uint32_t>(entries_.size());
+  entry->live = 1;
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+void Registry::release(Entry* entry) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry != nullptr && entry->live > 0) {
+    --entry->live;
+  }
+}
+
+void Registry::set_gauge(Entry* entry, const void* owner, Gauge fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, gauge] : entry->gauges) {
+    if (key == owner) {
+      gauge = std::move(fn);
+      return;
+    }
+  }
+  entry->gauges.emplace_back(owner, std::move(fn));
+}
+
+void Registry::clear_gauge(Entry* entry, const void* owner) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& gauges = entry->gauges;
+  gauges.erase(std::remove_if(gauges.begin(), gauges.end(),
+                              [owner](const auto& kv) { return kv.first == owner; }),
+               gauges.end());
+}
+
+void Registry::for_each(
+    const std::function<void(const Entry&, std::size_t gauge_count, std::uint64_t depth)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    std::uint64_t depth = 0;
+    for (const auto& [owner, gauge] : e->gauges) {
+      depth += gauge();
+    }
+    fn(*e, e->gauges.size(), depth);
+  }
+}
+
+const Registry::Entry* Registry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: queues registered in static-storage objects may run
+  // their destructors (gauge clearing) after main() returns.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+ScopedQueueMetrics::ScopedQueueMetrics(std::string_view name, Registry* registry)
+    : registry_(registry != nullptr ? registry : &Registry::global()),
+      entry_(registry_->acquire(name)) {}
+
+ScopedQueueMetrics::~ScopedQueueMetrics() {
+  registry_->clear_gauge(entry_, this);
+  registry_->release(entry_);
+}
+
+void ScopedQueueMetrics::set_depth_gauge(Registry::Gauge fn) {
+  registry_->set_gauge(entry_, this, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+const char* trace_op_name(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kPushOk:
+      return "push_ok";
+    case TraceOp::kPushFull:
+      return "push_full";
+    case TraceOp::kPopOk:
+      return "pop_ok";
+    case TraceOp::kPopEmpty:
+      return "pop_empty";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+thread_local ThreadTrace* t_trace = nullptr;
+
+namespace {
+
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct TracePool {
+  std::vector<ThreadTrace*> all;   // every ring ever created, attach order
+  std::vector<ThreadTrace*> free;  // rings of exited threads, ready to reuse
+  std::uint32_t next_ordinal = 0;
+};
+
+TracePool& trace_pool() {
+  // Leaked on purpose: dumps must work during process teardown.
+  static TracePool* pool = new TracePool();
+  return *pool;
+}
+
+/// Thread-exit hook: returns this thread's ring to the pool. The ring itself
+/// (and its records) stays reachable through TracePool::all for post-mortem.
+struct TraceOwner {
+  ThreadTrace* trace = nullptr;
+  ~TraceOwner() {
+    if (trace != nullptr) {
+      trace->mark_exited();
+      std::lock_guard<std::mutex> lock(trace_mutex());
+      trace_pool().free.push_back(trace);
+    }
+  }
+};
+
+thread_local TraceOwner t_owner;
+
+}  // namespace
+
+ThreadTrace& attach_trace() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  TracePool& pool = trace_pool();
+  ThreadTrace* t;
+  if (!pool.free.empty()) {
+    t = pool.free.back();
+    pool.free.pop_back();
+  } else {
+    t = new ThreadTrace();
+    pool.all.push_back(t);
+  }
+  t->assign_owner(pool.next_ordinal++);
+  t_owner.trace = t;
+  t_trace = t;
+  return *t;
+}
+
+}  // namespace detail
+
+void set_tracing(bool on) noexcept {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+LastOpState read_last_op(const ThreadTrace& trace) {
+  LastOpState s;
+  s.thread_ord = trace.owner_ordinal();
+  s.thread_live = trace.live();
+  s.total_records = trace.total_records();
+  if (s.total_records > 0) {
+    const ThreadTrace::Record& r = trace.record_at(s.total_records - 1);
+    s.tsc = r.tsc.load(std::memory_order_relaxed);
+    s.queue_id = r.queue_id.load(std::memory_order_relaxed);
+    s.op = static_cast<TraceOp>(r.op.load(std::memory_order_relaxed));
+    s.index = r.index.load(std::memory_order_relaxed);
+    s.retries = r.retries.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::string queue_label(std::uint32_t id) {
+  std::string name;
+  Registry::global().for_each([&](const Registry::Entry& e, std::size_t, std::uint64_t) {
+    if (e.id == id) {
+      name = e.name;
+    }
+  });
+  std::ostringstream os;
+  os << id;
+  if (!name.empty()) {
+    os << "(" << name << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<LastOpState> last_ops_per_thread() {
+  std::vector<const ThreadTrace*> traces;
+  {
+    std::lock_guard<std::mutex> lock(detail::trace_mutex());
+    const auto& all = detail::trace_pool().all;
+    traces.assign(all.begin(), all.end());
+  }
+  std::vector<LastOpState> out;
+  for (const ThreadTrace* t : traces) {
+    LastOpState s = read_last_op(*t);
+    if (s.total_records > 0) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void dump_flight_recorder(std::ostream& os, std::size_t last_n) {
+  std::vector<const ThreadTrace*> traces;
+  {
+    std::lock_guard<std::mutex> lock(detail::trace_mutex());
+    const auto& all = detail::trace_pool().all;
+    traces.assign(all.begin(), all.end());
+  }
+  os << "=== evq flight recorder: " << traces.size() << " thread ring(s) ===\n";
+  for (const ThreadTrace* t : traces) {
+    const LastOpState last = read_last_op(*t);
+    os << "--- thread ord " << last.thread_ord << (last.thread_live ? " (live)" : " (exited)")
+       << ": " << last.total_records << " record(s) total ---\n";
+    if (last.total_records == 0) {
+      continue;
+    }
+    const std::uint64_t total = last.total_records;
+    const std::uint64_t window =
+        std::min<std::uint64_t>({total, ThreadTrace::kRecords, last_n});
+    for (std::uint64_t i = total - window; i < total; ++i) {
+      const ThreadTrace::Record& r = t->record_at(i);
+      os << "  [" << i << "] tsc=" << r.tsc.load(std::memory_order_relaxed)
+         << " queue=" << queue_label(r.queue_id.load(std::memory_order_relaxed))
+         << " op=" << trace_op_name(static_cast<TraceOp>(r.op.load(std::memory_order_relaxed)))
+         << " index=" << r.index.load(std::memory_order_relaxed)
+         << " retries=" << r.retries.load(std::memory_order_relaxed)
+         << " ord=" << r.thread_ord.load(std::memory_order_relaxed) << "\n";
+    }
+  }
+  os << "=== last op per thread ===\n";
+  for (const LastOpState& s : last_ops_per_thread()) {
+    os << "  thread ord " << s.thread_ord << (s.thread_live ? " (live)" : " (exited)")
+       << ": " << trace_op_name(s.op) << " queue=" << queue_label(s.queue_id)
+       << " index=" << s.index << " retries=" << s.retries << " tsc=" << s.tsc << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+// ---------------------------------------------------------------------------
+
+RegistrySnapshot snapshot_registry(const Registry& reg) {
+  RegistrySnapshot snap;
+  reg.for_each([&](const Registry::Entry& e, std::size_t gauge_count, std::uint64_t depth) {
+    QueueCounters q;
+    q.queue = e.name;
+    q.counters = e.metrics.snapshot();
+    q.has_depth = gauge_count > 0;
+    q.depth = depth;
+    snap.queues.push_back(std::move(q));
+  });
+  return snap;
+}
+
+RegistrySnapshot snapshot_delta(const RegistrySnapshot& before, const RegistrySnapshot& after) {
+  RegistrySnapshot d;
+  for (const QueueCounters& now : after.queues) {
+    QueueCounters q;
+    q.queue = now.queue;
+    q.has_depth = now.has_depth;
+    q.depth = now.depth;
+    if (const QueueCounters* was = before.find(now.queue)) {
+      q.counters = counter_delta(was->counters, now.counters);
+    } else {
+      q.counters = now.counters;
+    }
+    d.queues.push_back(std::move(q));
+  }
+  return d;
+}
+
+void render_prometheus(std::ostream& os, const Registry& reg) {
+  const RegistrySnapshot snap = snapshot_registry(reg);
+  os << "# HELP evq_queue_ops_total Queue operation and reclamation events by queue and op.\n";
+  os << "# TYPE evq_queue_ops_total counter\n";
+  for (const QueueCounters& q : snap.queues) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      os << "evq_queue_ops_total{queue=\"" << q.queue << "\",op=\""
+         << counter_name(static_cast<Counter>(i)) << "\"} " << q.counters.counts[i] << "\n";
+    }
+  }
+  os << "# HELP evq_queue_depth Approximate queue occupancy (sum of live instance gauges).\n";
+  os << "# TYPE evq_queue_depth gauge\n";
+  for (const QueueCounters& q : snap.queues) {
+    if (q.has_depth) {
+      os << "evq_queue_depth{queue=\"" << q.queue << "\"} " << q.depth << "\n";
+    }
+  }
+}
+
+}  // namespace evq::telemetry

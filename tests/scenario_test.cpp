@@ -22,12 +22,13 @@ namespace {
 using namespace evq::harness;
 
 TEST(ScenarioRegistry, EveryRetiredBinaryHasAScenario) {
-  // The 13 harness-based bench mains this driver replaced. A scenario
-  // disappearing from the registry silently drops a reproduced experiment.
+  // The 13 harness-based bench mains this driver replaced, plus the
+  // telemetry-overhead smoke added with the observability subsystem. A
+  // scenario disappearing from the registry silently drops an experiment.
   const std::set<std::string> expected = {
       "fig6a",         "fig6b",       "fig6c",     "fig6d",             "overhead",
       "op-profile",    "ablation-llsc", "ablation-hp", "ablation-capacity", "ext-mixed",
-      "ext-reclaim",   "sharded",     "backoff"};
+      "ext-reclaim",   "sharded",     "backoff",   "telemetry-overhead"};
   std::set<std::string> got;
   for (const ScenarioSpec& spec : all_scenarios()) {
     EXPECT_TRUE(got.insert(spec.name).second) << "duplicate scenario " << spec.name;
@@ -133,6 +134,34 @@ TEST(ScenarioRun, LatencySamplingFillsHistograms) {
       << "simulated-CAS queue must report CAS attempts under --op-stats";
 }
 
+TEST(ScenarioRun, TelemetryDeltaCapturesQueueCounters) {
+  const ScenarioSpec& spec = find_scenario("telemetry-overhead");
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{1};
+  ov.iterations = 50;
+  ov.runs = 1;
+  ov.telemetry = true;
+  const CliOptions opts = scenario_options(spec, ov);
+  ASSERT_TRUE(opts.telemetry);
+  const ScenarioResult result = run_scenario(spec, opts);
+#if EVQ_TELEMETRY
+  ASSERT_FALSE(result.telemetry.empty());
+  const evq::telemetry::QueueCounters* llsc = nullptr;
+  for (const evq::telemetry::QueueCounters& q : result.telemetry) {
+    if (q.queue == "fifo-llsc") {
+      llsc = &q;
+    }
+  }
+  ASSERT_NE(llsc, nullptr) << "fifo-llsc missing from the scenario's telemetry delta";
+  // 1 run x 1 thread x 50 iterations x burst 5: every push eventually
+  // succeeds, so the delta is exact despite the shared global registry.
+  EXPECT_EQ(llsc->counters[evq::telemetry::Counter::kPushOk], 250u);
+  EXPECT_EQ(llsc->counters[evq::telemetry::Counter::kPopOk], 250u);
+#else
+  EXPECT_TRUE(result.telemetry.empty()) << "EVQ_TELEMETRY=0 must yield no counter deltas";
+#endif
+}
+
 TEST(ScenarioRun, AdaptiveRepetitionRespectsBounds) {
   // An impossible CV target with a low cap: every cell runs exactly max_runs.
   const ScenarioSpec& spec = find_scenario("overhead");
@@ -190,6 +219,15 @@ ScenarioResult synthetic_result() {
   c2.ops.faa = 4;
   plain.cells.push_back(c2);
   r.series.push_back(plain);
+
+  evq::telemetry::QueueCounters tq;
+  tq.queue = "algo-a";
+  tq.counters[evq::telemetry::Counter::kPushOk] = 4000;
+  tq.counters[evq::telemetry::Counter::kPopOk] = 4000;
+  tq.counters[evq::telemetry::Counter::kSlotScFail] = 12;
+  tq.has_depth = true;
+  tq.depth = 3;
+  r.telemetry.push_back(tq);
   return r;
 }
 

@@ -1,0 +1,415 @@
+// Tests for the evq::telemetry subsystem: counter taxonomy and snapshot
+// arithmetic, the cacheline-striped QueueMetrics under concurrent writers
+// (exact totals, race-free under TSan), registry acquire/release sharing and
+// per-instance depth gauges, the Prometheus exporter (text format pinned by
+// tests/golden/telemetry_prometheus_v1.txt — regenerate with
+// EVQ_REGEN_GOLDEN=1), the flight recorder, and end-to-end instrumentation
+// of the ring engine and the sharded facade.
+//
+// Counter-value assertions are guarded by EVQ_TELEMETRY: a -DEVQ_TELEMETRY=0
+// build compiles every API but inc() is a no-op, so those builds assert
+// zeros/emptiness instead.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/sharded_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/metrics.hpp"
+#include "evq/telemetry/prometheus.hpp"
+#include "evq/telemetry/registry.hpp"
+
+namespace {
+
+using namespace evq::telemetry;
+
+// ---------------------------------------------------------------------------
+// Counters and snapshots
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryCounters, NamesAreStableAndDistinct) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    names.emplace_back(counter_name(static_cast<Counter>(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    EXPECT_NE(names[i], "unknown");
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+  EXPECT_EQ(names[0], "push_ok");  // exporter `op` labels are API
+  EXPECT_EQ(names[kCounterCount - 1], "epoch_advance");
+}
+
+TEST(TelemetryCounters, SnapshotArithmetic) {
+  CounterSnapshot a;
+  EXPECT_FALSE(a.any());
+  a[Counter::kPushOk] = 10;
+  a[Counter::kPopEmpty] = 3;
+  EXPECT_TRUE(a.any());
+  EXPECT_EQ(a[Counter::kPushOk], 10u);
+
+  CounterSnapshot b;
+  b[Counter::kPushOk] = 5;
+  b[Counter::kHpScan] = 2;
+  a += b;
+  EXPECT_EQ(a[Counter::kPushOk], 15u);
+  EXPECT_EQ(a[Counter::kHpScan], 2u);
+  EXPECT_EQ(a[Counter::kPopEmpty], 3u);
+}
+
+TEST(TelemetryCounters, DeltaIsMonotoneAndUnderflowSafe) {
+  CounterSnapshot before;
+  before[Counter::kPushOk] = 100;
+  before[Counter::kPopOk] = 50;
+  CounterSnapshot after;
+  after[Counter::kPushOk] = 160;
+  after[Counter::kPopOk] = 20;  // mismatched pair: must clamp, not wrap
+
+  const CounterSnapshot d = counter_delta(before, after);
+  EXPECT_EQ(d[Counter::kPushOk], 60u);
+  EXPECT_EQ(d[Counter::kPopOk], 0u);
+  EXPECT_EQ(d[Counter::kPushFull], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueueMetrics under concurrency
+// ---------------------------------------------------------------------------
+
+TEST(QueueMetrics, ConcurrentIncrementsSumExactly) {
+  QueueMetrics m;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::atomic<bool> stop{false};
+  // A racing reader: snapshots must be race-free against live writers (TSan
+  // proves it); exactness is only asserted after the join below.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)m.snapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&m] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        m.inc(Counter::kPushOk);
+      }
+      m.inc(Counter::kHpFreed, 7);
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+#if EVQ_TELEMETRY
+  EXPECT_EQ(m.value(Counter::kPushOk), kThreads * kPerThread);
+  EXPECT_EQ(m.value(Counter::kHpFreed), kThreads * 7u);
+  const CounterSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap[Counter::kPushOk], kThreads * kPerThread);
+#else
+  EXPECT_EQ(m.value(Counter::kPushOk), 0u) << "EVQ_TELEMETRY=0 must compile inc() out";
+#endif
+  EXPECT_EQ(m.value(Counter::kEpochAdvance), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRegistry, SameNameSharesEntryAndIdsFollowRegistrationOrder) {
+  Registry reg;
+  Registry::Entry* a1 = reg.acquire("queue-a");
+  Registry::Entry* b = reg.acquire("queue-b");
+  Registry::Entry* a2 = reg.acquire("queue-a");
+  EXPECT_EQ(a1, a2) << "same-name live instances must share one entry";
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(a1->id, 0u);
+  EXPECT_EQ(b->id, 1u);
+  EXPECT_EQ(a1->live, 2u);
+  EXPECT_EQ(reg.size(), 2u);
+
+  reg.release(a2);
+  EXPECT_EQ(a1->live, 1u);
+  reg.release(a1);
+  reg.release(b);
+  // Entries are never deleted (Prometheus monotonicity): still findable.
+  EXPECT_NE(reg.find("queue-a"), nullptr);
+  EXPECT_EQ(reg.find("queue-a")->live, 0u);
+  EXPECT_EQ(reg.find("no-such"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(TelemetryRegistry, DepthGaugesArePerInstanceAndClearedOnDestruction) {
+  Registry reg;
+  {
+    ScopedQueueMetrics q1("gauged", &reg);
+    q1.set_depth_gauge([] { return std::uint64_t{7}; });
+    {
+      ScopedQueueMetrics q2("gauged", &reg);
+      q2.set_depth_gauge([] { return std::uint64_t{5}; });
+      reg.for_each([](const Registry::Entry& e, std::size_t gauges, std::uint64_t depth) {
+        EXPECT_EQ(e.name, "gauged");
+        EXPECT_EQ(gauges, 2u);
+        EXPECT_EQ(depth, 12u) << "depth must sum the live instances' gauges";
+      });
+    }
+    reg.for_each([](const Registry::Entry&, std::size_t gauges, std::uint64_t depth) {
+      EXPECT_EQ(gauges, 1u) << "destroyed instance must remove its gauge";
+      EXPECT_EQ(depth, 7u);
+    });
+  }
+  reg.for_each([](const Registry::Entry& e, std::size_t gauges, std::uint64_t) {
+    EXPECT_EQ(gauges, 0u);
+    EXPECT_EQ(e.live, 0u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Exporter: snapshots, deltas, Prometheus text format
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryExporter, SnapshotDeltaHandlesNewQueues) {
+  RegistrySnapshot before;
+  QueueCounters old_q;
+  old_q.queue = "seen";
+  old_q.counters[Counter::kPushOk] = 10;
+  before.queues.push_back(old_q);
+
+  RegistrySnapshot after;
+  QueueCounters now_q;
+  now_q.queue = "seen";
+  now_q.counters[Counter::kPushOk] = 25;
+  now_q.has_depth = true;
+  now_q.depth = 4;
+  after.queues.push_back(now_q);
+  QueueCounters fresh;
+  fresh.queue = "fresh";
+  fresh.counters[Counter::kPopOk] = 9;
+  after.queues.push_back(fresh);
+
+  const RegistrySnapshot d = snapshot_delta(before, after);
+  ASSERT_EQ(d.queues.size(), 2u);
+  const QueueCounters* seen = d.find("seen");
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->counters[Counter::kPushOk], 15u);
+  EXPECT_TRUE(seen->has_depth);
+  EXPECT_EQ(seen->depth, 4u) << "depth carries from `after` (gauges have no delta)";
+  const QueueCounters* f = d.find("fresh");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->counters[Counter::kPopOk], 9u) << "mid-interval queues contribute full counts";
+}
+
+TEST(TelemetryExporter, GoldenFilePinsPrometheusTextFormat) {
+#if !EVQ_TELEMETRY
+  GTEST_SKIP() << "counter values compiled out with EVQ_TELEMETRY=0";
+#else
+  // A private registry keeps the rendering independent of every other test
+  // in this binary (the global registry accumulates across the process).
+  Registry reg;
+  ScopedQueueMetrics alpha("alpha", &reg);
+  ScopedQueueMetrics beta("beta", &reg);
+  alpha.inc(Counter::kPushOk, 3);
+  alpha.inc(Counter::kPopOk, 2);
+  alpha.inc(Counter::kSlotScFail);
+  alpha.set_depth_gauge([] { return std::uint64_t{1}; });
+  beta.inc(Counter::kPushFull, 4);
+
+  std::ostringstream os;
+  render_prometheus(os, reg);
+  const std::string doc = os.str();
+
+  const std::string golden_path =
+      std::string(EVQ_TEST_GOLDEN_DIR) + "/telemetry_prometheus_v1.txt";
+  if (std::getenv("EVQ_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << golden_path;
+    out << doc;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "missing golden file; see this test's header comment";
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(doc, want.str())
+      << "Prometheus text format drifted. If intentional, regenerate with "
+         "EVQ_REGEN_GOLDEN=1 and mention the change in DESIGN.md Observability.";
+#endif
+}
+
+TEST(TelemetryExporter, RenderRacesWithWritersSafely) {
+  // TSan teeth: scrape the GLOBAL registry while a named queue hammers its
+  // counters. No assertion beyond well-formed output — the point is the race.
+  evq::LlscArrayQueue<int, evq::llsc::PackedLlsc> q(8, "tmtest-render-race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto h = q.handle();
+    int v = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (q.try_push(h, &v)) {
+        (void)q.try_pop(h);
+      }
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    std::ostringstream os;
+    render_prometheus(os);
+    EXPECT_NE(os.str().find("evq_queue_ops_total"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, RecordsLastOpsAndDumps) {
+  set_tracing(true);
+  record_trace(1, TraceOp::kPushOk, 5, 0);
+  record_trace(1, TraceOp::kPopEmpty, 6, 2);
+  set_tracing(false);
+
+#if EVQ_TELEMETRY
+  ASSERT_NE(detail::t_trace, nullptr) << "record_trace must attach a ring";
+  const std::uint32_t my_ord = detail::t_trace->owner_ordinal();
+  bool found = false;
+  for (const LastOpState& s : last_ops_per_thread()) {
+    if (s.thread_ord == my_ord) {
+      found = true;
+      EXPECT_TRUE(s.thread_live);
+      EXPECT_GE(s.total_records, 2u);
+      EXPECT_EQ(s.op, TraceOp::kPopEmpty) << "last op wins";
+      EXPECT_EQ(s.index, 6u);
+      EXPECT_EQ(s.retries, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  std::ostringstream os;
+  dump_flight_recorder(os, 4);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("evq flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("last op per thread"), std::string::npos);
+  EXPECT_NE(dump.find("op=pop_empty"), std::string::npos);
+#endif
+}
+
+TEST(FlightRecorder, DisabledTracingRecordsNothing) {
+  set_tracing(false);
+  const std::size_t before = last_ops_per_thread().size();
+  std::thread t([] {
+    record_trace(0, TraceOp::kPushOk, 0, 0);  // flag off: must not attach
+  });
+  t.join();
+  EXPECT_EQ(last_ops_per_thread().size(), before);
+}
+
+TEST(FlightRecorder, RingWrapKeepsMostRecentRecords) {
+#if !EVQ_TELEMETRY
+  GTEST_SKIP() << "tracing compiled out with EVQ_TELEMETRY=0";
+#else
+  set_tracing(true);
+  for (std::uint64_t i = 0; i < ThreadTrace::kRecords + 17; ++i) {
+    record_trace(2, TraceOp::kPushOk, i, 0);
+  }
+  set_tracing(false);
+  ASSERT_NE(detail::t_trace, nullptr);
+  const ThreadTrace& trace = *detail::t_trace;
+  const std::uint64_t total = trace.total_records();
+  EXPECT_GE(total, ThreadTrace::kRecords + 17);
+  // The latest logical record is intact; its slot holds the newest write.
+  const ThreadTrace::Record& last = trace.record_at(total - 1);
+  EXPECT_EQ(last.index.load(std::memory_order_relaxed), ThreadTrace::kRecords + 16);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: instrumented queues feed the registry
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryEndToEnd, RingQueueCountsOpsAndExportsDepth) {
+  int a = 1;
+  int b = 2;
+  {
+    evq::LlscArrayQueue<int, evq::llsc::PackedLlsc> q(4, "tmtest-ring");
+    auto h = q.handle();
+    ASSERT_TRUE(q.try_push(h, &a));
+    ASSERT_TRUE(q.try_push(h, &b));
+
+    const RegistrySnapshot live = snapshot_registry();
+    const QueueCounters* qc = live.find("tmtest-ring");
+    ASSERT_NE(qc, nullptr);
+    EXPECT_TRUE(qc->has_depth);
+#if EVQ_TELEMETRY
+    EXPECT_EQ(qc->counters[Counter::kPushOk], 2u);
+    EXPECT_EQ(qc->depth, 2u) << "depth gauge must report the live occupancy";
+#endif
+    EXPECT_EQ(q.try_pop(h), &a);
+    EXPECT_EQ(q.try_pop(h), &b);
+    EXPECT_EQ(q.try_pop(h), nullptr);
+#if EVQ_TELEMETRY
+    EXPECT_EQ(q.metrics().value(Counter::kPopOk), 2u);
+    EXPECT_EQ(q.metrics().value(Counter::kPopEmpty), 1u);
+#endif
+  }
+  // Destruction removes the gauge but the entry (a monotone counter series)
+  // survives for the process lifetime.
+  const RegistrySnapshot after = snapshot_registry();
+  const QueueCounters* qc = after.find("tmtest-ring");
+  ASSERT_NE(qc, nullptr);
+  EXPECT_FALSE(qc->has_depth);
+}
+
+TEST(TelemetryEndToEnd, ShardedFacadeAggregatesShardCounters) {
+  constexpr std::size_t kTokens = 64;
+  int vals[kTokens];
+  evq::ShardedQueue<evq::CasArrayQueue<int>> q(32, 4, "tmtest-sharded");
+  ASSERT_EQ(q.shard_count(), 4u);
+  auto h = q.handle();
+  for (std::size_t i = 0; i < kTokens; ++i) {
+    vals[i] = static_cast<int>(i);
+    while (!q.try_push(h, &vals[i])) {
+      ASSERT_NE(q.try_pop(h), nullptr);  // keep space: facade is capacity 32
+    }
+  }
+  std::size_t popped = 0;
+  while (q.try_pop(h) != nullptr) {
+    ++popped;
+  }
+  EXPECT_GT(popped, 0u);
+
+#if EVQ_TELEMETRY
+  // Facade push_ok must equal the sum of the shard entries' push_ok: every
+  // facade-accepted push landed in exactly one shard.
+  const RegistrySnapshot snap = snapshot_registry();
+  const QueueCounters* facade = snap.find("tmtest-sharded");
+  ASSERT_NE(facade, nullptr);
+  std::uint64_t shard_push_ok = 0;
+  std::uint64_t shard_pop_ok = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const QueueCounters* shard = snap.find("tmtest-sharded/" + std::to_string(s));
+    ASSERT_NE(shard, nullptr) << "shard " << s << " must register individually";
+    shard_push_ok += shard->counters[Counter::kPushOk];
+    shard_pop_ok += shard->counters[Counter::kPopOk];
+  }
+  EXPECT_EQ(facade->counters[Counter::kPushOk], kTokens);
+  EXPECT_EQ(shard_push_ok, kTokens);
+  EXPECT_EQ(facade->counters[Counter::kPopOk], shard_pop_ok);
+#endif
+}
+
+}  // namespace

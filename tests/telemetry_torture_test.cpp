@@ -1,0 +1,172 @@
+// Statistics-aggregation test for the sharded facade, run under the
+// fault-injection substrate (this TU is part of evq_torture and compiled
+// with EVQ_INJECT_ENABLED=1).
+//
+// The claim under test: the facade's telemetry counters are an exact
+// aggregate of its shards' counters for the *successful* operations — every
+// facade-accepted push lands in exactly one shard and every facade pop drains
+// exactly one shard, even while injected spurious SC failures force retries
+// and probe cascades inside the shards. Probe-miss counters (push_full /
+// pop_empty) are deliberately NOT aggregates: a facade miss requires ALL
+// shards to miss, so the shard sum may legitimately exceed the facade count.
+//
+// Determinism: every worker runs under a ProfileInjector seeded from
+// (run seed, thread id), so a failure reproduces exactly like the rest of
+// the torture matrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/sharded_queue.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/telemetry/prometheus.hpp"
+#include "evq/telemetry/registry.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+#if !defined(EVQ_INJECT_ENABLED) || !EVQ_INJECT_ENABLED
+#error "telemetry_torture_test.cpp must be compiled with EVQ_INJECT_ENABLED=1"
+#endif
+
+namespace evq {
+namespace {
+
+using verify::Token;
+
+// Moderate sc-storm: enough forced SC failures and yield bursts to make the
+// shard internals retry and the facade probe across shards, without a stall
+// victim (aggregation is about counts, not liveness).
+const inject::Profile kAggProfile{
+    "telemetry-agg",
+    "spurious SC failures + yield bursts while checking counter aggregation",
+    /*sc_fail=*/25, 100, "",
+    /*delay=*/5, 100, 2, ""};
+
+struct AggTotals {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+};
+
+/// 2 producers / 2 consumers over a 4-shard facade; returns the exact op
+/// totals the workload performed so the caller can pin the counters to them.
+template <typename Q>
+AggTotals run_sharded_workload(Q& queue, std::uint64_t seed) {
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::uint64_t kTokensPerProducer = 300;
+
+  std::vector<std::vector<Token>> tokens(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    tokens[p].resize(kTokensPerProducer);
+    for (std::uint64_t s = 0; s < kTokensPerProducer; ++s) {
+      tokens[p][s].producer = static_cast<std::uint32_t>(p);
+      tokens[p][s].seq = s;
+    }
+  }
+
+  inject::StallGate gate;
+  std::vector<std::unique_ptr<inject::ProfileInjector>> injectors;
+  for (std::size_t t = 0; t < kProducers + kConsumers; ++t) {
+    const inject::Role role = t < kProducers ? inject::Role::kProducer : inject::Role::kConsumer;
+    injectors.push_back(std::make_unique<inject::ProfileInjector>(
+        kAggProfile, seed, static_cast<std::uint32_t>(t), role, &gate));
+  }
+
+  std::atomic<std::uint64_t> remaining{kProducers * kTokensPerProducer};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      inject::ScopedInjector install(*injectors[p]);
+      auto h = queue.handle();
+      for (std::uint64_t s = 0; s < kTokensPerProducer; ++s) {
+        while (!queue.try_push(h, &tokens[p][s])) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      inject::ScopedInjector install(*injectors[kProducers + c]);
+      auto h = queue.handle();
+      while (remaining.load(std::memory_order_acquire) != 0) {
+        if (queue.try_pop(h) != nullptr) {
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  gate.release();
+
+  AggTotals totals;
+  totals.pushed = kProducers * kTokensPerProducer;
+  totals.popped = kProducers * kTokensPerProducer;
+  return totals;
+}
+
+/// Snapshot the global registry and check facade-vs-shard-sum exactness for
+/// the given facade name (shards register as "<name>/<i>").
+void expect_facade_aggregates(const std::string& name, std::size_t shards,
+                              const AggTotals& totals) {
+#if EVQ_TELEMETRY
+  const telemetry::RegistrySnapshot snap = telemetry::snapshot_registry();
+  const telemetry::QueueCounters* facade = snap.find(name);
+  ASSERT_NE(facade, nullptr) << name << " must be registered";
+
+  std::uint64_t shard_push_ok = 0;
+  std::uint64_t shard_pop_ok = 0;
+  std::uint64_t shard_sc_fail = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const telemetry::QueueCounters* shard = snap.find(name + "/" + std::to_string(s));
+    ASSERT_NE(shard, nullptr) << "shard " << s << " of " << name << " must register";
+    shard_push_ok += shard->counters[telemetry::Counter::kPushOk];
+    shard_pop_ok += shard->counters[telemetry::Counter::kPopOk];
+    shard_sc_fail += shard->counters[telemetry::Counter::kSlotScFail];
+  }
+
+  // Success counters are exact at both levels and agree with the workload.
+  EXPECT_EQ(facade->counters[telemetry::Counter::kPushOk], totals.pushed);
+  EXPECT_EQ(shard_push_ok, totals.pushed)
+      << "every facade-accepted push must land in exactly one shard";
+  EXPECT_EQ(facade->counters[telemetry::Counter::kPopOk], totals.popped);
+  EXPECT_EQ(shard_pop_ok, totals.popped);
+  // The injector really exercised the retry paths we claim to count through.
+  EXPECT_GT(shard_sc_fail, 0u) << "sc-storm must have forced shard-level SC failures";
+#else
+  (void)name;
+  (void)shards;
+  (void)totals;
+  GTEST_SKIP() << "counters compiled out with EVQ_TELEMETRY=0";
+#endif
+}
+
+TEST(TelemetryTorture, ShardedLlscFacadeAggregatesUnderScStorm) {
+  ShardedQueue<LlscArrayQueue<Token, llsc::PackedLlsc>> q(32, 4, "torture-sharded-llsc-agg");
+  ASSERT_EQ(q.shard_count(), 4u);
+  const AggTotals totals = run_sharded_workload(q, 0x9E3779B97F4A7C15ull);
+  expect_facade_aggregates("torture-sharded-llsc-agg", 4, totals);
+}
+
+TEST(TelemetryTorture, ShardedCasFacadeAggregatesUnderScStorm) {
+  ShardedQueue<CasArrayQueue<Token>> q(32, 4, "torture-sharded-cas-agg");
+  ASSERT_EQ(q.shard_count(), 4u);
+  const AggTotals totals = run_sharded_workload(q, 0xC2B2AE3D27D4EB4Full);
+  expect_facade_aggregates("torture-sharded-cas-agg", 4, totals);
+}
+
+}  // namespace
+}  // namespace evq

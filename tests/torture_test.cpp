@@ -38,6 +38,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -62,6 +65,7 @@
 #include "evq/inject/profile.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
+#include "evq/telemetry/flight_recorder.hpp"
 #include "evq/verify/fifo_checkers.hpp"
 #include "torture_queues.hpp"
 
@@ -84,6 +88,10 @@ struct TortureConfig {
   // producers finished declares the run wedged (tokens unaccounted for).
   std::uint64_t stuck_poll_limit = 1u << 20;
   std::chrono::milliseconds deadline{60000};
+  // On a wedged run, dump the flight recorder's per-thread last-op state to
+  // stderr (and to EVQ_FLIGHT_DUMP_PATH or torture_flight_dump.txt for CI
+  // artifact upload). Teeth tests that wedge on purpose turn this off.
+  bool dump_on_timeout = true;
 };
 
 struct TortureOutcome {
@@ -105,6 +113,9 @@ template <typename Q>
 TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const TortureConfig& cfg) {
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + cfg.deadline;
+  // Keep the flight recorder armed so a wedged run can report what each
+  // thread was doing instead of a bare timeout.
+  telemetry::set_tracing(true);
 
   std::vector<std::vector<Token>> tokens(cfg.producers);
   for (std::size_t p = 0; p < cfg.producers; ++p) {
@@ -195,6 +206,14 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
 
   TortureOutcome out;
   out.timed_out = abort.load(std::memory_order_acquire);
+  if (out.timed_out && cfg.dump_on_timeout) {
+    telemetry::dump_flight_recorder(std::cerr, /*last_n=*/8);
+    const char* env_path = std::getenv("EVQ_FLIGHT_DUMP_PATH");
+    std::ofstream dump(env_path != nullptr ? env_path : "torture_flight_dump.txt");
+    if (dump) {
+      telemetry::dump_flight_recorder(dump, /*last_n=*/32);
+    }
+  }
   out.conservation = verify::check_conservation(logs, pushed);
   out.order = verify::check_per_producer_order(logs, cfg.producers);
   for (const auto& inj : injectors) {
@@ -571,6 +590,7 @@ TEST(TortureTeeth, PlainCasFailsUnderScStorm) {
   cfg.capacity = 2;
   cfg.stuck_poll_limit = 20000;
   cfg.deadline = std::chrono::milliseconds(5000);
+  cfg.dump_on_timeout = false;  // this test WANTS wedged runs; don't spam dumps
 
   bool detected = false;
   for (std::uint64_t round = 0; round < 2000 && !detected; ++round) {
