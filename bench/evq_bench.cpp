@@ -14,11 +14,14 @@
 // flattening their distinct sweeps.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "evq/harness/bench_json.hpp"
 #include "evq/harness/scenario.hpp"
+#include "evq/trace/chrome_trace.hpp"
+#include "evq/trace/trace.hpp"
 
 namespace {
 
@@ -32,6 +35,7 @@ using namespace evq::harness;
                "flags: --threads a,b,c  --iters N  --runs R  --burst B  --capacity C\n"
                "       --csv  --paper  --latency-sample N  --stable-cv PCT\n"
                "       --max-runs N  --op-stats  --telemetry  --json PATH ('-' = stdout)\n"
+               "       --trace PATH  --trace-sample N\n"
                "`evq-bench list` prints the available scenarios.\n");
   std::exit(2);
 }
@@ -63,6 +67,18 @@ int cmd_run(int argc, char** argv) {
     usage();
   }
   const CliOverrides overrides = parse_overrides(argc, argv, flags_at);
+
+  // Tracing spans the whole command: sampling goes live before the first
+  // scenario and the export at the end covers the surviving ring window
+  // (newest ~4096 spans per thread). --trace-sample alone enables recording
+  // without an export — that is what the trace-overhead A/B uses.
+  unsigned trace_every = overrides.trace_sample_every.value_or(0);
+  if (trace_every == 0 && !overrides.trace_path.empty()) {
+    trace_every = 64;
+  }
+  if (trace_every != 0) {
+    evq::trace::set_sampling(trace_every);
+  }
 
   std::vector<const ScenarioSpec*> specs;
   if (all) {
@@ -107,6 +123,18 @@ int cmd_run(int argc, char** argv) {
       std::fclose(f);
       std::fprintf(stderr, "# wrote %s\n", overrides.json_path.c_str());
     }
+  }
+
+  if (!overrides.trace_path.empty()) {
+    std::ofstream out(overrides.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "evq-bench: cannot open '%s' for writing\n",
+                   overrides.trace_path.c_str());
+      return 1;
+    }
+    evq::trace::export_chrome_trace(out);
+    std::fprintf(stderr, "# wrote %s (open in https://ui.perfetto.dev)\n",
+                 overrides.trace_path.c_str());
   }
   return 0;
 }

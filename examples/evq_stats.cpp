@@ -6,6 +6,12 @@
 // flight-recorder dump of each worker's last operation.
 //
 // Build & run:   ./build/examples/evq-stats [scrapes] [interval_ms]
+//                [--format=text|trace]
+//
+// --format=trace swaps the final flight-recorder dump for Chrome Trace
+// Format JSON on stdout (pipe to a file and open in https://ui.perfetto.dev
+// — the same format EVQ_FLIGHT_DUMP_FORMAT=trace selects for torture wedge
+// artifacts).
 //
 // Every counter here is the always-on production instrumentation — nothing
 // is enabled for the example beyond telemetry::set_tracing (the flight
@@ -16,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -53,8 +60,24 @@ void churn(Q& queue, std::atomic<bool>& stop) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int scrapes = argc > 1 ? std::atoi(argv[1]) : 3;
-  const int interval_ms = argc > 2 ? std::atoi(argv[2]) : 200;
+  bool chrome_format = false;
+  std::vector<const char*> positional;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--format=trace") {
+      chrome_format = true;
+    } else if (arg == "--format=text") {
+      chrome_format = false;
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+  const int scrapes = positional.size() > 0 ? std::atoi(positional[0]) : 3;
+  const int interval_ms = positional.size() > 1 ? std::atoi(positional[1]) : 200;
+  // In trace mode stdout carries ONLY the JSON document (so it can be piped
+  // straight into Perfetto); the scrape/delta text moves to stderr.
+  std::FILE* text = chrome_format ? stderr : stdout;
+  std::ostream& text_os = chrome_format ? std::cerr : std::cout;
 
   // Arm the flight recorder so the final dump shows per-thread last ops.
   evq::telemetry::set_tracing(true);
@@ -72,8 +95,8 @@ int main(int argc, char** argv) {
   const evq::telemetry::RegistrySnapshot start = evq::telemetry::snapshot_registry();
   for (int s = 0; s < scrapes; ++s) {
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
-    std::printf("=== scrape %d/%d ===\n", s + 1, scrapes);
-    evq::telemetry::render_prometheus(std::cout);
+    std::fprintf(text, "=== scrape %d/%d ===\n", s + 1, scrapes);
+    evq::telemetry::render_prometheus(text_os);
   }
 
   stop.store(true, std::memory_order_relaxed);
@@ -83,25 +106,29 @@ int main(int argc, char** argv) {
 
   // What a delta-based collector (evq-bench --telemetry) reports: counters
   // over the observation window only, not process-lifetime totals.
-  std::printf("=== delta over the run ===\n");
+  std::fprintf(text, "=== delta over the run ===\n");
   const evq::telemetry::RegistrySnapshot delta =
       evq::telemetry::snapshot_delta(start, evq::telemetry::snapshot_registry());
   for (const evq::telemetry::QueueCounters& q : delta.queues) {
     if (!q.counters.any()) {
       continue;
     }
-    std::printf("%s:", q.queue.c_str());
+    std::fprintf(text, "%s:", q.queue.c_str());
     for (std::size_t c = 0; c < evq::telemetry::kCounterCount; ++c) {
       const auto counter = static_cast<evq::telemetry::Counter>(c);
       if (q.counters[counter] != 0) {
-        std::printf(" %s=%llu", evq::telemetry::counter_name(counter),
-                    static_cast<unsigned long long>(q.counters[counter]));
+        std::fprintf(text, " %s=%llu", evq::telemetry::counter_name(counter),
+                     static_cast<unsigned long long>(q.counters[counter]));
       }
     }
-    std::printf("\n");
+    std::fprintf(text, "\n");
   }
 
-  std::printf("=== flight recorder ===\n");
-  evq::telemetry::dump_flight_recorder(std::cout, /*last_n=*/2);
+  if (chrome_format) {
+    evq::telemetry::dump_flight_recorder_chrome(std::cout);
+  } else {
+    std::printf("=== flight recorder ===\n");
+    evq::telemetry::dump_flight_recorder(std::cout, /*last_n=*/2);
+  }
   return 0;
 }

@@ -2,17 +2,23 @@
 """Compare two evq-bench JSON documents and flag perf regressions.
 
 Joins the two documents on (scenario, series name, row label) and reports
-every cell whose mean time or throughput moved by more than the threshold.
+every cell whose mean time, throughput, or latency percentile (p50/p99, when
+the run sampled latency) moved by more than the threshold. Tail percentiles
+are noisier than means, so p99 has its own reporting threshold
+(--p99-threshold, default 25%). Telemetry counter deltas (per scenario and
+queue: retries, SC failures, help-advances, ...) are reported informationally
+— a counter shift explains a timing shift but is never itself a failure.
 Intended for the BENCH_*.json trajectory workflow (EXPERIMENTS.md): keep one
 JSON per milestone, diff the newest against the previous one.
 
 Warn-only by default — timing on shared CI machines is noisy, so the exit
 code stays 0 unless --fail-over is given a (larger) threshold that a
 regression exceeds, or --fail-on-regress makes ANY reported regression
-(i.e. beyond --threshold) fatal.
+(i.e. beyond --threshold; beyond --p99-threshold for p99) fatal.
 
 usage: bench_diff.py baseline.json candidate.json [--threshold PCT]
-                     [--fail-over PCT] [--fail-on-regress]
+                     [--p99-threshold PCT] [--fail-over PCT]
+                     [--fail-on-regress]
 """
 
 import argparse
@@ -38,6 +44,13 @@ def cells(doc):
                 yield (scenario["name"], series["name"], label), cell
 
 
+def telemetry_rows(doc):
+    """Yields ((scenario, queue), counters) for every telemetry block."""
+    for scenario in doc.get("scenarios", []):
+        for block in scenario.get("telemetry", []):
+            yield (scenario["name"], block["queue"]), block.get("counters", {})
+
+
 def pct_change(old, new):
     if old <= 0:
         return 0.0
@@ -50,6 +63,9 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="report changes beyond this percent (default 10)")
+    parser.add_argument("--p99-threshold", type=float, default=25.0, metavar="PCT",
+                        help="report p99 latency changes beyond this percent "
+                             "(default 25; tails are noisier than means)")
     parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
                         help="exit 1 if any regression exceeds PCT percent "
                              "(default: warn only)")
@@ -57,8 +73,10 @@ def main():
                         help="exit 1 on any regression beyond --threshold")
     args = parser.parse_args()
 
-    base = dict(cells(load(args.baseline)))
-    cand = dict(cells(load(args.candidate)))
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    base = dict(cells(base_doc))
+    cand = dict(cells(cand_doc))
 
     regressions = []      # (key, metric, pct) — worse
     improvements = []     # faster / higher throughput
@@ -75,6 +93,16 @@ def main():
         if dq < -args.threshold:
             regressions.append((key, "throughput", -dq))
             worst = max(worst, -dq)
+        b_lat, c_lat = b.get("latency_ns"), c.get("latency_ns")
+        if b_lat and c_lat:
+            for quantile, limit in (("p50", args.threshold),
+                                    ("p99", args.p99_threshold)):
+                dl = pct_change(b_lat[quantile], c_lat[quantile])
+                if dl > limit:
+                    regressions.append((key, f"latency {quantile}", dl))
+                    worst = max(worst, dl)
+                elif dl < -limit:
+                    improvements.append((key, f"latency {quantile}", dl))
 
     only_base = sorted(base.keys() - cand.keys())
     only_cand = sorted(cand.keys() - base.keys())
@@ -97,6 +125,29 @@ def main():
         print(f"new cells (candidate only): {len(only_cand)}")
     if not regressions and not improvements:
         print("no changes beyond threshold")
+
+    # Telemetry counters: informational context for the timing deltas above
+    # (e.g. a slot_sc_fail explosion explains a mean-time regression). Never
+    # affects the exit code.
+    base_tel = dict(telemetry_rows(base_doc))
+    cand_tel = dict(telemetry_rows(cand_doc))
+    counter_lines = []
+    for key in sorted(base_tel.keys() & cand_tel.keys()):
+        b, c = base_tel[key], cand_tel[key]
+        for counter in sorted(b.keys() | c.keys()):
+            old, new = b.get(counter, 0), c.get(counter, 0)
+            if old == new:
+                continue
+            dp = pct_change(old, new)
+            if old == 0 or abs(dp) > args.threshold:
+                scenario, queue = key
+                counter_lines.append(
+                    f"  {scenario:>18s} {queue:<20s} {counter}: "
+                    f"{old} -> {new}" + (f" ({dp:+.1f}%)" if old else ""))
+    if counter_lines:
+        print("telemetry counter changes (informational):")
+        for line in counter_lines:
+            print(line)
 
     if args.fail_on_regress and regressions:
         print(f"FAIL: {len(regressions)} regression(s) beyond threshold "

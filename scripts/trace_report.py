@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Aggregate an evq Chrome Trace Format trace into a phase/retry/help report.
+
+Input is the JSON written by `evq-bench --trace out.json` (or a torture
+wedge dump / `evq-stats --format=trace` scrape). The report answers the
+questions EXPERIMENTS.md E7 asks of a trace:
+
+  * where do the nanoseconds of an operation go? — per queue, the share of
+    total sampled-op time spent in each phase (index_load, slot_attempt,
+    backoff) plus help-advance and reclamation time;
+  * how contended was the run? — the distribution of per-op retry counts;
+  * who helped whom? — a helper thread x helped thread matrix built from
+    the exporter's flow events.
+
+The script also validates the document shape (CI's trace smoke job runs it
+against a fresh trace and fails the build on malformed output): top-level
+traceEvents list, every event with a "ph", every "X" event with name/cat/
+ts/dur. --min-events N additionally fails runs that recorded fewer than N
+events (a smoke test with 0 events means the wiring is broken).
+
+usage: trace_report.py trace.json [--json] [--min-events N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"{path}: {err}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit(f"{path}: no traceEvents list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            sys.exit(f"{path}: traceEvents[{i}] has no phase type")
+        if ev["ph"] == "X":
+            missing = {"name", "cat", "ts", "dur", "tid"} - ev.keys()
+            if missing:
+                sys.exit(f"{path}: traceEvents[{i}] missing {sorted(missing)}")
+    return events
+
+
+def aggregate(events):
+    thread_names = {}
+    # per queue: {"ops": {name: [count, total_us]}, "phases": {...},
+    #             "help": [count, total_us], "reclaim": {name: [count, us]}}
+    queues = collections.defaultdict(lambda: {
+        "ops": collections.defaultdict(lambda: [0, 0.0]),
+        "phases": collections.defaultdict(lambda: [0, 0.0]),
+        "help": [0, 0.0],
+        "helped": 0,
+        "reclaim": collections.defaultdict(lambda: [0, 0.0]),
+    })
+    retries = collections.Counter()
+    flow_starts = {}   # flow id -> helper tid
+    flow_pairs = collections.Counter()  # (helper tid, helped tid) -> count
+
+    for ev in events:
+        ph = ev["ph"]
+        if ph == "M" and ev.get("name") == "thread_name":
+            thread_names[ev.get("tid")] = ev.get("args", {}).get("name", "?")
+        elif ph == "s":
+            flow_starts[ev.get("id")] = ev.get("tid")
+        elif ph == "f":
+            helper = flow_starts.get(ev.get("id"))
+            if helper is not None:
+                flow_pairs[(helper, ev.get("tid"))] += 1
+        elif ph == "X":
+            cat, name = ev["cat"], ev["name"]
+            queue = ev.get("args", {}).get("queue", "?")
+            q = queues[queue]
+            if cat == "op":
+                q["ops"][name][0] += 1
+                q["ops"][name][1] += ev["dur"]
+                retries[ev.get("args", {}).get("retries", 0)] += 1
+            elif cat == "phase":
+                q["phases"][name][0] += 1
+                q["phases"][name][1] += ev["dur"]
+            elif cat == "help":
+                if name == "helped":
+                    q["helped"] += 1
+                else:
+                    q["help"][0] += 1
+                    q["help"][1] += ev["dur"]
+            elif cat == "reclaim":
+                q["reclaim"][name][0] += 1
+                q["reclaim"][name][1] += ev["dur"]
+
+    return {
+        "threads": thread_names,
+        "queues": {name: {
+            "ops": {k: {"count": v[0], "total_us": round(v[1], 3)}
+                    for k, v in sorted(q["ops"].items())},
+            "phases": {k: {"count": v[0], "total_us": round(v[1], 3)}
+                       for k, v in sorted(q["phases"].items())},
+            "help_advances": {"count": q["help"][0],
+                              "total_us": round(q["help"][1], 3)},
+            "helped_markers": q["helped"],
+            "reclaim": {k: {"count": v[0], "total_us": round(v[1], 3)}
+                        for k, v in sorted(q["reclaim"].items())},
+        } for name, q in sorted(queues.items())},
+        "retry_distribution": {str(k): v for k, v in sorted(retries.items())},
+        "help_matrix": [{"helper_tid": h, "helped_tid": d, "count": n}
+                        for (h, d), n in sorted(flow_pairs.items())],
+    }
+
+
+def print_report(report, total_events):
+    print(f"trace: {total_events} events, {len(report['threads'])} thread "
+          f"track(s), {len(report['queues'])} queue(s)")
+    for queue, q in report["queues"].items():
+        op_time = sum(o["total_us"] for o in q["ops"].values())
+        op_count = sum(o["count"] for o in q["ops"].values())
+        print(f"\nqueue {queue}: {op_count} sampled ops, "
+              f"{op_time:.1f} us total op time")
+        for name, o in q["ops"].items():
+            mean = o["total_us"] / o["count"] if o["count"] else 0.0
+            print(f"  op    {name:<14s} {o['count']:>8d}  mean {mean:8.3f} us")
+        for name, p in q["phases"].items():
+            share = 100.0 * p["total_us"] / op_time if op_time else 0.0
+            print(f"  phase {name:<14s} {p['count']:>8d}  "
+                  f"{p['total_us']:10.1f} us  {share:5.1f}% of op time")
+        ha = q["help_advances"]
+        if ha["count"] or q["helped_markers"]:
+            print(f"  help  advances={ha['count']} ({ha['total_us']:.1f} us) "
+                  f"helped-markers={q['helped_markers']}")
+        for name, r in q["reclaim"].items():
+            print(f"  reclaim {name:<12s} {r['count']:>8d}  {r['total_us']:10.1f} us")
+    if report["retry_distribution"]:
+        print("\nretry distribution (per sampled op):")
+        for k, v in report["retry_distribution"].items():
+            print(f"  {k:>4s} retries: {v}")
+    if report["help_matrix"]:
+        print("\nhelper -> helped matrix (flow events):")
+        for row in report["help_matrix"]:
+            helper = report["threads"].get(row["helper_tid"],
+                                           str(row["helper_tid"]))
+            helped = report["threads"].get(row["helped_tid"],
+                                           str(row["helped_tid"]))
+            print(f"  {helper} -> {helped}: {row['count']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the aggregate as JSON instead of text")
+    parser.add_argument("--min-events", type=int, default=0, metavar="N",
+                        help="exit 1 unless the trace has at least N events")
+    args = parser.parse_args()
+
+    events = load(args.trace)
+    if len(events) < args.min_events:
+        sys.exit(f"{args.trace}: {len(events)} events < --min-events "
+                 f"{args.min_events}")
+
+    report = aggregate(events)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(report, len(events))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `trace_report.py t.json | head`
+        sys.exit(0)

@@ -62,7 +62,7 @@ class MsEbrQueue {
 
   explicit MsEbrQueue(std::size_t flush_threshold = 64, std::string_view name = "ms-ebr")
       : telemetry_(name), domain_(flush_threshold) {
-    domain_.set_metrics(&telemetry_.metrics());
+    domain_.set_metrics(&telemetry_.metrics(), telemetry_.queue_id());
     Node* dummy = new Node;
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);

@@ -52,7 +52,7 @@ class MsHpQueue {
   explicit MsHpQueue(hazard::ScanMode mode = hazard::ScanMode::kUnsorted,
                      std::size_t threshold_multiplier = 4, std::string_view name = "ms-hp")
       : telemetry_(name), domain_(mode, threshold_multiplier) {
-    domain_.set_metrics(&telemetry_.metrics());
+    domain_.set_metrics(&telemetry_.metrics(), telemetry_.queue_id());
     Node* dummy = new Node;
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);

@@ -42,7 +42,7 @@ class MsPoolQueue {
   };
 
   explicit MsPoolQueue(std::string_view name = "ms-pool") : telemetry_(name) {
-    pool_.set_metrics(&telemetry_.metrics());
+    pool_.set_metrics(&telemetry_.metrics(), telemetry_.queue_id());
     Node* dummy = pool_.make();
     head_.value.store(dummy);
     tail_.value.store(dummy);

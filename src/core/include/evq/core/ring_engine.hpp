@@ -52,7 +52,9 @@
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/counter_cell.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/op_event.hpp"
 #include "evq/telemetry/registry.hpp"
+#include "evq/trace/trace.hpp"
 
 namespace evq {
 
@@ -91,10 +93,14 @@ concept RingSlotPolicy =
     };
 
 /// The index-side policy contract: a Cell holding a monotone 64-bit counter.
+/// advance() returns whether THIS call moved the index — false means a peer
+/// already advanced it (the caller was helped) or, for weak LL/SC, the SC
+/// failed spuriously; the engine uses the result only for best-effort trace
+/// attribution, never for control flow.
 template <typename P>
 concept RingIndexPolicy = requires(typename P::Cell& cell, std::uint64_t expected) {
   { P::load(cell) } -> std::same_as<std::uint64_t>;
-  { P::advance(cell, expected) };
+  { P::advance(cell, expected) } -> std::same_as<bool>;
 };
 
 /// Fig. 3's index handling: Head/Tail are LL/SC cells and a lagging index is
@@ -107,11 +113,12 @@ struct LlscIndexPolicy {
 
   static std::uint64_t load(Cell& cell) noexcept { return cell.load(); }
 
-  static void advance(Cell& cell, std::uint64_t expected) noexcept {
-    auto link = cell.ll();          // E12/E16 (D12/D16)
+  static bool advance(Cell& cell, std::uint64_t expected) noexcept {
+    auto link = cell.ll();                 // E12/E16 (D12/D16)
     if (link.value() == expected) {
-      cell.sc(link, expected + 1);  // E13/E17 (D13/D17)
+      return cell.sc(link, expected + 1);  // E13/E17 (D13/D17)
     }
+    return false;
   }
 };
 
@@ -127,15 +134,17 @@ struct CasIndexPolicy {
     return cell.load(std::memory_order_seq_cst);
   }
 
-  static void advance(Cell& cell, std::uint64_t expected) noexcept {
+  static bool advance(Cell& cell, std::uint64_t expected) noexcept {
     // Delay-only point: the advance CAS must always be ATTEMPTED, because
     // its failure is read as "another thread already advanced the index" —
     // skipping it on a stream's final operation would forge a permanently
     // lagging index no real preemption can produce (a CAS, unlike weak
     // LL/SC, never fails spuriously).
     EVQ_INJECT_POINT(AdvancePoint);
-    stats::on_cas(
-        cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst));
+    const bool ok =
+        cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
   }
 };
 
@@ -246,8 +255,10 @@ class BoundedRing {
     typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
+    trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPush);
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPushEnter);
+      probe.begin_phase(trace::Phase::kIndexLoad);
       std::uint64_t t;
       if (hint != nullptr && *hint != kNoHint) {
         t = *hint;
@@ -262,16 +273,19 @@ class BoundedRing {
       // stale-negative occupancy simply proceeds; E10 then catches it.
       if (static_cast<std::int64_t>(t - IndexPolicy::load(head_.value)) >=
           static_cast<std::int64_t>(capacity_)) {
-        telemetry_.inc(telemetry::Counter::kPushFull);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushFull);
         telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushFull, t, retries);
+        probe.finish(trace::OpCode::kPushFull, t, retries);
         return false;                                                // E7
       }
+      probe.begin_phase(trace::Phase::kSlotAttempt);
       Slot& slot = slots_[t & mask_];                                // E8
       typename SlotPolicy::Reservation res = policy_.reserve(slot, ctx);  // E9
       EVQ_INJECT_POINT(SlotPolicy::kPushReserved);
       if (t != IndexPolicy::load(tail_.value)) {                     // E10
         policy_.abandon(slot, res, ctx);  // index moved under us: restore and retry
-        telemetry_.inc(telemetry::Counter::kBackoffRound);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
+        probe.begin_phase(trace::Phase::kBackoff);
         backoff.pause();
         ++retries;
         continue;
@@ -281,34 +295,38 @@ class BoundedRing {
           // A concurrent enqueuer filled this slot but has not advanced Tail
           // yet — help it (E11-E13) and retry with the fresh index.
           policy_.abandon(slot, res, ctx);
-          stats::on_help_advance();
-          telemetry_.inc(telemetry::Counter::kHelpAdvance);
+          telemetry::count_ring_event(telemetry_, telemetry::Counter::kHelpAdvance);
+          probe.begin_phase(trace::Phase::kHelpAdvance);
           IndexPolicy::advance(tail_.value, t);
+          probe.help_advance(t, trace::HelpTarget::kTail);
           break;
         case SlotClass::kEmptyFresh:
           if (policy_.commit_push(slot, res, node, t, ctx)) {        // E15
-            stats::on_slot_sc(true);
             // Linearized: the item is in the array but Tail still lags —
             // the state the kill-mid-enqueue profile freezes.
             EVQ_INJECT_POINT(SlotPolicy::kPushCommitted);
-            IndexPolicy::advance(tail_.value, t);                    // E16-E17
+            if (!IndexPolicy::advance(tail_.value, t)) {             // E16-E17
+              // A peer advanced Tail for us — the helped side of E11-E13.
+              probe.helped(t, trace::HelpTarget::kTail);
+            }
             if (hint != nullptr) {
               *hint = t + 1;
             }
-            telemetry_.inc(telemetry::Counter::kPushOk);
+            telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushOk);
             telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushOk, t,
                                     retries);
+            probe.finish(trace::OpCode::kPushOk, t, retries);
             return true;                                             // E18
           }
           // SC failed: the slot changed under our reservation — start over.
-          stats::on_slot_sc(false);
-          telemetry_.inc(telemetry::Counter::kSlotScFail);
+          telemetry::count_ring_event(telemetry_, telemetry::Counter::kSlotScFail);
           break;
         case SlotClass::kStaleEmpty:
           // Empty for the wrong generation (two-null scheme): stale index.
           break;
       }
-      telemetry_.inc(telemetry::Counter::kBackoffRound);
+      telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
+      probe.begin_phase(trace::Phase::kBackoff);
       backoff.pause();
       ++retries;
     }
@@ -319,8 +337,10 @@ class BoundedRing {
     typename SlotPolicy::OpCtx ctx = policy_.begin_op(h);
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
+    trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPop);
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPopEnter);
+      probe.begin_phase(trace::Phase::kIndexLoad);
       std::uint64_t head;
       if (hint != nullptr && *hint != kNoHint) {
         head = *hint;
@@ -329,46 +349,53 @@ class BoundedRing {
         head = IndexPolicy::load(head_.value);                       // D5
       }
       if (head == IndexPolicy::load(tail_.value)) {                  // D6
-        telemetry_.inc(telemetry::Counter::kPopEmpty);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopEmpty);
         telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPopEmpty, head,
                                 retries);
+        probe.finish(trace::OpCode::kPopEmpty, head, retries);
         return nullptr;                                              // D7
       }
+      probe.begin_phase(trace::Phase::kSlotAttempt);
       Slot& slot = slots_[head & mask_];                             // D8
       typename SlotPolicy::Reservation res = policy_.reserve(slot, ctx);  // D9
       EVQ_INJECT_POINT(SlotPolicy::kPopReserved);
       if (head != IndexPolicy::load(head_.value)) {                  // D10
         policy_.abandon(slot, res, ctx);
-        telemetry_.inc(telemetry::Counter::kBackoffRound);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
+        probe.begin_phase(trace::Phase::kBackoff);
         backoff.pause();
         ++retries;
         continue;
       }
       if (policy_.classify(res, head) == SlotClass::kOccupied) {
         if (policy_.commit_pop(slot, res, head, ctx)) {              // D15
-          stats::on_slot_sc(true);
           // Linearized: the slot is empty but Head still lags.
           EVQ_INJECT_POINT(SlotPolicy::kPopCommitted);
-          IndexPolicy::advance(head_.value, head);                   // D16-D17
+          if (!IndexPolicy::advance(head_.value, head)) {            // D16-D17
+            // A peer advanced Head for us — the helped side of D11-D13.
+            probe.helped(head, trace::HelpTarget::kHead);
+          }
           if (hint != nullptr) {
             *hint = head + 1;
           }
-          telemetry_.inc(telemetry::Counter::kPopOk);
+          telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopOk);
           telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPopOk, head,
                                   retries);
+          probe.finish(trace::OpCode::kPopOk, head, retries);
           return policy_.value_of(res);                              // D18
         }
-        stats::on_slot_sc(false);
-        telemetry_.inc(telemetry::Counter::kSlotScFail);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kSlotScFail);
       } else {
         // The item at head was already removed by a dequeuer that has not
         // advanced Head yet — help it (D11-D13) and retry.
         policy_.abandon(slot, res, ctx);
-        stats::on_help_advance();
-        telemetry_.inc(telemetry::Counter::kHelpAdvance);
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kHelpAdvance);
+        probe.begin_phase(trace::Phase::kHelpAdvance);
         IndexPolicy::advance(head_.value, head);
+        probe.help_advance(head, trace::HelpTarget::kHead);
       }
-      telemetry_.inc(telemetry::Counter::kBackoffRound);
+      telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
+      probe.begin_phase(trace::Phase::kBackoff);
       backoff.pause();
       ++retries;
     }

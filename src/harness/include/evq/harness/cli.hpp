@@ -16,6 +16,9 @@
 //   --op-stats             record aggregate atomic-op counters per cell
 //   --telemetry            capture per-queue telemetry counter deltas per cell
 //   --json PATH            also emit the versioned JSON document to PATH
+//   --trace PATH           export a Chrome Trace Format JSON of sampled ops
+//   --trace-sample N       trace 1-in-N ops per thread (implies tracing on;
+//                          default 64 when --trace is given alone)
 //
 // Because each scenario carries its own defaults, flags are parsed into a
 // CliOverrides (only what the user actually set) and applied per scenario.
@@ -36,6 +39,8 @@ struct CliOptions {
   bool csv = false;
   bool telemetry = false;                // capture registry counter deltas
   std::string json_path;                 // empty = no JSON output
+  std::string trace_path;                // empty = no Chrome trace export
+  unsigned trace_sample_every = 0;       // 0 = tracing off
 };
 
 /// Flags the user explicitly passed; everything else stays at the
@@ -49,11 +54,13 @@ struct CliOverrides {
   std::optional<unsigned> latency_sample_every;
   std::optional<double> stable_cv;
   std::optional<unsigned> max_runs;
+  std::optional<unsigned> trace_sample_every;
   bool op_stats = false;
   bool telemetry = false;
   bool csv = false;
   bool paper = false;
   std::string json_path;
+  std::string trace_path;
 
   void apply(CliOptions& opts) const;
 };

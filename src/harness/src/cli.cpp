@@ -13,7 +13,7 @@ namespace {
                "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
                "          [--capacity C] [--csv] [--paper] [--latency-sample N]\n"
                "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--telemetry]\n"
-               "          [--json PATH]\n"
+               "          [--json PATH] [--trace PATH] [--trace-sample N]\n"
                "Runs with CI-scale defaults when given no arguments; --paper\n"
                "selects the paper's parameters (100000 iterations, 50 runs).\n",
                argv0);
@@ -102,6 +102,14 @@ void CliOverrides::apply(CliOptions& opts) const {
   if (!json_path.empty()) {
     opts.json_path = json_path;
   }
+  if (!trace_path.empty()) {
+    opts.trace_path = trace_path;
+  }
+  if (trace_sample_every) {
+    opts.trace_sample_every = *trace_sample_every;
+  } else if (!trace_path.empty()) {
+    opts.trace_sample_every = 64;  // --trace alone: default 1-in-64
+  }
 }
 
 CliOverrides parse_overrides(int argc, char** argv, int first) {
@@ -146,6 +154,12 @@ CliOverrides parse_overrides(int argc, char** argv, int first) {
       ov.telemetry = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       ov.json_path = need_value(i);
+      ++i;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      ov.trace_path = need_value(i);
+      ++i;
+    } else if (std::strcmp(arg, "--trace-sample") == 0) {
+      ov.trace_sample_every = static_cast<unsigned>(parse_u64(need_value(i), argv[0]));
       ++i;
     } else if (std::strcmp(arg, "--csv") == 0) {
       ov.csv = true;

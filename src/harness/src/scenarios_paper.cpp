@@ -663,6 +663,66 @@ ScenarioSpec telemetry_overhead_spec() {
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Pairwise contention demo: the two paper array queues head-to-head on a
+// small ring with a randomized op mix — the configuration that maximizes the
+// paper's signature mechanism (a committed slot whose index still lags, so
+// peers help-advance it). This is the workload EXPERIMENTS.md E7 traces:
+//
+//   evq-bench run pairwise --trace pairwise.json --trace-sample 64
+//
+// and the exported Perfetto trace shows per-phase sub-slices plus
+// helper→helped flow arrows between threads.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec pairwise_spec() {
+  ScenarioSpec spec;
+  spec.name = "pairwise";
+  spec.title = "Pairwise contention: CAS vs LLSC array queues on a small ring";
+  spec.summary = "Observability — high-contention array-queue duel (E7 trace workload)";
+  spec.default_threads = {2, 4};
+  spec.default_iters = 20000;
+  spec.default_runs = 2;
+  spec.rows = [](const CliOptions& opts) {
+    std::vector<ScenarioRow> rows;
+    for (unsigned threads : opts.thread_counts) {
+      WorkloadParams p = opts.workload;
+      p.threads = threads;
+      p.pattern = WorkloadPattern::kRandomMixed;
+      if (opts.workload.capacity == 0) {
+        p.capacity = 64;  // small ring: threads pile onto the same indices
+      }
+      rows.push_back({std::to_string(threads), p});
+    }
+    return rows;
+  };
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas"});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-overhead A/B: the telemetry-overhead shape, reused to price the
+// evq::trace probes. Three comparisons, all via bench_diff.py on the JSON:
+//   baseline   evq-bench run trace-overhead --json off.json
+//   sampled    evq-bench run trace-overhead --trace-sample 64 --json on.json
+//     (same binary; EXPERIMENTS.md E7 budget: <= 5% mean-op-time overhead)
+//   compiled   trace-on vs -DEVQ_TRACE=OFF builds (CI job, < 20% guard on
+//     the disarmed-probe cost, which measures ~0 in practice)
+// ---------------------------------------------------------------------------
+
+ScenarioSpec trace_overhead_spec() {
+  ScenarioSpec spec;
+  spec.name = "trace-overhead";
+  spec.title = "Trace overhead: paper algorithms with sampled phase probes";
+  spec.summary = "Observability — tracing-off vs --trace-sample 64 cost (EXPERIMENTS.md E7)";
+  spec.default_threads = {1, 2, 4};
+  spec.rows = thread_rows;
+  // Same worst-case reasoning as telemetry-overhead: the array queues leave
+  // a disarmed probe nowhere to hide; ms-hp adds the reclaim-probe paths.
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas", "ms-hp"});
+  return spec;
+}
+
 std::vector<ScenarioSpec> build_scenarios() {
   std::vector<ScenarioSpec> specs;
   specs.push_back(fig6a_spec());
@@ -679,6 +739,8 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(sharded_spec());
   specs.push_back(backoff_spec());
   specs.push_back(telemetry_overhead_spec());
+  specs.push_back(pairwise_spec());
+  specs.push_back(trace_overhead_spec());
   return specs;
 }
 

@@ -33,6 +33,7 @@
 #include "evq/common/op_stats.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/telemetry/metrics.hpp"
+#include "evq/trace/trace.hpp"
 
 namespace evq::hazard {
 
@@ -173,6 +174,7 @@ class HpDomain {
   /// retired node whose address is not published as a hazard by any record.
   /// Returns the number reclaimed.
   std::size_t scan(Record& rec) {
+    trace::ReclaimProbe probe(trace_queue_, trace::ReclaimKind::kHpScan);
     EVQ_INJECT_POINT("hazard.reclaim.scan.enter");
     stats::on_hp_scan();
     if (metrics_ != nullptr) {
@@ -234,8 +236,13 @@ class HpDomain {
   /// Routes this domain's retire/scan/free events into a queue's telemetry
   /// counters. The owning queue installs this at construction and must keep
   /// `metrics` alive for the domain's lifetime (including its destructor's
-  /// quiescent sweep, which does not count events).
-  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+  /// quiescent sweep, which does not count events). `trace_queue` attributes
+  /// this domain's scan spans to that queue's track in exported traces.
+  void set_metrics(telemetry::QueueMetrics* metrics,
+                   std::uint32_t trace_queue = trace::kNoQueue) noexcept {
+    metrics_ = metrics;
+    trace_queue_ = trace_queue;
+  }
 
  private:
   const ScanMode mode_;
@@ -245,6 +252,7 @@ class HpDomain {
   std::atomic<std::size_t> records_{0};
   std::atomic<std::uint64_t> reclaimed_{0};
   telemetry::QueueMetrics* metrics_ = nullptr;
+  std::uint32_t trace_queue_ = trace::kNoQueue;
 };
 
 /// RAII record holder.

@@ -25,6 +25,7 @@
 #include "evq/common/config.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/telemetry/metrics.hpp"
+#include "evq/trace/trace.hpp"
 
 namespace evq::reclaim {
 
@@ -122,6 +123,7 @@ class EpochDomain {
   /// documented weakness). On success frees this record's bucket from two
   /// epochs ago.
   bool try_advance(Record* rec) {
+    trace::ReclaimProbe probe(trace_queue_, trace::ReclaimKind::kEpochAdvance);
     EVQ_INJECT_POINT("epoch.reclaim.flush");
     const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
     for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
@@ -159,7 +161,13 @@ class EpochDomain {
 
   /// Routes retire/advance events into a queue's telemetry counters; the
   /// owning queue must keep `metrics` alive for the domain's lifetime.
-  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+  /// `trace_queue` attributes advance-attempt spans to that queue's track in
+  /// exported traces.
+  void set_metrics(telemetry::QueueMetrics* metrics,
+                   std::uint32_t trace_queue = trace::kNoQueue) noexcept {
+    metrics_ = metrics;
+    trace_queue_ = trace_queue;
+  }
 
  private:
   const std::size_t flush_threshold_;
@@ -167,6 +175,7 @@ class EpochDomain {
   std::atomic<Record*> head_{nullptr};
   std::atomic<std::uint64_t> reclaimed_{0};
   telemetry::QueueMetrics* metrics_ = nullptr;
+  std::uint32_t trace_queue_ = trace::kNoQueue;
 };
 
 /// RAII pin for one operation.

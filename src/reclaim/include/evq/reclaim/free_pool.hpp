@@ -17,6 +17,7 @@
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/telemetry/metrics.hpp"
+#include "evq/trace/trace.hpp"
 
 // Node linkage is accessed through std::atomic_ref: a racing take() may read
 // the free_next of a node that another take() just popped and recycled; the
@@ -64,6 +65,9 @@ class FreePool {
   /// stale value (memory itself is never freed while the pool lives); the
   /// version bump in the top word then fails our sc, discarding it.
   [[nodiscard]] Node* take() noexcept {
+    // Sampled (1-in-N, same gate as OpProbe): take() is on the MS-pool
+    // enqueue hot path, so it must not record unconditionally.
+    trace::ReclaimProbe probe(trace_queue_, trace::ReclaimKind::kPoolTake);
     for (;;) {
       auto link = top_.ll();
       Node* node = link.value();
@@ -116,14 +120,20 @@ class FreePool {
   }
 
   /// Routes hit/miss events into a queue's telemetry counters; the owning
-  /// queue must keep `metrics` alive for the pool's lifetime.
-  void set_metrics(telemetry::QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+  /// queue must keep `metrics` alive for the pool's lifetime. `trace_queue`
+  /// attributes take() spans to that queue's track in exported traces.
+  void set_metrics(telemetry::QueueMetrics* metrics,
+                   std::uint32_t trace_queue = trace::kNoQueue) noexcept {
+    metrics_ = metrics;
+    trace_queue_ = trace_queue;
+  }
 
  private:
   llsc::PackedLlsc<Node*> top_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> allocated_{0};
   telemetry::QueueMetrics* metrics_ = nullptr;
+  std::uint32_t trace_queue_ = trace::kNoQueue;
 };
 
 }  // namespace evq::reclaim

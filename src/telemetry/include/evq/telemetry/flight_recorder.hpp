@@ -151,4 +151,13 @@ std::vector<LastOpState> last_ops_per_thread();
 /// are still running (racy-but-atomic reads).
 void dump_flight_recorder(std::ostream& os, std::size_t last_n = 32);
 
+/// The same window as dump_flight_recorder, but as Chrome Trace Format JSON
+/// (one track per thread ordinal, one instant event per record) so
+/// EVQ_FLIGHT_DUMP_PATH artifacts open directly in Perfetto. Timestamps are
+/// raw trace_clock() ticks scaled as if 1 tick == 1 ns — exact relative
+/// order within a thread, approximate (~cpu-GHz factor) durations between
+/// events. Same concurrency contract as dump_flight_recorder.
+void dump_flight_recorder_chrome(std::ostream& os,
+                                 std::size_t last_n = ThreadTrace::kRecords);
+
 }  // namespace evq::telemetry

@@ -1,0 +1,53 @@
+// Single-increment event accounting for the ring engine (and any queue that
+// wants both views of the same event stream).
+//
+// Before this header existed, ring_engine.hpp double-accounted its
+// algorithm-level events: each slot-commit outcome and help-advance called
+// BOTH a stats:: hook (the opt-in per-thread op_stats recorder) and
+// telemetry_.inc(...) (the always-on per-queue counters) — two
+// instrumentation points that could drift apart. count_ring_event() is the
+// one call per event: it feeds the telemetry counter and derives the
+// op_stats view from the SAME telemetry counter taxonomy, so the per-thread
+// recorder is an alias of the telemetry event stream rather than a second
+// bookkeeping:
+//
+//   kPushOk/kPopOk -> one successful slot commit  (slot_sc_attempts++)
+//   kSlotScFail    -> one failed slot commit      (attempts++ and failures++)
+//   kHelpAdvance   -> help_advances++
+//   anything else  -> telemetry only
+//
+// The mapping is exact because the ring engine's protocol makes it so: a
+// completed op commits its slot exactly once (kPushOk/kPopOk <=> SC
+// success), a FULL/EMPTY return commits nothing, and every failed commit
+// raises kSlotScFail. Cost when op_stats recording is off (the default):
+// identical to a bare inc() plus one predictable null-check branch — i.e.
+// each event is ONE counter increment on the hot path.
+//
+// Works under -DEVQ_TELEMETRY=0 too: inc() compiles out but the op_stats
+// view keeps functioning (op-profile scenarios do not depend on telemetry).
+#pragma once
+
+#include "evq/common/op_stats.hpp"
+#include "evq/telemetry/registry.hpp"
+
+namespace evq::telemetry {
+
+inline void count_ring_event(ScopedQueueMetrics& tm, Counter c) noexcept {
+  tm.inc(c);
+  switch (c) {
+    case Counter::kPushOk:
+    case Counter::kPopOk:
+      stats::on_slot_sc(true);
+      break;
+    case Counter::kSlotScFail:
+      stats::on_slot_sc(false);
+      break;
+    case Counter::kHelpAdvance:
+      stats::on_help_advance();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace evq::telemetry

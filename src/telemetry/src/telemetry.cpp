@@ -3,6 +3,7 @@
 // of every build (including the fault-injected torture binary) and must stay
 // free of injectable headers — it includes only telemetry/ and common/.
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -336,6 +337,68 @@ void dump_flight_recorder(std::ostream& os, std::size_t last_n) {
        << ": " << trace_op_name(s.op) << " queue=" << queue_label(s.queue_id)
        << " index=" << s.index << " retries=" << s.retries << " tsc=" << s.tsc << "\n";
   }
+}
+
+void dump_flight_recorder_chrome(std::ostream& os, std::size_t last_n) {
+  std::vector<const ThreadTrace*> traces;
+  {
+    std::lock_guard<std::mutex> lock(detail::trace_mutex());
+    const auto& all = detail::trace_pool().all;
+    traces.assign(all.begin(), all.end());
+  }
+
+  // Origin = oldest surviving tsc, so the timeline starts near zero.
+  std::uint64_t origin = 0;
+  bool seen = false;
+  for (const ThreadTrace* t : traces) {
+    const std::uint64_t total = t->total_records();
+    const std::uint64_t window =
+        std::min<std::uint64_t>({total, ThreadTrace::kRecords, last_n});
+    for (std::uint64_t i = total - window; i < total; ++i) {
+      const std::uint64_t tsc = t->record_at(i).tsc.load(std::memory_order_relaxed);
+      if (!seen || tsc < origin) {
+        origin = tsc;
+        seen = true;
+      }
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto begin_event = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+  for (const ThreadTrace* t : traces) {
+    begin_event();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << t->owner_ordinal()
+       << ",\"args\":{\"name\":\"evq worker " << t->owner_ordinal()
+       << (t->live() ? " (live)" : " (exited)") << "\"}}";
+  }
+  for (const ThreadTrace* t : traces) {
+    const std::uint64_t total = t->total_records();
+    const std::uint64_t window =
+        std::min<std::uint64_t>({total, ThreadTrace::kRecords, last_n});
+    for (std::uint64_t i = total - window; i < total; ++i) {
+      const ThreadTrace::Record& r = t->record_at(i);
+      const std::uint64_t tsc = r.tsc.load(std::memory_order_relaxed);
+      const std::uint64_t rel = tsc >= origin ? tsc - origin : 0;
+      char ts[48];
+      std::snprintf(ts, sizeof ts, "%.3f", static_cast<double>(rel) / 1000.0);
+      begin_event();
+      os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+         << trace_op_name(static_cast<TraceOp>(r.op.load(std::memory_order_relaxed)))
+         << "\",\"cat\":\"flight\",\"pid\":0,\"tid\":"
+         << r.thread_ord.load(std::memory_order_relaxed) << ",\"ts\":" << ts
+         << ",\"args\":{\"queue\":\""
+         << queue_label(r.queue_id.load(std::memory_order_relaxed)) << "\",\"index\":"
+         << r.index.load(std::memory_order_relaxed) << ",\"retries\":"
+         << r.retries.load(std::memory_order_relaxed) << "}}";
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
 }
 
 // ---------------------------------------------------------------------------

@@ -66,6 +66,8 @@
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
+#include "evq/trace/chrome_trace.hpp"
+#include "evq/trace/trace.hpp"
 #include "evq/verify/fifo_checkers.hpp"
 #include "torture_queues.hpp"
 
@@ -114,8 +116,10 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + cfg.deadline;
   // Keep the flight recorder armed so a wedged run can report what each
-  // thread was doing instead of a bare timeout.
+  // thread was doing instead of a bare timeout, and record every evq::trace
+  // span (1-in-1 sampling — post-mortem fidelity beats overhead here).
   telemetry::set_tracing(true);
+  trace::set_sampling(1);
 
   std::vector<std::vector<Token>> tokens(cfg.producers);
   for (std::size_t p = 0; p < cfg.producers; ++p) {
@@ -209,9 +213,21 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   if (out.timed_out && cfg.dump_on_timeout) {
     telemetry::dump_flight_recorder(std::cerr, /*last_n=*/8);
     const char* env_path = std::getenv("EVQ_FLIGHT_DUMP_PATH");
+    const char* fmt = std::getenv("EVQ_FLIGHT_DUMP_FORMAT");
     std::ofstream dump(env_path != nullptr ? env_path : "torture_flight_dump.txt");
     if (dump) {
-      telemetry::dump_flight_recorder(dump, /*last_n=*/32);
+      if (fmt != nullptr && std::string_view(fmt) == "trace") {
+        telemetry::dump_flight_recorder_chrome(dump);
+      } else {
+        telemetry::dump_flight_recorder(dump, /*last_n=*/32);
+      }
+    }
+    // Phase-level post-mortem: the evq::trace spans of the wedged run as a
+    // Perfetto-loadable Chrome trace, next to the flight record.
+    const char* trace_path = std::getenv("EVQ_TRACE_DUMP_PATH");
+    std::ofstream wedge_trace(trace_path != nullptr ? trace_path : "torture_wedge_trace.json");
+    if (wedge_trace) {
+      trace::export_chrome_trace(wedge_trace);
     }
   }
   out.conservation = verify::check_conservation(logs, pushed);
