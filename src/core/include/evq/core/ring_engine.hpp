@@ -93,10 +93,25 @@ concept RingSlotPolicy =
     };
 
 /// The index-side policy contract: a Cell holding a monotone 64-bit counter.
-/// advance() returns whether THIS call moved the index — false means a peer
-/// already advanced it (the caller was helped) or, for weak LL/SC, the SC
-/// failed spuriously; the engine uses the result only for best-effort trace
+///
+/// Advance-attribution contract (the help-chain flow arrows of DESIGN.md §11
+/// depend on it): advance() returns whether THIS call moved the index from
+/// `expected` to `expected + 1` — false means no movement is attributable to
+/// this call, either because a peer already advanced it (the caller was
+/// helped) or, for weak LL/SC, because the SC failed spuriously. Every index
+/// move must be attributed to exactly one advance() (or reserve(), below)
+/// return; the engines use the result only for best-effort trace
 /// attribution, never for control flow.
+///
+/// Policies whose algorithms claim tickets UNCONDITIONALLY (the SCQ
+/// generation's fetch_add) must expose that as a distinct reserve() returning
+/// the claimed ticket — never by widening advance(): an unconditional
+/// primitive always moves the index, so it could never report the "a peer
+/// advanced it for me" outcome that advance()'s false return means, and a
+/// policy that returned constant-true through advance() would silently turn
+/// every helped op into a self-advance in the exported flow arrows. With the
+/// split, attribution stays exact for free: a fetch_add moves the index by
+/// exactly one and no other call observes that move as its own.
 template <typename P>
 concept RingIndexPolicy = requires(typename P::Cell& cell, std::uint64_t expected) {
   { P::load(cell) } -> std::same_as<std::uint64_t>;
@@ -143,6 +158,50 @@ struct CasIndexPolicy {
     EVQ_INJECT_POINT(AdvancePoint);
     const bool ok =
         cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
+  }
+};
+
+/// SCQ-generation index handling (core/scq_queue.hpp): a ticket is RESERVED
+/// with one unconditional fetch_add instead of the engines' load → boundary
+/// check → conditional advance round trip — the reservation can never fail
+/// and never spins, which is where the SCQ family's scalability comes from.
+/// advance() keeps the conditional contract above (SCQ's cautious dequeue
+/// repairs a lagging Tail with it, via catch_up), so the policy satisfies
+/// RingIndexPolicy and help attribution composes unchanged.
+template <const char* ReservePoint>
+struct FaaIndexPolicy {
+  using Cell = std::atomic<std::uint64_t>;
+
+  static std::uint64_t load(Cell& cell) noexcept {
+    return cell.load(std::memory_order_seq_cst);
+  }
+
+  /// Unconditional ticket claim; returns the PRIOR index value (the caller's
+  /// ticket). Per the attribution contract, the one-step move is attributed
+  /// to this call, always — reserve() cannot fail and cannot be helped.
+  static std::uint64_t reserve(Cell& cell) noexcept {
+    // Delay-only point, like CasIndexPolicy::advance: the FAA must always be
+    // ISSUED — skipping it would hand two threads the same ticket, a state
+    // no real preemption can produce.
+    EVQ_INJECT_POINT(ReservePoint);
+    return cell.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Conditional advance, identical semantics to CasIndexPolicy::advance.
+  static bool advance(Cell& cell, std::uint64_t expected) noexcept {
+    const bool ok =
+        cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst);
+    stats::on_cas(ok);
+    return ok;
+  }
+
+  /// SCQ's Catchup step: one conditional jump `expected -> to` (to is ahead
+  /// of expected). Returns whether THIS call moved the index — the same
+  /// attribution rule as advance(), covering moves of more than one step.
+  static bool catch_up(Cell& cell, std::uint64_t expected, std::uint64_t to) noexcept {
+    const bool ok = cell.compare_exchange_strong(expected, to, std::memory_order_seq_cst);
     stats::on_cas(ok);
     return ok;
   }

@@ -14,6 +14,7 @@
 #include "evq/common/backoff.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
@@ -89,6 +90,15 @@ std::vector<QueueSpec> build_registry() {
   specs.push_back({"sharded-simcas", "Sharded FIFO Array Simulated CAS (4 shards)", true, true,
                    false,
                    make_factory<ShardedCasQueue<Payload>>(std::size_t{4}, "sharded-simcas")});
+  // SCQ generation (Nikolaev, arXiv:1908.04511): FAA ticket reservation over
+  // cycle-tagged single-word entries — the post-paper state of the art the
+  // head-to-head scenario benches against the Fig. 5/Fig. 3 rings.
+  specs.push_back({"scq", "SCQ FAA ring (Nikolaev)", true, true, true,
+                   make_factory<ScqQueue<Payload>>()});
+  specs.push_back({"scq-backoff", "SCQ FAA ring + exp backoff", true, true, true,
+                   make_factory<ScqQueue<Payload, ExpBackoff>>("scq-backoff")});
+  specs.push_back({"sharded-scq", "Sharded SCQ FAA ring (4 shards)", true, true, false,
+                   make_factory<ShardedQueue<ScqQueue<Payload>>>(std::size_t{4}, "sharded-scq")});
   return specs;
 }
 

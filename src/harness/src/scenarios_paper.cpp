@@ -599,6 +599,50 @@ ScenarioSpec sharded_spec() {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-generation head-to-head: the paper's CAS/LL-SC array queues vs the
+// SCQ-generation FAA ring (Nikolaev's indirection design, DESIGN.md §12).
+// The structural bet under test: an unconditional fetch_add ticket never
+// loses under contention, so where the CAS/LL-SC index race burns retries
+// (8+ threads), SCQ should hold throughput. EXPERIMENTS.md E8 records the
+// expected shape and the measured table.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec scq_spec() {
+  ScenarioSpec spec;
+  spec.name = "scq";
+  spec.title = "Cross-generation: SCQ FAA ring vs CAS/LL-SC array queues";
+  spec.summary = "Extension — FAA-generation SCQ vs the paper's CAS/LL-SC rings (E8)";
+  spec.default_threads = {1, 2, 4, 8, 16};
+  spec.rows = thread_rows;
+  spec.series =
+      registry_series({"fifo-llsc", "fifo-simcas", "scq", "scq-backoff", "sharded-scq"});
+  spec.print_table = [](const ScenarioResult& r, const CliOptions& o) {
+    print_absolute(r, o, r.title);
+    const ScenarioSeries* llsc = r.series_named("fifo-llsc");
+    const ScenarioSeries* cas = r.series_named("fifo-simcas");
+    const ScenarioSeries* scq = r.series_named("scq");
+    const ScenarioSeries* scq_b = r.series_named("scq-backoff");
+    if (llsc == nullptr || cas == nullptr || scq == nullptr || scq_b == nullptr) {
+      return;
+    }
+    std::printf("\nSCQ speedup vs best paper ring (min(llsc, simcas) mean time / "
+                "min(scq, scq-backoff) mean time):\n");
+    std::printf("%8s %10s\n", "threads", "speedup");
+    for (std::size_t i = 0; i < r.rows.size(); ++i) {
+      const double best = std::min(llsc->cells[i].time.mean, cas->cells[i].time.mean);
+      const double best_scq = std::min(scq->cells[i].time.mean, scq_b->cells[i].time.mean);
+      if (best <= 0.0 || best_scq <= 0.0) {
+        continue;
+      }
+      std::printf("%8s %9.2fx\n", r.rows[i].label.c_str(), best / best_scq);
+    }
+    std::printf("(>1 means the FAA generation beat the best CAS/LL-SC ring; the claim "
+                "under test holds at 8+ threads)\n");
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
 // Contention-management ablation: NoBackoff (paper-faithful busy retry) vs
 // ExpBackoff on both paper algorithms, at and beyond hardware
 // oversubscription (thread counts default to 1x and 2x the hardware
@@ -737,6 +781,7 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(ext_mixed_spec());
   specs.push_back(ext_reclaim_spec());
   specs.push_back(sharded_spec());
+  specs.push_back(scq_spec());
   specs.push_back(backoff_spec());
   specs.push_back(telemetry_overhead_spec());
   specs.push_back(pairwise_spec());

@@ -52,9 +52,11 @@ enum class Counter : std::uint8_t {
   kPoolMiss,        // FreePool::make() heap-allocated a fresh node
   kEpochRetired,    // node retired into an epoch bucket
   kEpochAdvance,    // successful global-epoch advance
+  kFaaReserve,      // FAA-generation ticket claimed (SCQ head/tail fetch_add)
+  kSlotSkip,        // SCQ entry skipped: cycle bumped past or marked unsafe
 };
 
-inline constexpr std::size_t kCounterCount = 14;
+inline constexpr std::size_t kCounterCount = 16;
 
 /// Stable short name ("push_ok", ...): the `op` label of the Prometheus
 /// exporter and the key of the JSON telemetry section.

@@ -48,6 +48,10 @@ const char* counter_name(Counter c) noexcept {
       return "epoch_retired";
     case Counter::kEpochAdvance:
       return "epoch_advance";
+    case Counter::kFaaReserve:
+      return "faa_reserve";
+    case Counter::kSlotSkip:
+      return "slot_skip";
   }
   return "unknown";
 }

@@ -69,6 +69,11 @@ enum class Phase : std::uint8_t {
   kBackoff,        // one ContentionPolicy::pause() on a retry path
   kHelpAdvance,    // internal state while a help span is open (never exported
                    // as a kPhase record — it closes as a kHelp record)
+  kFaaReserve,     // SCQ-generation ticket claim: the unconditional fetch_add
+                   // (no load/validate round — distinct from kIndexLoad)
+  kSlotSkip,       // SCQ dequeue skipping an entry: cycle bump or unsafe mark
+                   // (a slot given up on, not an attempt — distinct from
+                   // kSlotAttempt)
 };
 
 enum class OpCode : std::uint8_t { kPushOk = 0, kPushFull, kPopOk, kPopEmpty };

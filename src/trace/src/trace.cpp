@@ -45,6 +45,10 @@ const char* phase_name(Phase p) noexcept {
       return "backoff";
     case Phase::kHelpAdvance:
       return "help_advance";
+    case Phase::kFaaReserve:
+      return "faa_reserve";
+    case Phase::kSlotSkip:
+      return "slot_skip";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/verify/fifo_checkers.hpp"
@@ -268,6 +269,21 @@ TEST_P(DifferentialFuzz, TsigasZhangQueueBatch) {
   const auto p = GetParam();
   fuzz_batch_against_model<baselines::TsigasZhangQueue<Token>>(p.capacity, p.seed, kOps / 4,
                                                                p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ScqQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<ScqQueue<Token>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ScqQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<ScqQueue<Token>>(p.capacity, p.seed, kOps / 4, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShardedScqQueue) {
+  const auto p = GetParam();
+  fuzz_sharded_against_multiset<ScqQueue<Token>>(p.capacity * 4, 4, p.seed, kOps, p.bias_push);
 }
 
 TEST_P(DifferentialFuzz, ShardedLlscQueue) {

@@ -21,6 +21,7 @@
 #include "evq/baselines/tsigas_zhang_queue.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/harness/queue_registry.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
@@ -77,7 +78,12 @@ using AllQueues = ::testing::Types<LlscArrayQueue<Token, llsc::VersionedLlsc>,
                                    // pushed exactly once, so Tsigas-Zhang's
                                    // data-ABA assumption is never stressed.
                                    baselines::TsigasZhangQueue<Token>,
-                                   baselines::MutexQueue<Token>>;
+                                   baselines::MutexQueue<Token>,
+                                   // SCQ generation: FAA tickets + cycle tags
+                                   // must honour the same exact sequential
+                                   // contract as the paper rings.
+                                   ScqQueue<Token>,
+                                   ScqQueue<Token, ExpBackoff>>;
 TYPED_TEST_SUITE(QueueConformanceTest, AllQueues);
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/queue_traits.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/verify/fifo_checkers.hpp"
 
@@ -38,7 +39,8 @@ using BatchQueues = ::testing::Types<LlscArrayQueue<Token, llsc::PackedLlsc>,
                                      LlscArrayQueue<Token, llsc::VersionedLlsc>,
                                      CasArrayQueue<Token>,
                                      baselines::ShannQueue<Token>,
-                                     baselines::TsigasZhangQueue<Token>>;
+                                     baselines::TsigasZhangQueue<Token>,
+                                     ScqQueue<Token>>;
 TYPED_TEST_SUITE(RingEngineBatchTest, BatchQueues);
 
 // Every ring-engine instantiation must satisfy the batch concept.
@@ -46,6 +48,7 @@ static_assert(BatchPtrQueue<LlscArrayQueue<Token>>);
 static_assert(BatchPtrQueue<CasArrayQueue<Token>>);
 static_assert(BatchPtrQueue<baselines::ShannQueue<Token>>);
 static_assert(BatchPtrQueue<baselines::TsigasZhangQueue<Token>>);
+static_assert(BatchPtrQueue<ScqQueue<Token>>);
 
 TYPED_TEST(RingEngineBatchTest, PushBatchStopsExactlyAtCapacity) {
   TypeParam q(8);
@@ -190,6 +193,88 @@ TYPED_TEST(RingEngineBatchTest, LargeBatchesConserveUnderMpmcStress) {
   EXPECT_TRUE(conservation.ok) << conservation.reason;
   auto order = verify::check_per_producer_order(logs, kProducers);
   EXPECT_TRUE(order.ok) << order.reason;
+}
+
+// ---------------------------------------------------------------------------
+// IndexPolicy advance attribution
+// ---------------------------------------------------------------------------
+// The RingIndexPolicy contract (ring_engine.hpp): advance() returns true
+// exactly when THIS call moved the index from `expected` to `expected + 1`,
+// and every index move is attributed to exactly one advance()/reserve()
+// return — the invariant the help-chain flow arrows are built on. These
+// tests pin the contract for all three policy generations so a future
+// policy cannot silently break attribution.
+
+template <typename P>
+void check_conditional_advance_attribution() {
+  typename P::Cell cell{};
+  ASSERT_EQ(P::load(cell), 0u);
+  EXPECT_TRUE(P::advance(cell, 0)) << "moving 0 -> 1 is this call's move";
+  EXPECT_EQ(P::load(cell), 1u);
+  EXPECT_FALSE(P::advance(cell, 0)) << "stale expected must report no movement";
+  EXPECT_EQ(P::load(cell), 1u) << "a false advance must not have moved the index";
+  EXPECT_TRUE(P::advance(cell, 1));
+  EXPECT_EQ(P::load(cell), 2u);
+}
+
+TEST(IndexPolicyAttribution, LlscAdvanceReportsOwnMovesOnly) {
+  check_conditional_advance_attribution<LlscIndexPolicy>();
+}
+
+TEST(IndexPolicyAttribution, CasAdvanceReportsOwnMovesOnly) {
+  check_conditional_advance_attribution<CasIndexPolicy<kCasIndexAdvancePoint>>();
+}
+
+TEST(IndexPolicyAttribution, FaaAdvanceReportsOwnMovesOnly) {
+  check_conditional_advance_attribution<ScqIndexPolicy>();
+}
+
+TEST(IndexPolicyAttribution, FaaReserveAlwaysAdvancesByOneAndReturnsTheTicket) {
+  ScqIndexPolicy::Cell cell{};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ScqIndexPolicy::reserve(cell), i) << "the prior value is the caller's ticket";
+    EXPECT_EQ(ScqIndexPolicy::load(cell), i + 1) << "reserve moves by exactly one";
+  }
+}
+
+TEST(IndexPolicyAttribution, FaaReserveAttributesEveryMoveToExactlyOneCaller) {
+  // Unconditional advancement stays exactly attributed under contention:
+  // across any interleaving, the claimed tickets partition the index range —
+  // no ticket lost, none handed out twice.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  ScqIndexPolicy::Cell cell{};
+  std::vector<std::vector<std::uint64_t>> tickets(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      tickets[t].reserve(kPerThread);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tickets[t].push_back(ScqIndexPolicy::reserve(cell));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::vector<std::uint64_t> all;
+  for (const auto& mine : tickets) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kThreads * kPerThread);
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i) << "every index move owned by exactly one reserve() return";
+  }
+  EXPECT_EQ(ScqIndexPolicy::load(cell), kThreads * kPerThread);
+}
+
+TEST(IndexPolicyAttribution, FaaCatchUpReportsOwnJumpsOnly) {
+  ScqIndexPolicy::Cell cell{};
+  EXPECT_TRUE(ScqIndexPolicy::catch_up(cell, 0, 5)) << "the jump 0 -> 5 is this call's move";
+  EXPECT_EQ(ScqIndexPolicy::load(cell), 5u);
+  EXPECT_FALSE(ScqIndexPolicy::catch_up(cell, 0, 9)) << "stale expected must report no movement";
+  EXPECT_EQ(ScqIndexPolicy::load(cell), 5u);
 }
 
 }  // namespace

@@ -1,0 +1,326 @@
+// SCQ policy mechanics (core/scq_queue.hpp), pinned deterministically:
+//
+//  * ScqLayout packing round-trips and the wrap-aware cycle comparison —
+//    the single-word {cycle, isSafe, index} encoding everything rests on;
+//  * the threshold machinery: empty-side dequeues charge it exactly once
+//    each and drag the tail along (the cautious catch-up), the fast path
+//    engages when it is spent, and one successful enqueue re-arms it;
+//  * the cycle-wrap ABA edge, scripted with the injection substrate exactly
+//    like tag_wrap_test.cpp: a consumer parked right after its ticket FAA
+//    while the ring revolves underneath must still consume precisely its
+//    own-cycle entry — which meanwhile was marked UNSAFE by the overtaking
+//    dequeuers — and never a same-position value from another cycle.
+//
+// Lives in the torture binary: the scripted schedules need
+// EVQ_INJECT_ENABLED=1, and the queue templates must not also exist in an
+// uninjected compilation inside the same binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "evq/core/scq_queue.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/telemetry/metrics.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+#if !defined(EVQ_INJECT_ENABLED) || !EVQ_INJECT_ENABLED
+#error "scq_policy_test.cpp must be compiled with EVQ_INJECT_ENABLED=1"
+#endif
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+// ---------------------------------------------------------------------------
+// ScqLayout: packing round-trips
+// ---------------------------------------------------------------------------
+
+TEST(ScqLayout, PackUnpackRoundTripsAcrossOrders) {
+  for (std::uint32_t order = 2; order <= 20; order += 3) {
+    const ScqLayout layout(order);
+    const std::uint64_t top_index = (std::uint64_t{1} << order) - 1;  // == bottom()
+    const std::uint64_t cycles[] = {0, 1, 2, 1000, layout.cycle_mask() - 1,
+                                    layout.cycle_mask()};
+    const std::uint64_t indices[] = {0, 1, top_index / 2, top_index};
+    for (std::uint64_t cycle : cycles) {
+      for (std::uint64_t index : indices) {
+        for (bool safe : {false, true}) {
+          const std::uint64_t e = layout.make(cycle, safe, index);
+          EXPECT_EQ(layout.cycle(e), cycle) << "order " << order;
+          EXPECT_EQ(layout.is_safe(e), safe) << "order " << order;
+          EXPECT_EQ(layout.index(e), index) << "order " << order;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScqLayout, AllOnesWordIsTheVirginEmptyEntry) {
+  // Ring entries are initialized to ~0: index ⊥, safe, cycle ≡ −1 — i.e.
+  // one cycle BEFORE cycle 0, so the very first tickets may use the entry.
+  const ScqLayout layout(4);
+  const std::uint64_t virgin = ~std::uint64_t{0};
+  EXPECT_EQ(layout.index(virgin), layout.bottom());
+  EXPECT_TRUE(layout.is_safe(virgin));
+  EXPECT_EQ(layout.cycle(virgin), layout.cycle_mask());
+  EXPECT_TRUE(layout.cycle_lt(layout.cycle(virgin), 0)) << "cycle −1 precedes cycle 0";
+}
+
+TEST(ScqLayout, ConsumeMaskPreservesCycleAndSafeBit) {
+  // fetch_or(bottom()) is how a dequeuer consumes: only the index bits may
+  // change, and they must saturate to ⊥.
+  const ScqLayout layout(5);
+  const std::uint64_t e = layout.make(42, true, 7);
+  const std::uint64_t consumed = e | layout.bottom();
+  EXPECT_EQ(layout.cycle(consumed), 42u);
+  EXPECT_TRUE(layout.is_safe(consumed));
+  EXPECT_EQ(layout.index(consumed), layout.bottom());
+  const std::uint64_t unsafe = layout.make(42, false, 7);
+  EXPECT_FALSE(layout.is_safe(unsafe | layout.bottom())) << "consume must not resurrect safety";
+}
+
+TEST(ScqLayout, TicketCycleIsTheTicketsRingRevolution) {
+  const ScqLayout layout(3);  // ring of 8 entries
+  EXPECT_EQ(layout.ticket_cycle(0), 0u);
+  EXPECT_EQ(layout.ticket_cycle(7), 0u);
+  EXPECT_EQ(layout.ticket_cycle(8), 1u);
+  EXPECT_EQ(layout.ticket_cycle(17), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ScqLayout: wrap-aware cycle comparison (the ABA defence)
+// ---------------------------------------------------------------------------
+
+TEST(ScqLayout, CycleCompareIsWrapAware) {
+  const ScqLayout layout(10);
+  const std::uint64_t top = layout.cycle_mask();
+
+  EXPECT_TRUE(layout.cycle_lt(0, 1));
+  EXPECT_FALSE(layout.cycle_lt(1, 0));
+  EXPECT_FALSE(layout.cycle_lt(5, 5));
+
+  // Across the numeric wrap of the truncated cycle field: the stored value
+  // `top` means "one step before 0", not "astronomically later".
+  EXPECT_TRUE(layout.cycle_lt(top, 0));
+  EXPECT_FALSE(layout.cycle_lt(0, top));
+  EXPECT_TRUE(layout.cycle_lt(top - 1, top));
+  EXPECT_TRUE(layout.cycle_lt(top - 1, 1)) << "two steps forward across the wrap";
+
+  // Serial-number arithmetic: each cycle precedes its successor everywhere
+  // on the ring, including both wrap neighbours.
+  for (std::uint64_t c : {std::uint64_t{0}, top / 2, top - 1, top}) {
+    const std::uint64_t next = (c + 1) & layout.cycle_mask();
+    EXPECT_TRUE(layout.cycle_lt(c, next)) << "c=" << c;
+    EXPECT_FALSE(layout.cycle_lt(next, c)) << "c=" << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold exhaustion and the cautious catch-up
+// ---------------------------------------------------------------------------
+
+TEST(ScqThreshold, EmptyDequeuesChargeOnceEachCatchTheTailUpThenFastPath) {
+  ScqQueue<Token> q(4, "scq-threshold-empty");  // n=4: threshold re-arms at 11
+  auto h = q.handle();
+  Token tok{0, 0};
+  ASSERT_TRUE(q.try_push(h, &tok));
+  EXPECT_EQ(q.try_pop(h), &tok);
+
+  ScqRing& aq = q.alloc_ring();
+  const std::int64_t armed = aq.threshold_init();
+  ASSERT_EQ(aq.threshold(), armed) << "a successful enqueue must have armed the threshold";
+
+  // Each failed pop burns one ticket, drags Tail along with Head (the
+  // catch-up), and charges the threshold exactly once.
+  std::int64_t expected = armed;
+  while (expected >= 0) {
+    const std::uint64_t head_before = aq.head();
+    EXPECT_EQ(q.try_pop(h), nullptr);
+    --expected;
+    EXPECT_EQ(aq.threshold(), expected);
+    EXPECT_EQ(aq.head(), head_before + 1) << "one ticket per failed probe";
+    EXPECT_EQ(aq.tail(), aq.head()) << "cautious dequeue must catch the tail up";
+  }
+
+  // Spent: the fast path answers without claiming tickets.
+  const std::uint64_t head_spent = aq.head();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(q.try_pop(h), nullptr);
+  }
+  EXPECT_EQ(aq.head(), head_spent) << "fast-path ⊥ must not consume tickets";
+  EXPECT_LT(aq.threshold(), 0);
+
+  // One successful push re-arms everything.
+  ASSERT_TRUE(q.try_push(h, &tok));
+  EXPECT_EQ(aq.threshold(), armed);
+  EXPECT_EQ(q.try_pop(h), &tok);
+}
+
+TEST(ScqThreshold, FullPushesExhaustTheFreeRingThresholdAndOnePopReArms) {
+  ScqQueue<Token> q(4, "scq-threshold-full");
+  auto h = q.handle();
+  std::vector<Token> tokens(5);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &tokens[i]));
+  }
+
+  // The free ring is drained: failed pushes walk its threshold down to the
+  // fast path, exactly like failed pops on an empty allocated ring.
+  ScqRing& fq = q.free_ring();
+  std::int64_t expected = fq.threshold();
+  while (expected >= 0) {
+    EXPECT_FALSE(q.try_push(h, &tokens[4]));
+    --expected;
+    EXPECT_EQ(fq.threshold(), expected);
+  }
+  const std::uint64_t head_spent = fq.head();
+  EXPECT_FALSE(q.try_push(h, &tokens[4]));
+  EXPECT_EQ(fq.head(), head_spent) << "fast-path FULL must not consume tickets";
+
+  // One pop recycles one index and re-arms the free ring; exactly one slot
+  // reopens.
+  EXPECT_EQ(q.try_pop(h), &tokens[0]);
+  EXPECT_EQ(fq.threshold(), fq.threshold_init());
+  tokens[4].seq = 4;
+  EXPECT_TRUE(q.try_push(h, &tokens[4]));
+  EXPECT_FALSE(q.try_push(h, &tokens[0]));
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i) << "FIFO must survive the threshold round-trip";
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic unsafe transition + cycle-ABA edge (scripted stall)
+// ---------------------------------------------------------------------------
+
+// A consumer parked between its ticket FAA and its entry load, exactly the
+// window the cycle tags defend (tag_wrap_test.cpp's shape, one queue
+// generation later). While it sleeps, the ring revolves: its entry's item is
+// stranded (only head-ticket-0 may consume it), the overtaking dequeuer that
+// re-reaches the position MUST mark the held entry unsafe instead of
+// touching its payload, and enqueuers must route around the position. On
+// release, the victim must consume precisely its own-cycle entry — the
+// stranded first token — not anything the later cycles put near it.
+TEST(ScqTeeth, ParkedDequeuerSurvivesRingRevolutionViaUnsafeMark) {
+  ScqQueue<Token> q(4, "scq-unsafe-pin");  // n=4 → aq ring of 8 entries
+  auto main_h = q.handle();
+  const ScqLayout& layout = q.alloc_ring().layout();
+
+  Token first{0, 1};
+  ASSERT_TRUE(q.try_push(main_h, &first));  // aq ticket 0, entry position 0
+
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{
+      "scripted-scq-stall",
+      "park one consumer right after its allocated-ring ticket FAA",
+      /*sc_fail=*/0, 100, "",
+      /*delay=*/0, 100, 0, "",
+      /*stall=*/"core.scq.aq.deq.reserved", inject::Role::kAny};
+
+  std::atomic<Token*> victim_got{nullptr};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0, inject::Role::kConsumer,
+                                     &gate);
+    inject::ScopedInjector scoped(injector);
+    auto h = q.handle();
+    victim_got.store(q.try_pop(h), std::memory_order_release);
+  });
+
+  while (!gate.parked()) {
+    std::this_thread::yield();
+  }
+
+  // Ticket 0 is captive in the victim. Revolve the allocated ring once:
+  // pair i installs at aq ticket i and pops at head ticket i (1..7), then
+  // pair 8 wraps to position 0 — its push must refuse the held entry
+  // (index ≠ ⊥) and its pop must mark it unsafe, both without disturbing
+  // the stranded index.
+  std::vector<Token> laps(9);
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    laps[i].seq = i;
+    ASSERT_TRUE(q.try_push(main_h, &laps[i]));
+    Token* out = q.try_pop(main_h);
+    ASSERT_EQ(out, &laps[i]) << "main traffic must never receive the stranded token";
+  }
+
+  const std::uint64_t held = q.alloc_ring().entry(0);
+  EXPECT_EQ(layout.cycle(held), 0u) << "the held entry must keep its cycle";
+  EXPECT_FALSE(layout.is_safe(held)) << "the overtaking dequeuer must have marked it unsafe";
+  EXPECT_NE(layout.index(held), layout.bottom()) << "the stranded index must survive the mark";
+  EXPECT_GT(q.metrics().value(telemetry::Counter::kSlotSkip), 0u);
+  EXPECT_GT(q.metrics().value(telemetry::Counter::kFaaReserve), 0u);
+
+  gate.release();
+  victim.join();
+  EXPECT_EQ(victim_got.load(std::memory_order_acquire), &first)
+      << "the victim's ancient ticket must consume exactly its own-cycle entry";
+
+  // The unsafe position must be recoverable: enqueuers rescue it via the
+  // Head check once no dequeuer can still want the old cycle. A full
+  // fill/drain proves no capacity leaked.
+  std::vector<Token> refill(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    refill[i].seq = 100 + i;
+    ASSERT_TRUE(q.try_push(main_h, &refill[i])) << "slot " << i;
+  }
+  EXPECT_FALSE(q.try_push(main_h, &first)) << "capacity must be exactly n after recovery";
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Token* out = q.try_pop(main_h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, 100 + i);
+  }
+  EXPECT_EQ(q.try_pop(main_h), nullptr);
+}
+
+// Forces the spurious-failure path of the skip CAS: the dequeuer must
+// re-examine the entry (an enqueuer may have installed its cycle in the
+// window) rather than give up or double-charge the threshold.
+class SkipCasFailsOnce : public inject::Injector {
+ public:
+  void at_point(const char*) noexcept override {}
+  bool fail_sc(const char* point) noexcept override {
+    if (!fired_ && std::string_view(point) == "core.scq.aq.deq.skip.sc") {
+      fired_ = true;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+ private:
+  bool fired_ = false;
+};
+
+TEST(ScqTeeth, SpuriousSkipCasFailureOnlyRetries) {
+  ScqQueue<Token> q(4, "scq-skip-scfail");
+  auto h = q.handle();
+  Token tok{7, 1};
+  ASSERT_TRUE(q.try_push(h, &tok));
+  ASSERT_EQ(q.try_pop(h), &tok);
+
+  SkipCasFailsOnce injector;
+  inject::ScopedInjector scoped(injector);
+  // Empty queue, armed threshold: this pop takes the skip path (cycle bump)
+  // and its first CAS attempt is forced to fail spuriously.
+  EXPECT_EQ(q.try_pop(h), nullptr);
+  EXPECT_TRUE(injector.fired());
+
+  // Exactness afterwards: the retry must not have consumed anything or
+  // wedged the position.
+  Token tok2{8, 1};
+  ASSERT_TRUE(q.try_push(h, &tok2));
+  EXPECT_EQ(q.try_pop(h), &tok2);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+}  // namespace

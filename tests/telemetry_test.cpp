@@ -21,6 +21,7 @@
 
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
@@ -49,7 +50,11 @@ TEST(TelemetryCounters, NamesAreStableAndDistinct) {
     }
   }
   EXPECT_EQ(names[0], "push_ok");  // exporter `op` labels are API
-  EXPECT_EQ(names[kCounterCount - 1], "epoch_advance");
+  EXPECT_EQ(names[kCounterCount - 1], "slot_skip");
+  // The SCQ-generation pair sits at the tail of the taxonomy; these labels
+  // are exporter API just like the op labels above.
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kFaaReserve)], "faa_reserve");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSlotSkip)], "slot_skip");
 }
 
 TEST(TelemetryCounters, SnapshotArithmetic) {
@@ -370,6 +375,45 @@ TEST(TelemetryEndToEnd, RingQueueCountsOpsAndExportsDepth) {
   // survives for the process lifetime.
   const RegistrySnapshot after = snapshot_registry();
   const QueueCounters* qc = after.find("tmtest-ring");
+  ASSERT_NE(qc, nullptr);
+  EXPECT_FALSE(qc->has_depth);
+}
+
+TEST(TelemetryEndToEnd, ScqQueueCountsFaaReservesAndSlotSkips) {
+  int a = 1;
+  int b = 2;
+  {
+    evq::ScqQueue<int> q(4, "tmtest-scq");
+    auto h = q.handle();
+    ASSERT_TRUE(q.try_push(h, &a));
+    ASSERT_TRUE(q.try_push(h, &b));
+
+    const RegistrySnapshot live = snapshot_registry();
+    const QueueCounters* qc = live.find("tmtest-scq");
+    ASSERT_NE(qc, nullptr);
+    EXPECT_TRUE(qc->has_depth);
+#if EVQ_TELEMETRY
+    EXPECT_EQ(qc->counters[Counter::kPushOk], 2u);
+    // Every push claims at least two FAA tickets (one on the free ring, one
+    // on the allocated ring): the FAA-generation counter must already show
+    // activity where a CAS-generation queue would report index CASes.
+    EXPECT_GE(qc->counters[Counter::kFaaReserve], 4u);
+    EXPECT_EQ(qc->depth, 2u);
+#endif
+    EXPECT_EQ(q.try_pop(h), &a);
+    EXPECT_EQ(q.try_pop(h), &b);
+    // A pop against the drained queue walks the empty-probe path: one more
+    // FAA ticket plus a cycle-bump skip CAS on the allocated ring.
+    EXPECT_EQ(q.try_pop(h), nullptr);
+#if EVQ_TELEMETRY
+    EXPECT_EQ(q.metrics().value(Counter::kPopOk), 2u);
+    EXPECT_EQ(q.metrics().value(Counter::kPopEmpty), 1u);
+    EXPECT_GE(q.metrics().value(Counter::kSlotSkip), 1u);
+    EXPECT_GE(q.metrics().value(Counter::kFaaReserve), 7u);
+#endif
+  }
+  const RegistrySnapshot after = snapshot_registry();
+  const QueueCounters* qc = after.find("tmtest-scq");
   ASSERT_NE(qc, nullptr);
   EXPECT_FALSE(qc->has_depth);
 }

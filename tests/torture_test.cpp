@@ -59,6 +59,7 @@
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/hazard/hp_domain.hpp"
 #include "evq/inject/inject.hpp"
@@ -376,6 +377,23 @@ constexpr RunnerEntry kRunners[] = {
     {"sharded-simcas",
      +[](const inject::Profile& p, const TortureConfig& c) {
        ShardedQueue<CasArrayQueue<Token>> q(c.capacity * 4, 4);
+       TortureOutcome out = run_torture(q, p, c);
+       out.order = {};
+       return out;
+     }},
+    {"scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ScqQueue<Token> q(c.capacity);
+       return run_torture(q, p, c);
+     }},
+    {"scq-backoff",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ScqQueue<Token, ExpBackoff> q(c.capacity, "scq-backoff");
+       return run_torture(q, p, c);
+     }},
+    {"sharded-scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ShardedQueue<ScqQueue<Token>> q(c.capacity * 4, 4);
        TortureOutcome out = run_torture(q, p, c);
        out.order = {};
        return out;

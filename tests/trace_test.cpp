@@ -55,6 +55,8 @@ TEST_F(TraceTest, EnumNamesArePinned) {
   EXPECT_STREQ(phase_name(Phase::kIndexLoad), "index_load");
   EXPECT_STREQ(phase_name(Phase::kSlotAttempt), "slot_attempt");
   EXPECT_STREQ(phase_name(Phase::kBackoff), "backoff");
+  EXPECT_STREQ(phase_name(Phase::kFaaReserve), "faa_reserve");
+  EXPECT_STREQ(phase_name(Phase::kSlotSkip), "slot_skip");
   EXPECT_STREQ(help_target_name(HelpTarget::kTail), "tail");
   EXPECT_STREQ(help_target_name(HelpTarget::kHead), "head");
   EXPECT_STREQ(reclaim_kind_name(ReclaimKind::kHpScan), "hp_scan");
@@ -256,6 +258,65 @@ TEST_F(TraceTest, GoldenChromeTrace) {
   EXPECT_EQ(doc, want.str())
       << "Chrome Trace Format output drifted. If intentional, regenerate with "
          "EVQ_REGEN_GOLDEN=1 and mention the change in DESIGN.md §11.";
+}
+
+// The SCQ-generation scene: an FAA-reserve sub-slice instead of an
+// index-load/CAS pair, a slot_skip sub-slice where the dequeuer bumped a
+// stale-cycle entry, and a tail catch-up help pair (the cautious dequeue is
+// the helper; the always-on helped marker sits on the other thread).
+std::string fabricated_scq_trace(std::uint32_t queue_id) {
+  SpanRing& a = detail::make_ring_for_test();  // ordinal 0
+  SpanRing& b = detail::make_ring_for_test();  // ordinal 1
+  a.record(EventKind::kPhase, static_cast<std::uint8_t>(Phase::kFaaReserve), queue_id, 0, 0,
+           1000, 1150);
+  a.record(EventKind::kPhase, static_cast<std::uint8_t>(Phase::kSlotSkip), queue_id, 0, 0,
+           1150, 1400);
+  a.record(EventKind::kPhase, static_cast<std::uint8_t>(Phase::kFaaReserve), queue_id, 0, 0,
+           1400, 1550);
+  a.record(EventKind::kPhase, static_cast<std::uint8_t>(Phase::kSlotAttempt), queue_id, 0, 0,
+           1550, 1900);
+  a.record(EventKind::kOp, static_cast<std::uint8_t>(OpCode::kPopOk), queue_id, 13, 1, 1000,
+           2000);
+  a.record_help(static_cast<std::uint8_t>(HelpTarget::kTail), queue_id, 14,
+                OpProbe::kHelperSide, 1300, 1380);
+  b.record(EventKind::kOp, static_cast<std::uint8_t>(OpCode::kPushOk), queue_id, 14, 0, 2100,
+           2400);
+  b.record_help(static_cast<std::uint8_t>(HelpTarget::kTail), queue_id, 14,
+                OpProbe::kHelpedSide, 1390, 1390);
+
+  ExportOptions opts;
+  opts.ns_per_tick = 1000.0;
+  opts.origin = 1000;
+  std::ostringstream os;
+  export_chrome_trace(os, opts);
+  return os.str();
+}
+
+TEST_F(TraceTest, GoldenChromeTraceScq) {
+  telemetry::ScopedQueueMetrics tm("scq-golden");
+  const std::string doc = fabricated_scq_trace(tm.queue_id());
+
+  // The SCQ phases must render as their own named slices, not fall back to
+  // "unknown" — this is what trace_report.py and the Perfetto UI key on.
+  EXPECT_EQ(count_of(doc, "\"name\":\"faa_reserve\""), 2u);
+  EXPECT_EQ(count_of(doc, "\"name\":\"slot_skip\""), 1u);
+  EXPECT_EQ(count_of(doc, "\"ph\":\"s\""), 1u) << "catch-up must pair into a flow arrow";
+
+  const std::string golden_path =
+      std::string(EVQ_TEST_GOLDEN_DIR) + "/trace_chrome_scq_v1.json";
+  if (std::getenv("EVQ_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << golden_path;
+    out << doc;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "missing golden file; see this test's header comment";
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(doc, want.str())
+      << "Chrome Trace Format output drifted for SCQ spans. If intentional, "
+         "regenerate with EVQ_REGEN_GOLDEN=1 and mention the change in DESIGN.md §12.";
 }
 
 TEST_F(TraceTest, HelperHelpedPairBecomesFlowArrow) {
