@@ -78,6 +78,22 @@ def main():
     base = dict(cells(base_doc))
     cand = dict(cells(cand_doc))
 
+    # Scenarios present in only one document are a comparison-coverage gap
+    # (e.g. a baseline regenerated before a new scenario existed), not an
+    # error: warn explicitly and keep their cells out of the dropped/new
+    # counts below so those only report genuine row/series drift.
+    base_scenarios = {s["name"] for s in base_doc.get("scenarios", [])}
+    cand_scenarios = {s["name"] for s in cand_doc.get("scenarios", [])}
+    for name in sorted(base_scenarios - cand_scenarios):
+        print(f"warning: scenario '{name}' only in baseline — not compared",
+              file=sys.stderr)
+    for name in sorted(cand_scenarios - base_scenarios):
+        print(f"warning: scenario '{name}' only in candidate — not compared",
+              file=sys.stderr)
+    shared_scenarios = base_scenarios & cand_scenarios
+    base = {k: v for k, v in base.items() if k[0] in shared_scenarios}
+    cand = {k: v for k, v in cand.items() if k[0] in shared_scenarios}
+
     regressions = []      # (key, metric, pct) — worse
     improvements = []     # faster / higher throughput
     worst = 0.0

@@ -67,6 +67,19 @@ namespace evq {
 ///                 other-null): the index is stale, plain retry.
 enum class SlotClass : std::uint8_t { kEmptyFresh, kOccupied, kStaleEmpty };
 
+/// Seal protocol (segmented_queue.hpp): bit 63 of the Tail counter marks a
+/// ring CLOSED. The indices are 64-bit monotone counters that in practice
+/// never reach 2^63, so the bit is free; setting it (one fetch_or / LL-SC
+/// loop) makes every in-flight and future push fail permanently while pops
+/// drain the remainder. The load/advance arithmetic below strips the bit
+/// (kRingIndexMask) wherever a tail VALUE is needed, and keeps advance()
+/// STRICT — a CAS expecting the unsealed raw value — so that once the bit is
+/// set the masked tail is frozen forever: no helper or straggler can publish
+/// another item, which is what makes "closed and pop saw empty" a FINAL
+/// state a segment owner may retire on.
+inline constexpr std::uint64_t kRingClosedBit = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kRingIndexMask = kRingClosedBit - 1;
+
 /// The slot-side policy contract. A policy is an instance member of the ring
 /// (it may own shared state such as Algorithm 2's Registry) and must provide
 /// the six injection-point names of the torture substrate.
@@ -116,6 +129,7 @@ template <typename P>
 concept RingIndexPolicy = requires(typename P::Cell& cell, std::uint64_t expected) {
   { P::load(cell) } -> std::same_as<std::uint64_t>;
   { P::advance(cell, expected) } -> std::same_as<bool>;
+  { P::close(cell) } -> std::same_as<bool>;
 };
 
 /// Fig. 3's index handling: Head/Tail are LL/SC cells and a lagging index is
@@ -134,6 +148,23 @@ struct LlscIndexPolicy {
       return cell.sc(link, expected + 1);  // E13/E17 (D13/D17)
     }
     return false;
+  }
+
+  /// Sets the CLOSED bit with an LL/SC loop (there is no single-word OR in
+  /// the LL/SC repertoire, but the loop is equivalent: it terminates because
+  /// a failed SC means either the bit is already set — done — or the counter
+  /// moved, and counters move at most capacity times past any observed
+  /// value). Returns whether THIS call set the bit.
+  static bool close(Cell& cell) noexcept {
+    for (;;) {
+      auto link = cell.ll();
+      if ((link.value() & kRingClosedBit) != 0) {
+        return false;
+      }
+      if (cell.sc(link, link.value() | kRingClosedBit)) {
+        return true;
+      }
+    }
   }
 };
 
@@ -160,6 +191,11 @@ struct CasIndexPolicy {
         cell.compare_exchange_strong(expected, expected + 1, std::memory_order_seq_cst);
     stats::on_cas(ok);
     return ok;
+  }
+
+  /// Sets the CLOSED bit; returns whether THIS call set it.
+  static bool close(Cell& cell) noexcept {
+    return (cell.fetch_or(kRingClosedBit, std::memory_order_seq_cst) & kRingClosedBit) == 0;
   }
 };
 
@@ -204,6 +240,13 @@ struct FaaIndexPolicy {
     const bool ok = cell.compare_exchange_strong(expected, to, std::memory_order_seq_cst);
     stats::on_cas(ok);
     return ok;
+  }
+
+  /// Sets the CLOSED bit; returns whether THIS call set it. Reserved tickets
+  /// taken after this carry the bit, which is how SCQ's enqueue observes the
+  /// seal (scq_queue.hpp).
+  static bool close(Cell& cell) noexcept {
+    return (cell.fetch_or(kRingClosedBit, std::memory_order_seq_cst) & kRingClosedBit) == 0;
   }
 };
 
@@ -286,13 +329,47 @@ class BoundedRing {
   /// Instantaneous size estimate (exact when quiescent).
   [[nodiscard]] std::size_t size_estimate() noexcept {
     const std::uint64_t h = IndexPolicy::load(head_.value);
-    const std::uint64_t t = IndexPolicy::load(tail_.value);
+    const std::uint64_t t = IndexPolicy::load(tail_.value) & kRingIndexMask;
     return t >= h ? static_cast<std::size_t>(t - h) : 0;
   }
 
   /// Diagnostic counters for tests.
   [[nodiscard]] std::uint64_t head_index() noexcept { return IndexPolicy::load(head_.value); }
-  [[nodiscard]] std::uint64_t tail_index() noexcept { return IndexPolicy::load(tail_.value); }
+  [[nodiscard]] std::uint64_t tail_index() noexcept {
+    return IndexPolicy::load(tail_.value) & kRingIndexMask;
+  }
+
+  /// Seals the ring: every in-flight and future push fails permanently with
+  /// the FULL_QUEUE outcome while pops drain the remaining items. Idempotent;
+  /// returns whether THIS call performed the seal (the segmented facade
+  /// counts seals with it). Safe to call from any thread at any time.
+  bool close() noexcept { return IndexPolicy::close(tail_.value); }
+
+  [[nodiscard]] bool closed() noexcept {
+    return (IndexPolicy::load(tail_.value) & kRingClosedBit) != 0;
+  }
+
+  /// A closed ring whose Head caught up with the frozen Tail holds nothing
+  /// and can never hold anything again (advance() is strict, so the masked
+  /// tail at seal time is final). Exact, not an estimate — but only once
+  /// closed() is true.
+  [[nodiscard]] bool drained() noexcept {
+    const std::uint64_t raw = IndexPolicy::load(tail_.value);
+    return (raw & kRingClosedBit) != 0 &&
+           IndexPolicy::load(head_.value) == (raw & kRingIndexMask);
+  }
+
+  /// Resets a QUIESCENT ring (typically one recycled through a segment free
+  /// pool) to its freshly-constructed open state. Callers must guarantee no
+  /// concurrent operations — the segmented queue only reopens segments that
+  /// are private to the reopening thread.
+  void reopen() noexcept {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      policy_.init_slot(slots_[i], static_cast<std::uint64_t>(i));
+    }
+    head_.value.store(0);
+    tail_.value.store(0);
+  }
 
   /// This instance's live telemetry counters (shared with same-name queues).
   [[nodiscard]] telemetry::QueueMetrics& metrics() noexcept { return telemetry_.metrics(); }
@@ -305,6 +382,28 @@ class BoundedRing {
 
  private:
   static constexpr std::uint64_t kNoHint = ~std::uint64_t{0};
+
+  /// Takes back a node this thread committed at index `t` in a ring whose
+  /// Tail was sealed frozen at exactly t (see the stranded-push comment in
+  /// push_one). This thread is the only one referencing slot t, so the
+  /// pop-protocol loop below terminates: classification is kOccupied (our
+  /// own node, generation t) and only a spurious SC can make the commit
+  /// fail. Mirrors pop_one's commit discipline — no abandon after a failed
+  /// commit, abandon on a classification miss.
+  void revert_stranded_push(Slot& slot, std::uint64_t t,
+                            typename SlotPolicy::OpCtx& ctx) noexcept {
+    for (;;) {
+      typename SlotPolicy::Reservation res = policy_.reserve(slot, ctx);
+      if (policy_.classify(res, t) == SlotClass::kOccupied) {
+        if (policy_.commit_pop(slot, res, t, ctx)) {
+          return;
+        }
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kSlotScFail);
+        continue;
+      }
+      policy_.abandon(slot, res, ctx);
+    }
+  }
 
   /// One full enqueue. `hint`, when non-null and armed, replaces the initial
   /// Tail load (batch amortization) and is re-armed with t+1 on success; any
@@ -324,6 +423,20 @@ class BoundedRing {
         *hint = kNoHint;  // one-shot: any retry reloads the live index
       } else {
         t = IndexPolicy::load(tail_.value);                          // E5
+      }
+      // Sealed ring: the push side is permanently shut (segment protocol).
+      // Checked before ANY index arithmetic — a raw value carrying the
+      // CLOSED bit would corrupt the signed occupancy check and the slot
+      // index below. Reported as the paper's FULL_QUEUE outcome: to a caller
+      // a sealed ring and a full ring are the same "this ring takes no more
+      // items" answer, and the segmented facade counts the seal itself
+      // separately (kSegSeal).
+      if ((t & kRingClosedBit) != 0) {
+        t &= kRingIndexMask;
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushFull);
+        telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushFull, t, retries);
+        probe.finish(trace::OpCode::kPushFull, t, retries);
+        return false;
       }
       // E6 — full check. The occupancy must be compared SIGNED: `t` may be
       // stale (another thread advanced Head past it between our two reads),
@@ -365,7 +478,27 @@ class BoundedRing {
             // the state the kill-mid-enqueue profile freezes.
             EVQ_INJECT_POINT(SlotPolicy::kPushCommitted);
             if (!IndexPolicy::advance(tail_.value, t)) {             // E16-E17
-              // A peer advanced Tail for us — the helped side of E11-E13.
+              // Either a peer advanced Tail for us (the helped side of
+              // E11-E13) or the ring was sealed between our E10 check and
+              // the advance. The two are distinguishable from the raw tail:
+              // a seal that caught us freezes it at exactly t|CLOSED, and
+              // because advance() is strict no later value can ever carry
+              // that combination. In that case the committed node can never
+              // become visible (visibility needs masked Tail > t, which is
+              // now unreachable) — take it back and report the push failed,
+              // so the caller still owns the node. Safe because no other
+              // thread touches slot t: poppers stop at the frozen masked
+              // tail (== t) and peer pushers bail at the sealed-check above
+              // before helping Tail past it.
+              const std::uint64_t raw = IndexPolicy::load(tail_.value);
+              if (raw == (t | kRingClosedBit)) {
+                revert_stranded_push(slot, t, ctx);
+                telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushFull);
+                telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushFull, t,
+                                        retries);
+                probe.finish(trace::OpCode::kPushFull, t, retries);
+                return false;
+              }
               probe.helped(t, trace::HelpTarget::kTail);
             }
             if (hint != nullptr) {
@@ -407,7 +540,10 @@ class BoundedRing {
       } else {
         head = IndexPolicy::load(head_.value);                       // D5
       }
-      if (head == IndexPolicy::load(tail_.value)) {                  // D6
+      // D6 — the CLOSED bit is stripped: pops drain a sealed ring normally,
+      // and with the masked tail frozen (strict advance) "empty" here is a
+      // FINAL verdict for a closed ring.
+      if (head == (IndexPolicy::load(tail_.value) & kRingIndexMask)) {
         telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopEmpty);
         telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPopEmpty, head,
                                 retries);

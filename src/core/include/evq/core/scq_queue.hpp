@@ -184,25 +184,45 @@ class ScqRing {
         mask_(size_ - 1),
         half_(std::size_t{1} << half_order),
         threshold_init_(3 * static_cast<std::int64_t>(half_) - 1),
+        initially_full_(full),
         points_(points),
         entries_(std::make_unique<std::atomic<std::uint64_t>[]>(size_)) {
+    reopen();
+  }
+
+  ScqRing(const ScqRing&) = delete;
+  ScqRing& operator=(const ScqRing&) = delete;
+
+  /// (Re)initializes a QUIESCENT ring to its constructed shape — entries,
+  /// indices, threshold, and the seal bit. Used by the segment free pool to
+  /// recycle sealed rings; callers must guarantee no concurrent operations.
+  void reopen() noexcept {
     for (std::size_t i = 0; i < size_; ++i) {
       // All-ones: index ⊥, safe, cycle ≡ −1 — consumable by cycle-0 tickets.
       entries_[i].store(~std::uint64_t{0}, std::memory_order_relaxed);
     }
-    if (full) {
+    head_.value.store(0, std::memory_order_relaxed);
+    if (initially_full_) {
       for (std::size_t i = 0; i < half_; ++i) {
         entries_[remap(i)].store(layout_.make(0, true, i), std::memory_order_relaxed);
       }
       tail_.value.store(half_, std::memory_order_relaxed);
       threshold_.value.store(threshold_init_, std::memory_order_relaxed);
     } else {
+      tail_.value.store(0, std::memory_order_relaxed);
       threshold_.value.store(-1, std::memory_order_relaxed);
     }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  ScqRing(const ScqRing&) = delete;
-  ScqRing& operator=(const ScqRing&) = delete;
+  /// Seals the enqueue side (LSCQ's finalize): sets the CLOSED bit on Tail,
+  /// so every ticket claimed from now on carries the bit and its enqueue
+  /// fails permanently. Idempotent; returns whether THIS call sealed.
+  bool close() noexcept { return ScqIndexPolicy::close(tail_.value); }
+
+  [[nodiscard]] bool closed() noexcept {
+    return (ScqIndexPolicy::load(tail_.value) & kRingClosedBit) != 0;
+  }
 
   /// SCQ Enqueue (DESIGN.md §12, E-lines): FAA a ticket, install the index
   /// into the ticket's entry with one CAS, re-arm the threshold. Loops until
@@ -211,13 +231,20 @@ class ScqRing {
   /// whose entry is from a newer cycle, still occupied, or unsafe while a
   /// dequeuer may want it, is simply abandoned (lost tickets are what the
   /// dequeue side's catch-up repairs).
+  ///
+  /// Returns false iff the ring is sealed (close()): the FAA ticket itself
+  /// carries the CLOSED bit, so the check costs nothing on the open path and
+  /// no pre-seal ticket is ever refused — exactly LSCQ's finalize contract.
   template <typename ContentionPolicy = NoBackoff>
-  void enqueue(std::uint64_t index, Io io) noexcept {
+  bool enqueue(std::uint64_t index, Io io) noexcept {
     ContentionPolicy backoff;
     for (;;) {
       io.probe.begin_phase(trace::Phase::kFaaReserve);
       EVQ_INJECT_POINT(points_.enq_reserve);
       const std::uint64_t t = ScqIndexPolicy::reserve(tail_.value);         // E: T := FAA(&Tail, 1)
+      if ((t & kRingClosedBit) != 0) {
+        return false;
+      }
       telemetry::count_ring_event(io.tm, telemetry::Counter::kFaaReserve);
       const std::uint64_t t_cycle = layout_.ticket_cycle(t);
       std::atomic<std::uint64_t>& cell = entries_[remap(t)];
@@ -248,7 +275,7 @@ class ScqRing {
         if (threshold_.value.load(std::memory_order_seq_cst) != threshold_init_) {
           threshold_.value.store(threshold_init_, std::memory_order_seq_cst);
         }
-        return;
+        return true;
       }
       telemetry::count_ring_event(io.tm, telemetry::Counter::kBackoffRound);
       io.probe.begin_phase(trace::Phase::kBackoff);
@@ -315,10 +342,13 @@ class ScqRing {
         }
         // D: emptiness check. Overran the tail → catch it up, charge the
         // threshold, report ⊥; otherwise ⊥ only once the threshold is spent.
+        // The CLOSED bit is stripped for the comparison (a sealed ring drains
+        // normally); catch_up takes the raw word so its CAS preserves it.
         io.probe.begin_phase(trace::Phase::kIndexLoad);
-        const std::uint64_t t = ScqIndexPolicy::load(tail_.value);
+        const std::uint64_t t_raw = ScqIndexPolicy::load(tail_.value);
+        const std::uint64_t t = t_raw & kRingIndexMask;
         if (static_cast<std::int64_t>(t - (h + 1)) <= 0) {
-          catch_up(t, h + 1, io);
+          catch_up(t_raw, h + 1, io);
           threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
           return kBottom;
         }
@@ -336,7 +366,9 @@ class ScqRing {
 
   // --- introspection (tests, size estimates, diagnostics) ---
   [[nodiscard]] std::uint64_t head() noexcept { return ScqIndexPolicy::load(head_.value); }
-  [[nodiscard]] std::uint64_t tail() noexcept { return ScqIndexPolicy::load(tail_.value); }
+  [[nodiscard]] std::uint64_t tail() noexcept {
+    return ScqIndexPolicy::load(tail_.value) & kRingIndexMask;
+  }
   [[nodiscard]] std::int64_t threshold() const noexcept {
     return threshold_.value.load(std::memory_order_seq_cst);
   }
@@ -365,15 +397,17 @@ class ScqRing {
   /// SCQ Catchup: drag a lagging Tail forward to `h` so tickets lost by
   /// enqueuers cannot starve the threshold forever. Surfaces as a
   /// help-advance in telemetry and as a helper-side flow event in traces —
-  /// it IS this generation's helping step.
+  /// it IS this generation's helping step. `t` is the RAW tail word: the
+  /// jump CAS must carry the CLOSED bit across, or a catch-up on a sealed
+  /// ring would quietly un-seal it.
   void catch_up(std::uint64_t t, std::uint64_t h, Io& io) noexcept {
     for (;;) {
-      if (static_cast<std::int64_t>(t - h) >= 0) {
+      if (static_cast<std::int64_t>((t & kRingIndexMask) - h) >= 0) {
         return;  // already caught up (or a peer got there first)
       }
       std::uint64_t expected = t;
       if (!EVQ_INJECT_SC_FAILS(points_.catchup_sc) &&
-          ScqIndexPolicy::catch_up(tail_.value, expected, h)) {
+          ScqIndexPolicy::catch_up(tail_.value, expected, h | (t & kRingClosedBit))) {
         telemetry::count_ring_event(io.tm, telemetry::Counter::kHelpAdvance);
         io.probe.help_advance(h, trace::HelpTarget::kTail);
         return;
@@ -389,6 +423,7 @@ class ScqRing {
   const std::size_t mask_;
   const std::size_t half_;
   const std::int64_t threshold_init_;
+  const bool initially_full_;
   const ScqRingPoints points_;
   // Indices and threshold each on their own line: all three are write-hot.
   CachePadded<ScqIndexPolicy::Cell> head_{};
@@ -496,6 +531,22 @@ class ScqQueue {
   [[nodiscard]] ScqRing& free_ring() noexcept { return fq_; }
   [[nodiscard]] ScqRing& alloc_ring() noexcept { return aq_; }
 
+  /// Seals the queue (segment protocol): the CLOSED bit goes on the ALLOC
+  /// ring's tail — pushes that already hold a free index return it and fail
+  /// permanently; pops drain what was installed. The free ring is never
+  /// sealed (pop must always be able to recycle indices). Idempotent;
+  /// returns whether THIS call sealed.
+  bool close() noexcept { return aq_.close(); }
+
+  [[nodiscard]] bool closed() noexcept { return aq_.closed(); }
+
+  /// Resets a QUIESCENT (typically pool-recycled) queue to its constructed
+  /// open-and-empty state. Callers must guarantee no concurrent operations.
+  void reopen() noexcept {
+    fq_.reopen();
+    aq_.reopen();
+  }
+
  private:
   bool push_one(T* node) noexcept {
     EVQ_DCHECK(node != nullptr, "cannot enqueue nullptr (it denotes an empty slot)");
@@ -515,7 +566,17 @@ class ScqQueue {
     // acquire load through aq's entry CAS/load.
     data_[idx].store(node, std::memory_order_release);
     EVQ_INJECT_POINT(kPushReserved);
-    aq_.enqueue<ContentionPolicy>(idx, io);
+    if (!aq_.enqueue<ContentionPolicy>(idx, io)) {
+      // Sealed under us (close()): the node was never published, so hand the
+      // free index back and report the paper's FULL outcome — to a caller a
+      // sealed queue and a full queue are the same "takes no more items"
+      // answer, and the segmented facade counts the seal itself separately.
+      fq_.enqueue<ContentionPolicy>(idx, io);
+      telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushFull);
+      telemetry::record_trace(telemetry_.queue_id(), telemetry::TraceOp::kPushFull, idx, retries);
+      probe.finish(trace::OpCode::kPushFull, idx, retries);
+      return false;
+    }
     // Linearized at the aq entry install (the kill-mid-enqueue freeze spot).
     EVQ_INJECT_POINT(kPushCommitted);
     telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushOk);

@@ -183,8 +183,13 @@ class ShardedQueue {
     return done;
   }
 
-  /// Sum of the shard capacities (the real bound on population).
-  [[nodiscard]] std::size_t capacity() const noexcept {
+  /// Sum of the shard capacities (the real bound on population). Gated on
+  /// bounded inner queues: sharding an unbounded queue (the segmented
+  /// family) yields an unbounded queue, which must not grow a capacity()
+  /// through this facade.
+  [[nodiscard]] std::size_t capacity() const noexcept
+    requires BoundedPtrQueue<Q>
+  {
     std::size_t total = 0;
     for (const auto& shard : shards_) {
       total += shard->capacity();

@@ -24,6 +24,14 @@
 //   sharded-llsc       4-shard ShardedQueue over Algorithm 1 (not per-
 //                      producer FIFO under MPMC; see core/sharded_queue.hpp)
 //   sharded-simcas     4-shard ShardedQueue over Algorithm 2 (ditto)
+//   scq                SCQ FAA ring (Nikolaev, arXiv:1908.04511)
+//   scq-backoff        SCQ with exponential backoff in retry loops
+//   sharded-scq        4-shard ShardedQueue over SCQ
+//   seg-cas            SegmentedQueue over Algorithm 2 segments (LCRQ-style
+//                      unbounded; `capacity` sizes each segment)
+//   seg-scq            SegmentedQueue over SCQ segments (LSCQ-style)
+//   sharded-seg-scq    4-shard ShardedQueue over seg-scq (unbounded AND not
+//                      per-producer FIFO)
 #pragma once
 
 #include <cstddef>

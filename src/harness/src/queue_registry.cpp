@@ -15,6 +15,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
@@ -99,6 +100,17 @@ std::vector<QueueSpec> build_registry() {
                    make_factory<ScqQueue<Payload, ExpBackoff>>("scq-backoff")});
   specs.push_back({"sharded-scq", "Sharded SCQ FAA ring (4 shards)", true, true, false,
                    make_factory<ShardedQueue<ScqQueue<Payload>>>(std::size_t{4}, "sharded-scq")});
+  // Segmented (unbounded) generation: linked chains of sealable rings, the
+  // LCRQ/LSCQ composition. `capacity` sizes each SEGMENT; the queue itself is
+  // unbounded (bounded = false), so the harness's full-queue assertions flip
+  // to their push-always-succeeds duals.
+  specs.push_back({"seg-cas", "Segmented FIFO Array Simulated CAS (LCRQ-style)", false, true, true,
+                   make_factory<SegmentedQueue<CasArrayQueue<Payload>>>("seg-cas")});
+  specs.push_back({"seg-scq", "Segmented SCQ FAA ring (LSCQ-style)", false, true, true,
+                   make_factory<SegmentedQueue<ScqQueue<Payload>>>("seg-scq")});
+  specs.push_back({"sharded-seg-scq", "Sharded Segmented SCQ (4 shards)", false, true, false,
+                   make_factory<ShardedQueue<SegmentedQueue<ScqQueue<Payload>>>>(
+                       std::size_t{4}, "sharded-seg-scq")});
   return specs;
 }
 

@@ -15,7 +15,10 @@
 #include "evq/baselines/ms_hp_queue.hpp"
 #include "evq/common/op_stats.hpp"
 #include "evq/common/spin_barrier.hpp"
+#include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/harness/scenario.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 #include "evq/llsc/weak_llsc.hpp"
@@ -643,6 +646,96 @@ ScenarioSpec scq_spec() {
 }
 
 // ---------------------------------------------------------------------------
+// Burst absorption: the bounded SCQ ring vs its segmented (unbounded)
+// composition — EXPERIMENTS.md E9. Two regimes on the same op counts:
+//
+//   steady    the paper's burst=5 pattern, far below one segment's capacity:
+//             the segmented queue must ride its tail segment and stay within
+//             ~10% of the flat bounded ring (the seal path never fires).
+//   burst100x burst = 100x the segment capacity: the bounded ring backs the
+//             pushers off against its capacity wall while the segmented
+//             queue absorbs the whole burst by appending ~100 segments per
+//             thread-burst and retiring them on the drain.
+//
+// The segmented series pin their segment capacity at 64 (a local QueueSpec,
+// not the registry's, where the CLI capacity would inflate the segments and
+// dodge the seal/append/retire path being priced here).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kBurstSegCapacity = 64;
+constexpr unsigned kBurstFactor = 100;
+
+/// Local specs with the segment capacity pinned (the sweep capacity is
+/// deliberately ignored — it sizes the BOUNDED competitor, not the segments).
+QueueSpec segmented_spec(const std::string& name, const std::string& label, bool scq) {
+  QueueFactory make;
+  if (scq) {
+    make = [](std::size_t) -> std::unique_ptr<AnyQueue> {
+      return std::make_unique<QueueAdapter<SegmentedQueue<ScqQueue<Payload>>>>(
+          kBurstSegCapacity, "bench-seg-scq");
+    };
+  } else {
+    make = [](std::size_t) -> std::unique_ptr<AnyQueue> {
+      return std::make_unique<QueueAdapter<SegmentedQueue<CasArrayQueue<Payload>>>>(
+          kBurstSegCapacity, "bench-seg-cas");
+    };
+  }
+  return QueueSpec{name, label, false, true, true, std::move(make)};
+}
+
+ScenarioSpec burst_spec() {
+  ScenarioSpec spec;
+  spec.name = "burst";
+  spec.title = "Burst absorption: bounded SCQ vs segmented compositions";
+  spec.summary = "Extension — bounded ring vs LSCQ-style segmented queue under bursts (E9)";
+  spec.axis = "phase";
+  spec.default_threads = {2};
+  spec.default_iters = 2000;
+  spec.default_runs = 3;
+  spec.rows = [](const CliOptions& opts) {
+    std::vector<ScenarioRow> rows;
+    WorkloadParams steady = opts.workload;
+    steady.threads = opts.thread_counts.front();
+    steady.burst = 5;  // paper pattern: never crosses a segment boundary
+    rows.push_back({"steady", steady});
+    WorkloadParams burst = opts.workload;
+    burst.threads = opts.thread_counts.front();
+    burst.burst = kBurstFactor * kBurstSegCapacity;
+    // Same op count per run as the steady row: one giant burst replaces
+    // (burst/5) paper iterations.
+    burst.iterations = std::max<std::uint64_t>(
+        1, steady.iterations * steady.burst / burst.burst);
+    rows.push_back({"burst100x", burst});
+    return rows;
+  };
+  spec.series = []() {
+    std::vector<QueueSpec> specs;
+    specs.push_back(find_queue("scq"));
+    specs.push_back(segmented_spec("seg-scq", "Segmented SCQ, 64-slot segments", true));
+    specs.push_back(segmented_spec("seg-cas", "Segmented Simulated CAS, 64-slot segments",
+                                   false));
+    return specs;
+  };
+  spec.print_table = [](const ScenarioResult& r, const CliOptions& o) {
+    print_absolute(r, o, r.title);
+    const ScenarioSeries* scq = r.series_named("scq");
+    const ScenarioSeries* seg = r.series_named("seg-scq");
+    if (scq == nullptr || seg == nullptr || r.rows.empty()) {
+      return;
+    }
+    const double flat = scq->cells[0].time.mean;
+    const double segd = seg->cells[0].time.mean;
+    if (flat > 0.0 && segd > 0.0) {
+      std::printf("\nSteady-state segmentation overhead (seg-scq vs scq): %+.1f%%\n",
+                  (segd / flat - 1.0) * 100.0);
+      std::printf("(acceptance: within ~10%% — the seal/append path must stay off the "
+                  "steady path)\n");
+    }
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
 // Contention-management ablation: NoBackoff (paper-faithful busy retry) vs
 // ExpBackoff on both paper algorithms, at and beyond hardware
 // oversubscription (thread counts default to 1x and 2x the hardware
@@ -782,6 +875,7 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(ext_reclaim_spec());
   specs.push_back(sharded_spec());
   specs.push_back(scq_spec());
+  specs.push_back(burst_spec());
   specs.push_back(backoff_spec());
   specs.push_back(telemetry_overhead_spec());
   specs.push_back(pairwise_spec());

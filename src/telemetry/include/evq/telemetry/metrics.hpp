@@ -54,9 +54,12 @@ enum class Counter : std::uint8_t {
   kEpochAdvance,    // successful global-epoch advance
   kFaaReserve,      // FAA-generation ticket claimed (SCQ head/tail fetch_add)
   kSlotSkip,        // SCQ entry skipped: cycle bumped past or marked unsafe
+  kSegSeal,         // segment sealed (CLOSED bit set on a ring's tail)
+  kSegAlloc,        // fresh segment appended to a segmented queue
+  kSegRetire,       // drained segment unlinked and handed to reclamation
 };
 
-inline constexpr std::size_t kCounterCount = 16;
+inline constexpr std::size_t kCounterCount = 19;
 
 /// Stable short name ("push_ok", ...): the `op` label of the Prometheus
 /// exporter and the key of the JSON telemetry section.

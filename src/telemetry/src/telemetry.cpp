@@ -52,6 +52,12 @@ const char* counter_name(Counter c) noexcept {
       return "faa_reserve";
     case Counter::kSlotSkip:
       return "slot_skip";
+    case Counter::kSegSeal:
+      return "seg_seal";
+    case Counter::kSegAlloc:
+      return "seg_alloc";
+    case Counter::kSegRetire:
+      return "seg_retire";
   }
   return "unknown";
 }

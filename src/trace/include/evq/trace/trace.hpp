@@ -74,6 +74,10 @@ enum class Phase : std::uint8_t {
   kSlotSkip,       // SCQ dequeue skipping an entry: cycle bump or unsafe mark
                    // (a slot given up on, not an attempt — distinct from
                    // kSlotAttempt)
+  kSegAppend,      // segmented-queue push slow path: seal the full segment,
+                   // get a fresh one and link it
+  kSegRetire,      // segmented-queue pop slow path: unlink a drained sealed
+                   // segment and retire it to reclamation
 };
 
 enum class OpCode : std::uint8_t { kPushOk = 0, kPushFull, kPopOk, kPopEmpty };

@@ -49,6 +49,10 @@ const char* phase_name(Phase p) noexcept {
       return "faa_reserve";
     case Phase::kSlotSkip:
       return "slot_skip";
+    case Phase::kSegAppend:
+      return "seg_append";
+    case Phase::kSegRetire:
+      return "seg_retire";
   }
   return "unknown";
 }

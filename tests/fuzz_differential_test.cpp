@@ -25,6 +25,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/verify/fifo_checkers.hpp"
@@ -92,7 +93,10 @@ void fuzz_against_model(std::size_t capacity, std::uint64_t seed, int ops, int b
 template <typename Q>
 void fuzz_batch_against_model(std::size_t capacity, std::uint64_t seed, int ops, int bias_push) {
   std::unique_ptr<Q> q(make_queue<Q>(capacity));
-  const std::size_t model_capacity = q->capacity();
+  std::size_t model_capacity = SIZE_MAX;
+  if constexpr (BoundedPtrQueue<Q>) {
+    model_capacity = q->capacity();
+  }
   auto h = q->handle();
   XorShift64Star rng(seed);
   std::vector<Token> arena(static_cast<std::size_t>(ops) * 8 + 8);
@@ -106,7 +110,8 @@ void fuzz_batch_against_model(std::size_t capacity, std::uint64_t seed, int ops,
         in[k] = &arena[next_token + k];
       }
       const std::size_t pushed = q->try_push_n(h, in.data(), n);
-      const std::size_t expect = std::min(n, model_capacity - model.size());
+      const std::size_t expect =
+          model_capacity == SIZE_MAX ? n : std::min(n, model_capacity - model.size());
       ASSERT_EQ(pushed, expect) << "push_n count disagreement at op " << i;
       for (std::size_t k = 0; k < pushed; ++k) {
         model.push_back(in[k]);
@@ -279,6 +284,67 @@ TEST_P(DifferentialFuzz, ScqQueue) {
 TEST_P(DifferentialFuzz, ScqQueueBatch) {
   const auto p = GetParam();
   fuzz_batch_against_model<ScqQueue<Token>>(p.capacity, p.seed, kOps / 4, p.bias_push);
+}
+
+// Segmented queues: `capacity` sizes one segment, the queue is unbounded, so
+// the model capacity auto-degrades to SIZE_MAX (pushes never fail) while the
+// FIFO-order comparison stays exact across every segment boundary.
+TEST_P(DifferentialFuzz, SegmentedCasQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<SegmentedQueue<CasArrayQueue<Token>>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, SegmentedScqQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<SegmentedQueue<ScqQueue<Token>>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, SegmentedScqQueueEbr) {
+  const auto p = GetParam();
+  fuzz_against_model<SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain>>(p.capacity, p.seed, kOps,
+                                                                        p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, SegmentedScqQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<SegmentedQueue<ScqQueue<Token>>>(p.capacity, p.seed, kOps / 4,
+                                                            p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShardedSegmentedScqQueue) {
+  // The sharded facade over an unbounded inner is itself unbounded: the
+  // multiset model's capacity bound degrades to "never full".
+  const auto p = GetParam();
+  ShardedQueue<SegmentedQueue<ScqQueue<Token>>> q(p.capacity * 4, 4);
+  auto h = q.handle();
+  XorShift64Star rng(p.seed);
+  std::vector<Token> arena(static_cast<std::size_t>(kOps) + 1);
+  std::size_t next_token = 0;
+  std::multiset<Token*> model;
+  for (int i = 0; i < kOps; ++i) {
+    if (rng.chance(static_cast<std::uint64_t>(p.bias_push), 100)) {
+      Token* tok = &arena[next_token];
+      ASSERT_TRUE(q.try_push(h, tok)) << "unbounded sharded push failed at op " << i;
+      model.insert(tok);
+      ++next_token;
+    } else {
+      Token* popped = q.try_pop(h);
+      if (model.empty()) {
+        ASSERT_EQ(popped, nullptr) << "pop from empty disagreement at op " << i;
+      } else {
+        auto it = model.find(popped);
+        ASSERT_NE(it, model.end()) << "pop returned a non-member at op " << i;
+        model.erase(it);
+      }
+    }
+  }
+  while (!model.empty()) {
+    Token* popped = q.try_pop(h);
+    auto it = model.find(popped);
+    ASSERT_NE(it, model.end()) << "drain returned a non-member";
+    model.erase(it);
+  }
+  ASSERT_EQ(q.try_pop(h), nullptr);
 }
 
 TEST_P(DifferentialFuzz, ShardedScqQueue) {

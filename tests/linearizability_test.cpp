@@ -8,6 +8,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/verify/history.hpp"
 #include "evq/verify/lin_check.hpp"
 
@@ -236,6 +237,43 @@ TEST(LinCheck, RecordedScqQueueHistoriesAreLinearizable) {
       th.join();
     }
     LinearizabilityChecker chk(queue.capacity());
+    EXPECT_TRUE(chk.check(recorder.collect())) << "round " << round;
+  }
+}
+
+// The segmented composition: segment capacity 2 forces seal/append/retire
+// transitions inside nearly every round, so the recorded histories cover the
+// cross-segment handoff. Capacity 0 = unbounded for the checker (a push may
+// never legally report full).
+TEST(LinCheck, RecordedSegmentedQueueHistoriesAreLinearizable) {
+  constexpr std::uint32_t kThreads = 3;
+  constexpr int kPushesPerThread = 3;
+  for (int round = 0; round < 20; ++round) {
+    SegmentedQueue<ScqQueue<std::uint64_t>> queue(2, "lin-seg-scq");
+    static std::uint64_t arena[kThreads * kPushesPerThread + 1];
+    for (std::uint64_t i = 1; i <= kThreads * kPushesPerThread; ++i) {
+      arena[i] = i;
+    }
+    HistoryRecorder recorder(kThreads, 2 * kPushesPerThread);
+    std::vector<std::thread> threads;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto h = queue.handle();
+        for (int i = 0; i < kPushesPerThread; ++i) {
+          const std::uint64_t value = t * kPushesPerThread + i + 1;
+          const std::uint64_t inv = recorder.begin();
+          const bool ok = queue.try_push(h, &arena[value]);
+          recorder.end_push(t, inv, value, ok);
+          const std::uint64_t inv2 = recorder.begin();
+          std::uint64_t* out = queue.try_pop(h);
+          recorder.end_pop(t, inv2, out == nullptr ? 0 : *out);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    LinearizabilityChecker chk(0);
     EXPECT_TRUE(chk.check(recorder.collect())) << "round " << round;
   }
 }

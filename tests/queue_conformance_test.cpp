@@ -22,6 +22,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/harness/queue_registry.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
@@ -83,7 +84,15 @@ using AllQueues = ::testing::Types<LlscArrayQueue<Token, llsc::VersionedLlsc>,
                                    // must honour the same exact sequential
                                    // contract as the paper rings.
                                    ScqQueue<Token>,
-                                   ScqQueue<Token, ExpBackoff>>;
+                                   ScqQueue<Token, ExpBackoff>,
+                                   // Segmented generation: the capacity the
+                                   // suite passes sizes one SEGMENT; the
+                                   // queue itself is unbounded, so the
+                                   // capacity-gated tests flip to their
+                                   // push-always-succeeds duals.
+                                   SegmentedQueue<CasArrayQueue<Token>>,
+                                   SegmentedQueue<ScqQueue<Token>>,
+                                   SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain>>;
 TYPED_TEST_SUITE(QueueConformanceTest, AllQueues);
 
 // ---------------------------------------------------------------------------
@@ -316,6 +325,31 @@ TYPED_TEST(QueueConformanceTest, BoundedQueueNeverExceedsCapacity) {
   }
 }
 
+TYPED_TEST(QueueConformanceTest, UnboundedPushSucceedsPastAnyCapacity) {
+  // The dual of the capacity tests above: an unbounded queue constructed
+  // with a tiny capacity hint (for the segmented family this sizes one
+  // segment) must accept pushes far past that hint — and still drain them
+  // in FIFO order, across every segment boundary it grew through.
+  if constexpr (BoundedPtrQueue<TypeParam>) {
+    GTEST_SKIP() << "bounded queue";
+  } else {
+    std::unique_ptr<TypeParam> q(make_queue<TypeParam>(4));
+    auto h = q->handle();
+    std::vector<Token> tokens(64);
+    for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+      tokens[i].seq = i;
+      ASSERT_TRUE(q->try_push(h, &tokens[i]))
+          << "unbounded push must not fail at i=" << i;
+    }
+    for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+      Token* out = q->try_pop(h);
+      ASSERT_NE(out, nullptr);
+      EXPECT_EQ(out->seq, i);
+    }
+    EXPECT_EQ(q->try_pop(h), nullptr);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Boundary edges: full-queue wraparound, enqueue-on-full, dequeue-on-empty
 // ---------------------------------------------------------------------------
@@ -409,14 +443,26 @@ TEST_P(RegistryQueueTest, SequentialFifoThroughTypeErasure) {
   for (auto& p : payloads) {
     ASSERT_TRUE(h->try_push(&p)) << spec.name;
   }
+  harness::Payload extra;
+  extra.value = payloads.size();
   if (spec.bounded) {
-    harness::Payload extra;
     EXPECT_FALSE(h->try_push(&extra)) << spec.name << " must report full at capacity";
+  } else {
+    // The unbounded dual: with every slot of the construction-capacity hint
+    // occupied, a further push must SUCCEED (the segmented family grows a
+    // fresh segment; the link-based baselines never fill).
+    EXPECT_TRUE(h->try_push(&extra))
+        << spec.name << " is unbounded and must accept pushes past any capacity hint";
   }
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     harness::Payload* out = h->try_pop();
     ASSERT_NE(out, nullptr) << spec.name;
     EXPECT_EQ(out->value, i) << spec.name;
+  }
+  if (!spec.bounded) {
+    harness::Payload* out = h->try_pop();
+    ASSERT_NE(out, nullptr) << spec.name;
+    EXPECT_EQ(out->value, extra.value) << spec.name;
   }
   EXPECT_EQ(h->try_pop(), nullptr) << spec.name;
 }

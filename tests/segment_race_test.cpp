@@ -1,0 +1,188 @@
+// Scripted fault-injection tests for the segment lifecycle races.
+//
+// Two adversarial schedules the segmented queue's correctness argument hangs
+// on, forced deterministically with the StallGate substrate:
+//
+//  1. Retirement race: a pusher is parked immediately AFTER hazard-protecting
+//     the tail segment and BEFORE touching its ring
+//     (core.seg.push.protected). While it sleeps, the driver seals, drains
+//     and retires that exact segment — many times over, so the hazard domain
+//     runs real scans with the victim's protected pointer in every scan's
+//     way. The retired segment must survive until the victim resumes (ASan
+//     turns a violation into a hard failure), and the victim's push must
+//     still land exactly once, on the live tail.
+//
+//  2. Stranded push: a pusher is parked between its linearizing slot commit
+//     and the Tail advance (core.*.push.committed) while the driver seals
+//     the ring. The frozen tail (t|CLOSED) makes the committed item
+//     permanently invisible, so the engine must take the item back and
+//     report the push FAILED — the caller keeps ownership and the sealed
+//     ring stays empty.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/telemetry/metrics.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+/// Parks one producer at `stall_point`, then runs `while_parked`, then
+/// releases and joins. The victim pushes `victim_tok` through `q`; the push
+/// must succeed (segmented queues never fail a push) even though the segment
+/// it first protected has been retired under it.
+template <typename Q>
+void run_retirement_race(Q& q, const char* stall_point, Token& victim_tok,
+                         const std::function<void()>& while_parked) {
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-seg-retire-race",
+                               "park a pusher on a protected segment across its retirement",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/stall_point, inject::Role::kProducer};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    auto h = q.handle();
+    EXPECT_TRUE(q.try_push(h, &victim_tok));
+  });
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "victim never reached " << stall_point;
+  while_parked();
+  gate.release();
+  victim.join();
+}
+
+/// Driver-side churn: each cycle overfills the tail segment (forcing a
+/// seal + append) and drains it back out (forcing the drained segment's
+/// unlink + retire). `segment_capacity` + 1 items per cycle.
+template <typename Q>
+void churn_segments(Q& q, std::size_t segment_capacity, int cycles) {
+  auto h = q.handle();
+  const std::size_t per_cycle = segment_capacity + 1;
+  std::vector<Token> arena(per_cycle);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (auto& tok : arena) {
+      ASSERT_TRUE(q.try_push(h, &tok)) << "churn push, cycle " << cycle;
+    }
+    for (std::size_t i = 0; i < per_cycle; ++i) {
+      ASSERT_NE(q.try_pop(h), nullptr) << "churn pop, cycle " << cycle;
+    }
+  }
+}
+
+TEST(SegmentRetirementRace, HpProtectedSegmentSurvivesRetirementStorm) {
+  SegmentedQueue<ScqQueue<Token>> q(4, "race-seg-scq-hp");
+  Token victim_tok;
+  victim_tok.producer = 99;
+  constexpr int kCycles = 32;
+  run_retirement_race(q, seg_detail::kSegPushProtected, victim_tok, [&] {
+    // 32 seal/drain/retire cycles: the first one retires the exact segment
+    // the victim protects; the rest push the domain past its scan threshold
+    // repeatedly, so the protected segment survives REAL scans, not just an
+    // idle retired list.
+    churn_segments(q, q.segment_capacity(), kCycles);
+#if EVQ_TELEMETRY
+    EXPECT_GE(q.metrics().value(telemetry::Counter::kSegRetire),
+              static_cast<std::uint64_t>(kCycles));
+#endif
+  });
+  // The victim's push must have landed exactly once, after the churn.
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), &victim_tok);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+  EXPECT_LE(q.segment_count(), 2u);
+}
+
+TEST(SegmentRetirementRace, HpRaceOnCasEngineSegments) {
+  SegmentedQueue<CasArrayQueue<Token>> q(4, "race-seg-cas-hp");
+  Token victim_tok;
+  run_retirement_race(q, seg_detail::kSegPushProtected, victim_tok,
+                      [&] { churn_segments(q, q.segment_capacity(), 24); });
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), &victim_tok);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(SegmentRetirementRace, EbrPinnedReaderBlocksReclamationSafely) {
+  // The EBR flavour of the same schedule: the parked victim holds a PINNED
+  // epoch record, so no retired segment may be freed while it sleeps — the
+  // churn piles retirements into the buckets instead of freeing under the
+  // victim. Conservation afterwards proves nothing was freed early.
+  SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain> q(4, "race-seg-scq-ebr");
+  Token victim_tok;
+  run_retirement_race(q, seg_detail::kSegPushProtected, victim_tok,
+                      [&] { churn_segments(q, q.segment_capacity(), 16); });
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), &victim_tok);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Stranded push: seal wins against a committed-but-unpublished push
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+void run_stranded_push(Q& q, const char* committed_point) {
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-stranded-push",
+                               "park a pusher between slot commit and Tail advance, then seal",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/committed_point, inject::Role::kProducer};
+  Token stranded;
+  std::atomic<bool> push_result{true};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    auto h = q.handle();
+    push_result.store(q.try_push(h, &stranded), std::memory_order_release);
+  });
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "victim never reached " << committed_point;
+  // The victim's item is committed in the array but Tail has not moved: the
+  // seal must freeze the tail at t|CLOSED, stranding the commit.
+  EXPECT_TRUE(q.close());
+  gate.release();
+  victim.join();
+
+  // The engine detected the frozen tail, took the item back and reported
+  // failure — the sealed ring must be observably EMPTY, not holding a ghost.
+  EXPECT_FALSE(push_result.load(std::memory_order_acquire))
+      << "a push stranded by a seal must report failure (caller keeps the node)";
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), nullptr) << "the reverted item must never become visible";
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(StrandedPush, SealRevertsCommittedPushOnCasEngine) {
+  CasArrayQueue<Token> q(4);
+  run_stranded_push(q, CasSlotPolicy<Token>::kPushCommitted);
+}
+
+TEST(StrandedPush, SealRevertsCommittedPushOnLlscEngine) {
+  LlscArrayQueue<Token, llsc::PackedLlsc> q(4);
+  run_stranded_push(q, LlscSlotPolicy<Token, llsc::PackedLlsc>::kPushCommitted);
+}
+
+}  // namespace

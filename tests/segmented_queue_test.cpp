@@ -1,0 +1,249 @@
+// Seal protocol and segmented composition tests.
+//
+// The typed half pins the seal triple (close/closed/reopen) on every sealable
+// ring generation — the four engine instantiations and SCQ — since the
+// segmented queue's retire-finality argument rests on "sealed + empty is
+// FINAL" holding uniformly. The concrete half exercises the SegmentedQueue
+// lifecycle: growth past segment capacity, the burst/drain memory bound
+// (seg_alloc − seg_retire ≤ 1 once drained), pool recycling in steady state,
+// and the EBR domain variant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "evq/baselines/shann_queue.hpp"
+#include "evq/baselines/tsigas_zhang_queue.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/llsc_array_queue.hpp"
+#include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
+#include "evq/llsc/packed_llsc.hpp"
+#include "evq/llsc/versioned_llsc.hpp"
+#include "evq/telemetry/metrics.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+// ---------------------------------------------------------------------------
+// Seal triple across every sealable ring generation
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+class SealableRingTest : public ::testing::Test {};
+
+using AllSealableRings = ::testing::Types<CasArrayQueue<Token>,
+                                          LlscArrayQueue<Token, llsc::PackedLlsc>,
+                                          LlscArrayQueue<Token, llsc::VersionedLlsc>,
+                                          baselines::ShannQueue<Token>,
+                                          baselines::TsigasZhangQueue<Token>,
+                                          ScqQueue<Token>>;
+TYPED_TEST_SUITE(SealableRingTest, AllSealableRings);
+
+static_assert(SealableRing<CasArrayQueue<Token>>);
+static_assert(SealableRing<LlscArrayQueue<Token, llsc::PackedLlsc>>);
+static_assert(SealableRing<baselines::ShannQueue<Token>>);
+static_assert(SealableRing<baselines::TsigasZhangQueue<Token>>);
+static_assert(SealableRing<ScqQueue<Token>>);
+
+TYPED_TEST(SealableRingTest, CloseIsPermanentAndIdempotent) {
+  TypeParam q(4);
+  auto h = q.handle();
+  std::vector<Token> tokens(3);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &tokens[i]));
+  }
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.close()) << "first close must report that THIS call sealed";
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.close()) << "second close must report already-sealed";
+  // The push side is permanently shut, and stays shut across pops.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(q.try_push(h, &tokens[2]));
+  }
+  // The pop side drains what was in flight, in order.
+  EXPECT_EQ(q.try_pop(h)->seq, 0u);
+  EXPECT_FALSE(q.try_push(h, &tokens[2])) << "a pop must not reopen a sealed ring";
+  EXPECT_EQ(q.try_pop(h)->seq, 1u);
+  // Sealed + empty is FINAL: empty reports must be stable.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.try_pop(h), nullptr);
+  }
+  EXPECT_TRUE(q.closed());
+}
+
+TYPED_TEST(SealableRingTest, CloseOnEmptyRingShutsPushSideImmediately) {
+  TypeParam q(4);
+  auto h = q.handle();
+  EXPECT_TRUE(q.close());
+  Token tok;
+  EXPECT_FALSE(q.try_push(h, &tok));
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TYPED_TEST(SealableRingTest, ReopenRestoresFullFifoService) {
+  TypeParam q(4);
+  auto h = q.handle();
+  std::vector<Token> tokens(5);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+  }
+  ASSERT_TRUE(q.try_push(h, &tokens[0]));
+  ASSERT_TRUE(q.close());
+  EXPECT_EQ(q.try_pop(h), &tokens[0]);
+  EXPECT_EQ(q.try_pop(h), nullptr);
+
+  // Quiescent reopen: the ring must serve a full capacity cycle again, with
+  // the full-queue bound intact.
+  q.reopen();
+  EXPECT_FALSE(q.closed());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(h, &tokens[i])) << "slot " << i << " after reopen";
+  }
+  EXPECT_FALSE(q.try_push(h, &tokens[4])) << "reopen must not inflate capacity";
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedQueue lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(SegmentedQueue, GrowsByExactSegmentsAndCountsThem) {
+  SegmentedQueue<CasArrayQueue<Token>> q(4, "segtest-growth");
+  auto h = q.handle();
+  std::vector<Token> tokens(10);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &tokens[i]));
+  }
+  // 10 items over capacity-4 segments: 4 + 4 + 2 = three live segments.
+  EXPECT_EQ(q.segment_count(), 3u);
+  EXPECT_EQ(q.depth_estimate(), 10u);
+  EXPECT_EQ(q.size_estimate(), 10u);
+  EXPECT_EQ(q.segment_capacity(), 4u);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+  EXPECT_EQ(q.depth_estimate(), 0u);
+  EXPECT_LE(q.segment_count(), 2u) << "drained chain must shrink back";
+}
+
+TEST(SegmentedQueue, BurstThenDrainReturnsToBoundedMemory) {
+  // The E9 acceptance shape: a 100x burst over one segment's capacity must
+  // be absorbed without a single push failure, and after the drain the live
+  // chain must be back to <= 2 segments — verified both structurally
+  // (segment_count) and through the telemetry ledger (every counted alloc
+  // but at most one has a matching retire).
+  constexpr std::size_t kSegmentCapacity = 64;
+  constexpr std::size_t kBurst = 100 * kSegmentCapacity;
+  SegmentedQueue<ScqQueue<Token>> q(kSegmentCapacity, "segtest-burst");
+  auto h = q.handle();
+
+  // Steady state first: oscillate below one segment's capacity.
+  std::vector<Token> steady(16);
+  for (int round = 0; round < 32; ++round) {
+    for (auto& tok : steady) {
+      ASSERT_TRUE(q.try_push(h, &tok));
+    }
+    for (std::size_t i = 0; i < steady.size(); ++i) {
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+  }
+
+  const telemetry::CounterSnapshot before = q.metrics().snapshot();
+  std::vector<Token> burst(kBurst);
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    burst[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &burst[i])) << "burst push " << i << " must not fail";
+  }
+  EXPECT_GE(q.segment_count(), kBurst / kSegmentCapacity);
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+
+  const telemetry::CounterSnapshot delta = telemetry::counter_delta(before, q.metrics().snapshot());
+#if EVQ_TELEMETRY
+  EXPECT_GE(delta[telemetry::Counter::kSegAlloc], kBurst / kSegmentCapacity - 1);
+  EXPECT_GE(delta[telemetry::Counter::kSegSeal], delta[telemetry::Counter::kSegAlloc]);
+  EXPECT_LE(delta[telemetry::Counter::kSegAlloc] - delta[telemetry::Counter::kSegRetire], 1u)
+      << "every appended segment but at most the live tail must have been retired";
+#endif
+  EXPECT_LE(q.segment_count(), 2u);
+}
+
+TEST(SegmentedQueue, SteadyStateRecyclesSegmentsThroughThePool) {
+  // HP domain: retired segments reach the free pool via the domain reclaimer,
+  // so traffic that keeps crossing a segment boundary stops allocating once
+  // the pool is primed.
+  SegmentedQueue<CasArrayQueue<Token>> q(4, "segtest-pool");
+  auto h = q.handle();
+  std::vector<Token> tokens(6);
+  for (int round = 0; round < 64; ++round) {
+    for (auto& tok : tokens) {
+      ASSERT_TRUE(q.try_push(h, &tok));
+    }
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+  }
+#if EVQ_TELEMETRY
+  EXPECT_GT(q.metrics().value(telemetry::Counter::kSegRetire), 0u);
+  EXPECT_GT(q.metrics().value(telemetry::Counter::kPoolHit), 0u)
+      << "steady-state appends must come from the pool, not the heap";
+#endif
+  EXPECT_LE(q.segment_count(), 2u);
+}
+
+TEST(SegmentedQueue, EbrDomainVariantConservesAcrossSegments) {
+  // The epoch-based domain: per-op pin/unpin instead of hazard slots, fresh
+  // heap segment per append (kPoolable = false). Same external contract.
+  SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain> q(4, "segtest-ebr");
+  auto h = q.handle();
+  std::vector<Token> tokens(40);
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].seq = i;
+    ASSERT_TRUE(q.try_push(h, &tokens[i]));
+  }
+  for (std::uint64_t i = 0; i < tokens.size(); ++i) {
+    Token* out = q.try_pop(h);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->seq, i);
+  }
+  EXPECT_EQ(q.try_pop(h), nullptr);
+#if EVQ_TELEMETRY
+  EXPECT_EQ(q.metrics().value(telemetry::Counter::kPoolHit), 0u)
+      << "the EBR domain frees with delete and must never feed the pool";
+#endif
+}
+
+TEST(SegmentedQueue, HandleIsMoveOnlyAndStaysUsable) {
+  SegmentedQueue<CasArrayQueue<Token>> q(4, "segtest-handle");
+  auto h = q.handle();
+  Token a;
+  ASSERT_TRUE(q.try_push(h, &a));
+  auto h2 = std::move(h);
+  EXPECT_EQ(q.try_pop(h2), &a);
+  EXPECT_EQ(q.try_pop(h2), nullptr);
+  h = std::move(h2);
+  Token b;
+  ASSERT_TRUE(q.try_push(h, &b));
+  EXPECT_EQ(q.try_pop(h), &b);
+}
+
+}  // namespace

@@ -22,6 +22,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/llsc/packed_llsc.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
@@ -50,11 +51,15 @@ TEST(TelemetryCounters, NamesAreStableAndDistinct) {
     }
   }
   EXPECT_EQ(names[0], "push_ok");  // exporter `op` labels are API
-  EXPECT_EQ(names[kCounterCount - 1], "slot_skip");
-  // The SCQ-generation pair sits at the tail of the taxonomy; these labels
-  // are exporter API just like the op labels above.
+  EXPECT_EQ(names[kCounterCount - 1], "seg_retire");
+  // The SCQ-generation pair and the segmented-lifecycle triple sit at the
+  // tail of the taxonomy; these labels are exporter API just like the op
+  // labels above.
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kFaaReserve)], "faa_reserve");
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSlotSkip)], "slot_skip");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegSeal)], "seg_seal");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegAlloc)], "seg_alloc");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegRetire)], "seg_retire");
 }
 
 TEST(TelemetryCounters, SnapshotArithmetic) {
@@ -453,6 +458,53 @@ TEST(TelemetryEndToEnd, ShardedFacadeAggregatesShardCounters) {
   EXPECT_EQ(facade->counters[Counter::kPushOk], kTokens);
   EXPECT_EQ(shard_push_ok, kTokens);
   EXPECT_EQ(facade->counters[Counter::kPopOk], shard_pop_ok);
+#endif
+}
+
+TEST(TelemetryEndToEnd, SegmentedFacadeDepthMatchesSegmentEntrySum) {
+  // The segmented facade registers under its own name; every segment ring
+  // registers under "<facade>/seg", sharing ONE entry whose depth is the sum
+  // of the live per-segment gauges. The facade's own gauge walks the chain —
+  // the two must agree at every quiescent point.
+  constexpr std::size_t kTokens = 10;
+  int vals[kTokens];
+  evq::SegmentedQueue<evq::CasArrayQueue<int>> q(4, "tmtest-seg");
+  auto h = q.handle();
+  for (std::size_t i = 0; i < kTokens; ++i) {
+    vals[i] = static_cast<int>(i);
+    ASSERT_TRUE(q.try_push(h, &vals[i]));
+  }
+
+  {
+    const RegistrySnapshot snap = snapshot_registry();
+    const QueueCounters* facade = snap.find("tmtest-seg");
+    const QueueCounters* segs = snap.find("tmtest-seg/seg");
+    ASSERT_NE(facade, nullptr);
+    ASSERT_NE(segs, nullptr) << "segments must register under <facade>/seg";
+    EXPECT_TRUE(facade->has_depth);
+    EXPECT_TRUE(segs->has_depth);
+#if EVQ_TELEMETRY
+    EXPECT_EQ(facade->counters[Counter::kPushOk], kTokens);
+    // Single-threaded, so every item (including append seeds) landed in
+    // exactly one ring push with no contention retries.
+    EXPECT_EQ(segs->counters[Counter::kPushOk], kTokens);
+    EXPECT_EQ(facade->depth, kTokens);
+    EXPECT_EQ(segs->depth, facade->depth)
+        << "facade gauge must equal the sum across live segment gauges";
+#endif
+  }
+
+  for (std::size_t i = 0; i < kTokens; ++i) {
+    ASSERT_NE(q.try_pop(h), nullptr);
+  }
+  const RegistrySnapshot snap = snapshot_registry();
+  const QueueCounters* facade = snap.find("tmtest-seg");
+  const QueueCounters* segs = snap.find("tmtest-seg/seg");
+  ASSERT_NE(facade, nullptr);
+  ASSERT_NE(segs, nullptr);
+#if EVQ_TELEMETRY
+  EXPECT_EQ(facade->depth, 0u);
+  EXPECT_EQ(segs->depth, facade->depth) << "drained facade and segment sums must both be zero";
 #endif
 }
 

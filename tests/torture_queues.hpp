@@ -20,7 +20,8 @@ inline constexpr const char* kTortureCoveredQueues[] = {
     "ms-hp-sorted", "ms-doherty", "shann", "ms-pool",
     "ms-ebr", "tsigas-zhang", "mutex", "unsync",
     "fifo-llsc-backoff", "fifo-simcas-backoff", "sharded-llsc", "sharded-simcas",
-    "scq", "scq-backoff", "sharded-scq",
+    "scq", "scq-backoff", "sharded-scq", "seg-cas",
+    "seg-scq", "sharded-seg-scq",
 };
 
 inline constexpr std::size_t kTortureCoveredQueueCount =

@@ -60,6 +60,7 @@
 #include "evq/core/cas_array_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/hazard/hp_domain.hpp"
 #include "evq/inject/inject.hpp"
@@ -394,6 +395,29 @@ constexpr RunnerEntry kRunners[] = {
     {"sharded-scq",
      +[](const inject::Profile& p, const TortureConfig& c) {
        ShardedQueue<ScqQueue<Token>> q(c.capacity * 4, 4);
+       TortureOutcome out = run_torture(q, p, c);
+       out.order = {};
+       return out;
+     }},
+    // The segmented compositions are unbounded, so the capacity knob sizes
+    // individual SEGMENTS instead — and deliberately small (16 slots), so
+    // every run churns through many seal/append/retire transitions with
+    // injectors parked at the segment lifecycle points. Per-producer FIFO
+    // carries across segments (segments drain in link order, each ring is
+    // FIFO), so the order check stays on for the unsharded pair.
+    {"seg-cas",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       SegmentedQueue<CasArrayQueue<Token>> q(16, "seg-cas");
+       return run_torture(q, p, c);
+     }},
+    {"seg-scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       SegmentedQueue<ScqQueue<Token>> q(16, "seg-scq");
+       return run_torture(q, p, c);
+     }},
+    {"sharded-seg-scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ShardedQueue<SegmentedQueue<ScqQueue<Token>>> q(16 * 4, 4, "sharded-seg-scq");
        TortureOutcome out = run_torture(q, p, c);
        out.order = {};
        return out;
