@@ -148,6 +148,8 @@ class ScqLayout {
 /// so scripted tests can park a thread in exactly one ring's protocol).
 struct ScqRingPoints {
   const char* enq_reserve;    // before the enqueue-side ticket FAA
+  const char* enq_reserved;   // after the FAA, before the entry CAS — the
+                              // pre-seal-straggler window a seal must beat
   const char* enq_commit_sc;  // the entry-install CAS (spurious-fail injectable)
   const char* deq_reserve;    // before the dequeue-side ticket FAA
   const char* deq_reserved;   // after the dequeue-side FAA — stall here to age a ticket
@@ -217,8 +219,25 @@ class ScqRing {
 
   /// Seals the enqueue side (LSCQ's finalize): sets the CLOSED bit on Tail,
   /// so every ticket claimed from now on carries the bit and its enqueue
-  /// fails permanently. Idempotent; returns whether THIS call sealed.
-  bool close() noexcept { return ScqIndexPolicy::close(tail_.value); }
+  /// fails permanently — AND re-arms the dequeue threshold, the paper's
+  /// `cq.threshold := 3n-1` finalize step. The re-arm is load-bearing: a
+  /// ring can carry a stale negative threshold from an earlier empty phase,
+  /// under which dequeue() fast-path-returns ⊥ without claiming a head
+  /// ticket, so Head would never advance past a pre-seal straggler's ticket
+  /// T and the straggler (parked between its FAA and its entry CAS) could
+  /// still install into a ring whose owner already took "⊥ after seal" as
+  /// final. Re-armed, the caller's next probe is full-strength: it drives
+  /// Head up to the frozen Tail, cycle-bumping or unsafe-marking every
+  /// pre-seal entry on the way, so the straggler's install condition can
+  /// never hold again and a post-close ⊥ really is final
+  /// (tests/segment_race_test.cpp pins the schedule). Idempotent; returns
+  /// whether THIS call sealed; callers re-probing a sealed ring call it
+  /// again before every probe, exactly as LSCQ re-stores the threshold.
+  bool close() noexcept {
+    const bool sealed = ScqIndexPolicy::close(tail_.value);
+    threshold_.value.store(threshold_init_, std::memory_order_seq_cst);
+    return sealed;
+  }
 
   [[nodiscard]] bool closed() noexcept {
     return (ScqIndexPolicy::load(tail_.value) & kRingClosedBit) != 0;
@@ -246,6 +265,9 @@ class ScqRing {
         return false;
       }
       telemetry::count_ring_event(io.tm, telemetry::Counter::kFaaReserve);
+      // A thread parked here holds a pre-seal ticket with no entry yet — the
+      // straggler close()'s threshold re-arm exists to defeat.
+      EVQ_INJECT_POINT(points_.enq_reserved);
       const std::uint64_t t_cycle = layout_.ticket_cycle(t);
       std::atomic<std::uint64_t>& cell = entries_[remap(t)];
       io.probe.begin_phase(trace::Phase::kSlotAttempt);
@@ -434,14 +456,14 @@ class ScqRing {
 
 namespace scq_detail {
 inline constexpr ScqRingPoints kFreeRingPoints{
-    "core.scq.fq.enq.reserve", "core.scq.fq.enq.commit",  "core.scq.fq.deq.reserve",
-    "core.scq.fq.deq.reserved", "core.scq.fq.deq.skip",   "core.scq.fq.deq.skip.sc",
-    "core.scq.fq.catchup",
+    "core.scq.fq.enq.reserve", "core.scq.fq.enq.reserved", "core.scq.fq.enq.commit",
+    "core.scq.fq.deq.reserve", "core.scq.fq.deq.reserved", "core.scq.fq.deq.skip",
+    "core.scq.fq.deq.skip.sc", "core.scq.fq.catchup",
 };
 inline constexpr ScqRingPoints kAllocRingPoints{
-    "core.scq.aq.enq.reserve", "core.scq.aq.enq.commit",  "core.scq.aq.deq.reserve",
-    "core.scq.aq.deq.reserved", "core.scq.aq.deq.skip",   "core.scq.aq.deq.skip.sc",
-    "core.scq.aq.catchup",
+    "core.scq.aq.enq.reserve", "core.scq.aq.enq.reserved", "core.scq.aq.enq.commit",
+    "core.scq.aq.deq.reserve", "core.scq.aq.deq.reserved", "core.scq.aq.deq.skip",
+    "core.scq.aq.deq.skip.sc", "core.scq.aq.catchup",
 };
 }  // namespace scq_detail
 
@@ -533,9 +555,12 @@ class ScqQueue {
 
   /// Seals the queue (segment protocol): the CLOSED bit goes on the ALLOC
   /// ring's tail — pushes that already hold a free index return it and fail
-  /// permanently; pops drain what was installed. The free ring is never
-  /// sealed (pop must always be able to recycle indices). Idempotent;
-  /// returns whether THIS call sealed.
+  /// permanently; pops drain what was installed. Also re-arms aq's dequeue
+  /// threshold (LSCQ's finalize, see ScqRing::close) so the caller's next
+  /// try_pop is a full-strength emptiness probe — required before trusting
+  /// a post-seal ⊥ as final. The free ring is never sealed (pop must always
+  /// be able to recycle indices). Idempotent; returns whether THIS call
+  /// sealed.
   bool close() noexcept { return aq_.close(); }
 
   [[nodiscard]] bool closed() noexcept { return aq_.closed(); }

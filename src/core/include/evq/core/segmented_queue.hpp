@@ -19,9 +19,10 @@
 //
 // Why the second ⊥ is final: the seal freezes the ring's masked tail (engine
 // rings: advance() is strict and stranded commits are reverted; SCQ: tickets
-// carry the CLOSED bit and the threshold argument bounds pre-seal
-// stragglers), so a sealed ring that reports empty can never report anything
-// else again.
+// carry the CLOSED bit and close() re-arms the dequeue threshold — LSCQ's
+// `threshold := 3n-1` finalize — so the post-seal probe claims head tickets
+// up to the frozen tail and invalidates every pre-seal straggler's entry),
+// so a sealed ring that reports empty can never report anything else again.
 //
 // Reclamation: a retired segment may still be referenced by a stalled peer
 // that protected it before it was unlinked, so segments go through a safe
@@ -398,9 +399,14 @@ class SegmentedQueue {
         return nullptr;
       }
       // LSCQ finalize-then-recheck: a linked successor implies the segment
-      // is sealed (pushers seal before appending; close() here is a
-      // belt-and-braces no-op), and one more probe catches any pre-seal
-      // straggler whose item landed after our first ⊥. A second ⊥ is final.
+      // is sealed (pushers seal before appending), but this close() is NOT
+      // redundant — for SCQ segments it re-arms the dequeue threshold
+      // (LSCQ's `threshold := 3n-1` store before every re-probe), making the
+      // probe below full-strength: it claims head tickets up to the frozen
+      // tail, so it either finds a pre-seal straggler's item or permanently
+      // invalidates the straggler's entry. Only then is a second ⊥ final;
+      // a fast-path ⊥ off a stale negative threshold would not advance Head
+      // and could retire a segment a straggler later installs into.
       seg->ring.close();
       {
         typename Ring::Handle rh = seg->ring.handle();

@@ -1,7 +1,7 @@
 // Scripted fault-injection tests for the segment lifecycle races.
 //
-// Two adversarial schedules the segmented queue's correctness argument hangs
-// on, forced deterministically with the StallGate substrate:
+// Three adversarial schedules the segmented queue's correctness argument
+// hangs on, forced deterministically with the StallGate substrate:
 //
 //  1. Retirement race: a pusher is parked immediately AFTER hazard-protecting
 //     the tail segment and BEFORE touching its ring
@@ -18,6 +18,16 @@
 //     permanently invisible, so the engine must take the item back and
 //     report the push FAILED — the caller keeps ownership and the sealed
 //     ring stays empty.
+//
+//  3. SCQ pre-seal straggler vs. finalize: a pusher is parked between its aq
+//     ticket FAA and its entry-install CAS (core.scq.aq.enq.reserved) while
+//     the ring carries a stale NEGATIVE dequeue threshold (the state an
+//     earlier empty phase leaves behind, under which dequeue ⊥-fast-paths
+//     without claiming a head ticket). The seal + recheck must still be
+//     final: close() re-arms the threshold to 3n−1 (LSCQ's finalize), so the
+//     post-seal probe drives Head past the straggler's ticket and bumps its
+//     entry — when the straggler resumes, its install condition can never
+//     hold and its push fails instead of landing in a retired segment.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -183,6 +193,123 @@ TEST(StrandedPush, SealRevertsCommittedPushOnCasEngine) {
 TEST(StrandedPush, SealRevertsCommittedPushOnLlscEngine) {
   LlscArrayQueue<Token, llsc::PackedLlsc> q(4);
   run_stranded_push(q, LlscSlotPolicy<Token, llsc::PackedLlsc>::kPushCommitted);
+}
+
+// ---------------------------------------------------------------------------
+// SCQ pre-seal straggler: close() must re-arm the threshold (LSCQ finalize)
+// ---------------------------------------------------------------------------
+
+/// Parks one producer at the aq FAA→entry-CAS window of `q`, then runs
+/// `while_parked`, then releases and joins, reporting the victim's push
+/// result through `push_result`.
+template <typename Q>
+void park_aq_straggler(Q& q, Token& straggler_tok, std::atomic<bool>& push_result,
+                       const std::function<void()>& while_parked) {
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-scq-preseal-straggler",
+                               "park a pusher between its aq ticket FAA and its entry CAS",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/"core.scq.aq.enq.reserved", inject::Role::kProducer};
+  std::thread straggler([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    auto h = q.handle();
+    push_result.store(q.try_push(h, &straggler_tok), std::memory_order_release);
+  });
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "straggler never reached core.scq.aq.enq.reserved";
+  while_parked();
+  gate.release();
+  straggler.join();
+}
+
+TEST(ScqSealFinalize, StaleThresholdStragglerCannotInstallAfterFinalBottom) {
+  // The reviewer-grade schedule the threshold re-arm in ScqRing::close()
+  // exists for. aq is constructed empty with threshold −1 — exactly the
+  // stale negative state under which dequeue() ⊥-fast-paths WITHOUT
+  // claiming a head ticket. Without the finalize re-arm, both post-seal
+  // probes below would echo that stale ⊥ while Head never advances past the
+  // straggler's ticket, the "segment" would be declared finally empty and
+  // retired, and the resumed straggler would install into it and report
+  // success — a lost item.
+  ScqQueue<Token> q(4, "scq-seal-finalize");
+  ASSERT_LT(q.alloc_ring().threshold(), 0)
+      << "precondition: fresh aq must carry the stale-negative-threshold shape";
+
+  Token straggler_tok;
+  std::atomic<bool> push_result{true};
+  auto h = q.handle();
+  park_aq_straggler(q, straggler_tok, push_result, [&] {
+    // The straggler holds aq ticket 0: FAA done, no entry installed. Run the
+    // segmented facade's exact retire decision: seal, probe, re-seal
+    // (idempotent, re-arms again), probe — the second ⊥ is what a segment
+    // owner unlinks and retires on.
+    q.close();
+    EXPECT_EQ(q.try_pop(h), nullptr)
+        << "post-seal probe must not surface a half-pushed item";
+    EXPECT_GE(q.alloc_ring().threshold(), 0)
+        << "close() must have re-armed the dequeue threshold (LSCQ finalize)";
+    q.close();
+    EXPECT_EQ(q.try_pop(h), nullptr);
+  });
+
+  // The full-strength post-seal probes drove Head past ticket 0 and bumped
+  // its entry, so the straggler's install condition failed and its retaken
+  // ticket carried the CLOSED bit: the push must report FAILURE (the caller
+  // keeps the node and retries on a live segment — here, nowhere).
+  EXPECT_FALSE(push_result.load(std::memory_order_acquire))
+      << "a straggler beaten by the finalize must fail its push, not install "
+         "into a ring already declared finally empty";
+  EXPECT_EQ(q.try_pop(h), nullptr) << "nothing may materialize after the final ⊥";
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ScqSealFinalize, SegmentedSealDrainRetireAcrossParkedAqTicket) {
+  // End-to-end flavour: the straggler parks inside segment 1's aq window;
+  // the driver then forces the full seal + append + drain + retire of that
+  // segment under it. The resumed straggler must observe the seal, fail the
+  // ring push, and land its item exactly once on the live tail segment.
+  SegmentedQueue<ScqQueue<Token>> q(4, "race-seg-scq-straggler");
+  Token straggler_tok;
+  straggler_tok.producer = 7;
+  std::atomic<bool> push_result{false};
+  park_aq_straggler(q, straggler_tok, push_result, [&] {
+    auto h = q.handle();
+    // The straggler holds one of segment 1's four free indices, so three
+    // fillers install and the fourth finds the ring full: seal + append.
+    std::vector<Token> fillers(4);
+    for (std::uint64_t i = 0; i < fillers.size(); ++i) {
+      fillers[i].seq = i;
+      ASSERT_TRUE(q.try_push(h, &fillers[i]));
+    }
+    // Drain: the fillers come back in FIFO order (the straggler's item must
+    // NOT appear — it is not linearized), and crossing the segment boundary
+    // retires segment 1 via the finalize-then-recheck path.
+    for (std::uint64_t i = 0; i < fillers.size(); ++i) {
+      Token* out = q.try_pop(h);
+      ASSERT_NE(out, nullptr);
+      EXPECT_EQ(out->seq, i);
+    }
+    EXPECT_EQ(q.try_pop(h), nullptr)
+        << "the parked straggler's item must not be visible before it resumes";
+#if EVQ_TELEMETRY
+    EXPECT_GE(q.metrics().value(telemetry::Counter::kSegRetire), 1u)
+        << "the drain must have retired the straggler's segment";
+#endif
+  });
+
+  // Segmented pushes never fail: the straggler retried onto the live tail.
+  EXPECT_TRUE(push_result.load(std::memory_order_acquire));
+  auto h = q.handle();
+  Token* out = q.try_pop(h);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out, &straggler_tok) << "the straggler's item must land exactly once";
+  EXPECT_EQ(q.try_pop(h), nullptr);
+  EXPECT_LE(q.segment_count(), 2u);
 }
 
 }  // namespace
