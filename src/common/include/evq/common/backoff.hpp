@@ -1,18 +1,75 @@
-// CPU pause primitive and bounded exponential backoff.
+// CPU pause primitive, bounded exponential backoff, and the op-submission
+// contention seam.
 //
 // The paper's retry loops (every failed CAS/SC restarts the operation) are
 // where contention melts throughput; a short bounded spin-then-yield backoff
 // keeps the algorithms lock-free while taming the retry storm. Backoff is a
 // tuning aid, not a correctness requirement — the conformance tests run every
 // queue both with and without it.
+//
+// The ContentionPolicy seam (DESIGN.md §14) generalizes the original blind
+// pause() hook into an OP-AWARE submission interface: on every retry the ring
+// engine hands the policy the op kind, the retry count so far and whether the
+// op arrived through a batch entry point (ContentionCtx), and at op entry it
+// offers the policy the chance to take the operation over entirely
+// (try_delegate over an OpSubmission) — the hook a combining/delegation layer
+// needs to divert a contended op into an announce record instead of letting
+// it join the CAS storm. NoBackoff/ExpBackoff are trivial instantiations
+// (BasicContention) that never delegate and map on_retry to the historical
+// pause(), so every pre-seam queue behaves bit-for-bit as before.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <thread>
 
 #include "evq/common/config.hpp"
 
 namespace evq {
+
+/// Which queue operation a contention event belongs to.
+enum class ContentionOp : std::uint8_t { kPush = 0, kPop };
+
+/// What an op-aware ContentionPolicy sees on each retry: the op kind, how
+/// many retries this operation has already burned, and whether the op came
+/// in through a batch entry point (try_push_n/try_pop_n) — a batched op is a
+/// cheap hint that more same-kind work follows immediately, which a
+/// delegating policy can use to size its announce.
+struct ContentionCtx {
+  ContentionOp op = ContentionOp::kPush;
+  std::uint32_t retries = 0;
+  bool batched = false;
+};
+
+/// A whole operation offered to the policy for takeover. For a push, `node`
+/// carries the element in; for a pop the policy stores the obtained element
+/// (or leaves it null) back through `node`. The pointer is type-erased so the
+/// seam stays independent of the ring's element type; the engine casts back.
+struct OpSubmission {
+  ContentionOp op = ContentionOp::kPush;
+  void* node = nullptr;
+  bool batched = false;
+};
+
+/// try_delegate outcome. kNone: the policy declined; the engine runs the op
+/// itself (the only outcome the trivial policies ever produce). kDone: the
+/// policy completed the op — push accepted / pop produced sub.node. kRefused:
+/// the policy completed the op with the queue-boundary outcome — push saw
+/// FULL_QUEUE / pop saw EMPTY_QUEUE.
+enum class Delegation : std::uint8_t { kNone = 0, kDone, kRefused };
+
+/// The op-aware contention seam contract (ring_engine.hpp requires it of its
+/// ContentionPolicy parameter). pause()/is_yielding()/reset() are the
+/// original blind interface, kept because non-engine retry loops (the SCQ
+/// ring internals, combiner loser-spins) still want a plain wait.
+template <typename P>
+concept ContentionSeam = requires(P p, const ContentionCtx& ctx, OpSubmission& sub) {
+  { p.pause() };
+  { p.is_yielding() } -> std::convertible_to<bool>;
+  { p.reset() };
+  { p.on_retry(ctx) };
+  { p.try_delegate(sub) } -> std::same_as<Delegation>;
+};
 
 /// Hint to the CPU that we are in a spin-wait loop.
 EVQ_ALWAYS_INLINE void cpu_relax() noexcept {
@@ -63,11 +120,34 @@ class NullBackoff {
   void reset() noexcept {}
 };
 
+/// Adapts a blind waiter (Backoff/NullBackoff) to the op-aware seam: every
+/// retry waits exactly as the bare waiter would have, and delegation is
+/// always declined — which is what makes the seam refactor behavior-
+/// preserving for every pre-existing registry entry.
+template <typename Waiter>
+class BasicContention {
+ public:
+  void pause() noexcept { waiter_.pause(); }
+  [[nodiscard]] bool is_yielding() const noexcept { return waiter_.is_yielding(); }
+  void reset() noexcept { waiter_.reset(); }
+
+  /// Op-aware retry hook: the trivial policies ignore the context entirely.
+  void on_retry(const ContentionCtx& /*ctx*/) noexcept { waiter_.pause(); }
+
+  /// Never takes over an op.
+  Delegation try_delegate(OpSubmission& /*sub*/) noexcept { return Delegation::kNone; }
+
+ private:
+  [[no_unique_address]] Waiter waiter_{};
+};
+
 /// ContentionPolicy names used by the ring engine (core/ring_engine.hpp):
 /// NoBackoff is the paper-faithful default (the published loops retry
 /// immediately); ExpBackoff is the opt-in spin-then-yield policy priced by
-/// bench_backoff.
-using NoBackoff = NullBackoff;
-using ExpBackoff = Backoff;
+/// bench_backoff. Both are trivial instantiations of the op-submission seam.
+using NoBackoff = BasicContention<NullBackoff>;
+using ExpBackoff = BasicContention<Backoff>;
+
+static_assert(ContentionSeam<NoBackoff> && ContentionSeam<ExpBackoff>);
 
 }  // namespace evq

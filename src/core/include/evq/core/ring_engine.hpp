@@ -20,7 +20,12 @@
 //   IndexPolicy  — what Head/Tail ARE and how a lagging one is advanced
 //                  (LL/SC CounterCell for Fig. 3 E12-E13/E16-E17 vs. plain
 //                  `CAS(&Index, i, i+1)` for Fig. 5 and the baselines).
-//   ContentionPolicy — what a retry costs. NoBackoff reproduces the paper's
+//   ContentionPolicy — what a retry costs, and WHO runs the op. The policy
+//                  satisfies the op-submission seam of common/backoff.hpp
+//                  (ContentionSeam): at op entry it may take the operation
+//                  over entirely (try_delegate — the combining layer's hook),
+//                  and on every retry it sees the op kind, retry count and
+//                  batch hint (on_retry). NoBackoff reproduces the paper's
 //                  published loops (retry immediately); ExpBackoff adds the
 //                  bounded spin-then-yield of common/backoff.hpp on every
 //                  retry path. Priced by bench_backoff.
@@ -255,7 +260,8 @@ struct FaaIndexPolicy {
 /// their documentation and algorithm-specific accessors.
 template <typename T, typename SlotPolicy, typename IndexPolicy,
           typename ContentionPolicy = NoBackoff>
-  requires RingSlotPolicy<SlotPolicy, T> && RingIndexPolicy<IndexPolicy>
+  requires RingSlotPolicy<SlotPolicy, T> && RingIndexPolicy<IndexPolicy> &&
+           ContentionSeam<ContentionPolicy>
 class BoundedRing {
   static_assert(kQueueableV<T>, "element type must be at least 2-byte aligned");
 
@@ -383,6 +389,21 @@ class BoundedRing {
  private:
   static constexpr std::uint64_t kNoHint = ~std::uint64_t{0};
 
+  /// The one retry round every push/pop retry path funnels through (this
+  /// used to be four copy-pasted tails). Side-effect order is load-bearing
+  /// and preserved exactly: count the round, open the backoff trace phase,
+  /// let the policy wait (or, for an op-aware policy, react to the
+  /// contention context), then bump the retry counter — so the context the
+  /// policy sees carries the retries burned BEFORE this round.
+  EVQ_ALWAYS_INLINE void retry_round(ContentionPolicy& backoff, trace::OpProbe& probe,
+                                     std::uint32_t& retries, ContentionOp op,
+                                     bool batched) noexcept {
+    telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
+    probe.begin_phase(trace::Phase::kBackoff);
+    backoff.on_retry(ContentionCtx{op, retries, batched});
+    ++retries;
+  }
+
   /// Takes back a node this thread committed at index `t` in a ring whose
   /// Tail was sealed frozen at exactly t (see the stranded-push comment in
   /// push_one). This thread is the only one referencing slot t, so the
@@ -414,6 +435,22 @@ class BoundedRing {
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
     trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPush);
+    // Submission seam: an op-aware policy may run the whole op elsewhere
+    // (e.g. hand it to a combiner). The trivial policies decline inline and
+    // the branch folds away.
+    OpSubmission sub{ContentionOp::kPush, node, hint != nullptr};
+    switch (backoff.try_delegate(sub)) {
+      case Delegation::kNone:
+        break;
+      case Delegation::kDone:
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushOk);
+        probe.finish(trace::OpCode::kPushOk, 0, retries);
+        return true;
+      case Delegation::kRefused:
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPushFull);
+        probe.finish(trace::OpCode::kPushFull, 0, retries);
+        return false;
+    }
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPushEnter);
       probe.begin_phase(trace::Phase::kIndexLoad);
@@ -456,10 +493,7 @@ class BoundedRing {
       EVQ_INJECT_POINT(SlotPolicy::kPushReserved);
       if (t != IndexPolicy::load(tail_.value)) {                     // E10
         policy_.abandon(slot, res, ctx);  // index moved under us: restore and retry
-        telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
-        probe.begin_phase(trace::Phase::kBackoff);
-        backoff.pause();
-        ++retries;
+        retry_round(backoff, probe, retries, ContentionOp::kPush, hint != nullptr);
         continue;
       }
       switch (policy_.classify(res, t)) {
@@ -517,10 +551,7 @@ class BoundedRing {
           // Empty for the wrong generation (two-null scheme): stale index.
           break;
       }
-      telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
-      probe.begin_phase(trace::Phase::kBackoff);
-      backoff.pause();
-      ++retries;
+      retry_round(backoff, probe, retries, ContentionOp::kPush, hint != nullptr);
     }
   }
 
@@ -530,6 +561,19 @@ class BoundedRing {
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
     trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPop);
+    OpSubmission sub{ContentionOp::kPop, nullptr, hint != nullptr};
+    switch (backoff.try_delegate(sub)) {
+      case Delegation::kNone:
+        break;
+      case Delegation::kDone:
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopOk);
+        probe.finish(trace::OpCode::kPopOk, 0, retries);
+        return static_cast<T*>(sub.node);
+      case Delegation::kRefused:
+        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopEmpty);
+        probe.finish(trace::OpCode::kPopEmpty, 0, retries);
+        return nullptr;
+    }
     for (;;) {
       EVQ_INJECT_POINT(SlotPolicy::kPopEnter);
       probe.begin_phase(trace::Phase::kIndexLoad);
@@ -556,10 +600,7 @@ class BoundedRing {
       EVQ_INJECT_POINT(SlotPolicy::kPopReserved);
       if (head != IndexPolicy::load(head_.value)) {                  // D10
         policy_.abandon(slot, res, ctx);
-        telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
-        probe.begin_phase(trace::Phase::kBackoff);
-        backoff.pause();
-        ++retries;
+        retry_round(backoff, probe, retries, ContentionOp::kPop, hint != nullptr);
         continue;
       }
       if (policy_.classify(res, head) == SlotClass::kOccupied) {
@@ -589,10 +630,7 @@ class BoundedRing {
         IndexPolicy::advance(head_.value, head);
         probe.help_advance(head, trace::HelpTarget::kHead);
       }
-      telemetry::count_ring_event(telemetry_, telemetry::Counter::kBackoffRound);
-      probe.begin_phase(trace::Phase::kBackoff);
-      backoff.pause();
-      ++retries;
+      retry_round(backoff, probe, retries, ContentionOp::kPop, hint != nullptr);
     }
   }
 

@@ -11,8 +11,10 @@
 // The underlying queue template is instantiated over ValueNode<T>.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "evq/core/queue_traits.hpp"
 #include "evq/reclaim/free_pool.hpp"
@@ -95,6 +97,56 @@ class ValueQueue {
     std::optional<T> out{std::move(node->value)};
     pool_.put(node);
     return out;
+  }
+
+  /// Batch enqueue: copies a maximal prefix of `values[0..count)` and returns
+  /// how many landed (maximal-prefix semantics, matching the pointer queues'
+  /// try_push_n). Forwards to the underlying queue's native batch op when it
+  /// has one (the ring engine's index-reuse amortization, or the combining
+  /// facade's announce batching); otherwise loops. Nodes boxed beyond the
+  /// landed prefix are unboxed back into the pool, so a short push leaks
+  /// nothing.
+  std::size_t try_push_n(Handle& h, const T* values, std::size_t count) {
+    std::vector<Node*> boxed;  // local: batch ops run concurrently
+    boxed.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      boxed.push_back(box(values[i]));
+    }
+    std::size_t done = 0;
+    if constexpr (BatchPtrQueue<Queue>) {
+      done = queue_.try_push_n(h.inner_, boxed.data(), count);
+    } else {
+      while (done < count && queue_.try_push(h.inner_, boxed[done])) {
+        ++done;
+      }
+    }
+    for (std::size_t i = done; i < count; ++i) {
+      pool_.put(boxed[i]);
+    }
+    return done;
+  }
+
+  /// Batch dequeue: pops up to `count` oldest values into `out[0..)` and
+  /// returns how many were transferred.
+  std::size_t try_pop_n(Handle& h, T* out, std::size_t count) {
+    std::vector<Node*> boxed(count, nullptr);  // local: batch ops run concurrently
+    std::size_t got = 0;
+    if constexpr (BatchPtrQueue<Queue>) {
+      got = queue_.try_pop_n(h.inner_, boxed.data(), count);
+    } else {
+      while (got < count) {
+        Node* node = queue_.try_pop(h.inner_);
+        if (node == nullptr) {
+          break;
+        }
+        boxed[got++] = node;
+      }
+    }
+    for (std::size_t i = 0; i < got; ++i) {
+      out[i] = std::move(boxed[i]->value);
+      pool_.put(boxed[i]);
+    }
+    return got;
   }
 
   [[nodiscard]] Queue& underlying() noexcept { return queue_; }

@@ -32,6 +32,11 @@
 //   seg-scq            SegmentedQueue over SCQ segments (LSCQ-style)
 //   sharded-seg-scq    4-shard ShardedQueue over seg-scq (unbounded AND not
 //                      per-producer FIFO)
+//   comb-cas           CombiningQueue facade over Algorithm 2 (flat-combining
+//                      announce records; see core/combining_queue.hpp)
+//   comb-scq           CombiningQueue facade over the SCQ FAA ring
+//   sharded-comb-scq   4-shard ShardedQueue over comb-scq (not per-producer
+//                      FIFO)
 #pragma once
 
 #include <cstddef>

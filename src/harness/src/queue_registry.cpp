@@ -13,6 +13,7 @@
 #include "evq/baselines/unsync_ring.hpp"
 #include "evq/common/backoff.hpp"
 #include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
 #include "evq/core/segmented_queue.hpp"
@@ -111,6 +112,17 @@ std::vector<QueueSpec> build_registry() {
   specs.push_back({"sharded-seg-scq", "Sharded Segmented SCQ (4 shards)", false, true, false,
                    make_factory<ShardedQueue<SegmentedQueue<ScqQueue<Payload>>>>(
                        std::size_t{4}, "sharded-seg-scq")});
+  // Flat-combining facade (DESIGN.md §14): announce-record submission with a
+  // single-word combiner lock draining batches through try_push_n/try_pop_n.
+  // Adaptive — runs direct (ring speed) until contention is observed, so the
+  // 1-thread overhead stays within the CI gate.
+  specs.push_back({"comb-cas", "Combining over FIFO Array Simulated CAS", true, true, true,
+                   make_factory<CombiningQueue<CasArrayQueue<Payload>>>("comb-cas")});
+  specs.push_back({"comb-scq", "Combining over SCQ FAA ring", true, true, true,
+                   make_factory<CombiningQueue<ScqQueue<Payload>>>("comb-scq")});
+  specs.push_back({"sharded-comb-scq", "Sharded Combining SCQ (4 shards)", true, true, false,
+                   make_factory<ShardedQueue<CombiningQueue<ScqQueue<Payload>>>>(
+                       std::size_t{4}, "sharded-comb-scq")});
   return specs;
 }
 

@@ -809,7 +809,10 @@ ScenarioSpec telemetry_overhead_spec() {
 //   evq-bench run pairwise --trace pairwise.json --trace-sample 64
 //
 // and the exported Perfetto trace shows per-phase sub-slices plus
-// helper→helped flow arrows between threads.
+// helper→helped flow arrows between threads. The comb-cas series runs the
+// same duel through the flat-combining facade, so the trace also carries
+// combiner→helped arrows (HelpTarget::kCombiner, DESIGN.md §14) whenever
+// the adaptive heuristic engages.
 // ---------------------------------------------------------------------------
 
 ScenarioSpec pairwise_spec() {
@@ -833,7 +836,7 @@ ScenarioSpec pairwise_spec() {
     }
     return rows;
   };
-  spec.series = registry_series({"fifo-llsc", "fifo-simcas"});
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas", "comb-cas"});
   return spec;
 }
 
@@ -860,6 +863,90 @@ ScenarioSpec trace_overhead_spec() {
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Combining contention ladder: the flat-combining facades vs their bare
+// inner rings as threads climb past the core count (EXPERIMENTS.md E10,
+// DESIGN.md §14). The bet under test: plain CAS rings collapse once the
+// Head/Tail lines ping-pong, while the combiner turns N losers into one
+// announce-array pass + N amortized batch ops, so the comb-* series should
+// hold (or regain) throughput on the contended rows. Thread counts reuse the
+// backoff ladder (1, cores, 2x cores) — contention, not parallelism, is the
+// independent variable.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec combining_spec() {
+  ScenarioSpec spec;
+  spec.name = "combining";
+  spec.title = "Combining ladder: flat-combining facades vs bare rings";
+  spec.summary = "Extension — flat-combining facade vs its inner ring under contention (E10)";
+  spec.default_threads = backoff_default_threads();
+  spec.default_iters = 3000;
+  spec.default_runs = 2;
+  spec.rows = thread_rows;
+  spec.series = registry_series(
+      {"fifo-simcas", "comb-cas", "scq", "comb-scq", "sharded-comb-scq"});
+  spec.print_table = [](const ScenarioResult& r, const CliOptions& o) {
+    print_absolute(r, o, r.title);
+    const ScenarioSeries* cas = r.series_named("fifo-simcas");
+    const ScenarioSeries* comb_cas = r.series_named("comb-cas");
+    const ScenarioSeries* scq = r.series_named("scq");
+    const ScenarioSeries* comb_scq = r.series_named("comb-scq");
+    if (cas == nullptr || comb_cas == nullptr || scq == nullptr || comb_scq == nullptr) {
+      return;
+    }
+    std::printf("\nCombining speedup (bare ring mean time / combining mean time):\n");
+    std::printf("%8s %14s %14s\n", "threads", "simcas", "scq");
+    for (std::size_t i = 0; i < r.rows.size(); ++i) {
+      std::printf("%8s %13.2fx %13.2fx\n", r.rows[i].label.c_str(),
+                  cas->cells[i].time.mean / comb_cas->cells[i].time.mean,
+                  scq->cells[i].time.mean / comb_scq->cells[i].time.mean);
+    }
+    std::printf("(>1 means combining beat the bare ring; expect ~1.0 at one thread — the "
+                "adaptive direct path — and gains only on the contended rows)\n");
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Combining-overhead A/B: each facade and its bare inner ring side by side
+// at ONE thread, in one scenario — so scripts/comb_overhead_gate.py can
+// compare series WITHIN a single JSON document (bench_diff.py only joins
+// identical series names across documents, which an intra-build facade-vs-
+// ring comparison cannot use). CI runs this and fails the comb-* facades if
+// the adaptive direct path costs more than 5% over the bare ring.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec combining_overhead_spec() {
+  ScenarioSpec spec;
+  spec.name = "combining-overhead";
+  spec.title = "Combining overhead: facade vs bare ring, single thread";
+  spec.summary = "Observability — uncontended flat-combining facade tax (<=5% CI gate, E10)";
+  spec.default_threads = {1};
+  spec.default_iters = 5000;
+  spec.default_runs = 3;
+  spec.rows = thread_rows;
+  spec.series = registry_series({"fifo-simcas", "comb-cas", "scq", "comb-scq"});
+  spec.print_table = [](const ScenarioResult& r, const CliOptions& o) {
+    print_absolute(r, o, r.title);
+    const ScenarioSeries* cas = r.series_named("fifo-simcas");
+    const ScenarioSeries* comb_cas = r.series_named("comb-cas");
+    const ScenarioSeries* scq = r.series_named("scq");
+    const ScenarioSeries* comb_scq = r.series_named("comb-scq");
+    if (cas == nullptr || comb_cas == nullptr || scq == nullptr || comb_scq == nullptr ||
+        r.rows.empty()) {
+      return;
+    }
+    std::printf("\nSingle-thread facade overhead (combining vs bare ring):\n");
+    std::printf("  comb-cas vs fifo-simcas: %+.1f%%\n",
+                (comb_cas->cells[0].time.mean / cas->cells[0].time.mean - 1.0) * 100.0);
+    std::printf("  comb-scq vs scq:         %+.1f%%\n",
+                (comb_scq->cells[0].time.mean / scq->cells[0].time.mean - 1.0) * 100.0);
+    std::printf("(acceptance: <= 5%% — the adaptive direct path must keep the announce "
+                "machinery off the uncontended fast path)\n");
+  };
+  return spec;
+}
+
 std::vector<ScenarioSpec> build_scenarios() {
   std::vector<ScenarioSpec> specs;
   specs.push_back(fig6a_spec());
@@ -880,6 +967,8 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(telemetry_overhead_spec());
   specs.push_back(pairwise_spec());
   specs.push_back(trace_overhead_spec());
+  specs.push_back(combining_spec());
+  specs.push_back(combining_overhead_spec());
   return specs;
 }
 

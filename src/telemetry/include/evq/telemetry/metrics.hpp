@@ -57,9 +57,12 @@ enum class Counter : std::uint8_t {
   kSegSeal,         // segment sealed (CLOSED bit set on a ring's tail)
   kSegAlloc,        // fresh segment appended to a segmented queue
   kSegRetire,       // drained segment unlinked and handed to reclamation
+  kCombSubmit,      // op published into a combining-queue announce record
+  kCombCombine,     // combiner lock acquired and a combining pass executed
+  kCombBatchN,      // ops applied by combiners (sum; / comb_combine = batch)
 };
 
-inline constexpr std::size_t kCounterCount = 19;
+inline constexpr std::size_t kCounterCount = 22;
 
 /// Stable short name ("push_ok", ...): the `op` label of the Prometheus
 /// exporter and the key of the JSON telemetry section.

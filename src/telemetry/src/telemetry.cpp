@@ -58,6 +58,12 @@ const char* counter_name(Counter c) noexcept {
       return "seg_alloc";
     case Counter::kSegRetire:
       return "seg_retire";
+    case Counter::kCombSubmit:
+      return "comb_submit";
+    case Counter::kCombCombine:
+      return "comb_combine";
+    case Counter::kCombBatchN:
+      return "comb_batch_n";
   }
   return "unknown";
 }

@@ -84,7 +84,12 @@ enum class OpCode : std::uint8_t { kPushOk = 0, kPushFull, kPopOk, kPopEmpty };
 
 /// Which lagging index a help-advance repaired. Tail-helps pair with the
 /// push that committed at the index; head-helps pair with the pop.
-enum class HelpTarget : std::uint8_t { kTail = 0, kHead };
+/// kCombiner is the combining-queue flavor (core/combining_queue.hpp): the
+/// combiner records the helper side when it applies a PEER's announced op,
+/// the submitting thread records the helped side when it observes its record
+/// completed, and the two join on the combiner's per-op serial (carried in
+/// `index`) instead of a ring index.
+enum class HelpTarget : std::uint8_t { kTail = 0, kHead, kCombiner };
 
 enum class ReclaimKind : std::uint8_t { kHpScan = 0, kEpochAdvance, kPoolTake };
 

@@ -63,6 +63,8 @@ const char* help_target_name(HelpTarget t) noexcept {
       return "tail";
     case HelpTarget::kHead:
       return "head";
+    case HelpTarget::kCombiner:
+      return "combiner";
   }
   return "unknown";
 }
@@ -342,14 +344,20 @@ void export_chrome_trace(std::ostream& os, const ExportOptions& options) {
     std::uint32_t tid;
     std::uint64_t t_end;
   };
-  auto op_key = [](std::uint32_t queue_id, std::uint64_t index, bool push) {
-    return std::to_string(queue_id) + ":" + std::to_string(index) + (push ? ":e" : ":d");
+  // Key suffix disambiguates the index space: ":e"/":d" are ring tail/head
+  // indices, ":c" is the combiner's own serial space (combiner helps join on
+  // the serial the combiner stamped into the announce record, never on a
+  // ring index).
+  auto op_key = [](std::uint32_t queue_id, std::uint64_t index, HelpTarget target) {
+    const char* side = target == HelpTarget::kTail ? ":e"
+                       : target == HelpTarget::kHead ? ":d"
+                                                     : ":c";
+    return std::to_string(queue_id) + ":" + std::to_string(index) + side;
   };
   std::unordered_map<std::string, OpRef> committed;
   for (const SpanSnapshot& s : spans) {
     if (s.kind == EventKind::kHelp && s.extra == OpProbe::kHelpedSide) {
-      committed.emplace(op_key(s.queue_id, s.index,
-                               static_cast<HelpTarget>(s.code) == HelpTarget::kTail),
+      committed.emplace(op_key(s.queue_id, s.index, static_cast<HelpTarget>(s.code)),
                         OpRef{s.thread_ord, s.t_end});
     }
   }
@@ -359,7 +367,8 @@ void export_chrome_trace(std::ostream& os, const ExportOptions& options) {
     }
     const OpCode code = static_cast<OpCode>(s.code);
     if (code == OpCode::kPushOk || code == OpCode::kPopOk) {
-      committed.emplace(op_key(s.queue_id, s.index, code == OpCode::kPushOk),
+      committed.emplace(op_key(s.queue_id, s.index,
+                               code == OpCode::kPushOk ? HelpTarget::kTail : HelpTarget::kHead),
                         OpRef{s.thread_ord, s.t_end});
     }
   }
@@ -400,8 +409,7 @@ void export_chrome_trace(std::ostream& os, const ExportOptions& options) {
         if (!helper) {
           break;  // flow arrows start at the helper only
         }
-        const auto it =
-            committed.find(op_key(s.queue_id, s.index, target == HelpTarget::kTail));
+        const auto it = committed.find(op_key(s.queue_id, s.index, target));
         if (it != committed.end() && it->second.tid != s.thread_ord) {
           const std::uint64_t id = next_flow_id++;
           e.begin_event();

@@ -30,16 +30,23 @@ struct Operation {
   std::uint64_t invoke = 0;
   std::uint64_t response = 0;
   std::uint32_t thread = 0;
+  // Batch membership (try_push_n / try_pop_n): a batch call of k items is k
+  // linearization points that all lie inside the ONE call's real-time window
+  // and must linearize in argument order. Sub-ops of one call share
+  // invoke/response and carry the same nonzero `batch` id; `batch_rank`
+  // orders them. 0 = not part of a batch.
+  std::uint64_t batch = 0;
+  std::uint32_t batch_rank = 0;
 
   [[nodiscard]] std::string to_string() const {
+    const std::string suffix =
+        " [" + std::to_string(invoke) + "," + std::to_string(response) + ")t" +
+        std::to_string(thread) +
+        (batch != 0 ? " b" + std::to_string(batch) + "#" + std::to_string(batch_rank) : "");
     if (kind == OpKind::kPush) {
-      return "push(" + std::to_string(arg) + ")=" + (ok ? "ok" : "full") + " [" +
-             std::to_string(invoke) + "," + std::to_string(response) + ")t" +
-             std::to_string(thread);
+      return "push(" + std::to_string(arg) + ")=" + (ok ? "ok" : "full") + suffix;
     }
-    return "pop()=" + (result == 0 ? std::string("empty") : std::to_string(result)) + " [" +
-           std::to_string(invoke) + "," + std::to_string(response) + ")t" +
-           std::to_string(thread);
+    return "pop()=" + (result == 0 ? std::string("empty") : std::to_string(result)) + suffix;
   }
 };
 
@@ -70,6 +77,50 @@ class HistoryRecorder {
     const std::uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
     per_thread_[thread].push_back(
         {OpKind::kPop, 0, result, true, invoke, response, thread});
+  }
+
+  /// Records one try_push_n(values[0..attempted)) call that landed the first
+  /// `landed` items: `landed` push(v)=ok sub-ops in argument order, plus —
+  /// when the batch came up short — ONE push=full sub-op for the item that
+  /// observed the boundary (maximal-prefix semantics: the remaining items
+  /// were never offered, so they produce no operations at all). All sub-ops
+  /// share the call's invoke/response window; their in-call order is carried
+  /// by (batch, batch_rank), NOT by sub-intervals of the window — carving the
+  /// window up would invent real-time precedence against OTHER threads' ops
+  /// that the implementation never promised, making the checker reject legal
+  /// histories.
+  void end_push_n(std::uint32_t thread, std::uint64_t invoke, const std::uint64_t* values,
+                  std::size_t attempted, std::size_t landed) {
+    const std::uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t batch = invoke;  // begin() values are unique: free batch id
+    auto& log = per_thread_[thread];
+    for (std::size_t i = 0; i < landed; ++i) {
+      log.push_back({OpKind::kPush, values[i], 0, true, invoke, response, thread, batch,
+                     static_cast<std::uint32_t>(i)});
+    }
+    if (landed < attempted) {
+      log.push_back({OpKind::kPush, values[landed], 0, false, invoke, response, thread, batch,
+                     static_cast<std::uint32_t>(landed)});
+    }
+  }
+
+  /// Records one try_pop_n call that returned `got` of `requested` values:
+  /// `got` pop()=v sub-ops in return order, plus ONE pop()=empty sub-op when
+  /// the batch stopped short (the call observed empty at that point). Same
+  /// shared-window/batch-rank encoding as end_push_n.
+  void end_pop_n(std::uint32_t thread, std::uint64_t invoke, const std::uint64_t* results,
+                 std::size_t got, std::size_t requested) {
+    const std::uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t batch = invoke;
+    auto& log = per_thread_[thread];
+    for (std::size_t i = 0; i < got; ++i) {
+      log.push_back({OpKind::kPop, 0, results[i], true, invoke, response, thread, batch,
+                     static_cast<std::uint32_t>(i)});
+    }
+    if (got < requested) {
+      log.push_back({OpKind::kPop, 0, 0, true, invoke, response, thread, batch,
+                     static_cast<std::uint32_t>(got)});
+    }
   }
 
   /// Merges the per-thread logs (call after all threads joined).

@@ -40,6 +40,22 @@ class LinearizabilityChecker {
     std::sort(ops_.begin(), ops_.end(),
               [](const Operation& a, const Operation& b) { return a.invoke < b.invoke; });
     EVQ_CHECK(ops_.size() <= 64, "exhaustive checker limited to 64 operations");
+    // Batch ordering (history.hpp end_push_n/end_pop_n): sub-ops of one
+    // batch call share a real-time window but must linearize in batch_rank
+    // order. Encode that as a per-op prerequisite mask — op i may only be
+    // chosen once every same-batch op with a smaller rank has been.
+    prereq_.assign(ops_.size(), 0);
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].batch == 0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < ops_.size(); ++j) {
+        if (j != i && ops_[j].batch == ops_[i].batch &&
+            ops_[j].batch_rank < ops_[i].batch_rank) {
+          prereq_[i] |= 1ull << j;
+        }
+      }
+    }
     visited_.clear();
     std::deque<std::uint64_t> queue;
     return dfs(0, queue);
@@ -69,6 +85,9 @@ class LinearizabilityChecker {
       const Operation& op = ops_[i];
       if (op.invoke > min_response) {
         continue;  // some unchosen op strictly precedes this one
+      }
+      if ((prereq_[i] & chosen_mask) != prereq_[i]) {
+        continue;  // earlier-ranked sub-ops of this batch not yet linearized
       }
       if (!apply(op, queue)) {
         continue;  // illegal in the current sequential state
@@ -135,6 +154,7 @@ class LinearizabilityChecker {
 
   const std::size_t capacity_;
   History ops_;
+  std::vector<std::uint64_t> prereq_;
   std::unordered_set<std::uint64_t> visited_;
 };
 

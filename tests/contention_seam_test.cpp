@@ -1,0 +1,205 @@
+// Tests for the op-submission contention seam (common/backoff.hpp +
+// core/ring_engine.hpp, DESIGN.md §14).
+//
+// The seam's contract has two halves:
+//   * trivial policies (NoBackoff/ExpBackoff = BasicContention<Waiter>) must
+//     behave bit-for-bit like the historical blind pause() hook — on_retry is
+//     exactly one waiter pause, try_delegate always declines — which is what
+//     keeps every pre-seam registry entry unchanged;
+//   * an op-aware policy may take a whole operation over at entry
+//     (try_delegate), and the engine must then honour the verdict without
+//     touching the ring: kDone is a successful push/pop (pop's element rides
+//     back through OpSubmission::node), kRefused is the queue-boundary
+//     outcome (FULL_QUEUE / EMPTY_QUEUE).
+// The StackDelegate double below stands in for the combining layer and checks
+// both the verdict plumbing and the ContentionCtx/OpSubmission field flow
+// (op kind, batched hint).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "evq/common/backoff.hpp"
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/telemetry/metrics.hpp"
+
+namespace {
+
+using namespace evq;
+
+static_assert(ContentionSeam<NoBackoff>);
+static_assert(ContentionSeam<ExpBackoff>);
+
+// ---------------------------------------------------------------------------
+// BasicContention: the behaviour-preserving trivial instantiation
+// ---------------------------------------------------------------------------
+
+/// Waiter double that counts pause() calls (process-global: the engine
+/// default-constructs a fresh policy per operation, so instance state would
+/// be invisible to the test).
+struct CountingWaiter {
+  static inline int pauses = 0;
+  static inline int resets = 0;
+  void pause() noexcept { ++pauses; }
+  [[nodiscard]] bool is_yielding() const noexcept { return false; }
+  void reset() noexcept { ++resets; }
+};
+
+TEST(ContentionSeam, BasicContentionMapsOnRetryToExactlyOneWaiterPause) {
+  CountingWaiter::pauses = 0;
+  BasicContention<CountingWaiter> policy;
+  policy.on_retry(ContentionCtx{ContentionOp::kPop, 3, true});
+  EXPECT_EQ(CountingWaiter::pauses, 1);
+  policy.on_retry(ContentionCtx{ContentionOp::kPush, 0, false});
+  EXPECT_EQ(CountingWaiter::pauses, 2);
+  policy.pause();  // the blind interface still reaches the waiter too
+  EXPECT_EQ(CountingWaiter::pauses, 3);
+}
+
+TEST(ContentionSeam, BasicContentionNeverDelegates) {
+  BasicContention<CountingWaiter> policy;
+  std::uint64_t value = 7;
+  OpSubmission push_sub{ContentionOp::kPush, &value, false};
+  EXPECT_EQ(policy.try_delegate(push_sub), Delegation::kNone);
+  EXPECT_EQ(push_sub.node, &value) << "a declining policy must not touch the submission";
+  OpSubmission pop_sub{ContentionOp::kPop, nullptr, true};
+  EXPECT_EQ(policy.try_delegate(pop_sub), Delegation::kNone);
+  EXPECT_EQ(pop_sub.node, nullptr);
+}
+
+TEST(ContentionSeam, ExpBackoffStillEscalatesToYield) {
+  // The op-aware wrapper must not lose the spin-then-yield escalation the
+  // bench prices: enough on_retry rounds push the underlying Backoff past
+  // its spin limit.
+  ExpBackoff policy;
+  EXPECT_FALSE(policy.is_yielding());
+  for (int i = 0; i < 16; ++i) {
+    policy.on_retry(ContentionCtx{ContentionOp::kPush, static_cast<std::uint32_t>(i), false});
+  }
+  EXPECT_TRUE(policy.is_yielding());
+  policy.reset();
+  EXPECT_FALSE(policy.is_yielding());
+}
+
+// ---------------------------------------------------------------------------
+// Delegation end-to-end through the ring engine
+// ---------------------------------------------------------------------------
+
+/// A seam policy standing in for a combining/delegation layer: takes over
+/// every op and completes it against a process-global LIFO side stack,
+/// recording each submission it saw. The engine default-constructs a policy
+/// per operation, so all state is static; the tests are single-threaded.
+struct StackDelegate {
+  static inline std::vector<void*> stack;
+  static inline std::vector<OpSubmission> seen;
+  static inline bool refuse = false;
+
+  static void reset_state() {
+    stack.clear();
+    seen.clear();
+    refuse = false;
+  }
+
+  void pause() noexcept {}
+  [[nodiscard]] bool is_yielding() const noexcept { return false; }
+  void reset() noexcept {}
+  void on_retry(const ContentionCtx& /*ctx*/) noexcept {}
+
+  Delegation try_delegate(OpSubmission& sub) noexcept {
+    seen.push_back(sub);
+    if (refuse) {
+      return Delegation::kRefused;
+    }
+    if (sub.op == ContentionOp::kPush) {
+      stack.push_back(sub.node);
+      return Delegation::kDone;
+    }
+    if (stack.empty()) {
+      return Delegation::kRefused;  // EMPTY_QUEUE
+    }
+    sub.node = stack.back();
+    stack.pop_back();
+    return Delegation::kDone;
+  }
+};
+
+static_assert(ContentionSeam<StackDelegate>);
+
+using DelegatedQueue = CasArrayQueue<std::uint64_t, StackDelegate>;
+
+TEST(ContentionSeam, DelegatedOpsNeverTouchTheRing) {
+  StackDelegate::reset_state();
+  DelegatedQueue q(4, "seam-delegate-a");
+  auto h = q.handle();
+  std::uint64_t a = 1, b = 2;
+  EXPECT_TRUE(q.try_push(h, &a));
+  EXPECT_TRUE(q.try_push(h, &b));
+  // The ops were completed by the policy; the ring itself stayed untouched.
+  EXPECT_EQ(q.size_estimate(), 0u);
+  EXPECT_EQ(q.head_index(), 0u);
+  EXPECT_EQ(q.tail_index(), 0u);
+  // kDone pops surface the policy's element through OpSubmission::node.
+  EXPECT_EQ(q.try_pop(h), &b);
+  EXPECT_EQ(q.try_pop(h), &a);
+  // Stack drained: the policy reports EMPTY_QUEUE via kRefused.
+  EXPECT_EQ(q.try_pop(h), nullptr);
+}
+
+TEST(ContentionSeam, RefusedDelegationReportsQueueBoundaryOutcomes) {
+  StackDelegate::reset_state();
+  StackDelegate::refuse = true;
+  DelegatedQueue q(4, "seam-delegate-b");
+  auto h = q.handle();
+  std::uint64_t v = 9;
+  EXPECT_FALSE(q.try_push(h, &v)) << "kRefused on push is FULL_QUEUE";
+  EXPECT_EQ(q.try_pop(h), nullptr) << "kRefused on pop is EMPTY_QUEUE";
+  EXPECT_EQ(q.size_estimate(), 0u);
+}
+
+TEST(ContentionSeam, SubmissionCarriesOpKindAndBatchHint) {
+  StackDelegate::reset_state();
+  DelegatedQueue q(8, "seam-delegate-c");
+  auto h = q.handle();
+  std::uint64_t vals[3] = {1, 2, 3};
+  std::uint64_t* nodes[3] = {&vals[0], &vals[1], &vals[2]};
+  ASSERT_TRUE(q.try_push(h, &vals[0]));            // single: batched = false
+  ASSERT_EQ(q.try_push_n(h, nodes, 3), 3u);        // batch entry: batched = true
+  std::uint64_t* out[4] = {};
+  ASSERT_EQ(q.try_pop_n(h, out, 4), 4u);
+  ASSERT_EQ(q.try_pop(h), nullptr);                // empty single pop
+
+  ASSERT_EQ(StackDelegate::seen.size(), 9u);
+  EXPECT_EQ(StackDelegate::seen[0].op, ContentionOp::kPush);
+  EXPECT_FALSE(StackDelegate::seen[0].batched);
+  EXPECT_EQ(StackDelegate::seen[0].node, &vals[0]);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(StackDelegate::seen[i].op, ContentionOp::kPush);
+    EXPECT_TRUE(StackDelegate::seen[i].batched) << "try_push_n must set the batch hint";
+  }
+  for (int i = 4; i <= 7; ++i) {
+    EXPECT_EQ(StackDelegate::seen[i].op, ContentionOp::kPop);
+    EXPECT_TRUE(StackDelegate::seen[i].batched);
+  }
+  EXPECT_EQ(StackDelegate::seen[8].op, ContentionOp::kPop);
+  EXPECT_FALSE(StackDelegate::seen[8].batched);
+}
+
+TEST(ContentionSeam, DelegatedOutcomesStillCountInTelemetry) {
+#if !EVQ_TELEMETRY
+  GTEST_SKIP() << "counter values compiled out with EVQ_TELEMETRY=0";
+#else
+  StackDelegate::reset_state();
+  DelegatedQueue q(4, "seam-delegate-telemetry");
+  auto h = q.handle();
+  std::uint64_t v = 5;
+  ASSERT_TRUE(q.try_push(h, &v));
+  ASSERT_EQ(q.try_pop(h), &v);
+  ASSERT_EQ(q.try_pop(h), nullptr);  // policy stack empty -> kRefused
+  const telemetry::CounterSnapshot snap = q.metrics().snapshot();
+  EXPECT_EQ(snap[telemetry::Counter::kPushOk], 1u);
+  EXPECT_EQ(snap[telemetry::Counter::kPopOk], 1u);
+  EXPECT_EQ(snap[telemetry::Counter::kPopEmpty], 1u);
+#endif
+}
+
+}  // namespace

@@ -23,6 +23,7 @@
 #include "evq/baselines/unsync_ring.hpp"
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
 #include "evq/core/segmented_queue.hpp"
@@ -345,6 +346,38 @@ TEST_P(DifferentialFuzz, ShardedSegmentedScqQueue) {
     model.erase(it);
   }
   ASSERT_EQ(q.try_pop(h), nullptr);
+}
+
+// Combining facades: single-threaded the adaptive heuristic mostly stays on
+// the direct path, but every kProbeEvery-th op still runs the full
+// announce/combine/harvest protocol (the probe), so the fuzz walks both
+// paths and their hand-off at every full/empty boundary the model reaches.
+TEST_P(DifferentialFuzz, CombiningCasQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<CombiningQueue<CasArrayQueue<Token>>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CombiningScqQueue) {
+  const auto p = GetParam();
+  fuzz_against_model<CombiningQueue<ScqQueue<Token>>>(p.capacity, p.seed, kOps, p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CombiningCasQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<CombiningQueue<CasArrayQueue<Token>>>(p.capacity, p.seed, kOps / 4,
+                                                                 p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, CombiningScqQueueBatch) {
+  const auto p = GetParam();
+  fuzz_batch_against_model<CombiningQueue<ScqQueue<Token>>>(p.capacity, p.seed, kOps / 4,
+                                                            p.bias_push);
+}
+
+TEST_P(DifferentialFuzz, ShardedCombiningScqQueue) {
+  const auto p = GetParam();
+  fuzz_sharded_against_multiset<CombiningQueue<ScqQueue<Token>>>(p.capacity * 4, 4, p.seed, kOps,
+                                                                 p.bias_push);
 }
 
 TEST_P(DifferentialFuzz, ShardedScqQueue) {

@@ -20,6 +20,7 @@
 #include "evq/baselines/shann_queue.hpp"
 #include "evq/baselines/tsigas_zhang_queue.hpp"
 #include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
 #include "evq/core/segmented_queue.hpp"
@@ -92,7 +93,12 @@ using AllQueues = ::testing::Types<LlscArrayQueue<Token, llsc::VersionedLlsc>,
                                    // push-always-succeeds duals.
                                    SegmentedQueue<CasArrayQueue<Token>>,
                                    SegmentedQueue<ScqQueue<Token>>,
-                                   SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain>>;
+                                   SegmentedQueue<ScqQueue<Token>, EbrSegmentDomain>,
+                                   // Combining facades: announced ops completed
+                                   // by peer combiners must honour the exact
+                                   // same contract as direct ring ops.
+                                   CombiningQueue<CasArrayQueue<Token>>,
+                                   CombiningQueue<ScqQueue<Token>>>;
 TYPED_TEST_SUITE(QueueConformanceTest, AllQueues);
 
 // ---------------------------------------------------------------------------

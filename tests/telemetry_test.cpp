@@ -51,15 +51,18 @@ TEST(TelemetryCounters, NamesAreStableAndDistinct) {
     }
   }
   EXPECT_EQ(names[0], "push_ok");  // exporter `op` labels are API
-  EXPECT_EQ(names[kCounterCount - 1], "seg_retire");
-  // The SCQ-generation pair and the segmented-lifecycle triple sit at the
-  // tail of the taxonomy; these labels are exporter API just like the op
-  // labels above.
+  EXPECT_EQ(names[kCounterCount - 1], "comb_batch_n");
+  // The SCQ-generation pair, the segmented-lifecycle triple, and the
+  // combining triple sit at the tail of the taxonomy; these labels are
+  // exporter API just like the op labels above.
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kFaaReserve)], "faa_reserve");
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSlotSkip)], "slot_skip");
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegSeal)], "seg_seal");
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegAlloc)], "seg_alloc");
   EXPECT_EQ(names[static_cast<std::size_t>(Counter::kSegRetire)], "seg_retire");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kCombSubmit)], "comb_submit");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kCombCombine)], "comb_combine");
+  EXPECT_EQ(names[static_cast<std::size_t>(Counter::kCombBatchN)], "comb_batch_n");
 }
 
 TEST(TelemetryCounters, SnapshotArithmetic) {

@@ -21,7 +21,8 @@ inline constexpr const char* kTortureCoveredQueues[] = {
     "ms-ebr", "tsigas-zhang", "mutex", "unsync",
     "fifo-llsc-backoff", "fifo-simcas-backoff", "sharded-llsc", "sharded-simcas",
     "scq", "scq-backoff", "sharded-scq", "seg-cas",
-    "seg-scq", "sharded-seg-scq",
+    "seg-scq", "sharded-seg-scq", "comb-cas", "comb-scq",
+    "sharded-comb-scq",
 };
 
 inline constexpr std::size_t kTortureCoveredQueueCount =

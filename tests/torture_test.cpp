@@ -58,6 +58,7 @@
 #include "evq/baselines/unsync_ring.hpp"
 #include "evq/common/rng.hpp"
 #include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
 #include "evq/core/llsc_array_queue.hpp"
 #include "evq/core/scq_queue.hpp"
 #include "evq/core/segmented_queue.hpp"
@@ -418,6 +419,27 @@ constexpr RunnerEntry kRunners[] = {
     {"sharded-seg-scq",
      +[](const inject::Profile& p, const TortureConfig& c) {
        ShardedQueue<SegmentedQueue<ScqQueue<Token>>> q(16 * 4, 4, "sharded-seg-scq");
+       TortureOutcome out = run_torture(q, p, c);
+       out.order = {};
+       return out;
+     }},
+    // The combining facades stay linearizable FIFO (announced ops linearize
+    // at the combiner's batch application), so the order check stays ON —
+    // and the injectors now park threads inside the INNER ring while peers
+    // wait on announce records, stressing the withdraw/cancel escape path.
+    {"comb-cas",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       CombiningQueue<CasArrayQueue<Token>> q(c.capacity, "comb-cas");
+       return run_torture(q, p, c);
+     }},
+    {"comb-scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       CombiningQueue<ScqQueue<Token>> q(c.capacity, "comb-scq");
+       return run_torture(q, p, c);
+     }},
+    {"sharded-comb-scq",
+     +[](const inject::Profile& p, const TortureConfig& c) {
+       ShardedQueue<CombiningQueue<ScqQueue<Token>>> q(c.capacity * 4, 4, "sharded-comb-scq");
        TortureOutcome out = run_torture(q, p, c);
        out.order = {};
        return out;
