@@ -53,7 +53,9 @@ struct OpSubmission {
 
 /// try_delegate outcome. kNone: the policy declined; the engine runs the op
 /// itself (the only outcome the trivial policies ever produce). kDone: the
-/// policy completed the op — push accepted / pop produced sub.node. kRefused:
+/// policy completed the op — push accepted / pop produced sub.node (a null
+/// sub.node is legal and means the pop observed empty at the policy's
+/// linearization point; the engine accounts it as an empty pop). kRefused:
 /// the policy completed the op with the queue-boundary outcome — push saw
 /// FULL_QUEUE / pop saw EMPTY_QUEUE.
 enum class Delegation : std::uint8_t { kNone = 0, kDone, kRefused };

@@ -13,11 +13,16 @@
 //
 // Design:
 //  * Announce records are cache-line-striped: one Record per line, claimed
-//    by handle slot. The first kRecordCount handles own their record
-//    exclusively (publish = plain node store + one release store); later
-//    handles share records round-robin and claim with a CAS, falling back
-//    to a direct ring operation when the record is busy — the ring is
-//    itself lock-free and linearizable, so a direct op is always correct.
+//    by handle slot. The record array is statically PARTITIONED between the
+//    two claiming disciplines so they can never meet on one record: the
+//    first kExclusiveRecords handles own records [0, kExclusiveRecords)
+//    exclusively (publish = plain node store + one release store); every
+//    later handle maps round-robin onto the remaining shared records and
+//    claims with a CAS, falling back to a direct ring operation when the
+//    record is busy — the ring is itself lock-free and linearizable, so a
+//    direct op is always correct. (Without the partition an exclusive
+//    owner's plain publish could race a sharer's CAS claim on the same
+//    record, and one combined result would be handed to two waiters.)
 //  * The combiner lock is a single word acquired by CAS. The winner makes
 //    ONE bounded pass over the records (≤ kRecordCount ops per
 //    acquisition), draining pending pushes through try_push_n and pending
@@ -78,9 +83,17 @@ class CombiningQueue {
   /// One announce record per handle slot. How many is a latency/footprint
   /// trade: the combiner's bounded pass touches every record, so the array
   /// must stay small enough to scan in the shadow of one ring operation.
-  /// 16 lines (1 KiB) covers the torture/bench thread counts exclusively;
-  /// larger thread counts share records (claim-by-CAS path).
+  /// 16 lines = 1 KiB.
   static constexpr std::size_t kRecordCount = 16;
+  /// Static partition of the record array between the two claiming
+  /// disciplines. Records [0, kExclusiveRecords) belong to the first
+  /// kExclusiveRecords handles one-to-one (plain-store publish, no claim
+  /// CAS); records [kExclusiveRecords, kRecordCount) are shared round-robin
+  /// by every later handle and claimed by CAS. The ranges are disjoint, so
+  /// an exclusive owner's plain publish can never race a sharer's claim —
+  /// the partition is a correctness requirement, not a tuning knob.
+  static constexpr std::size_t kExclusiveRecords = kRecordCount / 2;
+  static constexpr std::size_t kSharedRecords = kRecordCount - kExclusiveRecords;
   /// Every handle's kProbeEvery-th op takes the announce path while the
   /// queue is in direct mode, so contention is (re)discovered without
   /// taxing the uncontended fast path.
@@ -247,11 +260,14 @@ class CombiningQueue {
   }
 
   [[nodiscard]] Record& record_of(const Handle& h) noexcept {
-    return records_[h.slot_ % kRecordCount];
+    if (owns_exclusively(h)) {
+      return records_[h.slot_];
+    }
+    return records_[kExclusiveRecords + (h.slot_ - kExclusiveRecords) % kSharedRecords];
   }
 
   [[nodiscard]] bool owns_exclusively(const Handle& h) const noexcept {
-    return h.slot_ < kRecordCount;
+    return h.slot_ < kExclusiveRecords;
   }
 
   [[nodiscard]] bool try_acquire_lock() noexcept {
@@ -320,8 +336,12 @@ class CombiningQueue {
         // pre-claim): withdraw and run the op on the lock-free ring
         // directly. Fails only if a combiner already claimed the record,
         // in which case its completion is imminent — keep waiting.
+        // acq_rel: the release half publishes our plain `node` write to
+        // whoever claims this record next (a shared-slot CAS claimer
+        // synchronizes on this store, just as it does on the release kIdle
+        // stores in submit_push/submit_pop).
         std::uint64_t expected = pending_word;
-        if (r.word.compare_exchange_strong(expected, kIdle, std::memory_order_acquire)) {
+        if (r.word.compare_exchange_strong(expected, kIdle, std::memory_order_acq_rel)) {
           enter_combining_mode();
           return kIdle;
         }

@@ -566,8 +566,17 @@ class BoundedRing {
       case Delegation::kNone:
         break;
       case Delegation::kDone:
-        telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopOk);
-        probe.finish(trace::OpCode::kPopOk, 0, retries);
+        // A policy may report kDone with a null node (pop completed, queue
+        // empty at its linearization point) — count/trace that as an empty
+        // pop, not a successful one, so telemetry and trace joins stay
+        // truthful to what the caller receives.
+        if (sub.node != nullptr) {
+          telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopOk);
+          probe.finish(trace::OpCode::kPopOk, 0, retries);
+        } else {
+          telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopEmpty);
+          probe.finish(trace::OpCode::kPopEmpty, 0, retries);
+        }
         return static_cast<T*>(sub.node);
       case Delegation::kRefused:
         telemetry::count_ring_event(telemetry_, telemetry::Counter::kPopEmpty);

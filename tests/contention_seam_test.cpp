@@ -184,6 +184,38 @@ TEST(ContentionSeam, SubmissionCarriesOpKindAndBatchHint) {
   EXPECT_FALSE(StackDelegate::seen[8].batched);
 }
 
+/// Policy that completes every op as kDone but never produces a pop element
+/// (leaves OpSubmission::node null) — the legal "pop completed, queue empty
+/// at my linearization point" result channel.
+struct NullPopDelegate {
+  void pause() noexcept {}
+  [[nodiscard]] bool is_yielding() const noexcept { return false; }
+  void reset() noexcept {}
+  void on_retry(const ContentionCtx& /*ctx*/) noexcept {}
+  Delegation try_delegate(OpSubmission& sub) noexcept {
+    if (sub.op == ContentionOp::kPop) {
+      sub.node = nullptr;
+    }
+    return Delegation::kDone;
+  }
+};
+
+static_assert(ContentionSeam<NullPopDelegate>);
+
+TEST(ContentionSeam, DoneDelegationWithNullPopCountsAsEmptyNotOk) {
+  // kDone with a null pop node must reach the caller as nullptr AND be
+  // accounted as an empty pop — counting it kPopOk would report successful
+  // pops that handed out nothing, skewing telemetry/trace joins.
+  CasArrayQueue<std::uint64_t, NullPopDelegate> q(4, "seam-delegate-nullpop");
+  auto h = q.handle();
+  EXPECT_EQ(q.try_pop(h), nullptr);
+#if EVQ_TELEMETRY
+  const telemetry::CounterSnapshot snap = q.metrics().snapshot();
+  EXPECT_EQ(snap[telemetry::Counter::kPopOk], 0u);
+  EXPECT_EQ(snap[telemetry::Counter::kPopEmpty], 1u);
+#endif
+}
+
 TEST(ContentionSeam, DelegatedOutcomesStillCountInTelemetry) {
 #if !EVQ_TELEMETRY
   GTEST_SKIP() << "counter values compiled out with EVQ_TELEMETRY=0";
