@@ -1,0 +1,147 @@
+// evq-top: a live terminal view of the evq::health layer — the third
+// observability layer end to end in one screen.
+//
+// Spawns a deliberately unbalanced workload over three queue families (a
+// flat CAS ring, an SCQ ring, and a flat-combining facade), runs a health
+// Monitor over the global registry, and redraws a top(1)-style panel each
+// poll: per-queue derived rates, latency-reservoir percentiles, per-thread
+// progress, and whatever findings the Diagnoser currently holds active.
+//
+// Build & run:   ./build/examples/evq-top [polls] [interval_ms] [--once]
+//                [--json]
+//
+//   --once   single poll, plain dump, no screen clearing (CI smoke mode)
+//   --json   print the versioned health_json document after the last poll
+//
+// Nothing here is example-only instrumentation: the same Monitor pumped by
+// the torture watchdog and `evq-bench --health` drives the display.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
+#include "evq/core/scq_queue.hpp"
+#include "evq/health/health.hpp"
+#include "evq/health/monitor.hpp"
+#include "evq/telemetry/flight_recorder.hpp"
+
+namespace {
+
+struct Job {
+  int id;
+};
+
+template <typename Q>
+void churn(Q& queue, std::atomic<bool>& stop, unsigned push_bias_pct) {
+  auto h = queue.handle();
+  Job jobs[32];
+  unsigned next = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    ++next;
+    if (next % 100 < push_bias_pct) {
+      Job* j = &jobs[next % 32];
+      j->id = static_cast<int>(next);
+      if (!queue.try_push(h, j)) {
+        (void)queue.try_pop(h);
+      }
+    } else {
+      (void)queue.try_pop(h);
+    }
+  }
+  while (queue.try_pop(h) != nullptr) {
+  }
+}
+
+void draw(const evq::health::HealthSnapshot& snap, bool clear) {
+  if (clear) {
+    std::printf("\x1b[2J\x1b[H");  // clear + home, like top(1)
+  }
+  std::printf("evq-top — poll %llu\n", static_cast<unsigned long long>(snap.poll));
+  std::printf("%-18s %10s %8s %8s %8s %8s %9s %9s\n", "QUEUE", "ops", "casfail", "skip/op",
+              "faawaste", "combeng", "p50push", "p99push");
+  for (const evq::health::QueueRates& q : snap.queues) {
+    if (q.ops == 0) {
+      continue;
+    }
+    std::printf("%-18s %10llu %8.3f %8.3f %8.3f %8.3f %9.0f %9.0f\n", q.queue.c_str(),
+                static_cast<unsigned long long>(q.ops), q.cas_fail_ratio, q.slot_skip_per_op,
+                q.faa_waste, q.comb_engagement, q.push_p50_ns, q.push_p99_ns);
+  }
+  std::printf("\n%-8s %6s %12s %8s  %s\n", "THREAD", "live", "op_seq", "stalled", "last op");
+  for (const evq::health::ThreadProgress& t : snap.threads) {
+    std::printf("%-8u %6s %12llu %8u  %s %s[%llu]\n", t.thread_ord, t.live ? "yes" : "no",
+                static_cast<unsigned long long>(t.op_seq), t.stalled_polls,
+                t.last_op.c_str(), t.last_queue.c_str(),
+                static_cast<unsigned long long>(t.last_index));
+  }
+  std::printf("\nFINDINGS (%zu active)\n", snap.findings.size());
+  for (const evq::health::Finding& f : snap.findings) {
+    std::printf("  [%s] %s: %s (since poll %llu)\n", evq::health::finding_type_name(f.type),
+                f.subject.c_str(), f.detail.c_str(),
+                static_cast<unsigned long long>(f.since_poll));
+  }
+  if (snap.findings.empty()) {
+    std::printf("  (none — system healthy)\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  bool json = false;
+  std::vector<const char*> positional;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+  const int polls = once ? 1 : (positional.size() > 0 ? std::atoi(positional[0]) : 10);
+  const int interval_ms = positional.size() > 1 ? std::atoi(positional[1]) : 500;
+
+  // Tracing feeds the per-thread progress panel (and the stall detector).
+  evq::telemetry::set_tracing(true);
+
+  evq::CasArrayQueue<Job> cas(256, "top-cas");
+  evq::ScqQueue<Job> scq(256, "top-scq");
+  evq::CombiningQueue<evq::CasArrayQueue<Job>> comb(256, "top-comb");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.emplace_back([&] { churn(cas, stop, 60); });
+  workers.emplace_back([&] { churn(cas, stop, 40); });
+  workers.emplace_back([&] { churn(scq, stop, 70); });  // push-heavy: skips + waste
+  workers.emplace_back([&] { churn(scq, stop, 30); });
+  workers.emplace_back([&] { churn(comb, stop, 50); });
+  workers.emplace_back([&] { churn(comb, stop, 50); });
+
+  evq::health::Monitor monitor;  // latency reservoir on at 1-in-64
+  evq::health::HealthSnapshot snap;
+  for (int p = 0; p < polls; ++p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    snap = monitor.poll();
+    draw(snap, /*clear=*/!once);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  if (json) {
+    evq::health::health_json(std::cout, snap);
+  }
+  return 0;
+}

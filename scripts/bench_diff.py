@@ -51,6 +51,33 @@ def telemetry_rows(doc):
             yield (scenario["name"], block["queue"]), block.get("counters", {})
 
 
+HEALTH_RATES = ("cas_fail_ratio", "slot_skip_per_op", "faa_waste",
+                "comb_engagement", "comb_mean_batch", "seg_in_flight")
+
+
+def health_rows(doc):
+    """Yields ((scenario, queue), rates) for every health queue block.
+
+    The "health" section is optional (only runs with --health emit it) —
+    documents without it simply yield nothing, so diffing a pre-health
+    baseline against a post-health candidate works unchanged.
+    """
+    for scenario in doc.get("scenarios", []):
+        health = scenario.get("health")
+        if not isinstance(health, dict):
+            continue
+        for block in health.get("queues", []):
+            yield (scenario["name"], block.get("queue", "?")), block
+
+
+def finding_rows(doc):
+    """Yields (scenario, finding_polls dict) for scenarios with health data."""
+    for scenario in doc.get("scenarios", []):
+        health = scenario.get("health")
+        if isinstance(health, dict):
+            yield scenario["name"], health.get("finding_polls", {})
+
+
 def pct_change(old, new):
     if old <= 0:
         return 0.0
@@ -163,6 +190,42 @@ def main():
     if counter_lines:
         print("telemetry counter changes (informational):")
         for line in counter_lines:
+            print(line)
+
+    # Health rate deltas: like telemetry, informational only. Rates are
+    # ratios near zero, so they diff on absolute change (0.02 floor), not
+    # percent — a skip rate going 0.001 -> 0.003 is +200% but meaningless.
+    base_health = dict(health_rows(base_doc))
+    cand_health = dict(health_rows(cand_doc))
+    health_lines = []
+    for key in sorted(base_health.keys() & cand_health.keys()):
+        b, c = base_health[key], cand_health[key]
+        for rate in HEALTH_RATES:
+            old, new = b.get(rate, 0.0), c.get(rate, 0.0)
+            if abs(new - old) <= 0.02:
+                continue
+            scenario, queue = key
+            health_lines.append(
+                f"  {scenario:>18s} {queue:<20s} {rate}: "
+                f"{old:.3g} -> {new:.3g}")
+    if health_lines:
+        print("health rate changes (informational):")
+        for line in health_lines:
+            print(line)
+
+    base_findings = dict(finding_rows(base_doc))
+    cand_findings = dict(finding_rows(cand_doc))
+    finding_lines = []
+    for scenario in sorted(base_findings.keys() & cand_findings.keys()):
+        b, c = base_findings[scenario], cand_findings[scenario]
+        for ftype in sorted(b.keys() | c.keys()):
+            old, new = b.get(ftype, 0), c.get(ftype, 0)
+            if old != new:
+                finding_lines.append(
+                    f"  {scenario:>18s} {ftype}: active {old} -> {new} poll(s)")
+    if finding_lines:
+        print("health finding activity changes (informational):")
+        for line in finding_lines:
             print(line)
 
     if args.fail_on_regress and regressions:

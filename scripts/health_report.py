@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Render an evq health dump as a human-readable report.
+
+Accepts either flavour of health JSON the tree produces and auto-detects
+which one it was given:
+
+ * a Monitor snapshot from the `health_json` sink — the torture watchdog's
+   wedge dump (`EVQ_HEALTH_DUMP_PATH`, default torture_health.json) or
+   anything else that streamed `evq::health::health_json`; recognised by its
+   top-level "health_schema_version";
+ * an evq-bench document produced with `--health`, where each scenario
+   carries an optional "health" digest; recognised by "schema_version" +
+   "scenarios".
+
+The report leads with active findings (the part a human acts on), then the
+per-queue rates that triggered them, then thread progress (snapshots only).
+Rates that are all zero are elided — a healthy queue is one line.
+
+Exit code is 0 unless --fail-on-findings is given and at least one finding
+is active (useful as a cheap CI tripwire over a torture wedge artifact).
+
+usage: health_report.py health.json [--fail-on-findings]
+"""
+
+import argparse
+import json
+import sys
+
+RATES = ("cas_fail_ratio", "slot_skip_per_op", "faa_waste",
+         "comb_engagement", "comb_mean_batch", "seg_in_flight")
+
+SEVERITY_HINTS = {
+    "threshold_burn": "livelock tax: dequeuers are burning tickets on "
+                      "skipped slots",
+    "combiner_collapse": "combiner holds the lock but applies no batches; "
+                         "peers have withdrawn to direct mode",
+    "segment_leak": "segments retire slower than they are allocated",
+    "thread_stalled": "a thread that was making progress has stopped "
+                      "completing ops",
+}
+
+
+def fmt_rate(value):
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_queues(queues, indent="  "):
+    lines = []
+    for q in queues:
+        # Snapshot documents nest the rates ("rates": {...}); bench health
+        # blocks inline them. Look in both places.
+        nested = q.get("rates") if isinstance(q.get("rates"), dict) else {}
+        rates = {r: q.get(r, nested.get(r, 0)) for r in RATES}
+        notable = [(r, v) for r, v in rates.items() if v]
+        lat = []
+        for op in ("push", "pop"):
+            p50 = q.get(f"{op}_p50_ns")
+            if p50 is None and isinstance(q.get("latency_ns"), dict):
+                p50 = q["latency_ns"].get(f"{op}_p50")
+            p99 = q.get(f"{op}_p99_ns")
+            if p99 is None and isinstance(q.get("latency_ns"), dict):
+                p99 = q["latency_ns"].get(f"{op}_p99")
+            if p50 is not None:
+                lat.append(f"{op} p50/p99 {fmt_rate(p50)}/{fmt_rate(p99)}ns")
+        parts = [f"ops={q.get('ops', 0)}"]
+        parts += [f"{name}={fmt_rate(value)}" for name, value in notable]
+        parts += lat
+        lines.append(f"{indent}{q.get('queue', '?'):<28s} " + "  ".join(parts))
+    return lines
+
+
+def render_findings(findings, indent="  "):
+    lines = []
+    for f in findings:
+        ftype = f.get("type", "?")
+        lines.append(f"{indent}[{ftype}] {f.get('subject', '?')} "
+                     f"(severity {fmt_rate(f.get('severity', 0))}, "
+                     f"since poll {f.get('since_poll', 0)})")
+        detail = f.get("detail", "")
+        if detail:
+            lines.append(f"{indent}    {detail}")
+        hint = SEVERITY_HINTS.get(ftype)
+        if hint:
+            lines.append(f"{indent}    hint: {hint}")
+    return lines
+
+
+def report_snapshot(doc):
+    """Monitor snapshot (health_json sink)."""
+    findings = doc.get("findings", [])
+    print(f"evq health snapshot (poll {doc.get('poll', 0)}): "
+          f"{len(findings)} active finding(s)")
+    if findings:
+        print("findings:")
+        for line in render_findings(findings):
+            print(line)
+    queues = doc.get("queues", [])
+    if queues:
+        print(f"queues ({len(queues)}):")
+        for line in render_queues(queues):
+            print(line)
+    threads = doc.get("threads", [])
+    stalled = [t for t in threads if t.get("stalled_now")]
+    if threads:
+        print(f"threads: {len(threads)} tracked, {len(stalled)} stalled")
+        for t in stalled:
+            print(f"  thread {t.get('ord', '?')}: op_seq {t.get('op_seq', 0)} "
+                  f"frozen for {t.get('stalled_polls', 0)} poll(s); "
+                  f"last {t.get('last_op', '?')} on "
+                  f"{t.get('last_queue', '?')}")
+    return len(findings)
+
+
+def report_bench(doc):
+    """evq-bench document: one block per scenario that ran with --health."""
+    total = 0
+    reported = 0
+    for scenario in doc.get("scenarios", []):
+        health = scenario.get("health")
+        if not isinstance(health, dict):
+            continue
+        reported += 1
+        findings = health.get("findings", [])
+        total += len(findings)
+        active = {k: v for k, v in health.get("finding_polls", {}).items() if v}
+        print(f"scenario {scenario.get('name', '?')}: "
+              f"{health.get('polls', 0)} poll(s), "
+              f"{len(findings)} finding(s) active at end")
+        if active:
+            print("  finding-active polls: " +
+                  ", ".join(f"{k}={v}" for k, v in sorted(active.items())))
+        if findings:
+            for line in render_findings(findings, indent="  "):
+                print(line)
+        for line in render_queues(health.get("queues", []), indent="  "):
+            print(line)
+    if reported == 0:
+        print("no health sections found (was the run made with --health?)")
+    return total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="health snapshot or evq-bench JSON")
+    parser.add_argument("--fail-on-findings", action="store_true",
+                        help="exit 1 if any finding is active")
+    args = parser.parse_args()
+
+    with open(args.path) as f:
+        doc = json.load(f)
+
+    if "health_schema_version" in doc:
+        if doc["health_schema_version"] != 1:
+            sys.exit(f"{args.path}: unsupported health_schema_version "
+                     f"{doc['health_schema_version']!r} (expected 1)")
+        findings = report_snapshot(doc)
+    elif "scenarios" in doc:
+        if doc.get("schema_version") != 1:
+            sys.exit(f"{args.path}: unsupported schema_version "
+                     f"{doc.get('schema_version')!r} (expected 1)")
+        findings = report_bench(doc)
+    else:
+        sys.exit(f"{args.path}: neither a health snapshot "
+                 f"(health_schema_version) nor a bench document (scenarios)")
+
+    if args.fail_on_findings and findings:
+        print(f"FAIL: {findings} active finding(s) with --fail-on-findings",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,6 +157,51 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("only in candidate", r.stderr)
         self.assertIn("compared 1 cells", r.stdout)
 
+    # -- health section (optional, informational) --------------------------
+
+    @staticmethod
+    def add_health(doc, scenario_name, skip_rate, finding_polls):
+        for scenario in doc["scenarios"]:
+            if scenario["name"] == scenario_name:
+                scenario["health"] = {
+                    "schema_version": 1,
+                    "polls": 10,
+                    "finding_polls": finding_polls,
+                    "queues": [{
+                        "queue": "q", "ops": 1000, "cas_fail_ratio": 0.0,
+                        "slot_skip_per_op": skip_rate, "faa_waste": 0.0,
+                        "comb_engagement": 0.0, "comb_mean_batch": 0.0,
+                        "seg_in_flight": 0,
+                    }],
+                    "findings": [],
+                }
+
+    def test_health_deltas_are_reported_but_never_fatal(self):
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_health(base_doc, "s", 0.01, {"threshold_burn": 0})
+        self.add_health(cand_doc, "s", 0.30, {"threshold_burn": 4})
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress", "--fail-over", "5")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("health rate changes", r.stdout)
+        self.assertIn("slot_skip_per_op: 0.01 -> 0.3", r.stdout)
+        self.assertIn("health finding activity changes", r.stdout)
+        self.assertIn("threshold_burn: active 0 -> 4 poll(s)", r.stdout)
+
+    def test_missing_health_section_is_tolerated(self):
+        # A pre-health baseline diffed against a --health candidate: the
+        # section is one-sided, so no health lines and no crash.
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_health(cand_doc, "s", 0.30, {"threshold_burn": 4})
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("health rate changes", r.stdout)
+
     def test_join_is_per_series_and_row(self):
         base = self.write("base.json", make_doc(
             {"s": {"q1": [(1.0, 1000.0), (2.0, 500.0)], "q2": [(1.0, 1000.0)]}}))

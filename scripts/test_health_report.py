@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Smoke tests for scripts/health_report.py (run by CTest as `health_report_py`).
+
+Pins the two input auto-detection paths (Monitor snapshot vs evq-bench
+document), the findings-first rendering, the --fail-on-findings exit
+contract, and the rejection of unknown schemas. Stdlib only, same rule as
+test_bench_diff.py: must run on a bare python3.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "health_report.py")
+
+
+def snapshot_doc(findings=()):
+    return {
+        "health_schema_version": 1,
+        "poll": 7,
+        # Rates are nested under "rates" in the health_json flavour —
+        # keep the fixture shaped exactly like the sink's real output.
+        "queues": [{
+            "queue": "core.scq", "id": 1, "ops": 5000,
+            "rates": {"cas_fail_ratio": 0.0, "slot_skip_per_op": 0.31,
+                      "faa_waste": 0.08, "comb_engagement": 0.0,
+                      "comb_mean_batch": 0.0, "seg_in_flight": 0},
+        }],
+        "threads": [
+            {"ord": 2, "live": True, "op_seq": 90, "stalled_now": True,
+             "stalled_polls": 3, "last_op": "pop_ok", "last_queue": "core.scq",
+             "last_index": 4, "last_retries": 0},
+            {"ord": 3, "live": True, "op_seq": 500, "stalled_now": False,
+             "stalled_polls": 0, "last_op": "push_ok",
+             "last_queue": "core.scq", "last_index": 9, "last_retries": 1},
+        ],
+        "findings": list(findings),
+    }
+
+
+def burn_finding():
+    return {"type": "threshold_burn", "subject": "core.scq", "severity": 0.31,
+            "since_poll": 5, "detail": "slot_skip_per_op 0.31 over 5000 ops"}
+
+
+def bench_doc(with_health=True):
+    scenario = {"name": "health-overhead", "rows": [{"label": "1"}],
+                "series": [{"name": "scq", "cells": [
+                    {"mean_seconds": 1.0, "throughput_ops_per_sec": 1000.0}]}]}
+    if with_health:
+        scenario["health"] = {
+            "schema_version": 1, "polls": 12,
+            "finding_polls": {"threshold_burn": 3, "combiner_collapse": 0,
+                              "segment_leak": 0, "thread_stalled": 0},
+            "queues": [{"queue": "scq", "ops": 9000, "cas_fail_ratio": 0.02,
+                        "slot_skip_per_op": 0.0, "faa_waste": 0.0,
+                        "comb_engagement": 0.0, "comb_mean_batch": 0.0,
+                        "seg_in_flight": 0,
+                        "push_p50_ns": 120.0, "push_p99_ns": 900.0}],
+            "findings": [burn_finding()],
+        }
+    return {"schema_version": 1, "scenarios": [scenario]}
+
+
+class HealthReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, doc):
+        path = os.path.join(self.tmp.name, "doc.json")
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_report(self, path, *flags):
+        return subprocess.run([sys.executable, SCRIPT, path, *flags],
+                              capture_output=True, text=True)
+
+    # -- Monitor snapshot flavour ------------------------------------------
+
+    def test_snapshot_quiet_exits_zero(self):
+        r = self.run_report(self.write(snapshot_doc()), "--fail-on-findings")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("0 active finding(s)", r.stdout)
+        self.assertIn("core.scq", r.stdout)
+        self.assertIn("slot_skip_per_op=0.31", r.stdout)
+
+    def test_snapshot_reports_findings_and_stalled_threads(self):
+        r = self.run_report(self.write(snapshot_doc([burn_finding()])))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("[threshold_burn] core.scq", r.stdout)
+        self.assertIn("hint:", r.stdout)
+        self.assertIn("2 tracked, 1 stalled", r.stdout)
+        self.assertIn("thread 2", r.stdout)
+
+    def test_fail_on_findings_trips(self):
+        r = self.run_report(self.write(snapshot_doc([burn_finding()])),
+                            "--fail-on-findings")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stderr)
+
+    # -- evq-bench flavour -------------------------------------------------
+
+    def test_bench_document_reports_per_scenario_health(self):
+        r = self.run_report(self.write(bench_doc()))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("scenario health-overhead", r.stdout)
+        self.assertIn("threshold_burn=3", r.stdout)
+        self.assertIn("[threshold_burn] core.scq", r.stdout)
+        self.assertIn("push p50/p99 120/900ns", r.stdout)
+
+    def test_bench_without_health_sections_says_so(self):
+        r = self.run_report(self.write(bench_doc(with_health=False)),
+                            "--fail-on-findings")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("no health sections found", r.stdout)
+
+    # -- schema guards -----------------------------------------------------
+
+    def test_rejects_unknown_document_shape(self):
+        r = self.run_report(self.write({"something": 1}))
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("neither", r.stderr + r.stdout)
+
+    def test_rejects_wrong_snapshot_version(self):
+        doc = snapshot_doc()
+        doc["health_schema_version"] = 9
+        r = self.run_report(self.write(doc))
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("unsupported health_schema_version",
+                      r.stderr + r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -57,6 +57,7 @@
 #include "evq/inject/inject.hpp"
 #include "evq/llsc/counter_cell.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/latency.hpp"
 #include "evq/telemetry/op_event.hpp"
 #include "evq/telemetry/registry.hpp"
 #include "evq/trace/trace.hpp"
@@ -435,6 +436,9 @@ class BoundedRing {
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
     trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPush);
+    // SLO reservoir sample (off = one countdown decrement). Scoped to the
+    // whole op so every return path — including push-full — is measured.
+    telemetry::LatencyTimer latency(telemetry_.queue_id(), /*is_push=*/true);
     // Submission seam: an op-aware policy may run the whole op elsewhere
     // (e.g. hand it to a combiner). The trivial policies decline inline and
     // the branch folds away.
@@ -561,6 +565,7 @@ class BoundedRing {
     ContentionPolicy backoff;
     std::uint32_t retries = 0;
     trace::OpProbe probe(telemetry_.queue_id(), trace::OpProbe::OpKind::kPop);
+    telemetry::LatencyTimer latency(telemetry_.queue_id(), /*is_push=*/false);
     OpSubmission sub{ContentionOp::kPop, nullptr, hint != nullptr};
     switch (backoff.try_delegate(sub)) {
       case Delegation::kNone:

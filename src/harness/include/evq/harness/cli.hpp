@@ -15,6 +15,9 @@
 //   --max-runs N           cap for --stable-cv repetition
 //   --op-stats             record aggregate atomic-op counters per cell
 //   --telemetry            capture per-queue telemetry counter deltas per cell
+//   --health               run a health Monitor across the scenario (poll per
+//                          cell, latency reservoir on; adds a "health" JSON
+//                          section)
 //   --json PATH            also emit the versioned JSON document to PATH
 //   --trace PATH           export a Chrome Trace Format JSON of sampled ops
 //   --trace-sample N       trace 1-in-N ops per thread (implies tracing on;
@@ -38,6 +41,7 @@ struct CliOptions {
   std::vector<unsigned> thread_counts;   // sweep
   bool csv = false;
   bool telemetry = false;                // capture registry counter deltas
+  bool health = false;                   // pump a health Monitor per cell
   std::string json_path;                 // empty = no JSON output
   std::string trace_path;                // empty = no Chrome trace export
   unsigned trace_sample_every = 0;       // 0 = tracing off
@@ -57,6 +61,7 @@ struct CliOverrides {
   std::optional<unsigned> trace_sample_every;
   bool op_stats = false;
   bool telemetry = false;
+  bool health = false;
   bool csv = false;
   bool paper = false;
   std::string json_path;

@@ -10,6 +10,7 @@
 // percentiles and op_stats counters per cell.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "evq/harness/queue_registry.hpp"
 #include "evq/harness/stats.hpp"
 #include "evq/harness/workload.hpp"
+#include "evq/health/health.hpp"
 #include "evq/telemetry/prometheus.hpp"
 
 namespace evq::harness {
@@ -47,6 +49,19 @@ struct ScenarioRow {
   WorkloadParams params;
 };
 
+/// Health-monitor digest of a scenario run (--health): the Monitor is
+/// pumped once per (series, row) cell plus a final poll, and the digest
+/// keeps the final rates, the findings still active at the end, and how
+/// many polls each finding type spent active — the number the CI overhead
+/// gate and bench_diff.py compare across runs.
+struct ScenarioHealth {
+  bool enabled = false;
+  std::uint64_t polls = 0;
+  std::vector<health::QueueRates> queues;  // final poll, nonzero-ops entries
+  std::vector<health::Finding> findings;   // active at scenario end
+  std::array<std::uint64_t, health::kFindingTypeCount> finding_polls{};
+};
+
 struct ScenarioResult {
   std::string name;
   std::string title;
@@ -57,6 +72,8 @@ struct ScenarioResult {
   /// (only entries with at least one nonzero counter; populated when the
   /// scenario runs with --telemetry).
   std::vector<telemetry::QueueCounters> telemetry;
+  /// Populated when the scenario runs with --health.
+  ScenarioHealth health;
 
   [[nodiscard]] const ScenarioSeries* series_named(const std::string& name) const;
 };

@@ -92,6 +92,60 @@ void write_telemetry(JsonWriter& w, const std::vector<telemetry::QueueCounters>&
   w.end_array();
 }
 
+// Additive optional section (schema stays v1, same convention as
+// "telemetry"): the scenario's health digest — final per-queue rates, active
+// findings, and per-type active-poll counts.
+void write_health(JsonWriter& w, const ScenarioHealth& h) {
+  w.key("health");
+  w.begin_object();
+  w.member("schema_version",
+           static_cast<std::uint64_t>(evq::health::kHealthSchemaVersion));
+  w.member("polls", h.polls);
+  w.key("finding_polls");
+  w.begin_object();
+  for (std::size_t i = 0; i < health::kFindingTypeCount; ++i) {
+    w.member(health::finding_type_name(static_cast<health::FindingType>(i)),
+             h.finding_polls[i]);
+  }
+  w.end_object();
+  w.key("queues");
+  w.begin_array();
+  for (const health::QueueRates& q : h.queues) {
+    w.begin_object();
+    w.member("queue", q.queue);
+    w.member("ops", q.ops);
+    w.member("cas_fail_ratio", q.cas_fail_ratio);
+    w.member("slot_skip_per_op", q.slot_skip_per_op);
+    w.member("faa_waste", q.faa_waste);
+    w.member("comb_engagement", q.comb_engagement);
+    w.member("comb_mean_batch", q.comb_mean_batch);
+    w.member("seg_in_flight", static_cast<std::int64_t>(q.seg_in_flight));
+    if (q.push_p50_ns >= 0.0) {
+      w.member("push_p50_ns", q.push_p50_ns);
+      w.member("push_p99_ns", q.push_p99_ns);
+    }
+    if (q.pop_p50_ns >= 0.0) {
+      w.member("pop_p50_ns", q.pop_p50_ns);
+      w.member("pop_p99_ns", q.pop_p99_ns);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings");
+  w.begin_array();
+  for (const health::Finding& f : h.findings) {
+    w.begin_object();
+    w.member("type", health::finding_type_name(f.type));
+    w.member("subject", f.subject);
+    w.member("severity", f.severity);
+    w.member("since_poll", f.since_poll);
+    w.member("detail", f.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 void write_cell(JsonWriter& w, const CellStats& cell) {
   w.begin_object();
   w.member("mean_seconds", cell.time.mean);
@@ -140,6 +194,9 @@ void write_scenario(JsonWriter& w, const ScenarioResult& r) {
   w.end_array();
   if (!r.telemetry.empty()) {
     write_telemetry(w, r.telemetry);
+  }
+  if (r.health.enabled) {
+    write_health(w, r.health);
   }
   w.end_object();
 }

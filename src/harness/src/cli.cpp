@@ -13,7 +13,7 @@ namespace {
                "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
                "          [--capacity C] [--csv] [--paper] [--latency-sample N]\n"
                "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--telemetry]\n"
-               "          [--json PATH] [--trace PATH] [--trace-sample N]\n"
+               "          [--health] [--json PATH] [--trace PATH] [--trace-sample N]\n"
                "Runs with CI-scale defaults when given no arguments; --paper\n"
                "selects the paper's parameters (100000 iterations, 50 runs).\n",
                argv0);
@@ -96,6 +96,9 @@ void CliOverrides::apply(CliOptions& opts) const {
   if (telemetry) {
     opts.telemetry = true;
   }
+  if (health) {
+    opts.health = true;
+  }
   if (csv) {
     opts.csv = true;
   }
@@ -152,6 +155,8 @@ CliOverrides parse_overrides(int argc, char** argv, int first) {
       ov.op_stats = true;
     } else if (std::strcmp(arg, "--telemetry") == 0) {
       ov.telemetry = true;
+    } else if (std::strcmp(arg, "--health") == 0) {
+      ov.health = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       ov.json_path = need_value(i);
       ++i;

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "evq/common/config.hpp"
+#include "evq/health/monitor.hpp"
 
 namespace evq::harness {
 
@@ -37,6 +39,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
   if (opts.telemetry) {
     before = telemetry::snapshot_registry();
   }
+  // With --health, a caller-pumped Monitor runs across the sweep (one poll
+  // per cell + a final one). Constructing it switches the latency reservoir
+  // on; the A/B overhead gate in CI runs the same scenario with and without
+  // this flag.
+  std::optional<health::Monitor> monitor;
+  ScenarioHealth health_digest;
+  auto pump_health = [&] {
+    if (!monitor) {
+      return;
+    }
+    const health::HealthSnapshot s = monitor->poll();
+    health_digest.polls = s.poll;
+    bool seen[health::kFindingTypeCount] = {};
+    for (const health::Finding& f : s.findings) {
+      seen[static_cast<std::size_t>(f.type)] = true;
+    }
+    for (std::size_t i = 0; i < health::kFindingTypeCount; ++i) {
+      if (seen[i]) {
+        ++health_digest.finding_polls[i];
+      }
+    }
+  };
+  if (opts.health) {
+    monitor.emplace();
+    health_digest.enabled = true;
+    monitor->poll();  // baseline: exclude pre-scenario counter history
+  }
   ScenarioResult result;
   result.name = spec.name;
   result.title = spec.title;
@@ -57,8 +86,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
       cell.ops = w.ops;
       cell.has_ops = row.params.record_op_stats;
       series.cells.push_back(std::move(cell));
+      pump_health();
     }
     result.series.push_back(std::move(series));
+  }
+  if (monitor) {
+    const health::HealthSnapshot final_snap = monitor->last();
+    for (const health::QueueRates& q : final_snap.queues) {
+      if (q.ops > 0) {
+        health_digest.queues.push_back(q);
+      }
+    }
+    health_digest.findings = final_snap.findings;
+    result.health = std::move(health_digest);
   }
   if (opts.telemetry) {
     const telemetry::RegistrySnapshot delta =

@@ -850,6 +850,30 @@ ScenarioSpec pairwise_spec() {
 //     the disarmed-probe cost, which measures ~0 in practice)
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Health-overhead A/B: the telemetry-overhead shape, reused to price the
+// evq::health Monitor + latency reservoir. Same-binary comparison via
+// bench_diff.py on the JSON documents:
+//   baseline   evq-bench run health-overhead --json off.json
+//   monitored  evq-bench run health-overhead --health --json on.json
+// (EXPERIMENTS.md E11 budget: <= 5% mean-op-time overhead — the Monitor is
+// cold-path, so the whole cost is the 1-in-64 latency-timer sampling.)
+// ---------------------------------------------------------------------------
+
+ScenarioSpec health_overhead_spec() {
+  ScenarioSpec spec;
+  spec.name = "health-overhead";
+  spec.title = "Health overhead: paper algorithms with Monitor + latency reservoir";
+  spec.summary = "Observability — monitor-off vs --health cost (EXPERIMENTS.md E11)";
+  spec.default_threads = {1, 2, 4};
+  spec.rows = thread_rows;
+  // The array queues price the per-op LatencyTimer gate with nowhere to
+  // hide; scq exercises the reservoir on the FAA path the burn detector
+  // watches.
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas", "scq"});
+  return spec;
+}
+
 ScenarioSpec trace_overhead_spec() {
   ScenarioSpec spec;
   spec.name = "trace-overhead";
@@ -965,6 +989,7 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(burst_spec());
   specs.push_back(backoff_spec());
   specs.push_back(telemetry_overhead_spec());
+  specs.push_back(health_overhead_spec());
   specs.push_back(pairwise_spec());
   specs.push_back(trace_overhead_spec());
   specs.push_back(combining_spec());

@@ -55,6 +55,7 @@ class ThreadTrace {
   struct Record {
     std::atomic<std::uint64_t> tsc{0};
     std::atomic<std::uint64_t> index{0};   // ring slot / queue-local position
+    std::atomic<std::uint64_t> op_seq{0};  // owner's per-thread op count at write time
     std::atomic<std::uint32_t> queue_id{0};
     std::atomic<std::uint32_t> retries{0};
     std::atomic<std::uint32_t> thread_ord{0};  // owner at write time (rings are reused)
@@ -64,9 +65,17 @@ class ThreadTrace {
   void record(std::uint32_t queue_id, TraceOp op, std::uint64_t index,
               std::uint32_t retries) noexcept {
     const std::uint64_t at = pos_.fetch_add(1, std::memory_order_relaxed);
+    // Single-writer sequence: monotone per OWNER, reset when the ring is
+    // reassigned to a new thread (unlike pos_, which spans owners). The
+    // health layer's stall detector compares successive reads of op_seq_ —
+    // a live thread whose sequence freezes while the rest of the system
+    // makes progress is stuck inside an operation.
+    const std::uint64_t seq = op_seq_.load(std::memory_order_relaxed) + 1;
+    op_seq_.store(seq, std::memory_order_relaxed);
     Record& r = records_[at & (kRecords - 1)];
     r.tsc.store(trace_clock(), std::memory_order_relaxed);
     r.index.store(index, std::memory_order_relaxed);
+    r.op_seq.store(seq, std::memory_order_relaxed);
     r.queue_id.store(queue_id, std::memory_order_relaxed);
     r.retries.store(retries, std::memory_order_relaxed);
     r.thread_ord.store(owner_ord_.load(std::memory_order_relaxed), std::memory_order_relaxed);
@@ -83,15 +92,24 @@ class ThreadTrace {
     return owner_ord_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] bool live() const noexcept { return live_.load(std::memory_order_relaxed); }
+  /// The CURRENT owner's op count (0 until its first record). Survives ring
+  /// wraparound — it counts operations, not surviving records.
+  [[nodiscard]] std::uint64_t op_seq() const noexcept {
+    return op_seq_.load(std::memory_order_relaxed);
+  }
 
   void assign_owner(std::uint32_t ordinal) noexcept {
     owner_ord_.store(ordinal, std::memory_order_relaxed);
     live_.store(true, std::memory_order_relaxed);
+    // Rings are reused across threads: the sequence restarts with the new
+    // owner so "per-thread progress" never inherits a predecessor's count.
+    op_seq_.store(0, std::memory_order_relaxed);
   }
   void mark_exited() noexcept { live_.store(false, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> pos_{0};
+  std::atomic<std::uint64_t> op_seq_{0};
   std::atomic<std::uint32_t> owner_ord_{0};
   std::atomic<bool> live_{false};
   Record records_[kRecords];
@@ -136,6 +154,9 @@ struct LastOpState {
   std::uint32_t thread_ord = 0;
   bool thread_live = false;
   std::uint64_t total_records = 0;
+  /// Current owner's monotone op count (health-layer progress signal; resets
+  /// when a pooled ring is handed to a new thread).
+  std::uint64_t op_seq = 0;
   std::uint64_t tsc = 0;
   std::uint32_t queue_id = 0;
   TraceOp op = TraceOp::kPushOk;

@@ -1,0 +1,134 @@
+// Always-available sampled operation-latency reservoir (DESIGN.md §15).
+//
+// The bench harness measures latency percentiles, but only inside evq-bench
+// runs; a production queue needs an SLO signal — "what is p99 enqueue
+// latency RIGHT NOW" — without a harness. This is that signal, built with
+// the same cost discipline as evq::trace:
+//
+//  * Sampling off (default): a LatencyTimer construction is one thread-local
+//    countdown read plus a predictable branch (the countdown-first gate of
+//    trace::detail::arm_sample, reused shape-for-shape); the destructor is a
+//    single compare against zero.
+//  * Sampling at 1-in-N: the armed timer stamps trace_clock() twice and the
+//    destructor writes one relaxed slot of a fixed-size per-queue reservoir
+//    ring (multi-writer, so the position bump is a fetch_add — acceptable on
+//    a 1-in-N path). EXPERIMENTS.md E11 pins the measured overhead of the
+//    health monitor with this reservoir enabled at <= 5%.
+//  * -DEVQ_TELEMETRY=0: timers compile to nothing, the snapshot API stays
+//    compiled (cold) and returns empty.
+//
+// The reservoir keeps the newest kLatencySamples raw tick deltas per queue
+// and op direction; the health layer (src/health) sorts a snapshot copy and
+// publishes p50/p99 as SLO gauges. Ticks convert to nanoseconds with
+// ticks_per_ns(), a one-shot steady_clock calibration.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/metrics.hpp"
+
+namespace evq::telemetry {
+
+/// Samples retained per queue per direction. A power of two; 512 × 8 bytes
+/// × 2 directions = 8 KiB per sampled queue — enough for stable p99 at the
+/// default 1-in-64 sampling without evicting hot lines.
+inline constexpr std::size_t kLatencySamples = 512;
+
+/// Queue ids above this are not sampled (the table is a fixed flat array so
+/// the armed path stays lock-free; 256 registry entries covers every suite
+/// in the tree with headroom).
+inline constexpr std::size_t kLatencyMaxQueues = 256;
+
+/// Enables latency sampling at 1-in-`every` ops per thread (1 = every op,
+/// 0 = disable, the default). Also resets the calling thread's countdown so
+/// its next op arms immediately (deterministic tests).
+void set_latency_sampling(std::uint32_t every) noexcept;
+[[nodiscard]] std::uint32_t latency_sampling_period() noexcept;
+
+/// Nanoseconds per trace_clock() tick, calibrated once against
+/// steady_clock on first use and cached (~2ms spin, cold path only).
+[[nodiscard]] double ns_per_tick() noexcept;
+
+namespace detail {
+
+extern std::atomic<std::uint32_t> g_latency_every;
+/// Per-thread countdown (defined in telemetry.cpp; not inline/COMDAT for
+/// the same reason as the stripe ordinal).
+extern thread_local std::uint32_t t_latency_countdown;
+
+/// Slow half of the gate: consults the global period, re-arms the countdown.
+bool arm_latency_slow() noexcept;
+
+/// Countdown-first sampling gate (same shape as trace::detail::arm_sample):
+/// the common unsampled op touches ONLY the thread-local counter.
+inline bool arm_latency() noexcept {
+  const std::uint32_t cd = t_latency_countdown;
+  if (cd > 1) {
+    t_latency_countdown = cd - 1;
+    return false;
+  }
+  return arm_latency_slow();
+}
+
+/// Deposits one sampled duration (raw ticks) into the queue's reservoir,
+/// creating the reservoir on first use (CAS-installed, never freed — the
+/// health layer may read during process teardown).
+void record_latency(std::uint32_t queue_id, bool is_push, std::uint64_t ticks) noexcept;
+
+}  // namespace detail
+
+/// RAII sampling timer wrapped around one queue operation. The ring engine
+/// constructs one at push_one/pop_one entry; the destructor covers every
+/// return path, so failed ops (push-full, pop-empty) are measured too —
+/// operation latency, not success latency, is the SLO quantity.
+class LatencyTimer {
+ public:
+  LatencyTimer(std::uint32_t queue_id, bool is_push) noexcept {
+#if EVQ_TELEMETRY
+    if (detail::arm_latency()) {
+      queue_id_ = queue_id;
+      is_push_ = is_push;
+      start_ = trace_clock();
+    }
+#else
+    (void)queue_id;
+    (void)is_push;
+#endif
+  }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  ~LatencyTimer() noexcept {
+#if EVQ_TELEMETRY
+    if (start_ != 0) {
+      detail::record_latency(queue_id_, is_push_, trace_clock() - start_);
+    }
+#endif
+  }
+
+ private:
+#if EVQ_TELEMETRY
+  std::uint64_t start_ = 0;  // 0 = not armed
+  std::uint32_t queue_id_ = 0;
+  bool is_push_ = true;
+#endif
+};
+
+/// Snapshot of one queue's reservoir: the surviving window of raw tick
+/// deltas, racily-but-atomically copied (same contract as the flight
+/// recorder — safe while writers run).
+struct LatencyWindow {
+  std::uint32_t queue_id = 0;
+  std::vector<std::uint64_t> push_ticks;
+  std::vector<std::uint64_t> pop_ticks;
+};
+
+/// Every queue id with at least one deposited sample, ascending id order.
+std::vector<LatencyWindow> latency_windows();
+
+}  // namespace evq::telemetry

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "evq/telemetry/metrics.hpp"
@@ -19,6 +20,7 @@ namespace evq::telemetry {
 
 struct QueueCounters {
   std::string queue;
+  std::uint32_t id = 0;  // registry entry id (stable; keys the latency reservoir)
   CounterSnapshot counters;
   bool has_depth = false;  // true when the entry had >= 1 depth gauge
   std::uint64_t depth = 0;
@@ -38,6 +40,14 @@ struct RegistrySnapshot {
 };
 
 RegistrySnapshot snapshot_registry(const Registry& reg = Registry::global());
+
+/// Escapes a string for use inside a Prometheus label VALUE: backslash,
+/// double-quote, and newline get backslash-escaped per the text exposition
+/// format. Registry entry names are free-form (sharded queues register
+/// `<name>/<i>`, segmented inner rings `<name>/ring`) — a label VALUE may
+/// carry any UTF-8 as long as these three are escaped, so names never need
+/// to be mangled, only escaped.
+std::string escape_label_value(std::string_view raw);
 
 /// Per-queue counter deltas `after - before`, keyed by name. Queues absent
 /// from `before` (registered mid-interval) contribute their full counts;

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "evq/telemetry/flight_recorder.hpp"
+#include "evq/telemetry/latency.hpp"
 #include "evq/telemetry/metrics.hpp"
 #include "evq/telemetry/prometheus.hpp"
 #include "evq/telemetry/registry.hpp"
@@ -274,6 +275,7 @@ LastOpState read_last_op(const ThreadTrace& trace) {
   s.thread_ord = trace.owner_ordinal();
   s.thread_live = trace.live();
   s.total_records = trace.total_records();
+  s.op_seq = trace.op_seq();
   if (s.total_records > 0) {
     const ThreadTrace::Record& r = trace.record_at(s.total_records - 1);
     s.tsc = r.tsc.load(std::memory_order_relaxed);
@@ -351,7 +353,8 @@ void dump_flight_recorder(std::ostream& os, std::size_t last_n) {
   for (const LastOpState& s : last_ops_per_thread()) {
     os << "  thread ord " << s.thread_ord << (s.thread_live ? " (live)" : " (exited)")
        << ": " << trace_op_name(s.op) << " queue=" << queue_label(s.queue_id)
-       << " index=" << s.index << " retries=" << s.retries << " tsc=" << s.tsc << "\n";
+       << " index=" << s.index << " retries=" << s.retries << " seq=" << s.op_seq
+       << " tsc=" << s.tsc << "\n";
   }
 }
 
@@ -418,6 +421,144 @@ void dump_flight_recorder_chrome(std::ostream& os, std::size_t last_n) {
 }
 
 // ---------------------------------------------------------------------------
+// Latency reservoir
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_latency_every{0};
+thread_local std::uint32_t t_latency_countdown = 0;
+
+namespace {
+
+/// One queue's reservoir: two multi-writer rings of raw tick deltas. Slots
+/// are relaxed atomics for the same reason as flight-recorder records — a
+/// reader may copy while writers deposit, and a stale slot is fine but a
+/// data race is not.
+struct LatencyReservoir {
+  std::atomic<std::uint64_t> push_pos{0};
+  std::atomic<std::uint64_t> pop_pos{0};
+  std::atomic<std::uint64_t> push_samples[kLatencySamples]{};
+  std::atomic<std::uint64_t> pop_samples[kLatencySamples]{};
+};
+
+/// Flat id-indexed table so the armed deposit path is lock-free. Reservoirs
+/// are CAS-installed on first sample and leaked on purpose (health snapshots
+/// must work during process teardown).
+std::atomic<LatencyReservoir*> g_reservoirs[kLatencyMaxQueues]{};
+
+void copy_window(const std::atomic<std::uint64_t>& pos_a,
+                 const std::atomic<std::uint64_t> (&ring)[kLatencySamples],
+                 std::vector<std::uint64_t>& out) {
+  const std::uint64_t pos = pos_a.load(std::memory_order_relaxed);
+  const std::uint64_t n = std::min<std::uint64_t>(pos, kLatencySamples);
+  out.reserve(n);
+  for (std::uint64_t i = pos - n; i < pos; ++i) {
+    const std::uint64_t v = ring[i & (kLatencySamples - 1)].load(std::memory_order_relaxed);
+    if (v != 0) {  // zero = slot not yet (or being) written; drop it
+      out.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+bool arm_latency_slow() noexcept {
+  const std::uint32_t every = g_latency_every.load(std::memory_order_relaxed);
+  if (every == 0) {
+    t_latency_countdown = 0;
+    return false;
+  }
+  t_latency_countdown = every;
+  return true;
+}
+
+void record_latency(std::uint32_t queue_id, bool is_push, std::uint64_t ticks) noexcept {
+  if (queue_id >= kLatencyMaxQueues) {
+    return;
+  }
+  LatencyReservoir* r = g_reservoirs[queue_id].load(std::memory_order_acquire);
+  if (r == nullptr) {
+    auto* fresh = new LatencyReservoir();
+    if (g_reservoirs[queue_id].compare_exchange_strong(r, fresh, std::memory_order_acq_rel,
+                                                       std::memory_order_acquire)) {
+      r = fresh;
+    } else {
+      delete fresh;  // lost the install race; r now holds the winner
+    }
+  }
+  // A delta of 0 ticks is indistinguishable from an unwritten slot; round up.
+  if (ticks == 0) {
+    ticks = 1;
+  }
+  if (is_push) {
+    const std::uint64_t at = r->push_pos.fetch_add(1, std::memory_order_relaxed);
+    r->push_samples[at & (kLatencySamples - 1)].store(ticks, std::memory_order_relaxed);
+  } else {
+    const std::uint64_t at = r->pop_pos.fetch_add(1, std::memory_order_relaxed);
+    r->pop_samples[at & (kLatencySamples - 1)].store(ticks, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+void set_latency_sampling(std::uint32_t every) noexcept {
+  detail::g_latency_every.store(every, std::memory_order_relaxed);
+  detail::t_latency_countdown = 0;  // re-arm this thread on its next op
+}
+
+std::uint32_t latency_sampling_period() noexcept {
+  return detail::g_latency_every.load(std::memory_order_relaxed);
+}
+
+double ns_per_tick() noexcept {
+#if defined(__x86_64__)
+  // rdtsc frequency != steady_clock frequency: calibrate once by spinning a
+  // short wall-clock window. ~2ms keeps the relative error well under the
+  // percentile noise floor, and the result is cached for the process.
+  static const double cached = [] {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t tsc_start = trace_clock();
+    for (;;) {
+      const auto wall_now = std::chrono::steady_clock::now();
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall_now - wall_start);
+      if (elapsed >= std::chrono::milliseconds(2)) {
+        const std::uint64_t tsc_now = trace_clock();
+        if (tsc_now <= tsc_start) {
+          return 1.0;  // non-monotone TSC; fall back to 1 tick == 1 ns
+        }
+        return static_cast<double>(elapsed.count()) /
+               static_cast<double>(tsc_now - tsc_start);
+      }
+    }
+  }();
+  return cached;
+#else
+  return 1.0;  // trace_clock() is already steady_clock nanoseconds
+#endif
+}
+
+std::vector<LatencyWindow> latency_windows() {
+  std::vector<LatencyWindow> out;
+  for (std::size_t id = 0; id < kLatencyMaxQueues; ++id) {
+    const detail::LatencyReservoir* r =
+        detail::g_reservoirs[id].load(std::memory_order_acquire);
+    if (r == nullptr) {
+      continue;
+    }
+    LatencyWindow w;
+    w.queue_id = static_cast<std::uint32_t>(id);
+    detail::copy_window(r->push_pos, r->push_samples, w.push_ticks);
+    detail::copy_window(r->pop_pos, r->pop_samples, w.pop_ticks);
+    if (!w.push_ticks.empty() || !w.pop_ticks.empty()) {
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Exporter
 // ---------------------------------------------------------------------------
 
@@ -426,6 +567,7 @@ RegistrySnapshot snapshot_registry(const Registry& reg) {
   reg.for_each([&](const Registry::Entry& e, std::size_t gauge_count, std::uint64_t depth) {
     QueueCounters q;
     q.queue = e.name;
+    q.id = e.id;
     q.counters = e.metrics.snapshot();
     q.has_depth = gauge_count > 0;
     q.depth = depth;
@@ -439,6 +581,7 @@ RegistrySnapshot snapshot_delta(const RegistrySnapshot& before, const RegistrySn
   for (const QueueCounters& now : after.queues) {
     QueueCounters q;
     q.queue = now.queue;
+    q.id = now.id;
     q.has_depth = now.has_depth;
     q.depth = now.depth;
     if (const QueueCounters* was = before.find(now.queue)) {
@@ -451,13 +594,35 @@ RegistrySnapshot snapshot_delta(const RegistrySnapshot& before, const RegistrySn
   return d;
 }
 
+std::string escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 void render_prometheus(std::ostream& os, const Registry& reg) {
   const RegistrySnapshot snap = snapshot_registry(reg);
   os << "# HELP evq_queue_ops_total Queue operation and reclamation events by queue and op.\n";
   os << "# TYPE evq_queue_ops_total counter\n";
   for (const QueueCounters& q : snap.queues) {
+    const std::string label = escape_label_value(q.queue);
     for (std::size_t i = 0; i < kCounterCount; ++i) {
-      os << "evq_queue_ops_total{queue=\"" << q.queue << "\",op=\""
+      os << "evq_queue_ops_total{queue=\"" << label << "\",op=\""
          << counter_name(static_cast<Counter>(i)) << "\"} " << q.counters.counts[i] << "\n";
     }
   }
@@ -465,7 +630,8 @@ void render_prometheus(std::ostream& os, const Registry& reg) {
   os << "# TYPE evq_queue_depth gauge\n";
   for (const QueueCounters& q : snap.queues) {
     if (q.has_depth) {
-      os << "evq_queue_depth{queue=\"" << q.queue << "\"} " << q.depth << "\n";
+      os << "evq_queue_depth{queue=\"" << escape_label_value(q.queue) << "\"} " << q.depth
+         << "\n";
     }
   }
 }

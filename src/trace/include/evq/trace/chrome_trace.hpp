@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 namespace evq::trace {
 
@@ -33,6 +35,11 @@ struct ExportOptions {
   /// Tick value mapped to ts=0; kAutoOrigin = the earliest recorded tick.
   static constexpr std::uint64_t kAutoOrigin = ~std::uint64_t{0};
   std::uint64_t origin = kAutoOrigin;
+  /// Free-form caller annotations, emitted as global instant events on a
+  /// dedicated "health" track at ts=0. The torture watchdog routes the
+  /// health layer's active findings here so a wedge trace opens in Perfetto
+  /// with the diagnosis pinned alongside the spans.
+  std::vector<std::string> annotations;
 };
 
 /// Writes every surviving ring record as Chrome Trace Format JSON. Safe to

@@ -258,6 +258,10 @@ std::unordered_map<std::uint32_t, std::string> queue_names() {
   return names;
 }
 
+/// Track id for caller annotations — far above any real thread ordinal so
+/// the health track sorts last and never collides with a worker track.
+constexpr std::uint32_t kAnnotationTid = 1'000'000;
+
 struct Emitter {
   std::ostream& os;
   double us_per_tick;
@@ -430,6 +434,18 @@ void export_chrome_trace(std::ostream& os, const ExportOptions& options) {
            << e.ts(s.t_start) << ",\"dur\":" << dur << ",\"args\":{\"queue\":\""
            << queue_label(s.queue_id) << "\"}}";
         break;
+    }
+  }
+  // Caller annotations (health findings on a wedge dump): global instants at
+  // the timeline origin, on their own named track so Perfetto groups them.
+  if (!options.annotations.empty()) {
+    e.begin_event();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << kAnnotationTid
+       << ",\"args\":{\"name\":\"evq health\"}}";
+    for (const std::string& a : options.annotations) {
+      e.begin_event();
+      os << "{\"ph\":\"i\",\"s\":\"g\",\"name\":\"" << json_escape(a)
+         << "\",\"cat\":\"health\",\"pid\":0,\"tid\":" << kAnnotationTid << ",\"ts\":0}";
     }
   }
   e.close();

@@ -1,0 +1,525 @@
+// Deterministic injection-driven repros for every evq::health finding type,
+// each paired with a no-false-positive test that runs the SAME thresholds
+// over a healthy workload (DESIGN.md §15).
+//
+//  kThresholdBurn     a dequeuer parked at core.scq.aq.deq.reserved holds a
+//                     head ticket whose entry goes unsafe-held: every later
+//                     Head revolution skips that cell (kSlotSkip) and every
+//                     Tail revolution loses a ticket — the wCQ preempted-
+//                     ticket-holder tax, sustained for as long as the park.
+//  kCombinerCollapse  a thread's kProbeEvery-th op elects it combiner; it
+//                     parks inside combine()'s batch push on the inner ring
+//                     (core.cas.push.reserved) HOLDING the combiner lock.
+//                     Announcers keep submitting, miss the lock, withdraw to
+//                     the direct path — engagement ~1 with zero completed
+//                     passes.
+//  kSegmentLeak       a consumer parked at core.seg.pop.retire wedges
+//                     retirement while the producer keeps allocating
+//                     segments: cumulative seg_alloc − seg_retire grows
+//                     without bound.
+//  kThreadStalled     a producer parked at core.cas.push.reserved AFTER
+//                     advancing past the Monitor's baseline freezes its
+//                     flight-recorder op_seq while the rest of the system
+//                     progresses.
+//
+// The quiet halves pin the other side of the contract: balanced churn with
+// identical thresholds raises nothing. The thresholds here are deliberately
+// tighter than the defaults (the repros are small and single-digit-percent
+// rates must register); the quiet workloads are chosen so their breach rates
+// are exactly zero, not merely below the default cut.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evq/core/cas_array_queue.hpp"
+#include "evq/core/combining_queue.hpp"
+#include "evq/core/scq_queue.hpp"
+#include "evq/core/segmented_queue.hpp"
+#include "evq/health/health.hpp"
+#include "evq/health/monitor.hpp"
+#include "evq/inject/inject.hpp"
+#include "evq/inject/profile.hpp"
+#include "evq/telemetry/flight_recorder.hpp"
+#include "evq/verify/fifo_checkers.hpp"
+
+namespace {
+
+using namespace evq;
+using verify::Token;
+
+/// Shared by every trigger AND every quiet test: min_ops low enough for the
+/// small repro intervals to register, slot_skip tight enough to see the one
+/// poisoned-cell skip per ring revolution (~0.07/op on a capacity-4 SCQ).
+health::Thresholds injection_thresholds() {
+  health::Thresholds t;
+  t.min_ops = 32;
+  t.slot_skip_per_op = 0.04;
+  t.comb_engagement = 0.5;
+  t.comb_batch_floor = 1.05;
+  t.seg_in_flight = 4;
+  t.trip_polls = 2;
+  t.clear_polls = 2;
+  return t;
+}
+
+health::MonitorOptions injection_monitor_options() {
+  health::MonitorOptions o;
+  o.thresholds = injection_thresholds();
+  o.latency_sample_every = 0;  // leave the global reservoir setting alone
+  return o;
+}
+
+const health::Finding* find_finding(const health::HealthSnapshot& snap,
+                                    health::FindingType type) {
+  for (const health::Finding& f : snap.findings) {
+    if (f.type == type) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool await_parked(inject::StallGate& gate) {
+  for (int i = 0; i < 1 << 26 && !gate.parked(); ++i) {
+    std::this_thread::yield();
+  }
+  return gate.parked();
+}
+
+/// Releases the gate and joins the victim on every exit path — an early
+/// ASSERT return must not leave a parked thread joinable (std::terminate).
+struct VictimGuard {
+  inject::StallGate& gate;
+  std::thread& victim;
+  ~VictimGuard() {
+    gate.release();
+    if (victim.joinable()) {
+      victim.join();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kThresholdBurn
+// ---------------------------------------------------------------------------
+
+TEST(HealthInjection, ParkedDequeueTicketTripsThresholdBurn) {
+  ScqQueue<Token> q(4, "health-burn-scq");
+  auto h = q.handle();
+  Token seed;
+  ASSERT_TRUE(q.try_push(h, &seed));  // arms aq, gives the victim a ticket to hold
+
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-health-burn",
+                               "park a dequeuer on a fresh aq head ticket; its held entry "
+                               "goes unsafe and taxes every ring revolution",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/"core.scq.aq.deq.reserved", inject::Role::kConsumer};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kConsumer, &gate);
+    inject::ScopedInjector install(injector);
+    auto vh = q.handle();
+    EXPECT_EQ(q.try_pop(vh), &seed);  // resumes after the churn, consumes its held entry
+  });
+  VictimGuard guard{gate, victim};
+  ASSERT_TRUE(await_parked(gate)) << "victim never reached core.scq.aq.deq.reserved";
+
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+
+  // Strict push/pop alternation. Skips in this shape come ONLY from the
+  // victim's held-unsafe cell — roughly one per Head revolution, forever.
+  Token churn_tok;
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(q.try_push(h, &churn_tok));
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+    snap = monitor.poll();
+  }
+  const health::Finding* f = find_finding(snap, health::FindingType::kThresholdBurn);
+  ASSERT_NE(f, nullptr) << "parked ticket holder must trip kThresholdBurn";
+  EXPECT_EQ(f->subject, "health-burn-scq");
+  EXPECT_GT(f->severity, injection_thresholds().slot_skip_per_op);
+
+  // Hysteresis clear: release the victim (it consumes the poisoned cell);
+  // two clean polls of the same churn must retire the finding.
+  gate.release();
+  victim.join();
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(q.try_push(h, &churn_tok));
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+    snap = monitor.poll();
+  }
+  EXPECT_EQ(find_finding(snap, health::FindingType::kThresholdBurn), nullptr)
+      << "finding must clear after clear_polls healthy intervals";
+}
+
+TEST(HealthInjection, BalancedScqChurnRaisesNoFindings) {
+  ScqQueue<Token> q(4, "health-quiet-scq");
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+
+  auto h = q.handle();
+  Token tok;
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(q.try_push(h, &tok));
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+    snap = monitor.poll();
+    EXPECT_TRUE(snap.findings.empty())
+        << "balanced alternation must stay quiet under the repro thresholds";
+  }
+  // The same thresholds, the same queue family, zero skips: rates are real.
+  for (const health::QueueRates& r : snap.queues) {
+    if (r.queue == "health-quiet-scq") {
+      EXPECT_GE(r.ops, injection_thresholds().min_ops);
+      EXPECT_DOUBLE_EQ(r.slot_skip_per_op, 0.0);
+      EXPECT_DOUBLE_EQ(r.faa_waste, 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kCombinerCollapse
+// ---------------------------------------------------------------------------
+
+TEST(HealthInjection, ParkedCombinerTripsCombinerCollapse) {
+  using CombQ = CombiningQueue<CasArrayQueue<Token>>;
+  CombQ q(64, "health-comb");
+
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-health-comb-collapse",
+                               "park the elected combiner inside its batch push on the inner "
+                               "ring, holding the combiner lock",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/CasSlotPolicy<Token>::kPushReserved,
+                               inject::Role::kProducer};
+  std::vector<Token> victim_toks(CombQ::kProbeEvery + 1);
+  std::thread victim([&] {
+    auto vh = q.handle();  // slot 0: exclusive announce record
+    // kProbeEvery−1 direct warm ops, injector NOT yet installed: the next op
+    // is the probe that takes the announce path.
+    for (std::uint32_t i = 0; i + 1 < CombQ::kProbeEvery; ++i) {
+      if (i % 2 == 0) {
+        EXPECT_TRUE(q.try_push(vh, &victim_toks[i]));
+      } else {
+        EXPECT_NE(q.try_pop(vh), nullptr);
+      }
+    }
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    // The probe op: announce, win the uncontended combiner lock, and park
+    // inside combine() -> try_push_n -> core.cas.push.reserved.
+    (void)q.try_push(vh, &victim_toks[CombQ::kProbeEvery]);
+  });
+  VictimGuard guard{gate, victim};
+  ASSERT_TRUE(await_parked(gate)) << "victim never parked inside its combining pass";
+  EXPECT_FALSE(q.combining_mode()) << "nothing has collided yet";
+
+  // Announcer churn: every op past each handle's first probe submits, misses
+  // the held lock, withdraws, and completes on the ring directly.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> churn_ops{0};
+  Token churn_toks[2];
+  auto churner = [&](int idx) {
+    auto ch = q.handle();
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)q.try_push(ch, &churn_toks[idx]);
+      (void)q.try_pop(ch);
+      churn_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread c1(churner, 0);
+  std::thread c2(churner, 1);
+
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 3; ++p) {
+    const std::uint64_t base = churn_ops.load(std::memory_order_relaxed);
+    while (churn_ops.load(std::memory_order_relaxed) < base + 200) {
+      std::this_thread::yield();
+    }
+    snap = monitor.poll();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  c1.join();
+  c2.join();
+
+  EXPECT_TRUE(q.combining_mode()) << "lock misses must have flipped the queue to combining";
+  const health::Finding* f = find_finding(snap, health::FindingType::kCombinerCollapse);
+  ASSERT_NE(f, nullptr) << "a parked lock-holding combiner must trip kCombinerCollapse";
+  EXPECT_EQ(f->subject, "health-comb");
+  EXPECT_GT(f->severity, injection_thresholds().comb_engagement);
+}
+
+TEST(HealthInjection, SoloCombiningChurnRaisesNoFindings) {
+  CombiningQueue<CasArrayQueue<Token>> q(64, "health-quiet-comb");
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+
+  auto h = q.handle();
+  Token tok;
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 3; ++p) {
+    // 800 ops per poll: ~12 of them are probes that announce and self-combine
+    // successfully — submits exist, but engagement stays ~1/kProbeEvery.
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(q.try_push(h, &tok));
+      ASSERT_NE(q.try_pop(h), nullptr);
+    }
+    snap = monitor.poll();
+    EXPECT_TRUE(snap.findings.empty())
+        << "a progressing self-combining queue must stay quiet";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kSegmentLeak
+// ---------------------------------------------------------------------------
+
+TEST(HealthInjection, WedgedRetirementTripsSegmentLeak) {
+  SegmentedQueue<ScqQueue<Token>> q(4, "health-leak-seg");
+  auto h = q.handle();
+  const std::size_t seg_cap = q.segment_capacity();
+  std::vector<Token> items(seg_cap * 16 + 1);
+  std::size_t next = 0;
+  // Fill segment 1 and start segment 2, so the victim's drain crosses the
+  // boundary and reaches the retire CAS.
+  for (std::size_t i = 0; i <= seg_cap; ++i) {
+    ASSERT_TRUE(q.try_push(h, &items[next++]));
+  }
+
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-health-seg-leak",
+                               "park a consumer at the segment-retire CAS so retirement "
+                               "wedges while producers keep allocating",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/seg_detail::kSegPopRetire, inject::Role::kConsumer};
+  std::thread victim([&] {
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kConsumer, &gate);
+    inject::ScopedInjector install(injector);
+    auto vh = q.handle();
+    // Drains segment 1, then the boundary-crossing pop parks at the retire.
+    for (std::size_t i = 0; i <= seg_cap; ++i) {
+      EXPECT_NE(q.try_pop(vh), nullptr);
+    }
+  });
+  VictimGuard guard{gate, victim};
+  ASSERT_TRUE(await_parked(gate)) << "victim never reached core.seg.pop.retire";
+
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 2; ++p) {
+    for (std::size_t i = 0; i < seg_cap * 6; ++i) {
+      ASSERT_TRUE(q.try_push(h, &items[next++]));
+    }
+    snap = monitor.poll();
+  }
+  const health::Finding* f = find_finding(snap, health::FindingType::kSegmentLeak);
+  ASSERT_NE(f, nullptr) << "wedged retirement under allocation must trip kSegmentLeak";
+  EXPECT_EQ(f->subject, "health-leak-seg");
+  EXPECT_GT(f->severity, static_cast<double>(injection_thresholds().seg_in_flight));
+
+  // Unwedge, drain, and watch the finding clear once retirement catches up.
+  gate.release();
+  victim.join();
+  while (q.try_pop(h) != nullptr) {
+  }
+  for (int p = 0; p < 3; ++p) {
+    snap = monitor.poll();
+  }
+  EXPECT_EQ(find_finding(snap, health::FindingType::kSegmentLeak), nullptr)
+      << "in-flight segments back under the limit must clear the finding";
+}
+
+TEST(HealthInjection, RetiringSegmentChurnRaisesNoLeak) {
+  SegmentedQueue<ScqQueue<Token>> q(4, "health-quiet-seg");
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+
+  auto h = q.handle();
+  const std::size_t seg_cap = q.segment_capacity();
+  std::vector<Token> items(seg_cap + 1);
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 3; ++p) {
+    // Each cycle seals + appends + retires one segment: allocation and
+    // retirement stay in lockstep, in_flight never exceeds 2.
+    for (int cycle = 0; cycle < 20; ++cycle) {
+      for (auto& tok : items) {
+        ASSERT_TRUE(q.try_push(h, &tok));
+      }
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        ASSERT_NE(q.try_pop(h), nullptr);
+      }
+    }
+    snap = monitor.poll();
+    EXPECT_EQ(find_finding(snap, health::FindingType::kSegmentLeak), nullptr)
+        << "lockstep seal/drain/retire churn must not look like a leak";
+    EXPECT_EQ(find_finding(snap, health::FindingType::kThreadStalled), nullptr);
+  }
+  for (const health::QueueRates& r : snap.queues) {
+    if (r.queue == "health-quiet-seg") {
+      EXPECT_LE(r.seg_in_flight, injection_thresholds().seg_in_flight);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kThreadStalled
+// ---------------------------------------------------------------------------
+
+TEST(HealthInjection, ParkedThreadTripsThreadStalled) {
+  telemetry::set_tracing(true);  // the stall detector reads flight-recorder op_seq
+  CasArrayQueue<Token> q(8, "health-stall-cas");
+
+  inject::StallGate gate(1u << 26);
+  const inject::Profile script{"scripted-health-thread-stall",
+                               "park a previously-active producer mid-push so its op_seq "
+                               "freezes while the system progresses",
+                               /*sc_fail=*/0, 100, "",
+                               /*delay=*/0, 100, 0, "",
+                               /*stall=*/CasSlotPolicy<Token>::kPushReserved,
+                               inject::Role::kProducer};
+  // Handshake: the victim must complete ops BOTH before the Monitor's
+  // baseline poll (so its ring exists) and after it (so ever_advanced is
+  // set) — a ring first seen at a frozen seq is idle, not stalled.
+  std::atomic<int> phase{0};
+  Token victim_toks[4];
+  std::thread victim([&] {
+    auto vh = q.handle();
+    for (int i = 0; i < 4; ++i) {  // phase A: establish the ring
+      EXPECT_TRUE(q.try_push(vh, &victim_toks[i % 4]));
+      EXPECT_NE(q.try_pop(vh), nullptr);
+    }
+    phase.store(1, std::memory_order_release);
+    while (phase.load(std::memory_order_acquire) < 2) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 4; ++i) {  // phase B: advance past the baseline
+      EXPECT_TRUE(q.try_push(vh, &victim_toks[i % 4]));
+      EXPECT_NE(q.try_pop(vh), nullptr);
+    }
+    phase.store(3, std::memory_order_release);
+    while (phase.load(std::memory_order_acquire) < 4) {
+      std::this_thread::yield();
+    }
+    inject::ProfileInjector injector(script, /*seed=*/1, /*thread_id=*/0,
+                                     inject::Role::kProducer, &gate);
+    inject::ScopedInjector install(injector);
+    (void)q.try_push(vh, &victim_toks[0]);  // parks holding a reserved slot
+  });
+  VictimGuard guard{gate, victim};
+
+  while (phase.load(std::memory_order_acquire) < 1) {
+    std::this_thread::yield();
+  }
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline: victim ring seen
+  phase.store(2, std::memory_order_release);
+  while (phase.load(std::memory_order_acquire) < 3) {
+    std::this_thread::yield();
+  }
+  monitor.poll();  // victim advanced since baseline: ever_advanced set
+  phase.store(4, std::memory_order_release);
+  ASSERT_TRUE(await_parked(gate)) << "victim never parked mid-push";
+
+  // Main-thread churn keeps the SYSTEM progressing (the victim's uncommitted
+  // slot wedges FIFO pops, but push_full/pop_empty attempts count as ops)
+  // while the victim's op_seq stays frozen.
+  auto h = q.handle();
+  Token churn_tok;
+  health::HealthSnapshot snap;
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 200; ++i) {
+      (void)q.try_push(h, &churn_tok);
+      (void)q.try_pop(h);
+    }
+    snap = monitor.poll();
+  }
+  const health::Finding* f = find_finding(snap, health::FindingType::kThreadStalled);
+  ASSERT_NE(f, nullptr) << "a frozen op_seq in a progressing system must trip kThreadStalled";
+  EXPECT_EQ(f->subject.rfind("thread ", 0), 0u) << f->subject;
+  EXPECT_NE(f->detail.find("op_seq frozen"), std::string::npos) << f->detail;
+
+  // Release: the victim finishes its push and exits; its ring goes non-live
+  // and two clean polls clear the finding.
+  gate.release();
+  victim.join();
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 200; ++i) {
+      (void)q.try_push(h, &churn_tok);
+      (void)q.try_pop(h);
+    }
+    snap = monitor.poll();
+  }
+  EXPECT_EQ(find_finding(snap, health::FindingType::kThreadStalled), nullptr)
+      << "a released thread must stop reading as stalled";
+  telemetry::set_tracing(false);
+}
+
+TEST(HealthInjection, ProgressingThreadsRaiseNoStall) {
+  telemetry::set_tracing(true);
+  CasArrayQueue<Token> q(64, "health-quiet-cas");
+
+  std::atomic<bool> stop{false};
+  std::array<std::atomic<std::uint64_t>, 4> worker_ops{};
+  Token toks[4];
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      auto h = q.handle();
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)q.try_push(h, &toks[w]);
+        (void)q.try_pop(h);
+        worker_ops[w].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  health::Monitor monitor(injection_monitor_options());
+  monitor.poll();  // baseline
+  for (int p = 0; p < 4; ++p) {
+    // Wait until every worker completed >= 2 ops since the last poll, so at
+    // least one full op per worker falls strictly INSIDE the interval — each
+    // ring's op_seq has provably advanced when we poll.
+    std::array<std::uint64_t, 4> base{};
+    for (int w = 0; w < 4; ++w) {
+      base[w] = worker_ops[w].load(std::memory_order_relaxed);
+    }
+    for (int w = 0; w < 4; ++w) {
+      while (worker_ops[w].load(std::memory_order_relaxed) < base[w] + 2) {
+        std::this_thread::yield();
+      }
+    }
+    const health::HealthSnapshot snap = monitor.poll();
+    EXPECT_TRUE(snap.findings.empty())
+        << "threads that complete ops every interval must never read as stalled";
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  telemetry::set_tracing(false);
+}
+
+}  // namespace

@@ -25,14 +25,16 @@ TEST(ScenarioRegistry, EveryRetiredBinaryHasAScenario) {
   // The 13 harness-based bench mains this driver replaced, plus the
   // observability scenarios (telemetry-overhead smoke, the E7 pairwise
   // trace workload, the trace-overhead A/B, the E10 combining-overhead
-  // A/B), the E8 cross-generation SCQ head-to-head, the E9
-  // segmented-queue burst comparison, and the E10 combining ladder. A
-  // scenario disappearing from the registry silently drops an experiment.
+  // A/B, the E11 health-overhead A/B), the E8 cross-generation SCQ
+  // head-to-head, the E9 segmented-queue burst comparison, and the E10
+  // combining ladder. A scenario disappearing from the registry silently
+  // drops an experiment.
   const std::set<std::string> expected = {
       "fig6a",         "fig6b",       "fig6c",     "fig6d",             "overhead",
       "op-profile",    "ablation-llsc", "ablation-hp", "ablation-capacity", "ext-mixed",
       "ext-reclaim",   "sharded",     "scq",       "backoff",   "telemetry-overhead",
-      "pairwise",      "trace-overhead", "burst",  "combining", "combining-overhead"};
+      "pairwise",      "trace-overhead", "burst",  "combining", "combining-overhead",
+      "health-overhead"};
   std::set<std::string> got;
   for (const ScenarioSpec& spec : all_scenarios()) {
     EXPECT_TRUE(got.insert(spec.name).second) << "duplicate scenario " << spec.name;

@@ -226,6 +226,15 @@ TEST(TelemetryExporter, SnapshotDeltaHandlesNewQueues) {
   EXPECT_EQ(f->counters[Counter::kPopOk], 9u) << "mid-interval queues contribute full counts";
 }
 
+TEST(TelemetryExporter, EscapeLabelValueHandlesAllThreeSpecials) {
+  // Prometheus text format requires exactly three escapes inside a label
+  // value: backslash, double quote, newline. Everything else passes through.
+  EXPECT_EQ(escape_label_value("plain/name-0"), "plain/name-0");
+  EXPECT_EQ(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(escape_label_value(""), "");
+  EXPECT_EQ(escape_label_value("\\\\"), "\\\\\\\\");
+}
+
 TEST(TelemetryExporter, GoldenFilePinsPrometheusTextFormat) {
 #if !EVQ_TELEMETRY
   GTEST_SKIP() << "counter values compiled out with EVQ_TELEMETRY=0";
@@ -240,6 +249,10 @@ TEST(TelemetryExporter, GoldenFilePinsPrometheusTextFormat) {
   alpha.inc(Counter::kSlotScFail);
   alpha.set_depth_gauge([] { return std::uint64_t{1}; });
   beta.inc(Counter::kPushFull, 4);
+  // A hostile name: every character class the escaper must handle ends up
+  // byte-exact in the golden file.
+  ScopedQueueMetrics weird("weird\"\\\nq", &reg);
+  weird.inc(Counter::kPopEmpty, 1);
 
   std::ostringstream os;
   render_prometheus(os, reg);
@@ -261,6 +274,38 @@ TEST(TelemetryExporter, GoldenFilePinsPrometheusTextFormat) {
       << "Prometheus text format drifted. If intentional, regenerate with "
          "EVQ_REGEN_GOLDEN=1 and mention the change in DESIGN.md Observability.";
 #endif
+}
+
+TEST(TelemetryRegistry, EntryChurnRacesWithSnapshotsSafely) {
+  // TSan teeth for registration/teardown: two threads create and destroy
+  // same-named ScopedQueueMetrics handles (shared entry refcount churn, gauge
+  // attach/detach) while the main thread snapshots and renders the global
+  // registry. No assertions beyond well-formed output — the point is that
+  // snapshotting never races entry lifetime.
+  std::atomic<bool> stop{false};
+  std::thread churn_a([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ScopedQueueMetrics m("tmtest-churn-a");
+      m.inc(Counter::kPushOk);
+    }
+  });
+  std::thread churn_b([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ScopedQueueMetrics m("tmtest-churn-b");
+      m.set_depth_gauge([] { return std::uint64_t{1}; });
+      m.inc(Counter::kPopEmpty);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const RegistrySnapshot snap = snapshot_registry();
+    EXPECT_LE(snap.queues.size(), 4096u);  // sanity: bounded, well-formed
+    std::ostringstream os;
+    render_prometheus(os);
+    EXPECT_NE(os.str().find("# TYPE"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  churn_a.join();
+  churn_b.join();
 }
 
 TEST(TelemetryExporter, RenderRacesWithWritersSafely) {
@@ -347,6 +392,64 @@ TEST(FlightRecorder, RingWrapKeepsMostRecentRecords) {
   // The latest logical record is intact; its slot holds the newest write.
   const ThreadTrace::Record& last = trace.record_at(total - 1);
   EXPECT_EQ(last.index.load(std::memory_order_relaxed), ThreadTrace::kRecords + 16);
+#endif
+}
+
+TEST(FlightRecorder, OpSeqIsMonotoneAcrossRingWraparound) {
+#if !EVQ_TELEMETRY
+  GTEST_SKIP() << "tracing compiled out with EVQ_TELEMETRY=0";
+#else
+  // The health stall detector compares successive op_seq reads, so the
+  // counter must keep climbing even while the record ring wraps and
+  // overwrites slots.
+  set_tracing(true);
+  record_trace(3, TraceOp::kPushOk, 0, 0);
+  ASSERT_NE(detail::t_trace, nullptr);
+  const ThreadTrace& trace = *detail::t_trace;
+  const std::uint64_t seq_before = trace.op_seq();
+  constexpr std::uint64_t kOps = ThreadTrace::kRecords * 2 + 5;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    record_trace(3, TraceOp::kPopOk, i, 0);
+  }
+  set_tracing(false);
+  EXPECT_EQ(trace.op_seq(), seq_before + kOps) << "one tick per recorded op";
+  const std::uint64_t total = trace.total_records();
+  // Post-wrap slots carry coherent, strictly increasing op_seq stamps.
+  const std::uint64_t last_seq =
+      trace.record_at(total - 1).op_seq.load(std::memory_order_relaxed);
+  const std::uint64_t prev_seq =
+      trace.record_at(total - 2).op_seq.load(std::memory_order_relaxed);
+  EXPECT_EQ(last_seq, seq_before + kOps);
+  EXPECT_EQ(prev_seq + 1, last_seq);
+#endif
+}
+
+TEST(FlightRecorder, OpSeqResetsWhenRingChangesOwner) {
+#if !EVQ_TELEMETRY
+  GTEST_SKIP() << "tracing compiled out with EVQ_TELEMETRY=0";
+#else
+  // Rings are recycled across threads via assign_owner(), which must zero
+  // op_seq — otherwise the health monitor would inherit the previous owner's
+  // count as the new thread's baseline. Whether the second thread reuses the
+  // first thread's ring (free-list hit) or attaches a fresh one, its first
+  // record must observe op_seq == 1.
+  set_tracing(true);
+  std::thread first([] {
+    for (int i = 0; i < 7; ++i) {
+      record_trace(4, TraceOp::kPushOk, 0, 0);
+    }
+    ASSERT_NE(detail::t_trace, nullptr);
+    EXPECT_GE(detail::t_trace->op_seq(), 7u);
+  });
+  first.join();
+  std::thread second([] {
+    record_trace(4, TraceOp::kPopOk, 0, 0);
+    ASSERT_NE(detail::t_trace, nullptr);
+    EXPECT_EQ(detail::t_trace->op_seq(), 1u)
+        << "recycled ring must not inherit the dead owner's op count";
+  });
+  second.join();
+  set_tracing(false);
 #endif
 }
 

@@ -64,6 +64,8 @@
 #include "evq/core/segmented_queue.hpp"
 #include "evq/core/sharded_queue.hpp"
 #include "evq/hazard/hp_domain.hpp"
+#include "evq/health/health.hpp"
+#include "evq/health/monitor.hpp"
 #include "evq/inject/inject.hpp"
 #include "evq/inject/profile.hpp"
 #include "evq/llsc/packed_llsc.hpp"
@@ -199,9 +201,16 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   // The driver releases the run's stall victim once the run is over (a
   // victim whose park blocks completion wakes by itself: the gate's park
   // budget is bounded precisely so a stalled thread cannot deadlock a run).
+  // The watchdog also pumps a health Monitor (~every 32ms) so a wedge is
+  // declared WITH a diagnosis, not just raw counters.
+  health::Monitor monitor;
+  std::uint32_t watchdog_ticks = 0;
   while (remaining.load(std::memory_order_acquire) != 0 &&
          !abort.load(std::memory_order_acquire) && Clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (++watchdog_ticks % 32 == 0) {
+      monitor.poll();
+    }
   }
   if (remaining.load(std::memory_order_acquire) != 0) {
     abort.store(true, std::memory_order_release);
@@ -225,12 +234,33 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
         telemetry::dump_flight_recorder(dump, /*last_n=*/32);
       }
     }
+    // Health diagnosis: one final poll over the wedged state (workers are
+    // joined, so a thread that died mid-op shows a frozen op_seq), dumped to
+    // stderr and as a versioned JSON artifact next to the flight record.
+    const health::HealthSnapshot diagnosis = monitor.poll();
+    std::cerr << "=== evq health diagnosis (" << diagnosis.findings.size()
+              << " finding(s)) ===\n";
+    for (const health::Finding& f : diagnosis.findings) {
+      std::cerr << "  [" << health::finding_type_name(f.type) << "] " << f.subject << ": "
+                << f.detail << "\n";
+    }
+    const char* health_path = std::getenv("EVQ_HEALTH_DUMP_PATH");
+    std::ofstream health_dump(health_path != nullptr ? health_path : "torture_health.json");
+    if (health_dump) {
+      health::health_json(health_dump, diagnosis);
+    }
     // Phase-level post-mortem: the evq::trace spans of the wedged run as a
-    // Perfetto-loadable Chrome trace, next to the flight record.
+    // Perfetto-loadable Chrome trace, next to the flight record — annotated
+    // with the active findings so the diagnosis opens inside Perfetto too.
     const char* trace_path = std::getenv("EVQ_TRACE_DUMP_PATH");
     std::ofstream wedge_trace(trace_path != nullptr ? trace_path : "torture_wedge_trace.json");
     if (wedge_trace) {
-      trace::export_chrome_trace(wedge_trace);
+      trace::ExportOptions trace_opts;
+      for (const health::Finding& f : diagnosis.findings) {
+        trace_opts.annotations.push_back(std::string(health::finding_type_name(f.type)) + " " +
+                                         f.subject + ": " + f.detail);
+      }
+      trace::export_chrome_trace(wedge_trace, trace_opts);
     }
   }
   out.conservation = verify::check_conservation(logs, pushed);
