@@ -34,7 +34,7 @@ using namespace evq::harness;
                "       evq-bench run --all [flags]\n"
                "flags: --threads a,b,c  --iters N  --runs R  --burst B  --capacity C\n"
                "       --csv  --paper  --latency-sample N  --stable-cv PCT\n"
-               "       --max-runs N  --op-stats  --telemetry  --health\n"
+               "       --max-runs N  --op-stats  --telemetry  --health  --perf\n"
                "       --json PATH ('-' = stdout)  --trace PATH  --trace-sample N\n"
                "`evq-bench list` prints the available scenarios.\n");
   std::exit(2);

@@ -8,6 +8,11 @@ are noisier than means, so p99 has its own reporting threshold
 (--p99-threshold, default 25%). Telemetry counter deltas (per scenario and
 queue: retries, SC failures, help-advances, ...) are reported informationally
 — a counter shift explains a timing shift but is never itself a failure.
+Hardware-counter deltas (schema v2 "perf" cell sections: cycles/op,
+llc_miss/op, ipc, ...) are reported the same way; documents missing the
+section on either side — v1 baselines, counters-off runs, degraded hosts —
+diff cleanly with those cells simply not joined. Accepts schema versions 1
+and 2 on either side.
 Intended for the BENCH_*.json trajectory workflow (EXPERIMENTS.md): keep one
 JSON per milestone, diff the newest against the previous one.
 
@@ -26,12 +31,16 @@ import json
 import sys
 
 
+SUPPORTED_SCHEMAS = (1, 2)
+
+
 def load(path):
     with open(path) as f:
         doc = json.load(f)
     version = doc.get("schema_version")
-    if version != 1:
-        sys.exit(f"{path}: unsupported schema_version {version!r} (expected 1)")
+    if version not in SUPPORTED_SCHEMAS:
+        sys.exit(f"{path}: unsupported schema_version {version!r} "
+                 f"(expected one of {SUPPORTED_SCHEMAS})")
     return doc
 
 
@@ -76,6 +85,35 @@ def finding_rows(doc):
         health = scenario.get("health")
         if isinstance(health, dict):
             yield scenario["name"], health.get("finding_polls", {})
+
+
+# Per-op hardware-counter metrics (schema v2 "perf" cell sections). cycles/op
+# and llc_miss/op diff on percent change like timings; ipc is a ratio and
+# diffs on absolute change so a 1.2 -> 0.9 drop reads as -0.3, not -25%.
+PERF_PCT_METRICS = ("cycles_per_op", "instructions_per_op",
+                    "l1d_miss_per_op", "llc_miss_per_op",
+                    "branch_miss_per_op")
+
+
+def perf_cells(doc):
+    """Yields (cell_key, perf dict) for cells carrying a perf section.
+
+    The section only exists in schema v2 documents produced with --perf on a
+    counting host — v1 baselines (or degraded-host candidates) yield nothing,
+    and the join below simply finds no shared keys.
+    """
+    for key, cell in cells(doc):
+        perf = cell.get("perf")
+        if isinstance(perf, dict):
+            yield key, perf
+
+
+def perf_backends(doc):
+    """Yields (scenario, perf backend record) for scenarios run with --perf."""
+    for scenario in doc.get("scenarios", []):
+        perf = scenario.get("perf")
+        if isinstance(perf, dict):
+            yield scenario["name"], perf
 
 
 def pct_change(old, new):
@@ -212,6 +250,49 @@ def main():
         print("health rate changes (informational):")
         for line in health_lines:
             print(line)
+
+    # Hardware-counter deltas (schema v2 --perf runs): informational, like
+    # telemetry — cycles/op explains a mean-time shift but the timing delta
+    # above is the gate. Either side may lack the section entirely (v1
+    # baseline, counters-off run, degraded host): those cells just don't join.
+    base_perf = {k: v for k, v in perf_cells(base_doc)
+                 if k[0] in shared_scenarios}
+    cand_perf = {k: v for k, v in perf_cells(cand_doc)
+                 if k[0] in shared_scenarios}
+    perf_lines = []
+    for key in sorted(base_perf.keys() & cand_perf.keys()):
+        b, c = base_perf[key], cand_perf[key]
+        scenario, series, label = key
+        for metric in PERF_PCT_METRICS:
+            if metric not in b or metric not in c:
+                continue  # event unavailable on one host: nothing to compare
+            dp = pct_change(b[metric], c[metric])
+            if abs(dp) <= args.threshold:
+                continue
+            perf_lines.append(
+                f"  {scenario:>18s} {series:<20s} {metric}[{label}]: "
+                f"{b[metric]:.3g} -> {c[metric]:.3g} ({dp:+.1f}%)")
+        if "ipc" in b and "ipc" in c and abs(c["ipc"] - b["ipc"]) > 0.1:
+            perf_lines.append(
+                f"  {scenario:>18s} {series:<20s} ipc[{label}]: "
+                f"{b['ipc']:.3g} -> {c['ipc']:.3g} "
+                f"({c['ipc'] - b['ipc']:+.2f})")
+    if perf_lines:
+        print("perf counter changes (informational):")
+        for line in perf_lines:
+            print(line)
+
+    # Backend availability drift is worth a loud note: a candidate silently
+    # losing its counters would otherwise look like "no perf changes".
+    base_backends = dict(perf_backends(base_doc))
+    cand_backends = dict(perf_backends(cand_doc))
+    for scenario in sorted(base_backends.keys() & cand_backends.keys()):
+        b, c = base_backends[scenario], cand_backends[scenario]
+        if b.get("available") != c.get("available"):
+            reason = c.get("reason") or b.get("reason") or ""
+            print(f"warning: scenario '{scenario}' perf backend availability "
+                  f"changed: {b.get('available')} -> {c.get('available')}"
+                  + (f" ({reason})" if reason else ""), file=sys.stderr)
 
     base_findings = dict(finding_rows(base_doc))
     cand_findings = dict(finding_rows(cand_doc))

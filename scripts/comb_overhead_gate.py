@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI gate for the flat-combining facade's uncontended tax (EXPERIMENTS.md E10).
 
-Reads ONE evq-bench JSON document (schema_version 1) and compares series
+Reads ONE evq-bench JSON document (schema_version 1 or 2) and compares series
 WITHIN it: each combining facade against its bare inner ring, row by row,
 on mean_seconds. This intra-document comparison is what bench_diff.py cannot
 do — it only joins identical series names across two documents — and it is
@@ -26,7 +26,7 @@ DEFAULT_PAIRS = ["comb-cas:fifo-simcas", "comb-scq:scq"]
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema_version") != 1:
+    if doc.get("schema_version") not in (1, 2):
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
     return doc
 
@@ -47,7 +47,7 @@ def series_cells(scenario, name):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("json", help="evq-bench JSON document (schema_version 1)")
+    parser.add_argument("json", help="evq-bench JSON document (schema 1 or 2)")
     parser.add_argument("--scenario", default="combining-overhead",
                         help="scenario holding both facade and bare-ring series")
     parser.add_argument("--threshold", type=float, default=5.0,

@@ -157,9 +157,9 @@ def main():
                      f"{doc['health_schema_version']!r} (expected 1)")
         findings = report_snapshot(doc)
     elif "scenarios" in doc:
-        if doc.get("schema_version") != 1:
+        if doc.get("schema_version") not in (1, 2):
             sys.exit(f"{args.path}: unsupported schema_version "
-                     f"{doc.get('schema_version')!r} (expected 1)")
+                     f"{doc.get('schema_version')!r} (expected 1 or 2)")
         findings = report_bench(doc)
     else:
         sys.exit(f"{args.path}: neither a health snapshot "

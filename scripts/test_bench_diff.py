@@ -76,12 +76,23 @@ class BenchDiffTest(unittest.TestCase):
 
     def test_rejects_wrong_schema_version(self):
         doc = make_doc({"fig6a": {"scq": [(1.0, 1000.0)]}})
-        doc["schema_version"] = 2
+        doc["schema_version"] = 3
         base = self.write("base.json", doc)
         cand = self.write("cand.json", doc)
         r = self.run_diff(base, cand)
         self.assertNotEqual(r.returncode, 0)
         self.assertIn("unsupported schema_version", r.stderr + r.stdout)
+
+    def test_accepts_schema_v2_and_mixed_versions(self):
+        # A v1 baseline against a v2 candidate is the normal upgrade path.
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc["schema_version"] = 2
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("compared 1 cells", r.stdout)
 
     # -- regression detection and exit codes -------------------------------
 
@@ -201,6 +212,88 @@ class BenchDiffTest(unittest.TestCase):
         r = self.run_diff(base, cand, "--fail-on-regress")
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertNotIn("health rate changes", r.stdout)
+
+    # -- perf section (schema v2, optional, informational) ------------------
+
+    @staticmethod
+    def add_perf(doc, scenario_name, series_name, cell_perfs,
+                 backend=("perf_event", True, "")):
+        """Attaches per-cell perf dicts and the scenario backend record, and
+        bumps the document to schema v2 (the section only exists there)."""
+        doc["schema_version"] = 2
+        for scenario in doc["scenarios"]:
+            if scenario["name"] != scenario_name:
+                continue
+            name, available, reason = backend
+            scenario["perf"] = {"backend": name, "available": available,
+                                "reason": reason}
+            for series in scenario["series"]:
+                if series["name"] == series_name:
+                    for cell, perf in zip(series["cells"], cell_perfs):
+                        if perf is not None:
+                            cell["perf"] = perf
+
+    def test_perf_deltas_are_reported_but_never_fatal(self):
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_perf(base_doc, "s", "q",
+                      [{"ops": 1000, "cycles_per_op": 300.0,
+                        "llc_miss_per_op": 0.2, "ipc": 1.2}])
+        self.add_perf(cand_doc, "s", "q",
+                      [{"ops": 1000, "cycles_per_op": 450.0,
+                        "llc_miss_per_op": 0.8, "ipc": 0.9}])
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress", "--fail-over", "5")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("perf counter changes", r.stdout)
+        self.assertIn("cycles_per_op[1]: 300 -> 450 (+50.0%)", r.stdout)
+        self.assertIn("llc_miss_per_op[1]: 0.2 -> 0.8", r.stdout)
+        self.assertIn("ipc[1]: 1.2 -> 0.9 (-0.30)", r.stdout)
+
+    def test_missing_perf_section_is_tolerated(self):
+        # v1 baseline (no perf anywhere) against a v2 --perf candidate: the
+        # cells just don't join, and the diff stays clean.
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_perf(cand_doc, "s", "q",
+                      [{"ops": 1000, "cycles_per_op": 450.0}])
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("perf counter changes", r.stdout)
+
+    def test_one_sided_perf_event_is_skipped(self):
+        # Same metric set except the candidate host lost branch-miss counters:
+        # shared metrics diff, the one-sided metric is silently skipped.
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_perf(base_doc, "s", "q",
+                      [{"ops": 1000, "cycles_per_op": 300.0,
+                        "branch_miss_per_op": 1.0}])
+        self.add_perf(cand_doc, "s", "q",
+                      [{"ops": 1000, "cycles_per_op": 600.0}])
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("cycles_per_op[1]: 300 -> 600", r.stdout)
+        self.assertNotIn("branch_miss_per_op", r.stdout)
+
+    def test_backend_availability_drift_warns(self):
+        base_doc = make_doc({"s": {"q": [(1.0, 1000.0)]}})
+        cand_doc = copy.deepcopy(base_doc)
+        self.add_perf(base_doc, "s", "q", [{"ops": 1000}],
+                      backend=("perf_event", True, ""))
+        self.add_perf(cand_doc, "s", "q", [None],
+                      backend=("null", False, "perf_event_open denied"))
+        base = self.write("base.json", base_doc)
+        cand = self.write("cand.json", cand_doc)
+        r = self.run_diff(base, cand, "--fail-on-regress")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("perf backend availability changed", r.stderr)
+        self.assertIn("perf_event_open denied", r.stderr)
 
     def test_join_is_per_series_and_row(self):
         base = self.write("base.json", make_doc(

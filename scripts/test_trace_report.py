@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Smoke tests for scripts/trace_report.py (run by CTest as `trace_report_py`).
+
+trace_report.py doubles as CI's trace-shape validator (the trace smoke job
+fails the build on its exit code), so these tests pin both halves of the
+contract: the aggregation (per-queue phase/op/help/reclaim rollups, retry
+distribution, flow-event help matrix) and the validation failure modes
+(missing traceEvents, malformed "X" events, --min-events).
+
+Stdlib only (unittest + subprocess): the test must run on a bare python3 with
+no pip installs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "trace_report.py")
+
+
+def x_event(name, cat, tid, ts, dur, **args):
+    ev = {"ph": "X", "name": name, "cat": cat, "pid": 1, "tid": tid,
+          "ts": ts, "dur": dur}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def sample_trace():
+    """A small but complete trace: two threads on one queue, phases nested
+    under ops, one help flow from t1 to t2, one reclamation slice."""
+    return {"traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+         "args": {"name": "producer-0"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+         "args": {"name": "consumer-0"}},
+        x_event("push", "op", 1, 100, 10.0, queue="scq", retries=0),
+        x_event("push", "op", 1, 120, 30.0, queue="scq", retries=2),
+        x_event("pop", "op", 2, 130, 20.0, queue="scq", retries=0),
+        x_event("index_load", "phase", 1, 100, 2.0, queue="scq"),
+        x_event("slot_attempt", "phase", 1, 104, 6.0, queue="scq"),
+        x_event("slot_attempt", "phase", 1, 125, 24.0, queue="scq"),
+        x_event("help_advance", "help", 1, 150, 5.0, queue="scq"),
+        x_event("helped", "help", 2, 152, 0.0, queue="scq"),
+        x_event("hp_scan", "reclaim", 2, 160, 3.0, queue="scq"),
+        {"ph": "s", "id": 7, "pid": 1, "tid": 1, "ts": 150, "cat": "help",
+         "name": "help_flow"},
+        {"ph": "f", "id": 7, "pid": 1, "tid": 2, "ts": 152, "cat": "help",
+         "name": "help_flow", "bp": "e"},
+    ]}
+
+
+class TraceReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_report(self, path, *flags):
+        return subprocess.run([sys.executable, SCRIPT, path, *flags],
+                              capture_output=True, text=True)
+
+    # -- aggregation --------------------------------------------------------
+
+    def test_json_report_aggregates_ops_phases_help_and_reclaim(self):
+        path = self.write("t.json", sample_trace())
+        r = self.run_report(path, "--json")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        report = json.loads(r.stdout)
+        scq = report["queues"]["scq"]
+        self.assertEqual(scq["ops"]["push"], {"count": 2, "total_us": 40.0})
+        self.assertEqual(scq["ops"]["pop"], {"count": 1, "total_us": 20.0})
+        self.assertEqual(scq["phases"]["slot_attempt"],
+                         {"count": 2, "total_us": 30.0})
+        self.assertEqual(scq["help_advances"], {"count": 1, "total_us": 5.0})
+        self.assertEqual(scq["helped_markers"], 1)
+        self.assertEqual(scq["reclaim"]["hp_scan"],
+                         {"count": 1, "total_us": 3.0})
+
+    def test_retry_distribution_counts_per_sampled_op(self):
+        path = self.write("t.json", sample_trace())
+        r = self.run_report(path, "--json")
+        report = json.loads(r.stdout)
+        self.assertEqual(report["retry_distribution"], {"0": 2, "2": 1})
+
+    def test_help_matrix_joins_flow_start_to_finish(self):
+        path = self.write("t.json", sample_trace())
+        r = self.run_report(path, "--json")
+        report = json.loads(r.stdout)
+        self.assertEqual(report["help_matrix"],
+                         [{"helper_tid": 1, "helped_tid": 2, "count": 1}])
+
+    def test_text_report_names_threads_in_the_help_matrix(self):
+        path = self.write("t.json", sample_trace())
+        r = self.run_report(path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("producer-0 -> consumer-0: 1", r.stdout)
+        self.assertIn("queue scq: 3 sampled ops", r.stdout)
+
+    # -- validation ---------------------------------------------------------
+
+    def test_missing_trace_events_list_fails(self):
+        path = self.write("t.json", {"displayTimeUnit": "ns"})
+        r = self.run_report(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no traceEvents list", r.stderr)
+
+    def test_x_event_missing_required_keys_fails(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "push", "ts": 1}]}
+        path = self.write("t.json", doc)
+        r = self.run_report(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("missing", r.stderr)
+        self.assertIn("cat", r.stderr)
+
+    def test_event_without_phase_type_fails(self):
+        path = self.write("t.json", {"traceEvents": [{"name": "push"}]})
+        r = self.run_report(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no phase type", r.stderr)
+
+    def test_min_events_gates_empty_smoke_traces(self):
+        path = self.write("t.json", {"traceEvents": []})
+        r = self.run_report(path, "--min-events", "1")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("--min-events", r.stderr)
+        # The same empty trace passes without the gate.
+        r = self.run_report(path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

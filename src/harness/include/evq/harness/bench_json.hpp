@@ -4,7 +4,7 @@
 // tests/scenario_test.cpp pins the layout with a golden file):
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "generator": "evq-bench",
 //     "timestamp": "...",              // omitted when empty (deterministic runs)
 //     "host": { "hardware_concurrency", "compiler", "build" },
@@ -19,17 +19,32 @@
 //         "throughput_ops_per_sec", "total_ops",
 //         "latency_ns": { "count", "min", "max", "mean",
 //                         "p50", "p90", "p99", "p999" },   // when sampled
-//         "op_counters": { ... }                           // when recorded
+//         "op_counters": { ... },                          // when recorded
+//         "perf": { "ops", "cycles_per_op", "instructions_per_op", "ipc",
+//                   "l1d_miss_per_op", "llc_miss_per_op",
+//                   "branch_miss_per_op", "ctx_switches",
+//                   "mux_scale" }      // --perf on a counting host; per-op
+//                                      // keys appear only for events the
+//                                      // host's PMU actually provided
 //       } ] } ],
 //       "telemetry": [ { "queue", "counters": { ... },      // when --telemetry
-//                        "depth" } ]                        // gauge, if any
+//                        "depth" } ],                       // gauge, if any
+//       "health": { ... },                                  // when --health
+//       "perf": { "backend", "available", "reason" }        // when --perf —
+//                                      // ALWAYS present then, so a degraded
+//                                      // host is an explicit record, not a
+//                                      // missing section
 //     } ]
 //   }
 //
-// The optional "telemetry" section (per-queue registry counter deltas
-// accumulated over the scenario) and the hp_* keys inside op_counters are
-// additive optional keys: consumers that ignore unknown keys keep working,
-// so the schema version stays 1.
+// v1 -> v2: the per-cell and per-scenario "perf" sections (ISSUE 10). The
+// sections are structurally additive, but the version was bumped anyway so
+// trajectory tooling can distinguish "no perf support" (v1 baseline) from
+// "perf off" (v2 without the section); scripts/bench_diff.py accepts both
+// versions and joins them cleanly.
+//
+// The optional "telemetry"/"health" sections and the hp_* keys inside
+// op_counters remain additive optional keys within a version.
 //
 // rows[i] and every series' cells[i] correspond; scripts/bench_diff.py joins
 // two documents on (scenario, series, row label) to flag regressions across
@@ -43,7 +58,7 @@
 
 namespace evq::harness {
 
-inline constexpr int kBenchJsonSchemaVersion = 1;
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Host/build provenance recorded into the document header.
 struct BenchHostInfo {

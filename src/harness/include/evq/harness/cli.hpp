@@ -18,6 +18,10 @@
 //   --health               run a health Monitor across the scenario (poll per
 //                          cell, latency reservoir on; adds a "health" JSON
 //                          section)
+//   --perf                 read hardware counters per worker (evq::perf) and
+//                          derive cycles/op, misses/op, IPC per cell; adds a
+//                          "perf" JSON section (falls back to an explicit
+//                          unavailability record on perf-denied hosts)
 //   --json PATH            also emit the versioned JSON document to PATH
 //   --trace PATH           export a Chrome Trace Format JSON of sampled ops
 //   --trace-sample N       trace 1-in-N ops per thread (implies tracing on;
@@ -42,6 +46,8 @@ struct CliOptions {
   bool csv = false;
   bool telemetry = false;                // capture registry counter deltas
   bool health = false;                   // pump a health Monitor per cell
+  bool perf = false;                     // hardware counters (also sets
+                                         // workload.record_perf via apply)
   std::string json_path;                 // empty = no JSON output
   std::string trace_path;                // empty = no Chrome trace export
   unsigned trace_sample_every = 0;       // 0 = tracing off
@@ -62,6 +68,7 @@ struct CliOverrides {
   bool op_stats = false;
   bool telemetry = false;
   bool health = false;
+  bool perf = false;
   bool csv = false;
   bool paper = false;
   std::string json_path;

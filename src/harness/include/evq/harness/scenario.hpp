@@ -33,6 +33,8 @@ struct CellStats {
   LogHistogram latency;         // sampled per-op latency (ns); empty when off
   stats::OpCounters ops{};      // aggregate counters (op_stats mode / op-profile)
   bool has_ops = false;
+  perf::PerfAgg perf{};         // hardware-counter totals (--perf)
+  bool has_perf = false;        // true only when at least one event counted
 };
 
 /// One column: an algorithm (or configuration) across every row.
@@ -62,6 +64,16 @@ struct ScenarioHealth {
   std::array<std::uint64_t, health::kFindingTypeCount> finding_polls{};
 };
 
+/// Backend record of a --perf run. Always present when perf was requested —
+/// a degraded host reports backend "null" with the denial reason instead of
+/// silently omitting the section (the degradation tests pin this).
+struct ScenarioPerf {
+  bool enabled = false;
+  std::string backend;  // "perf_event", "mock" or "null"
+  bool available = false;
+  std::string reason;   // why counting is off; empty when available
+};
+
 struct ScenarioResult {
   std::string name;
   std::string title;
@@ -74,6 +86,8 @@ struct ScenarioResult {
   std::vector<telemetry::QueueCounters> telemetry;
   /// Populated when the scenario runs with --health.
   ScenarioHealth health;
+  /// Populated when the scenario runs with --perf.
+  ScenarioPerf perf;
 
   [[nodiscard]] const ScenarioSeries* series_named(const std::string& name) const;
 };

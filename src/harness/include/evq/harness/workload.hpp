@@ -29,6 +29,7 @@
 #include "evq/harness/any_queue.hpp"
 #include "evq/harness/queue_registry.hpp"
 #include "evq/harness/stats.hpp"
+#include "evq/perf/perf.hpp"
 
 namespace evq::harness {
 
@@ -53,6 +54,7 @@ struct WorkloadParams {
   double stable_cv = 0.0;             // >0: repeat runs until per-run CV <= this
   unsigned max_runs = 0;              // adaptive cap; 0 = 4 x runs
   bool record_op_stats = false;       // aggregate OpCounters over all workers
+  bool record_perf = false;           // hardware counters per worker (evq::perf)
 };
 
 /// One run's raw measurements.
@@ -67,6 +69,7 @@ struct WorkloadResult {
   std::vector<RunResult> runs;
   LogHistogram latency;         // merged sampled per-op latencies (ns); empty when off
   stats::OpCounters ops{};      // aggregate counters; all-zero unless record_op_stats
+  perf::PerfAgg perf{};         // hardware-counter totals; empty unless record_perf
 
   /// The paper's per-run time series (thread_seconds of each run).
   [[nodiscard]] std::vector<double> times() const;
@@ -85,9 +88,12 @@ double run_once(AnyQueue& queue, const WorkloadParams& p);
 
 /// One run with full measurements. `latency` (may be null) receives sampled
 /// per-op latencies when p.latency_sample_every > 0; `ops` (may be null)
-/// receives aggregated counters when p.record_op_stats.
+/// receives aggregated counters when p.record_op_stats; `perf` (may be null)
+/// accumulates each worker's hardware-counter harvest when p.record_perf
+/// (one perf::ThreadPerfScope per worker around its whole measured region,
+/// including the start barrier — amortized over the run, see DESIGN.md §16).
 RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* latency,
-                      stats::OpCounters* ops);
+                      stats::OpCounters* ops, perf::PerfAgg* perf = nullptr);
 
 /// Full experiment for one algorithm: constructs a fresh queue per run via
 /// `spec` and returns the p.runs per-run times in seconds.

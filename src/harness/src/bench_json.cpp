@@ -146,6 +146,46 @@ void write_health(JsonWriter& w, const ScenarioHealth& h) {
   w.end_object();
 }
 
+// Per-cell hardware-counter attribution (--perf on a counting host). Per-op
+// keys appear only for events the PMU provided; "ops" is the denominator the
+// scopes actually attributed (== total_ops for the default sweep).
+void write_cell_perf(JsonWriter& w, const perf::PerfAgg& agg) {
+  w.key("perf");
+  w.begin_object();
+  w.member("ops", agg.ops);
+  auto per_op = [&](const char* key, perf::Event e) {
+    const double v = agg.per_op(e);
+    if (v >= 0.0) {
+      w.member(key, v);
+    }
+  };
+  per_op("cycles_per_op", perf::Event::kCycles);
+  per_op("instructions_per_op", perf::Event::kInstructions);
+  if (const double ipc = agg.ipc(); ipc >= 0.0) {
+    w.member("ipc", ipc);
+  }
+  per_op("l1d_miss_per_op", perf::Event::kL1dMisses);
+  per_op("llc_miss_per_op", perf::Event::kLlcMisses);
+  per_op("branch_miss_per_op", perf::Event::kBranchMisses);
+  if (agg.has(perf::Event::kContextSwitches)) {
+    w.member("ctx_switches", agg.total(perf::Event::kContextSwitches));
+  }
+  w.member("mux_scale", agg.worst_mux_scale);
+  w.end_object();
+}
+
+// The scenario-level backend record (--perf): always present then, so a
+// degraded host leaves an explicit reason instead of a missing section.
+void write_scenario_perf(JsonWriter& w, const ScenarioPerf& p) {
+  w.key("perf");
+  w.begin_object();
+  w.member("backend", p.backend);
+  w.key("available");
+  w.boolean(p.available);
+  w.member("reason", p.reason);
+  w.end_object();
+}
+
 void write_cell(JsonWriter& w, const CellStats& cell) {
   w.begin_object();
   w.member("mean_seconds", cell.time.mean);
@@ -162,6 +202,9 @@ void write_cell(JsonWriter& w, const CellStats& cell) {
   }
   if (cell.has_ops) {
     write_op_counters(w, cell.ops);
+  }
+  if (cell.has_perf) {
+    write_cell_perf(w, cell.perf);
   }
   w.end_object();
 }
@@ -197,6 +240,9 @@ void write_scenario(JsonWriter& w, const ScenarioResult& r) {
   }
   if (r.health.enabled) {
     write_health(w, r.health);
+  }
+  if (r.perf.enabled) {
+    write_scenario_perf(w, r.perf);
   }
   w.end_object();
 }

@@ -13,7 +13,8 @@ namespace {
                "usage: %s [--threads a,b,c] [--iters N] [--runs R] [--burst B]\n"
                "          [--capacity C] [--csv] [--paper] [--latency-sample N]\n"
                "          [--stable-cv PCT] [--max-runs N] [--op-stats] [--telemetry]\n"
-               "          [--health] [--json PATH] [--trace PATH] [--trace-sample N]\n"
+               "          [--health] [--perf] [--json PATH] [--trace PATH]\n"
+               "          [--trace-sample N]\n"
                "Runs with CI-scale defaults when given no arguments; --paper\n"
                "selects the paper's parameters (100000 iterations, 50 runs).\n",
                argv0);
@@ -99,6 +100,10 @@ void CliOverrides::apply(CliOptions& opts) const {
   if (health) {
     opts.health = true;
   }
+  if (perf) {
+    opts.perf = true;
+    opts.workload.record_perf = true;
+  }
   if (csv) {
     opts.csv = true;
   }
@@ -157,6 +162,8 @@ CliOverrides parse_overrides(int argc, char** argv, int first) {
       ov.telemetry = true;
     } else if (std::strcmp(arg, "--health") == 0) {
       ov.health = true;
+    } else if (std::strcmp(arg, "--perf") == 0) {
+      ov.perf = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       ov.json_path = need_value(i);
       ++i;

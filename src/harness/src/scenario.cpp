@@ -6,6 +6,7 @@
 
 #include "evq/common/config.hpp"
 #include "evq/health/monitor.hpp"
+#include "evq/perf/backend.hpp"
 
 namespace evq::harness {
 
@@ -67,6 +68,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
     monitor->poll();  // baseline: exclude pre-scenario counter history
   }
   ScenarioResult result;
+  if (opts.perf) {
+    perf::Backend& backend = perf::default_backend();
+    result.perf.enabled = true;
+    result.perf.backend = backend.name();
+    result.perf.available = backend.available();
+    result.perf.reason = backend.unavailable_reason();
+    if (!backend.available()) {
+      std::fprintf(stderr, "# perf: unavailable (%s)\n", result.perf.reason.c_str());
+    }
+  }
   result.name = spec.name;
   result.title = spec.title;
   result.axis = spec.axis;
@@ -85,6 +96,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const CliOptions& opts) {
       cell.latency = w.latency;
       cell.ops = w.ops;
       cell.has_ops = row.params.record_op_stats;
+      cell.perf = w.perf;
+      // A dead backend harvests ops but no events: the cell stays perf-less
+      // and the scenario-level ScenarioPerf record explains why.
+      cell.has_perf = row.params.record_perf && w.perf.any_available();
       series.cells.push_back(std::move(cell));
       pump_health();
     }

@@ -874,6 +874,35 @@ ScenarioSpec health_overhead_spec() {
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Perf-overhead A/B: the telemetry-overhead shape, reused to price the
+// evq::perf counter scopes. Same-binary comparison via bench_diff.py on the
+// JSON documents:
+//   baseline   evq-bench run perf-overhead --json off.json
+//   counted    evq-bench run perf-overhead --perf --json on.json
+// (EXPERIMENTS.md E12 budget: <= 5% mean-op-time overhead — the scopes are
+// per-thread RAII around the whole worker body, so the per-op cost is zero;
+// what the gate prices is the group open/read at thread start/finish.)
+// On a perf-denied host the scopes are dead and the run doubles as the
+// null-backend degradation check: same numbers, explicit reason record.
+// The CI job also compares against a -DEVQ_PERF=OFF build (<= 1% guard on
+// the compiled-out cost, which measures ~0 in practice).
+// ---------------------------------------------------------------------------
+
+ScenarioSpec perf_overhead_spec() {
+  ScenarioSpec spec;
+  spec.name = "perf-overhead";
+  spec.title = "Perf overhead: paper algorithms with hardware-counter scopes";
+  spec.summary = "Observability — counters-off vs --perf cost (EXPERIMENTS.md E12)";
+  spec.default_threads = {1, 2, 4};
+  spec.rows = thread_rows;
+  // The two array queues are the worst case (any per-op cost would have
+  // nowhere to hide in a 40-60ns op); comb-scq is the E12 attribution
+  // subject with the most machinery per op.
+  spec.series = registry_series({"fifo-llsc", "fifo-simcas", "comb-scq"});
+  return spec;
+}
+
 ScenarioSpec trace_overhead_spec() {
   ScenarioSpec spec;
   spec.name = "trace-overhead";
@@ -992,6 +1021,7 @@ std::vector<ScenarioSpec> build_scenarios() {
   specs.push_back(health_overhead_spec());
   specs.push_back(pairwise_spec());
   specs.push_back(trace_overhead_spec());
+  specs.push_back(perf_overhead_spec());
   specs.push_back(combining_spec());
   specs.push_back(combining_overhead_spec());
   return specs;

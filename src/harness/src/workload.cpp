@@ -3,6 +3,7 @@
 #include <bit>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -204,7 +205,7 @@ std::size_t effective_capacity(const WorkloadParams& p) {
 }
 
 RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* latency,
-                      stats::OpCounters* ops) {
+                      stats::OpCounters* ops, perf::PerfAgg* perf) {
   EVQ_CHECK(p.threads >= 1, "workload needs at least one thread");
   SpinBarrier barrier(p.threads);
   std::vector<WorkerResult> results(p.threads);
@@ -216,6 +217,13 @@ RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* la
   for (unsigned t = 0; t < p.threads; ++t) {
     workers.emplace_back([&, t] {
       LogHistogram* hist = hists.empty() ? nullptr : &hists[t];
+      // Optional per-worker hardware counting: one scope around the whole
+      // worker body (handle init + barrier + loop), harvested once with the
+      // worker's op count. Degrades to a dead scope on perf-denied hosts.
+      std::optional<perf::ThreadPerfScope> pscope;
+      if (p.record_perf && perf != nullptr) {
+        pscope.emplace();
+      }
       if (p.record_op_stats && ops != nullptr) {
         stats::OpCounters local;
         {
@@ -226,6 +234,11 @@ RunResult run_once_ex(AnyQueue& queue, const WorkloadParams& p, LogHistogram* la
         *ops += local;
       } else {
         results[t] = worker(queue, p, barrier, t, hist);
+      }
+      if (pscope.has_value()) {
+        const perf::PerfAgg agg = pscope->harvest(results[t].ops);
+        const std::lock_guard<std::mutex> lock(ops_mutex);
+        *perf += agg;
       }
     });
   }
@@ -270,7 +283,8 @@ WorkloadResult run_workload_ex(const QueueSpec& spec, const WorkloadParams& p) {
   while (!stop_sampling(times, rule)) {
     auto queue = spec.make(capacity);
     const RunResult run =
-        run_once_ex(*queue, p, &result.latency, p.record_op_stats ? &result.ops : nullptr);
+        run_once_ex(*queue, p, &result.latency, p.record_op_stats ? &result.ops : nullptr,
+                    p.record_perf ? &result.perf : nullptr);
     result.runs.push_back(run);
     times.push_back(run.thread_seconds);
   }

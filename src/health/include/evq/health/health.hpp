@@ -51,9 +51,15 @@ enum class FindingType : std::uint8_t {
   /// the system made progress — it is stuck INSIDE an operation; the
   /// finding carries the stalled op phase from its ring.
   kThreadStalled,
+  /// Cache thrash (layer 4, evq::perf): the queue's whole-queue perf scopes
+  /// report sustained LLC misses per op above threshold — its hot words
+  /// ping-pong between cores (false sharing / layout regression) instead of
+  /// staying resident. Repro: two queues' index words pinned to one
+  /// cacheline vs. a CachePadded quiet twin (tests/perf_test.cpp).
+  kCacheThrash,
 };
 
-inline constexpr std::size_t kFindingTypeCount = 4;
+inline constexpr std::size_t kFindingTypeCount = 5;
 
 /// Stable lowercase identifier ("threshold_burn", ...) used in Prometheus
 /// labels, JSON, and evq-top.
@@ -101,6 +107,14 @@ struct QueueRates {
   double push_p99_ns = -1.0;
   double pop_p50_ns = -1.0;
   double pop_p99_ns = -1.0;
+  /// Layer-4 rates, joined from the perf attribution table by queue name
+  /// when the Monitor has one (MonitorOptions::perf). perf_live gates the
+  /// whole block; per-op values are -1 when that event is unavailable.
+  bool perf_live = false;
+  std::uint64_t perf_ops = 0;  // ops attributed by perf scopes this interval
+  double cycles_per_op = -1.0;
+  double ipc = -1.0;
+  double llc_miss_per_op = -1.0;
 };
 
 /// One flight-recorder ring's progress view for this interval.
@@ -140,6 +154,10 @@ struct Thresholds {
   double comb_batch_floor = 1.05;
   /// kSegmentLeak: cumulative alloc − retire above this.
   std::int64_t seg_in_flight = 4;
+  /// kCacheThrash: LLC misses per op above this while perf rates are live.
+  /// A resident uncontended queue op misses ~0–1 lines; sustained > 2 means
+  /// its hot lines bounce between cores every operation.
+  double llc_miss_per_op = 2.0;
   /// Hysteresis: a rule must breach this many CONSECUTIVE polls to raise a
   /// finding...
   std::uint32_t trip_polls = 2;
@@ -156,7 +174,7 @@ struct HealthSnapshot {
   std::vector<Finding> findings;  // active after hysteresis, stable order
 };
 
-/// Pure rule engine: feeds interval rates through the four detectors and a
+/// Pure rule engine: feeds interval rates through the five detectors and a
 /// per-(rule, subject) trip/clear streak machine. Deterministic — same input
 /// sequence, same findings — which is what the unit tests pin.
 class Diagnoser {

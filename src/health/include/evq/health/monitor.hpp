@@ -38,6 +38,7 @@
 #include <unordered_map>
 
 #include "evq/health/health.hpp"
+#include "evq/perf/perf.hpp"
 #include "evq/telemetry/prometheus.hpp"
 #include "evq/telemetry/registry.hpp"
 
@@ -51,6 +52,12 @@ struct MonitorOptions {
   /// period for its lifetime (previous period restored on destruction).
   /// 0 = leave the global sampling setting untouched.
   std::uint32_t latency_sample_every = 64;
+  /// Optional layer-4 source: when set, each poll also deltas this perf
+  /// attribution table and joins the per-queue cycles/op, IPC and LLC
+  /// misses/op into QueueRates by queue name (perf keys with no telemetry
+  /// entry get a rates-only entry), arming the cache_thrash detector.
+  /// Typically &perf::AttributionTable::global(); nullptr = layer 4 off.
+  perf::AttributionTable* perf = nullptr;
 };
 
 class Monitor {
@@ -90,6 +97,7 @@ class Monitor {
 
   mutable std::mutex mu_;
   telemetry::RegistrySnapshot prev_;
+  perf::AttributionSnapshot prev_perf_;
   std::unordered_map<std::uint32_t, ThreadState> thread_states_;  // by ordinal
   Diagnoser diagnoser_;
   std::uint64_t polls_ = 0;

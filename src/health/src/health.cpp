@@ -60,6 +60,8 @@ const char* finding_type_name(FindingType t) noexcept {
       return "segment_leak";
     case FindingType::kThreadStalled:
       return "thread_stalled";
+    case FindingType::kCacheThrash:
+      return "cache_thrash";
   }
   return "unknown";
 }
@@ -128,6 +130,15 @@ std::vector<Finding> Diagnoser::evaluate(std::uint64_t poll,
             static_cast<double>(q.seg_in_flight),
             std::to_string(q.seg_in_flight) + " segment(s) in flight (alloc - retire, limit " +
                 std::to_string(thresholds_.seg_in_flight) + ")");
+
+    // Layer-4 rule: gated on the perf scopes' own op count, not telemetry
+    // ops, so it works for queues attributed only through QueuePerfScope.
+    const bool thrash = q.perf_live && q.perf_ops >= thresholds_.min_ops &&
+                        q.llc_miss_per_op > thresholds_.llc_miss_per_op;
+    observe(poll, FindingType::kCacheThrash, q.queue, thrash, q.llc_miss_per_op,
+            "llc_miss/op " + fmt(q.llc_miss_per_op) + " over " + std::to_string(q.perf_ops) +
+                " ops, cycles/op " + fmt(q.cycles_per_op) + ", ipc " + fmt(q.ipc) +
+                " (threshold " + fmt(thresholds_.llc_miss_per_op) + ")");
   }
 
   for (const ThreadProgress& t : threads) {
@@ -306,6 +317,41 @@ HealthSnapshot Monitor::poll_locked() {
     }
   }
 
+  // --- Layer-4 perf join ---------------------------------------------------
+  // Whole-queue attribution deltas merged into QueueRates by registry name.
+  // The attribution table is append-only (like the registry), so a
+  // before/after snapshot pair is an exact interval delta.
+  if (options_.perf != nullptr) {
+    const perf::AttributionSnapshot pafter = options_.perf->snapshot();
+    std::unordered_map<std::string, std::size_t> rate_index;
+    for (std::size_t i = 0; i < snap.queues.size(); ++i) {
+      rate_index.emplace(snap.queues[i].queue, i);
+    }
+    for (const auto& [name, agg] : pafter.queues) {
+      const perf::PerfAgg* before = prev_perf_.find(name);
+      const perf::PerfAgg delta =
+          before != nullptr ? perf::agg_delta(agg, *before) : agg;
+      if (delta.scopes == 0 && delta.ops == 0) {
+        continue;  // no deposits this interval
+      }
+      QueueRates* r;
+      if (const auto it = rate_index.find(name); it != rate_index.end()) {
+        r = &snap.queues[it->second];
+      } else {
+        QueueRates fresh;
+        fresh.queue = name;
+        snap.queues.push_back(std::move(fresh));
+        r = &snap.queues.back();
+      }
+      r->perf_live = true;
+      r->perf_ops = delta.ops;
+      r->cycles_per_op = delta.per_op(perf::Event::kCycles);
+      r->ipc = delta.ipc();
+      r->llc_miss_per_op = delta.per_op(perf::Event::kLlcMisses);
+    }
+    prev_perf_ = pafter;
+  }
+
   // --- Per-thread progress -------------------------------------------------
   const bool system_progressing = total_ops >= options_.thresholds.min_ops;
   const bool tracing = telemetry::tracing_enabled();
@@ -403,6 +449,18 @@ void render_prometheus_health(std::ostream& os, const HealthSnapshot& snap) {
     if (q.has_depth) {
       rate("depth", std::to_string(q.depth));
     }
+    if (q.perf_live) {
+      rate("perf_ops", std::to_string(q.perf_ops));
+      if (q.cycles_per_op >= 0.0) {
+        rate("cycles_per_op", fmt(q.cycles_per_op));
+      }
+      if (q.ipc >= 0.0) {
+        rate("ipc", fmt(q.ipc));
+      }
+      if (q.llc_miss_per_op >= 0.0) {
+        rate("llc_miss_per_op", fmt(q.llc_miss_per_op));
+      }
+    }
   }
   os << "# HELP evq_health_latency_ns Sampled operation latency quantiles (SLO reservoir).\n";
   os << "# TYPE evq_health_latency_ns gauge\n";
@@ -459,6 +517,18 @@ void health_json(std::ostream& os, const HealthSnapshot& snap) {
       emit("push_p99", q.push_p99_ns);
       emit("pop_p50", q.pop_p50_ns);
       emit("pop_p99", q.pop_p99_ns);
+      os << "}";
+    }
+    if (q.perf_live) {
+      os << ",\"perf\":{\"ops\":" << q.perf_ops;
+      auto pemit = [&](const char* key, double v) {
+        if (v >= 0.0) {
+          os << ",\"" << key << "\":" << fmt(v);
+        }
+      };
+      pemit("cycles_per_op", q.cycles_per_op);
+      pemit("ipc", q.ipc);
+      pemit("llc_miss_per_op", q.llc_miss_per_op);
       os << "}";
     }
     os << "}";

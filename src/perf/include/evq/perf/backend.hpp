@@ -1,0 +1,173 @@
+// evq::perf backend contract (DESIGN.md §16): who actually reads the PMU.
+//
+// A Backend opens ThreadCounters — one hardware counter *group* bound to the
+// calling thread — and reports its own availability. Three implementations:
+//
+//   perf_event  the real thing: one perf_event_open(2) group per thread
+//               (leader = cycles) read with PERF_FORMAT_GROUP |
+//               TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING | ID, so one read()
+//               syscall yields every event plus the multiplexing times;
+//   mock        deterministic virtual-clock counters for unit tests — it
+//               fabricates the same group-read buffer the kernel would and
+//               pushes it through decode_group_read(), so the tests pin the
+//               production decode path, not a parallel one;
+//   null        selected when the syscall is denied (perf_event_paranoid,
+//               seccomp, no PMU — the common container case). Carries the
+//               reason string; counters read as all-unavailable.
+//
+// Fallback matrix (every cell must leave the full test suite green):
+//   perf_event_open succeeds            -> perf_event backend, available
+//   EACCES/EPERM (paranoid/seccomp)     -> null, "perf_event_paranoid=N ..."
+//   ENOENT/ENODEV/EOPNOTSUPP (no PMU)   -> null, "no hardware PMU ..."
+//   non-Linux build                     -> null, "perf_event_open is Linux-only"
+//   EVQ_PERF=OFF build                  -> null, "compiled out (EVQ_PERF=OFF)"
+//   EVQ_PERF_BACKEND=null               -> null, forced (degradation tests)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#ifndef EVQ_PERF
+#define EVQ_PERF 1
+#endif
+
+namespace evq::perf {
+
+/// The fixed counter set. Order is the group order and the JSON/Prometheus
+/// emission order; kEventCount-sized arrays are indexed by it.
+enum class Event : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kL1dMisses,
+  kLlcMisses,
+  kBranchMisses,
+  kContextSwitches,
+};
+inline constexpr std::size_t kEventCount = 6;
+
+/// Stable short name ("cycles", "llc_misses", ...) used for Prometheus
+/// labels and as the stem of the JSON per-op keys.
+const char* event_name(Event e) noexcept;
+
+/// One event's reading, multiplexing-corrected.
+struct EventSample {
+  std::uint64_t value = 0;  ///< scaled estimate: raw * time_enabled/time_running
+  std::uint64_t raw = 0;    ///< as counted while actually scheduled on the PMU
+  double scale = 1.0;       ///< time_running / time_enabled (1 = never multiplexed)
+  bool available = false;   ///< false: event not opened / not supported here
+};
+
+struct CounterSample {
+  std::array<EventSample, kEventCount> events{};
+
+  [[nodiscard]] const EventSample& operator[](Event e) const noexcept {
+    return events[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] EventSample& operator[](Event e) noexcept {
+    return events[static_cast<std::size_t>(e)];
+  }
+};
+
+/// Decodes one PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING |
+/// PERF_FORMAT_ID read buffer:
+///
+///   u64 nr; u64 time_enabled; u64 time_running; { u64 value; u64 id; }[nr]
+///
+/// `id_of_event[e]` is the kernel-assigned id of event e's group member and
+/// `opened[e]` whether that member opened at all (unopened events decode as
+/// unavailable). The multiplexing estimate is value * enabled/running; an
+/// event group that was enabled but never scheduled (running == 0) decodes
+/// as value 0 with scale 0. Pure — unit-tested against hand-built buffers.
+CounterSample decode_group_read(const std::uint64_t* buf, std::size_t n_words,
+                                const std::array<std::uint64_t, kEventCount>& id_of_event,
+                                const std::array<bool, kEventCount>& opened);
+
+/// One thread-bound counter group. start() resets and enables, read() returns
+/// cumulative-since-start() samples WITHOUT stopping (periodic harvests keep
+/// counting), stop() disables. Not thread-safe; owned by the thread it counts.
+class ThreadCounter {
+ public:
+  virtual ~ThreadCounter() = default;
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  [[nodiscard]] virtual CounterSample read() = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  /// "perf_event", "mock" or "null".
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual bool available() const noexcept = 0;
+  /// Empty when available; else the fallback-matrix reason above.
+  [[nodiscard]] virtual std::string unavailable_reason() const = 0;
+  /// Never returns nullptr: an unavailable backend hands out counters whose
+  /// samples read as all-unavailable, so callers need no error path.
+  [[nodiscard]] virtual std::unique_ptr<ThreadCounter> open_thread_counter() = 0;
+};
+
+/// Deterministic backend for unit tests. Time is a virtual clock advanced by
+/// tick(); each event counts rate[e] per tick, and mux in (0, 1] simulates
+/// kernel multiplexing (a perf group schedules as a unit, so one duty cycle
+/// covers all members — exactly the kernel's semantics). read() fabricates
+/// the kernel's group buffer and decodes it through decode_group_read, so
+/// the scale arithmetic under test is the production one:
+/// raw = true_count * mux, decoded estimate == true_count.
+class MockBackend : public Backend {
+ public:
+  struct Config {
+    std::array<std::uint64_t, kEventCount> rate{3000, 2400, 20, 2, 5, 0};
+    double mux = 1.0;
+    std::array<bool, kEventCount> present{true, true, true, true, true, true};
+  };
+
+  MockBackend() = default;
+  explicit MockBackend(Config config) : config_(config) {}
+
+  void tick(std::uint64_t n) noexcept;
+  [[nodiscard]] std::uint64_t now() const noexcept;
+
+  [[nodiscard]] const char* name() const noexcept override { return "mock"; }
+  [[nodiscard]] bool available() const noexcept override { return true; }
+  [[nodiscard]] std::string unavailable_reason() const override { return {}; }
+  [[nodiscard]] std::unique_ptr<ThreadCounter> open_thread_counter() override;
+
+ private:
+  friend class MockThreadCounter;
+  Config config_;
+  std::atomic<std::uint64_t> clock_{0};  // atomic: repro tests tick under load
+};
+
+/// The degraded backend: remembers why hardware counting is off.
+class NullBackend : public Backend {
+ public:
+  explicit NullBackend(std::string reason) : reason_(std::move(reason)) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "null"; }
+  [[nodiscard]] bool available() const noexcept override { return false; }
+  [[nodiscard]] std::string unavailable_reason() const override { return reason_; }
+  [[nodiscard]] std::unique_ptr<ThreadCounter> open_thread_counter() override;
+
+ private:
+  std::string reason_;
+};
+
+/// The process-wide backend, chosen once on first use:
+///   EVQ_PERF=OFF build        -> null ("compiled out")
+///   EVQ_PERF_BACKEND=null     -> null ("forced by EVQ_PERF_BACKEND=null")
+///   otherwise                 -> probe perf_event_open; real backend on
+///                                success, null with the errno-derived
+///                                reason (including the current
+///                                perf_event_paranoid value) on denial.
+Backend& default_backend();
+
+/// Test hook: overrides default_backend()'s choice (nullptr restores the
+/// probed one). Not thread-safe against concurrent default_backend() users;
+/// tests swap it while no scopes are live.
+void set_default_backend_for_testing(Backend* backend);
+
+}  // namespace evq::perf

@@ -1,0 +1,160 @@
+// evq::perf — observability layer 4 (DESIGN.md §16): hardware counters with
+// per-op attribution.
+//
+// Layering: telemetry counts what the software did, trace shows when, health
+// says what is wrong — perf explains what the *hardware* paid for it
+// (cycles, cache misses, branch misses per completed queue op).
+//
+// Attribution model. Hardware counters are per-thread, not per-queue, so
+// attribution happens where a thread knows which queue it is serving:
+//
+//   * ThreadPerfScope — a worker wraps its measured region (the harness
+//     worker loop body) and harvests {counter deltas, op count} into a
+//     PerfAgg. Per-op metric = sum(counter) / sum(ops) over all workers.
+//     Valid because a harness worker touches exactly one queue per cell.
+//   * QueuePerfScope — whole-queue mode: the same per-thread counter, but
+//     deposits flow into the process-global AttributionTable keyed by the
+//     queue's telemetry-registry name, so long-running services (evq-top,
+//     the torture rig) accumulate per-queue totals across many threads and
+//     a health Monitor can join them with its telemetry-derived QueueRates
+//     by name.
+//
+// Per-op math (PerfAgg): per_op(e) = Σ value[e] / Σ ops, where value is the
+// multiplexing-corrected estimate (backend.hpp); ipc = Σ instructions /
+// Σ cycles. worst_mux_scale = min scale seen — 1.0 means every number is a
+// true count, below ~0.9 the estimates deserve suspicion (say so in reports).
+//
+// Cost discipline: scopes are per worker *run*, not per op — two syscalls
+// and a group read per harvest. The hot loop carries nothing, which is why
+// the CI A/B gate (compiled-out vs --perf) sits far below its 1% / 5%
+// budgets on any host.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evq/perf/backend.hpp"
+
+namespace evq::perf {
+
+/// Aggregated counter totals with an op denominator. Sums across threads,
+/// harvests and runs; the per-op division happens at presentation time.
+struct PerfAgg {
+  std::uint64_t ops = 0;
+  std::uint64_t scopes = 0;  ///< harvests folded in (0 = empty/unused agg)
+  std::array<std::uint64_t, kEventCount> value{};
+  std::array<bool, kEventCount> available{};
+  double worst_mux_scale = 1.0;
+
+  PerfAgg& operator+=(const PerfAgg& other) noexcept;
+  /// Folds one counter-sample delta (see ThreadPerfScope::harvest).
+  void add_sample(const CounterSample& delta) noexcept;
+
+  [[nodiscard]] bool any_available() const noexcept;
+  [[nodiscard]] std::uint64_t total(Event e) const noexcept {
+    return value[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool has(Event e) const noexcept {
+    return available[static_cast<std::size_t>(e)];
+  }
+  /// Counter-per-op; -1 when the event is unavailable or ops == 0.
+  [[nodiscard]] double per_op(Event e) const noexcept;
+  /// Instructions per cycle; -1 unless both events are available and cycles > 0.
+  [[nodiscard]] double ipc() const noexcept;
+};
+
+/// Interval difference `later - earlier` of two cumulative aggregates for
+/// the same key (AttributionTable deposits only grow).
+PerfAgg agg_delta(const PerfAgg& later, const PerfAgg& earlier) noexcept;
+
+/// Per-thread RAII counting scope. Construction opens and starts a counter
+/// group on the calling thread (a no-op handle when the backend is
+/// unavailable or EVQ_PERF=OFF); harvest(ops) reads the delta since the last
+/// harvest — without stopping the counters — and returns it folded into a
+/// PerfAgg with `ops` as the denominator. Scopes nest freely: each holds an
+/// independent counter group, so an inner scope simply measures a subset of
+/// the outer one's interval.
+class ThreadPerfScope {
+ public:
+  explicit ThreadPerfScope(Backend* backend = nullptr);  // nullptr = default_backend()
+  ~ThreadPerfScope();
+
+  ThreadPerfScope(const ThreadPerfScope&) = delete;
+  ThreadPerfScope& operator=(const ThreadPerfScope&) = delete;
+
+  /// True when a real (or mock) counter is live underneath.
+  [[nodiscard]] bool live() const noexcept;
+  [[nodiscard]] PerfAgg harvest(std::uint64_t ops);
+
+ private:
+  std::unique_ptr<ThreadCounter> counter_;
+  CounterSample last_{};
+  bool live_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Whole-queue attribution
+// ---------------------------------------------------------------------------
+
+/// Process-global per-queue aggregates, keyed by the telemetry registry
+/// name. Mirrors telemetry::Registry's contract: entries are append-only and
+/// never removed, so before/after snapshot deltas are exact.
+struct AttributionSnapshot {
+  std::vector<std::pair<std::string, PerfAgg>> queues;  // name-sorted
+
+  [[nodiscard]] const PerfAgg* find(std::string_view queue) const noexcept;
+};
+
+class AttributionTable {
+ public:
+  static AttributionTable& global();
+
+  void deposit(std::string_view queue, const PerfAgg& delta);
+  [[nodiscard]] AttributionSnapshot snapshot() const;
+  /// Tests share the global table; this re-zeros it between them.
+  void reset_for_testing();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PerfAgg, std::less<>> queues_;
+};
+
+/// Whole-queue RAII scope: a ThreadPerfScope whose harvests are deposited
+/// into an AttributionTable under the queue's registry name. The worker
+/// calls add_ops() as it completes operations and flush() periodically (the
+/// destructor flushes the remainder) so a concurrently-polling Monitor sees
+/// fresh deltas, not only end-of-thread totals.
+class QueuePerfScope {
+ public:
+  explicit QueuePerfScope(std::string_view queue, Backend* backend = nullptr,
+                          AttributionTable* table = nullptr);  // nullptr = global()
+  ~QueuePerfScope();
+
+  QueuePerfScope(const QueuePerfScope&) = delete;
+  QueuePerfScope& operator=(const QueuePerfScope&) = delete;
+
+  [[nodiscard]] bool live() const noexcept { return scope_.live(); }
+  void add_ops(std::uint64_t n) noexcept { pending_ops_ += n; }
+  void flush();
+
+ private:
+  std::string queue_;
+  AttributionTable* table_;
+  ThreadPerfScope scope_;
+  std::uint64_t pending_ops_ = 0;
+};
+
+/// Prometheus exposition of a whole-queue snapshot: evq_perf_ops and
+/// evq_perf_per_op{queue,event} gauges plus evq_perf_mux_scale, and — when
+/// `backend` is given — evq_perf_backend_available{backend,reason}. Only
+/// available events are emitted; a fully-degraded process exports just the
+/// backend line, never silent absence.
+void render_prometheus_perf(std::ostream& os, const AttributionSnapshot& snap,
+                            const Backend* backend = nullptr);
+
+}  // namespace evq::perf

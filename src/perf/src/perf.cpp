@@ -1,0 +1,643 @@
+// evq::perf implementation: the perf_event_open backend, the mock and null
+// backends, scope/aggregation plumbing, the whole-queue attribution table and
+// the Prometheus exporter. Cold path throughout — like evq_telemetry and
+// evq_health this TU includes no injectable headers, so evq_perf links
+// safely into the EVQ_INJECT_ENABLED torture binary.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <string_view>
+
+#include "evq/perf/backend.hpp"
+#include "evq/perf/perf.hpp"
+#include "evq/telemetry/prometheus.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace evq::perf {
+
+namespace {
+
+/// Same deterministic double formatting as the telemetry/health sinks.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Events + group-read decoding
+// ---------------------------------------------------------------------------
+
+const char* event_name(Event e) noexcept {
+  switch (e) {
+    case Event::kCycles:
+      return "cycles";
+    case Event::kInstructions:
+      return "instructions";
+    case Event::kL1dMisses:
+      return "l1d_misses";
+    case Event::kLlcMisses:
+      return "llc_misses";
+    case Event::kBranchMisses:
+      return "branch_misses";
+    case Event::kContextSwitches:
+      return "ctx_switches";
+  }
+  return "unknown";
+}
+
+CounterSample decode_group_read(const std::uint64_t* buf, std::size_t n_words,
+                                const std::array<std::uint64_t, kEventCount>& id_of_event,
+                                const std::array<bool, kEventCount>& opened) {
+  CounterSample out;
+  if (buf == nullptr || n_words < 3) {
+    return out;  // truncated read: everything stays unavailable
+  }
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  if (n_words < 3 + 2 * nr) {
+    return out;
+  }
+  // A perf group schedules as a unit: one duty cycle for every member.
+  // enabled == 0 means start() was never reached (nothing counted, scale 1
+  // by convention); running == 0 means enabled but never scheduled (true
+  // zero-confidence: value 0, scale 0).
+  const double scale =
+      enabled == 0 ? 1.0 : static_cast<double>(running) / static_cast<double>(enabled);
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    const std::uint64_t raw = buf[3 + 2 * i];
+    const std::uint64_t id = buf[3 + 2 * i + 1];
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      if (!opened[e] || id_of_event[e] != id) {
+        continue;
+      }
+      EventSample& s = out.events[e];
+      s.available = true;
+      s.raw = raw;
+      s.scale = scale;
+      s.value = running == 0
+                    ? 0
+                    : static_cast<std::uint64_t>(static_cast<double>(raw) *
+                                                     static_cast<double>(enabled) /
+                                                     static_cast<double>(running) +
+                                                 0.5);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Null backend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class NullThreadCounter final : public ThreadCounter {
+ public:
+  void start() override {}
+  void stop() override {}
+  [[nodiscard]] CounterSample read() override { return {}; }
+};
+
+}  // namespace
+
+std::unique_ptr<ThreadCounter> NullBackend::open_thread_counter() {
+  return std::make_unique<NullThreadCounter>();
+}
+
+// ---------------------------------------------------------------------------
+// Mock backend
+// ---------------------------------------------------------------------------
+
+void MockBackend::tick(std::uint64_t n) noexcept {
+  clock_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t MockBackend::now() const noexcept {
+  return clock_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+class MockThreadCounter final : public ThreadCounter {
+ public:
+  MockThreadCounter(const MockBackend* backend, MockBackend::Config config)
+      : backend_(backend), config_(config) {}
+
+  void start() override { start_clock_ = backend_->now(); }
+  void stop() override {}
+
+  [[nodiscard]] CounterSample read() override {
+    const std::uint64_t elapsed = backend_->now() - start_clock_;
+    // Fabricate exactly the kernel's PERF_FORMAT_GROUP buffer and decode it
+    // through the production path. Times are in fake-nanoseconds (x1000) so
+    // the raw * enabled / running division rounds cleanly.
+    std::array<std::uint64_t, 3 + 2 * kEventCount> buf{};
+    std::array<std::uint64_t, kEventCount> ids{};
+    const std::uint64_t enabled = elapsed * 1000;
+    const auto running = static_cast<std::uint64_t>(static_cast<double>(enabled) * config_.mux);
+    std::size_t nr = 0;
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      ids[e] = 100 + e;  // fixed fake kernel ids
+      if (!config_.present[e]) {
+        continue;
+      }
+      const double true_count =
+          static_cast<double>(config_.rate[e]) * static_cast<double>(elapsed);
+      buf[3 + 2 * nr] = static_cast<std::uint64_t>(true_count * config_.mux);
+      buf[3 + 2 * nr + 1] = ids[e];
+      ++nr;
+    }
+    buf[0] = nr;
+    buf[1] = enabled;
+    buf[2] = running;
+    return decode_group_read(buf.data(), 3 + 2 * nr, ids, config_.present);
+  }
+
+ private:
+  const MockBackend* backend_;
+  MockBackend::Config config_;
+  std::uint64_t start_clock_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ThreadCounter> MockBackend::open_thread_counter() {
+  return std::make_unique<MockThreadCounter>(this, config_);
+}
+
+// ---------------------------------------------------------------------------
+// perf_event backend (Linux)
+// ---------------------------------------------------------------------------
+
+#if defined(__linux__)
+
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                         unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// attr for one of our six events; `leader` toggles start-disabled.
+perf_event_attr make_attr(Event e, bool leader, bool exclude_kernel) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  switch (e) {
+    case Event::kCycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case Event::kInstructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case Event::kL1dMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case Event::kLlcMisses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_MISSES;
+      break;
+    case Event::kBranchMisses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_BRANCH_MISSES;
+      break;
+    case Event::kContextSwitches:
+      attr.type = PERF_TYPE_SOFTWARE;
+      attr.config = PERF_COUNT_SW_CONTEXT_SWITCHES;
+      break;
+  }
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING | PERF_FORMAT_ID;
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = exclude_kernel ? 1 : 0;
+  attr.exclude_hv = 1;
+  return attr;
+}
+
+int read_paranoid_level() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (f == nullptr) {
+    return -100;  // sentinel: unreadable
+  }
+  int level = -100;
+  if (std::fscanf(f, "%d", &level) != 1) {
+    level = -100;
+  }
+  std::fclose(f);
+  return level;
+}
+
+class PerfThreadCounter final : public ThreadCounter {
+ public:
+  explicit PerfThreadCounter(bool exclude_kernel) {
+    fds_.fill(-1);
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      perf_event_attr attr =
+          make_attr(static_cast<Event>(e), /*leader=*/leader_ < 0, exclude_kernel);
+      const long fd =
+          sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/leader_, 0);
+      if (fd < 0) {
+        continue;  // this event isn't countable here; the rest still are
+      }
+      fds_[e] = static_cast<int>(fd);
+      if (leader_ < 0) {
+        leader_ = fds_[e];
+      }
+      std::uint64_t id = 0;
+      if (ioctl(fds_[e], PERF_EVENT_IOC_ID, &id) == 0) {
+        ids_[e] = id;
+        opened_[e] = true;
+      } else {
+        close(fds_[e]);
+        fds_[e] = -1;
+      }
+    }
+  }
+
+  ~PerfThreadCounter() override {
+    for (const int fd : fds_) {
+      if (fd >= 0) {
+        close(fd);
+      }
+    }
+  }
+
+  void start() override {
+    if (leader_ >= 0) {
+      ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+  }
+
+  void stop() override {
+    if (leader_ >= 0) {
+      ioctl(leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    }
+  }
+
+  [[nodiscard]] CounterSample read() override {
+    if (leader_ < 0) {
+      return {};
+    }
+    std::array<std::uint64_t, 3 + 2 * kEventCount> buf{};
+    const ssize_t n = ::read(leader_, buf.data(), sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+      return {};
+    }
+    return decode_group_read(buf.data(), static_cast<std::size_t>(n) / sizeof(std::uint64_t),
+                             ids_, opened_);
+  }
+
+ private:
+  std::array<int, kEventCount> fds_{};
+  std::array<std::uint64_t, kEventCount> ids_{};
+  std::array<bool, kEventCount> opened_{};
+  int leader_ = -1;
+};
+
+class PerfEventBackend final : public Backend {
+ public:
+  PerfEventBackend() {
+    // Probe: can we count cycles on this thread at all? Retry excluding
+    // kernel space — perf_event_paranoid=1/2 often allows user-only counting.
+    for (const bool exclude_kernel : {false, true}) {
+      perf_event_attr attr = make_attr(Event::kCycles, /*leader=*/true, exclude_kernel);
+      const long fd = sys_perf_event_open(&attr, 0, -1, -1, 0);
+      if (fd >= 0) {
+        close(static_cast<int>(fd));
+        available_ = true;
+        exclude_kernel_ = exclude_kernel;
+        return;
+      }
+      probe_errno_ = errno;
+      if (probe_errno_ != EACCES && probe_errno_ != EPERM) {
+        break;  // not a permission problem: excluding the kernel won't help
+      }
+    }
+    const int paranoid = read_paranoid_level();
+    char buf[128];
+    if (probe_errno_ == EACCES || probe_errno_ == EPERM) {
+      std::snprintf(buf, sizeof buf, "perf_event_open denied (errno=%d, perf_event_paranoid=%d)",
+                    probe_errno_, paranoid);
+    } else if (probe_errno_ == ENOENT || probe_errno_ == ENODEV ||
+               probe_errno_ == EOPNOTSUPP) {
+      std::snprintf(buf, sizeof buf, "no hardware PMU (errno=%d, perf_event_paranoid=%d)",
+                    probe_errno_, paranoid);
+    } else {
+      std::snprintf(buf, sizeof buf, "perf_event_open failed (errno=%d)", probe_errno_);
+    }
+    reason_ = buf;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "perf_event"; }
+  [[nodiscard]] bool available() const noexcept override { return available_; }
+  [[nodiscard]] std::string unavailable_reason() const override { return reason_; }
+
+  [[nodiscard]] std::unique_ptr<ThreadCounter> open_thread_counter() override {
+    if (!available_) {
+      return std::make_unique<NullThreadCounter>();
+    }
+    return std::make_unique<PerfThreadCounter>(exclude_kernel_);
+  }
+
+ private:
+  bool available_ = false;
+  bool exclude_kernel_ = false;
+  int probe_errno_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+#endif  // defined(__linux__)
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<Backend*> g_backend_override{nullptr};
+
+Backend* probe_backend() {
+#if !EVQ_PERF
+  return new NullBackend("compiled out (EVQ_PERF=OFF)");
+#else
+  if (const char* env = std::getenv("EVQ_PERF_BACKEND");
+      env != nullptr && std::string_view(env) == "null") {
+    return new NullBackend("forced by EVQ_PERF_BACKEND=null");
+  }
+#if defined(__linux__)
+  auto* backend = new PerfEventBackend();
+  if (backend->available()) {
+    return backend;
+  }
+  auto* null = new NullBackend(backend->unavailable_reason());
+  delete backend;
+  return null;
+#else
+  return new NullBackend("perf_event_open is Linux-only");
+#endif
+#endif
+}
+
+}  // namespace
+
+Backend& default_backend() {
+  if (Backend* o = g_backend_override.load(std::memory_order_acquire); o != nullptr) {
+    return *o;
+  }
+  static Backend* chosen = probe_backend();  // leaked singleton, like Registry
+  return *chosen;
+}
+
+void set_default_backend_for_testing(Backend* backend) {
+  g_backend_override.store(backend, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+PerfAgg& PerfAgg::operator+=(const PerfAgg& other) noexcept {
+  ops += other.ops;
+  scopes += other.scopes;
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    if (other.available[e]) {
+      available[e] = true;
+      value[e] += other.value[e];
+    }
+  }
+  worst_mux_scale = std::min(worst_mux_scale, other.worst_mux_scale);
+  return *this;
+}
+
+void PerfAgg::add_sample(const CounterSample& delta) noexcept {
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    const EventSample& s = delta.events[e];
+    if (s.available) {
+      available[e] = true;
+      value[e] += s.value;
+      worst_mux_scale = std::min(worst_mux_scale, s.scale);
+    }
+  }
+}
+
+bool PerfAgg::any_available() const noexcept {
+  for (const bool a : available) {
+    if (a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double PerfAgg::per_op(Event e) const noexcept {
+  if (!has(e) || ops == 0) {
+    return -1.0;
+  }
+  return static_cast<double>(total(e)) / static_cast<double>(ops);
+}
+
+double PerfAgg::ipc() const noexcept {
+  if (!has(Event::kCycles) || !has(Event::kInstructions) || total(Event::kCycles) == 0) {
+    return -1.0;
+  }
+  return static_cast<double>(total(Event::kInstructions)) /
+         static_cast<double>(total(Event::kCycles));
+}
+
+PerfAgg agg_delta(const PerfAgg& later, const PerfAgg& earlier) noexcept {
+  PerfAgg d;
+  d.ops = later.ops - earlier.ops;
+  d.scopes = later.scopes - earlier.scopes;
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    if (later.available[e]) {
+      d.available[e] = true;
+      d.value[e] = later.value[e] - earlier.value[e];
+    }
+  }
+  d.worst_mux_scale = later.worst_mux_scale;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+ThreadPerfScope::ThreadPerfScope(Backend* backend) {
+#if EVQ_PERF
+  Backend& b = backend != nullptr ? *backend : default_backend();
+  if (b.available()) {
+    counter_ = b.open_thread_counter();
+    counter_->start();
+    live_ = true;
+  }
+#else
+  (void)backend;
+#endif
+}
+
+ThreadPerfScope::~ThreadPerfScope() {
+  if (counter_ != nullptr) {
+    counter_->stop();
+  }
+}
+
+bool ThreadPerfScope::live() const noexcept { return live_; }
+
+PerfAgg ThreadPerfScope::harvest(std::uint64_t ops) {
+  PerfAgg agg;
+  agg.ops = ops;
+  if (!live_) {
+    return agg;  // dead scope: ops counted, no events available
+  }
+  const CounterSample cum = counter_->read();
+  CounterSample delta;
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    const EventSample& now = cum.events[e];
+    if (!now.available) {
+      continue;
+    }
+    EventSample& d = delta.events[e];
+    d.available = true;
+    d.value = now.value - last_.events[e].value;
+    d.raw = now.raw - last_.events[e].raw;
+    d.scale = now.scale;
+  }
+  last_ = cum;
+  agg.add_sample(delta);
+  agg.scopes = 1;
+  return agg;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-queue attribution
+// ---------------------------------------------------------------------------
+
+const PerfAgg* AttributionSnapshot::find(std::string_view queue) const noexcept {
+  for (const auto& [name, agg] : queues) {
+    if (name == queue) {
+      return &agg;
+    }
+  }
+  return nullptr;
+}
+
+AttributionTable& AttributionTable::global() {
+  static AttributionTable table;
+  return table;
+}
+
+void AttributionTable::deposit(std::string_view queue, const PerfAgg& delta) {
+  if (delta.ops == 0 && delta.scopes == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    it = queues_.emplace(std::string(queue), PerfAgg{}).first;
+  }
+  it->second += delta;
+}
+
+AttributionSnapshot AttributionTable::snapshot() const {
+  AttributionSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.queues.reserve(queues_.size());
+  for (const auto& [name, agg] : queues_) {  // std::map: already name-sorted
+    snap.queues.emplace_back(name, agg);
+  }
+  return snap;
+}
+
+void AttributionTable::reset_for_testing() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  queues_.clear();
+}
+
+QueuePerfScope::QueuePerfScope(std::string_view queue, Backend* backend,
+                               AttributionTable* table)
+    : queue_(queue),
+      table_(table != nullptr ? table : &AttributionTable::global()),
+      scope_(backend) {}
+
+QueuePerfScope::~QueuePerfScope() { flush(); }
+
+void QueuePerfScope::flush() {
+  if (!scope_.live()) {
+    pending_ops_ = 0;  // degraded: drop silently; the exporter reports why
+    return;
+  }
+  const PerfAgg agg = scope_.harvest(pending_ops_);
+  pending_ops_ = 0;
+  table_->deposit(queue_, agg);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter
+// ---------------------------------------------------------------------------
+
+void render_prometheus_perf(std::ostream& os, const AttributionSnapshot& snap,
+                            const Backend* backend) {
+  if (backend != nullptr) {
+    os << "# HELP evq_perf_backend_available Hardware perf backend status (1 = counting).\n";
+    os << "# TYPE evq_perf_backend_available gauge\n";
+    os << "evq_perf_backend_available{backend=\"" << backend->name() << "\",reason=\""
+       << telemetry::escape_label_value(backend->unavailable_reason()) << "\"} "
+       << (backend->available() ? 1 : 0) << "\n";
+  }
+  os << "# HELP evq_perf_ops Queue operations attributed to whole-queue perf scopes.\n";
+  os << "# TYPE evq_perf_ops counter\n";
+  for (const auto& [name, agg] : snap.queues) {
+    os << "evq_perf_ops{queue=\"" << telemetry::escape_label_value(name) << "\"} " << agg.ops
+       << "\n";
+  }
+  os << "# HELP evq_perf_per_op Multiplex-corrected hardware events per queue operation.\n";
+  os << "# TYPE evq_perf_per_op gauge\n";
+  for (const auto& [name, agg] : snap.queues) {
+    const std::string label = telemetry::escape_label_value(name);
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      const double v = agg.per_op(static_cast<Event>(e));
+      if (v >= 0.0) {
+        os << "evq_perf_per_op{queue=\"" << label << "\",event=\""
+           << event_name(static_cast<Event>(e)) << "\"} " << fmt(v) << "\n";
+      }
+    }
+  }
+  os << "# HELP evq_perf_ipc Instructions retired per cycle.\n";
+  os << "# TYPE evq_perf_ipc gauge\n";
+  for (const auto& [name, agg] : snap.queues) {
+    if (const double ipc = agg.ipc(); ipc >= 0.0) {
+      os << "evq_perf_ipc{queue=\"" << telemetry::escape_label_value(name) << "\"} "
+         << fmt(ipc) << "\n";
+    }
+  }
+  os << "# HELP evq_perf_mux_scale Worst multiplexing duty cycle seen (1 = true counts).\n";
+  os << "# TYPE evq_perf_mux_scale gauge\n";
+  for (const auto& [name, agg] : snap.queues) {
+    if (agg.any_available()) {
+      os << "evq_perf_mux_scale{queue=\"" << telemetry::escape_label_value(name) << "\"} "
+         << fmt(agg.worst_mux_scale) << "\n";
+    }
+  }
+}
+
+}  // namespace evq::perf

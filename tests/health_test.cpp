@@ -156,12 +156,66 @@ TEST(Diagnoser, ThreadStallSubjectsAreOrdinalScoped) {
   EXPECT_NE(findings[0].detail.find("push_ok"), std::string::npos);
 }
 
+QueueRates thrash_rates(double llc_per_op, std::uint64_t perf_ops = 1000,
+                        bool perf_live = true) {
+  QueueRates q;
+  q.queue = "hot";
+  q.ops = perf_ops;
+  q.perf_live = perf_live;
+  q.perf_ops = perf_ops;
+  q.llc_miss_per_op = llc_per_op;
+  q.cycles_per_op = 500.0;
+  q.ipc = 0.8;
+  return q;
+}
+
+TEST(Diagnoser, CacheThrashTripsOnSustainedLlcMisses) {
+  Diagnoser d;  // llc_miss_per_op threshold = 2.0, trip_polls = 2
+  auto f1 = d.evaluate(1, {thrash_rates(5.0)}, {});
+  EXPECT_EQ(find_finding(f1, FindingType::kCacheThrash), nullptr);
+  auto f2 = d.evaluate(2, {thrash_rates(5.0)}, {});
+  const Finding* f = find_finding(f2, FindingType::kCacheThrash);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->subject, "hot");
+  EXPECT_DOUBLE_EQ(f->severity, 5.0);
+  EXPECT_NE(f->detail.find("llc_miss/op 5"), std::string::npos);
+  EXPECT_NE(f->detail.find("cycles/op 500"), std::string::npos);
+
+  // clear_polls = 2 resident intervals clear it.
+  d.evaluate(3, {thrash_rates(0.1)}, {});
+  auto f4 = d.evaluate(4, {thrash_rates(0.1)}, {});
+  EXPECT_EQ(find_finding(f4, FindingType::kCacheThrash), nullptr);
+}
+
+TEST(Diagnoser, CacheThrashRequiresLivePerfAndVolume) {
+  // Without live perf rates (the degraded-host case) the detector must stay
+  // silent no matter what the stale -1/default fields say...
+  Diagnoser no_perf;
+  for (std::uint64_t poll = 1; poll <= 4; ++poll) {
+    auto findings = no_perf.evaluate(poll, {thrash_rates(9.0, 1000, /*perf_live=*/false)}, {});
+    EXPECT_EQ(find_finding(findings, FindingType::kCacheThrash), nullptr) << poll;
+  }
+  // ...and a handful of attributed ops is noise, not thrash (min_ops = 64).
+  Diagnoser low_volume;
+  for (std::uint64_t poll = 1; poll <= 4; ++poll) {
+    auto findings = low_volume.evaluate(poll, {thrash_rates(9.0, /*perf_ops=*/10)}, {});
+    EXPECT_EQ(find_finding(findings, FindingType::kCacheThrash), nullptr) << poll;
+  }
+  // A resident queue under volume never trips.
+  Diagnoser resident;
+  for (std::uint64_t poll = 1; poll <= 4; ++poll) {
+    auto findings = resident.evaluate(poll, {thrash_rates(0.5)}, {});
+    EXPECT_EQ(find_finding(findings, FindingType::kCacheThrash), nullptr) << poll;
+  }
+}
+
 TEST(Diagnoser, FindingTypeNamesAreStable) {
   EXPECT_STREQ(health::finding_type_name(FindingType::kThresholdBurn), "threshold_burn");
   EXPECT_STREQ(health::finding_type_name(FindingType::kCombinerCollapse),
                "combiner_collapse");
   EXPECT_STREQ(health::finding_type_name(FindingType::kSegmentLeak), "segment_leak");
   EXPECT_STREQ(health::finding_type_name(FindingType::kThreadStalled), "thread_stalled");
+  EXPECT_STREQ(health::finding_type_name(FindingType::kCacheThrash), "cache_thrash");
 }
 
 // ---------------------------------------------------------------------------

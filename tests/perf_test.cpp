@@ -1,0 +1,589 @@
+// Tests for evq::perf — observability layer 4 (DESIGN.md §16).
+//
+// Everything numeric runs against the MockBackend, whose read() fabricates
+// the kernel's PERF_FORMAT_GROUP buffer and decodes it through the
+// production decode_group_read — so the layout and multiplexing-scale
+// arithmetic under test here is exactly what a real perf_event group uses.
+// The real backend gets one skip-gated smoke test (most CI containers have
+// no PMU or a paranoid kernel; the fallback matrix in backend.hpp is the
+// contract those hosts exercise instead).
+//
+// The CacheThrash suite is the E11-style repro/twin pair for the layer-4
+// detector: a genuine false-sharing workload (two queues' head/tail index
+// words packed into ONE cacheline, hammered from two threads each) beside a
+// CachePadded quiet twin, with deterministic mock counter profiles standing
+// in for the PMU so the diagnosis is reproducible on counter-less hosts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evq/common/cacheline.hpp"
+#include "evq/health/health.hpp"
+#include "evq/health/monitor.hpp"
+#include "evq/perf/backend.hpp"
+#include "evq/perf/perf.hpp"
+#include "evq/telemetry/registry.hpp"
+
+namespace {
+
+using namespace evq::perf;
+
+constexpr std::size_t idx(Event e) { return static_cast<std::size_t>(e); }
+
+// ---------------------------------------------------------------------------
+// decode_group_read: the kernel buffer layout
+// ---------------------------------------------------------------------------
+
+std::array<std::uint64_t, kEventCount> fake_ids() {
+  std::array<std::uint64_t, kEventCount> ids{};
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    ids[e] = 100 + e;
+  }
+  return ids;
+}
+
+std::array<bool, kEventCount> all_opened() {
+  std::array<bool, kEventCount> opened{};
+  opened.fill(true);
+  return opened;
+}
+
+TEST(DecodeGroupRead, FullGroupNoMultiplexing) {
+  // nr=6, enabled == running: raw values pass through, scale 1.
+  const auto ids = fake_ids();
+  std::vector<std::uint64_t> buf = {6, 1000, 1000};
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    buf.push_back(10 * (e + 1));  // value
+    buf.push_back(ids[e]);        // PERF_FORMAT_ID
+  }
+  const CounterSample s = decode_group_read(buf.data(), buf.size(), ids, all_opened());
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    SCOPED_TRACE(event_name(static_cast<Event>(e)));
+    EXPECT_TRUE(s.events[e].available);
+    EXPECT_EQ(s.events[e].raw, 10 * (e + 1));
+    EXPECT_EQ(s.events[e].value, 10 * (e + 1));
+    EXPECT_DOUBLE_EQ(s.events[e].scale, 1.0);
+  }
+}
+
+TEST(DecodeGroupRead, MultiplexedGroupScalesAsAUnit) {
+  // running/enabled = 1/4: the estimate is raw * 4 for EVERY member (a perf
+  // group schedules as a unit — one duty cycle for all events).
+  const auto ids = fake_ids();
+  std::vector<std::uint64_t> buf = {2, 4000, 1000, /*cycles*/ 250, ids[idx(Event::kCycles)],
+                                    /*instructions*/ 100, ids[idx(Event::kInstructions)]};
+  const CounterSample s = decode_group_read(buf.data(), buf.size(), ids, all_opened());
+  EXPECT_EQ(s[Event::kCycles].value, 1000u);
+  EXPECT_EQ(s[Event::kCycles].raw, 250u);
+  EXPECT_DOUBLE_EQ(s[Event::kCycles].scale, 0.25);
+  EXPECT_EQ(s[Event::kInstructions].value, 400u);
+  EXPECT_DOUBLE_EQ(s[Event::kInstructions].scale, 0.25);
+  EXPECT_FALSE(s[Event::kLlcMisses].available) << "absent group member must stay unavailable";
+}
+
+TEST(DecodeGroupRead, EnabledButNeverScheduled) {
+  // running == 0 with enabled > 0: zero confidence — value 0, scale 0.
+  const auto ids = fake_ids();
+  std::vector<std::uint64_t> buf = {1, 1000, 0, 77, ids[idx(Event::kCycles)]};
+  const CounterSample s = decode_group_read(buf.data(), buf.size(), ids, all_opened());
+  ASSERT_TRUE(s[Event::kCycles].available);
+  EXPECT_EQ(s[Event::kCycles].value, 0u);
+  EXPECT_DOUBLE_EQ(s[Event::kCycles].scale, 0.0);
+}
+
+TEST(DecodeGroupRead, TruncatedAndMalformedBuffersDecodeEmpty) {
+  const auto ids = fake_ids();
+  const std::array<std::uint64_t, 8> buf = {6, 1000, 1000, 10, 100, 20, 101, 30};
+  // Too short for the header, and too short for the claimed nr=6 entries.
+  for (const std::size_t n_words : {std::size_t{0}, std::size_t{2}, buf.size()}) {
+    const CounterSample s = decode_group_read(buf.data(), n_words, ids, all_opened());
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      EXPECT_FALSE(s.events[e].available) << n_words;
+    }
+  }
+  const CounterSample null_buf = decode_group_read(nullptr, 99, ids, all_opened());
+  EXPECT_FALSE(null_buf[Event::kCycles].available);
+}
+
+TEST(DecodeGroupRead, UnopenedEventsAndUnknownIdsAreIgnored) {
+  auto ids = fake_ids();
+  std::array<bool, kEventCount> opened{};
+  opened[idx(Event::kCycles)] = true;  // only cycles was opened
+  std::vector<std::uint64_t> buf = {2, 500, 500, 42, ids[idx(Event::kCycles)],
+                                    /*stranger*/ 77, 9999};
+  const CounterSample s = decode_group_read(buf.data(), buf.size(), ids, opened);
+  EXPECT_TRUE(s[Event::kCycles].available);
+  EXPECT_EQ(s[Event::kCycles].value, 42u);
+  for (std::size_t e = 1; e < kEventCount; ++e) {
+    EXPECT_FALSE(s.events[e].available);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MockBackend: deterministic virtual-clock counting
+// ---------------------------------------------------------------------------
+
+TEST(MockBackend, CountsRatePerTick) {
+  MockBackend backend;  // default rates: 3000 cycles, 2400 instructions, ...
+  auto counter = backend.open_thread_counter();
+  counter->start();
+  backend.tick(10);
+  const CounterSample s = counter->read();
+  EXPECT_EQ(s[Event::kCycles].value, 30000u);
+  EXPECT_EQ(s[Event::kInstructions].value, 24000u);
+  EXPECT_EQ(s[Event::kLlcMisses].value, 20u);
+  EXPECT_TRUE(s[Event::kContextSwitches].available) << "rate 0 still counts (as zero)";
+  EXPECT_EQ(s[Event::kContextSwitches].value, 0u);
+  EXPECT_DOUBLE_EQ(s[Event::kCycles].scale, 1.0);
+}
+
+TEST(MockBackend, MultiplexingRoundTripsThroughProductionDecode) {
+  // mux = 0.5: raw counts are halved but the decoded estimate recovers the
+  // true count — the exact raw * enabled/running arithmetic the real
+  // backend relies on.
+  MockBackend::Config config;
+  config.mux = 0.5;
+  MockBackend backend(config);
+  auto counter = backend.open_thread_counter();
+  counter->start();
+  backend.tick(100);
+  const CounterSample s = counter->read();
+  EXPECT_EQ(s[Event::kCycles].raw, 150000u);
+  EXPECT_EQ(s[Event::kCycles].value, 300000u);
+  EXPECT_DOUBLE_EQ(s[Event::kCycles].scale, 0.5);
+}
+
+TEST(MockBackend, AbsentEventsStayUnavailable) {
+  MockBackend::Config config;
+  config.present[idx(Event::kLlcMisses)] = false;
+  MockBackend backend(config);
+  auto counter = backend.open_thread_counter();
+  counter->start();
+  backend.tick(5);
+  const CounterSample s = counter->read();
+  EXPECT_FALSE(s[Event::kLlcMisses].available);
+  EXPECT_TRUE(s[Event::kCycles].available);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPerfScope: harvest deltas and nesting
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPerfScope, HarvestReturnsDeltasWithoutStopping) {
+  MockBackend backend;
+  ThreadPerfScope scope(&backend);
+  ASSERT_TRUE(scope.live());
+
+  backend.tick(10);
+  const PerfAgg first = scope.harvest(100);
+  EXPECT_EQ(first.ops, 100u);
+  EXPECT_EQ(first.scopes, 1u);
+  EXPECT_EQ(first.total(Event::kCycles), 30000u);
+  EXPECT_DOUBLE_EQ(first.per_op(Event::kCycles), 300.0);
+  EXPECT_DOUBLE_EQ(first.ipc(), 2400.0 / 3000.0);
+
+  // Counting continued across the harvest: the second harvest sees only the
+  // new interval, not the cumulative total.
+  backend.tick(5);
+  const PerfAgg second = scope.harvest(50);
+  EXPECT_EQ(second.total(Event::kCycles), 15000u);
+  EXPECT_DOUBLE_EQ(second.per_op(Event::kCycles), 300.0);
+}
+
+TEST(ThreadPerfScope, ScopesNestAsIndependentGroups) {
+  MockBackend backend;
+  ThreadPerfScope outer(&backend);
+  backend.tick(10);
+  ThreadPerfScope inner(&backend);  // opens its own group at t=10
+  backend.tick(10);
+  const PerfAgg inner_agg = inner.harvest(1);
+  PerfAgg outer_agg = outer.harvest(1);
+  EXPECT_EQ(inner_agg.total(Event::kCycles), 30000u) << "inner counts its own interval only";
+  EXPECT_EQ(outer_agg.total(Event::kCycles), 60000u) << "outer spans both intervals";
+}
+
+TEST(ThreadPerfScope, DeadScopeHarvestsOpsOnly) {
+  NullBackend backend("denied for the test");
+  ThreadPerfScope scope(&backend);
+  EXPECT_FALSE(scope.live());
+  const PerfAgg agg = scope.harvest(42);
+  EXPECT_EQ(agg.ops, 42u);
+  EXPECT_FALSE(agg.any_available());
+  EXPECT_DOUBLE_EQ(agg.per_op(Event::kCycles), -1.0);
+  EXPECT_DOUBLE_EQ(agg.ipc(), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// PerfAgg arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(PerfAgg, AccumulateAndDerive) {
+  MockBackend backend;
+  ThreadPerfScope a(&backend);
+  ThreadPerfScope b(&backend);
+  backend.tick(10);
+  PerfAgg sum;
+  sum += a.harvest(100);
+  sum += b.harvest(300);
+  EXPECT_EQ(sum.ops, 400u);
+  EXPECT_EQ(sum.scopes, 2u);
+  EXPECT_EQ(sum.total(Event::kCycles), 60000u);
+  EXPECT_DOUBLE_EQ(sum.per_op(Event::kCycles), 150.0);
+
+  PerfAgg empty;
+  EXPECT_FALSE(empty.any_available());
+  EXPECT_DOUBLE_EQ(empty.per_op(Event::kCycles), -1.0);
+  empty.ops = 10;  // ops without events: still no per-op claims
+  EXPECT_DOUBLE_EQ(empty.per_op(Event::kCycles), -1.0);
+}
+
+TEST(PerfAgg, WorstMuxScaleIsTheMinimumSeen) {
+  MockBackend::Config muxed;
+  muxed.mux = 0.25;
+  MockBackend heavy(muxed);
+  MockBackend clean;
+  ThreadPerfScope sa(&clean);
+  ThreadPerfScope sb(&heavy);
+  clean.tick(4);
+  heavy.tick(4);
+  PerfAgg sum;
+  sum += sa.harvest(1);
+  EXPECT_DOUBLE_EQ(sum.worst_mux_scale, 1.0);
+  sum += sb.harvest(1);
+  EXPECT_DOUBLE_EQ(sum.worst_mux_scale, 0.25);
+}
+
+TEST(PerfAgg, DeltaOfCumulativeAggregates) {
+  MockBackend backend;
+  ThreadPerfScope scope(&backend);
+  backend.tick(10);
+  PerfAgg earlier;
+  earlier += scope.harvest(100);
+  backend.tick(10);
+  PerfAgg later = earlier;
+  later += scope.harvest(100);
+  const PerfAgg d = agg_delta(later, earlier);
+  EXPECT_EQ(d.ops, 100u);
+  EXPECT_EQ(d.scopes, 1u);
+  EXPECT_EQ(d.total(Event::kCycles), 30000u);
+  EXPECT_DOUBLE_EQ(d.per_op(Event::kCycles), 300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-queue attribution
+// ---------------------------------------------------------------------------
+
+TEST(AttributionTable, DepositAndSnapshot) {
+  AttributionTable table;
+  MockBackend backend;
+  {
+    QueuePerfScope scope("q-a", &backend, &table);
+    ASSERT_TRUE(scope.live());
+    backend.tick(10);
+    scope.add_ops(100);
+    scope.flush();
+    backend.tick(10);
+    scope.add_ops(100);
+    // Destructor flushes the second interval.
+  }
+  const AttributionSnapshot snap = table.snapshot();
+  ASSERT_EQ(snap.queues.size(), 1u);
+  const PerfAgg* agg = snap.find("q-a");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->ops, 200u);
+  EXPECT_EQ(agg->scopes, 2u);
+  EXPECT_EQ(agg->total(Event::kCycles), 60000u);
+  EXPECT_EQ(snap.find("q-missing"), nullptr);
+
+  table.reset_for_testing();
+  EXPECT_TRUE(table.snapshot().queues.empty());
+}
+
+TEST(AttributionTable, SnapshotIsNameSorted) {
+  AttributionTable table;
+  MockBackend backend;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    QueuePerfScope scope(name, &backend, &table);
+    backend.tick(1);
+    scope.add_ops(1);
+  }
+  const AttributionSnapshot snap = table.snapshot();
+  ASSERT_EQ(snap.queues.size(), 3u);
+  EXPECT_EQ(snap.queues[0].first, "alpha");
+  EXPECT_EQ(snap.queues[1].first, "mid");
+  EXPECT_EQ(snap.queues[2].first, "zeta");
+}
+
+TEST(QueuePerfScope, DegradedScopeDropsOpsExplicitly) {
+  AttributionTable table;
+  NullBackend backend("denied");
+  QueuePerfScope scope("q-dead", &backend, &table);
+  EXPECT_FALSE(scope.live());
+  scope.add_ops(1000);
+  scope.flush();
+  EXPECT_TRUE(table.snapshot().queues.empty())
+      << "a dead scope must not deposit misleading ops-without-events rows";
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter
+// ---------------------------------------------------------------------------
+
+TEST(RenderPrometheusPerf, PinnedOutput) {
+  AttributionTable table;
+  MockBackend backend;
+  {
+    QueuePerfScope scope("q-hot", &backend, &table);
+    backend.tick(10);
+    scope.add_ops(100);
+  }
+  std::ostringstream os;
+  render_prometheus_perf(os, table.snapshot(), &backend);
+  const std::string expected =
+      "# HELP evq_perf_backend_available Hardware perf backend status (1 = counting).\n"
+      "# TYPE evq_perf_backend_available gauge\n"
+      "evq_perf_backend_available{backend=\"mock\",reason=\"\"} 1\n"
+      "# HELP evq_perf_ops Queue operations attributed to whole-queue perf scopes.\n"
+      "# TYPE evq_perf_ops counter\n"
+      "evq_perf_ops{queue=\"q-hot\"} 100\n"
+      "# HELP evq_perf_per_op Multiplex-corrected hardware events per queue operation.\n"
+      "# TYPE evq_perf_per_op gauge\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"cycles\"} 300\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"instructions\"} 240\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"l1d_misses\"} 2\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"llc_misses\"} 0.2\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"branch_misses\"} 0.5\n"
+      "evq_perf_per_op{queue=\"q-hot\",event=\"ctx_switches\"} 0\n"
+      "# HELP evq_perf_ipc Instructions retired per cycle.\n"
+      "# TYPE evq_perf_ipc gauge\n"
+      "evq_perf_ipc{queue=\"q-hot\"} 0.8\n"
+      "# HELP evq_perf_mux_scale Worst multiplexing duty cycle seen (1 = true counts).\n"
+      "# TYPE evq_perf_mux_scale gauge\n"
+      "evq_perf_mux_scale{queue=\"q-hot\"} 1\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(RenderPrometheusPerf, DegradedBackendExportsReasonNotSilence) {
+  AttributionTable table;
+  NullBackend backend("no hardware PMU (errno=2, perf_event_paranoid=2)");
+  std::ostringstream os;
+  render_prometheus_perf(os, table.snapshot(), &backend);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("evq_perf_backend_available{backend=\"null\",reason=\"no hardware PMU "
+                     "(errno=2, perf_event_paranoid=2)\"} 0\n"),
+            std::string::npos);
+  EXPECT_EQ(out.find("evq_perf_per_op{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+TEST(BackendSelection, OverrideWinsAndRestores) {
+  MockBackend mock;
+  set_default_backend_for_testing(&mock);
+  EXPECT_EQ(&default_backend(), static_cast<Backend*>(&mock));
+  set_default_backend_for_testing(nullptr);
+  EXPECT_NE(&default_backend(), static_cast<Backend*>(&mock));
+}
+
+TEST(BackendSelection, ProbedBackendSatisfiesTheFallbackMatrix) {
+  Backend& backend = default_backend();
+  if (backend.available()) {
+    EXPECT_TRUE(backend.unavailable_reason().empty()) << backend.unavailable_reason();
+    EXPECT_STREQ(backend.name(), "perf_event");
+  } else {
+    // Every degraded cell of the matrix carries a reason and the null name.
+    EXPECT_FALSE(backend.unavailable_reason().empty());
+    EXPECT_STREQ(backend.name(), "null");
+  }
+}
+
+TEST(BackendSelection, RealCountersCountRealWork) {
+  Backend& backend = default_backend();
+  if (!backend.available()) {
+    GTEST_SKIP() << "hardware counting unavailable: " << backend.unavailable_reason();
+  }
+  ThreadPerfScope scope;
+  ASSERT_TRUE(scope.live());
+  // Burn deterministic-ish work; any PMU worth the name counts > 0 cycles.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2000000; ++i) {
+    sink += i * i;
+  }
+  const PerfAgg agg = scope.harvest(1);
+  EXPECT_TRUE(agg.has(Event::kCycles));
+  EXPECT_GT(agg.total(Event::kCycles), 0u);
+  EXPECT_GT(agg.worst_mux_scale, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CacheThrash: deterministic false-sharing repro + padded quiet twin
+// ---------------------------------------------------------------------------
+
+// The repro subject: two queues' head/tail index words deliberately packed
+// into ONE cacheline (what CachePadded exists to prevent) so every increment
+// by one pair's owners invalidates the line under the other pair's feet.
+struct Indices {
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+};
+
+struct SharedLine {
+  Indices a;  // "queue A"'s control words...
+  Indices b;  // ...and "queue B"'s, 16 bytes later on the SAME line
+};
+static_assert(sizeof(SharedLine) <= evq::kCacheLineSize,
+              "repro requires both index pairs on one destructive-interference line");
+
+// The twin: the repo's own padding idiom — each pair owns a full line.
+struct PaddedPair {
+  evq::CachePadded<Indices> a;
+  evq::CachePadded<Indices> b;
+};
+static_assert(sizeof(PaddedPair) >= 2 * evq::kCacheLineSize);
+
+/// Hammers one Indices pair from two threads for exactly `ops_per_thread`
+/// increments each — the fixed op count keeps the mock-derived per-op rates
+/// below fully deterministic.
+void hammer(Indices& ix, std::uint64_t ops_per_thread) {
+  std::thread head_side([&] {
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      ix.head.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread tail_side([&] {
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      ix.tail.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  head_side.join();
+  tail_side.join();
+}
+
+TEST(CacheThrash, ReproTripsAndPaddedTwinStaysQuiet) {
+  constexpr std::uint64_t kOpsPerThread = 50000;
+  constexpr std::uint64_t kOps = 2 * kOpsPerThread;
+
+  // Physical layer: run the actual false-sharing workload and its padded
+  // twin. On this host we cannot assert PMU numbers (CI containers rarely
+  // count), so the workload's role is to BE the documented repro; the
+  // deterministic mock profiles below stand in for what a PMU measures on
+  // it: adjacent-line indices thrash (~6 LLC misses/op), padded ones don't.
+  SharedLine shared;
+  hammer(shared.a, kOpsPerThread);
+  hammer(shared.b, kOpsPerThread);
+  PaddedPair padded;
+  hammer(padded.a.value, kOpsPerThread);
+  hammer(padded.b.value, kOpsPerThread);
+  ASSERT_EQ(shared.a.head.load(), kOpsPerThread);
+  ASSERT_EQ(padded.a.value.head.load(), kOpsPerThread);
+
+  // Diagnosis layer: attribute deterministic counter profiles for the two
+  // workloads and run the real Monitor/Diagnoser over them. One virtual
+  // tick per op; the hot profile pays 6 LLC misses/op (>> threshold 2), the
+  // padded twin 2 per 100 ops.
+  MockBackend::Config hot_config;
+  hot_config.rate[idx(Event::kLlcMisses)] = 6;
+  MockBackend hot(hot_config);
+  MockBackend::Config quiet_config;
+  quiet_config.rate[idx(Event::kLlcMisses)] = 0;
+  MockBackend quiet(quiet_config);
+
+  AttributionTable table;
+  evq::telemetry::Registry registry;  // private + empty: rates come from perf only
+  evq::health::MonitorOptions options;
+  options.registry = &registry;
+  options.latency_sample_every = 0;
+  options.perf = &table;
+  evq::health::Monitor monitor(options);
+
+  auto attribute_interval = [&] {
+    {
+      QueuePerfScope scope("thrash-repro", &hot, &table);
+      hot.tick(kOps);
+      scope.add_ops(kOps);
+    }
+    {
+      QueuePerfScope scope("thrash-twin", &quiet, &table);
+      quiet.tick(kOps);
+      scope.add_ops(kOps);
+    }
+  };
+
+  // trip_polls = 2: the first breaching interval arms the rule, the second
+  // raises the finding — for the repro key only.
+  attribute_interval();
+  evq::health::HealthSnapshot snap = monitor.poll();
+  EXPECT_TRUE(snap.findings.empty()) << "hysteresis: one breach must not trip";
+  const evq::health::QueueRates* repro = nullptr;
+  for (const evq::health::QueueRates& q : snap.queues) {
+    if (q.queue == "thrash-repro") {
+      repro = &q;
+    }
+  }
+  ASSERT_NE(repro, nullptr);
+  EXPECT_TRUE(repro->perf_live);
+  EXPECT_EQ(repro->perf_ops, kOps);
+  EXPECT_DOUBLE_EQ(repro->llc_miss_per_op, 6.0);
+
+  attribute_interval();
+  snap = monitor.poll();
+  ASSERT_EQ(snap.findings.size(), 1u);
+  const evq::health::Finding& f = snap.findings[0];
+  EXPECT_EQ(f.type, evq::health::FindingType::kCacheThrash);
+  EXPECT_EQ(f.subject, "thrash-repro");
+  EXPECT_DOUBLE_EQ(f.severity, 6.0);
+  EXPECT_NE(f.detail.find("llc_miss/op"), std::string::npos);
+
+  // The padded twin never trips, and two quiet intervals clear the repro.
+  for (int i = 0; i < 2; ++i) {
+    {
+      QueuePerfScope scope("thrash-repro", &quiet, &table);
+      quiet.tick(kOps);
+      scope.add_ops(kOps);
+    }
+    snap = monitor.poll();
+  }
+  EXPECT_TRUE(snap.findings.empty()) << "clear_polls = 2 quiet intervals must clear";
+}
+
+TEST(CacheThrash, HealthSinksCarryPerfRates) {
+  // The joined layer-4 rates must surface through both health sinks so
+  // evq-top and the JSON consumers see them.
+  MockBackend::Config hot_config;
+  hot_config.rate[idx(Event::kLlcMisses)] = 6;
+  MockBackend hot(hot_config);
+  AttributionTable table;
+  evq::telemetry::Registry registry;
+  evq::health::MonitorOptions options;
+  options.registry = &registry;
+  options.latency_sample_every = 0;
+  options.perf = &table;
+  evq::health::Monitor monitor(options);
+  {
+    QueuePerfScope scope("sink-queue", &hot, &table);
+    hot.tick(1000);
+    scope.add_ops(1000);
+  }
+  const evq::health::HealthSnapshot snap = monitor.poll();
+
+  std::ostringstream prom;
+  evq::health::render_prometheus_health(prom, snap);
+  EXPECT_NE(prom.str().find("evq_health_rate{queue=\"sink-queue\",rate=\"perf_ops\"} 1000"),
+            std::string::npos)
+      << prom.str();
+  EXPECT_NE(prom.str().find("rate=\"llc_miss_per_op\"} 6"), std::string::npos);
+
+  std::ostringstream json;
+  evq::health::health_json(json, snap);
+  EXPECT_NE(json.str().find("\"perf\":{\"ops\":1000,\"cycles_per_op\":3000,"), std::string::npos)
+      << json.str();
+}
+
+}  // namespace

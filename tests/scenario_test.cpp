@@ -1,9 +1,9 @@
 // Tests for the scenario layer of evq-bench: registry completeness, the
 // default sweep runner, CLI override semantics, latency sampling and
 // adaptive repetition plumbed through run_workload_ex, and the versioned
-// JSON document — including a golden-file test that pins schema_version 1
+// JSON document — including a golden-file test that pins schema_version 2
 // byte-for-byte (changing ANY key or shape requires bumping
-// kBenchJsonSchemaVersion and regenerating tests/golden/bench_schema_v1.json).
+// kBenchJsonSchemaVersion and regenerating tests/golden/bench_schema_v2.json).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -16,6 +16,8 @@
 
 #include "evq/harness/bench_json.hpp"
 #include "evq/harness/scenario.hpp"
+#include "evq/perf/backend.hpp"
+#include "evq/perf/perf.hpp"
 
 namespace {
 
@@ -25,16 +27,16 @@ TEST(ScenarioRegistry, EveryRetiredBinaryHasAScenario) {
   // The 13 harness-based bench mains this driver replaced, plus the
   // observability scenarios (telemetry-overhead smoke, the E7 pairwise
   // trace workload, the trace-overhead A/B, the E10 combining-overhead
-  // A/B, the E11 health-overhead A/B), the E8 cross-generation SCQ
-  // head-to-head, the E9 segmented-queue burst comparison, and the E10
-  // combining ladder. A scenario disappearing from the registry silently
-  // drops an experiment.
+  // A/B, the E11 health-overhead A/B, the E12 perf-overhead A/B), the E8
+  // cross-generation SCQ head-to-head, the E9 segmented-queue burst
+  // comparison, and the E10 combining ladder. A scenario disappearing from
+  // the registry silently drops an experiment.
   const std::set<std::string> expected = {
       "fig6a",         "fig6b",       "fig6c",     "fig6d",             "overhead",
       "op-profile",    "ablation-llsc", "ablation-hp", "ablation-capacity", "ext-mixed",
       "ext-reclaim",   "sharded",     "scq",       "backoff",   "telemetry-overhead",
       "pairwise",      "trace-overhead", "burst",  "combining", "combining-overhead",
-      "health-overhead"};
+      "health-overhead", "perf-overhead"};
   std::set<std::string> got;
   for (const ScenarioSpec& spec : all_scenarios()) {
     EXPECT_TRUE(got.insert(spec.name).second) << "duplicate scenario " << spec.name;
@@ -168,6 +170,74 @@ TEST(ScenarioRun, TelemetryDeltaCapturesQueueCounters) {
 #endif
 }
 
+TEST(ScenarioRun, PerfNullBackendDegradesToExplicitRecord) {
+  // The E12 degradation contract end to end: with the null backend forced
+  // (as auto-selected on perf-denied hosts), a --perf run still completes,
+  // cells carry no perf section, and the scenario-level record names the
+  // backend and the reason instead of going silent.
+  evq::perf::NullBackend null_backend("forced by test");
+  evq::perf::set_default_backend_for_testing(&null_backend);
+  const ScenarioSpec& spec = find_scenario("perf-overhead");
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{1};
+  ov.iterations = 20;
+  ov.runs = 1;
+  ov.perf = true;
+  const CliOptions opts = scenario_options(spec, ov);
+  ASSERT_TRUE(opts.perf);
+  ASSERT_TRUE(opts.workload.record_perf);
+  const ScenarioResult result = run_scenario(spec, opts);
+  evq::perf::set_default_backend_for_testing(nullptr);
+
+  EXPECT_TRUE(result.perf.enabled);
+  EXPECT_EQ(result.perf.backend, "null");
+  EXPECT_FALSE(result.perf.available);
+  EXPECT_EQ(result.perf.reason, "forced by test");
+  for (const ScenarioSeries& s : result.series) {
+    for (const CellStats& cell : s.cells) {
+      EXPECT_FALSE(cell.has_perf) << s.name;
+      EXPECT_GT(cell.total_ops, 0u) << s.name << ": the workload itself must be unaffected";
+    }
+  }
+  const std::string doc = bench_results_to_json(BenchHostInfo{}, {result}, {opts});
+  EXPECT_NE(doc.find("\"perf\":{\"backend\":\"null\",\"available\":false,"
+                     "\"reason\":\"forced by test\"}"),
+            std::string::npos);
+  EXPECT_EQ(doc.find("cycles_per_op"), std::string::npos);
+}
+
+TEST(ScenarioRun, PerfMockBackendFillsCells) {
+#if !EVQ_PERF
+  GTEST_SKIP() << "EVQ_PERF=0: scopes are compiled out";
+#else
+  // With a live (mock) backend the same run attributes counters to every
+  // cell. The mock clock never advances, so the values are zero — what this
+  // pins is the plumbing: worker scopes open, harvest and mark events
+  // available all the way into the JSON cell.
+  evq::perf::MockBackend mock;
+  evq::perf::set_default_backend_for_testing(&mock);
+  const ScenarioSpec& spec = find_scenario("perf-overhead");
+  CliOverrides ov;
+  ov.thread_counts = std::vector<unsigned>{1};
+  ov.iterations = 20;
+  ov.runs = 1;
+  ov.perf = true;
+  const ScenarioResult result = run_scenario(spec, scenario_options(spec, ov));
+  evq::perf::set_default_backend_for_testing(nullptr);
+
+  EXPECT_TRUE(result.perf.enabled);
+  EXPECT_EQ(result.perf.backend, "mock");
+  EXPECT_TRUE(result.perf.available);
+  for (const ScenarioSeries& s : result.series) {
+    for (const CellStats& cell : s.cells) {
+      EXPECT_TRUE(cell.has_perf) << s.name;
+      EXPECT_EQ(cell.perf.ops, cell.total_ops) << s.name;
+      EXPECT_TRUE(cell.perf.has(evq::perf::Event::kCycles)) << s.name;
+    }
+  }
+#endif
+}
+
 TEST(ScenarioRun, AdaptiveRepetitionRespectsBounds) {
   // An impossible CV target with a low cap: every cell runs exactly max_runs.
   const ScenarioSpec& spec = find_scenario("overhead");
@@ -223,8 +293,30 @@ ScenarioResult synthetic_result() {
   c2.ops.cas_attempts = 10;
   c2.ops.cas_success = 8;
   c2.ops.faa = 4;
+  // Hardware-counter cell: every per-op key except branch misses (left
+  // unavailable to pin the only-available-events rule) plus a multiplexed
+  // scale factor.
+  c2.has_perf = true;
+  c2.perf.ops = 4000;
+  c2.perf.scopes = 2;
+  using evq::perf::Event;
+  auto set_event = [&](Event e, std::uint64_t total) {
+    c2.perf.value[static_cast<std::size_t>(e)] = total;
+    c2.perf.available[static_cast<std::size_t>(e)] = true;
+  };
+  set_event(Event::kCycles, 12000000);
+  set_event(Event::kInstructions, 8000000);
+  set_event(Event::kL1dMisses, 40000);
+  set_event(Event::kLlcMisses, 8000);
+  set_event(Event::kContextSwitches, 4);
+  c2.perf.worst_mux_scale = 0.8;
   plain.cells.push_back(c2);
   r.series.push_back(plain);
+
+  r.perf.enabled = true;
+  r.perf.backend = "mock";
+  r.perf.available = true;
+  r.perf.reason = "";
 
   evq::telemetry::QueueCounters tq;
   tq.queue = "algo-a";
@@ -237,7 +329,7 @@ ScenarioResult synthetic_result() {
   return r;
 }
 
-TEST(BenchJson, GoldenFilePinsSchemaV1) {
+TEST(BenchJson, GoldenFilePinsSchemaV2) {
   BenchHostInfo host;
   host.hardware_concurrency = 8;
   host.compiler = "test-compiler 1.0";
@@ -248,7 +340,7 @@ TEST(BenchJson, GoldenFilePinsSchemaV1) {
   CliOptions opts;
   const std::string doc = bench_results_to_json(host, {result}, {opts});
 
-  const std::string golden_path = std::string(EVQ_TEST_GOLDEN_DIR) + "/bench_schema_v1.json";
+  const std::string golden_path = std::string(EVQ_TEST_GOLDEN_DIR) + "/bench_schema_v2.json";
   if (std::getenv("EVQ_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(golden_path);
     ASSERT_TRUE(out.good()) << golden_path;
@@ -268,9 +360,25 @@ TEST(BenchJson, GoldenFilePinsSchemaV1) {
   }
   EXPECT_EQ(doc, expected)
       << "JSON schema drifted. If intentional: bump kBenchJsonSchemaVersion, "
-         "regenerate tests/golden/bench_schema_v1.json, and update "
+         "regenerate tests/golden/bench_schema_v2.json, and update "
          "scripts/bench_diff.py.";
-  EXPECT_EQ(kBenchJsonSchemaVersion, 1);
+  EXPECT_EQ(kBenchJsonSchemaVersion, 2);
+}
+
+TEST(BenchJson, GoldenPinsPerfSections) {
+  // Belt and braces on top of the byte-for-byte golden: the perf keys the
+  // python consumers join on must exist under their exact names, and the
+  // deliberately-unavailable event (branch misses) must NOT appear.
+  BenchHostInfo host;
+  const std::string doc = bench_results_to_json(host, {synthetic_result()}, {CliOptions{}});
+  EXPECT_NE(doc.find("\"perf\":{\"ops\":4000"), std::string::npos);
+  EXPECT_NE(doc.find("\"cycles_per_op\":3000"), std::string::npos);
+  EXPECT_NE(doc.find("\"ipc\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"llc_miss_per_op\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"mux_scale\":0.8"), std::string::npos);
+  EXPECT_EQ(doc.find("branch_miss_per_op"), std::string::npos);
+  EXPECT_NE(doc.find("\"perf\":{\"backend\":\"mock\",\"available\":true,\"reason\":\"\"}"),
+            std::string::npos);
 }
 
 TEST(BenchJson, TimestampAppearsWhenSet) {
@@ -279,7 +387,7 @@ TEST(BenchJson, TimestampAppearsWhenSet) {
   EXPECT_FALSE(host.timestamp.empty());
   const std::string doc = bench_results_to_json(host, {}, {});
   EXPECT_NE(doc.find("\"timestamp\":"), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(doc.find("\"scenarios\":[]"), std::string::npos);
 }
 

@@ -69,6 +69,7 @@
 #include "evq/inject/inject.hpp"
 #include "evq/inject/profile.hpp"
 #include "evq/llsc/packed_llsc.hpp"
+#include "evq/perf/perf.hpp"
 #include "evq/llsc/versioned_llsc.hpp"
 #include "evq/telemetry/flight_recorder.hpp"
 #include "evq/trace/chrome_trace.hpp"
@@ -154,6 +155,11 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   for (std::size_t p = 0; p < cfg.producers; ++p) {
     threads.emplace_back([&, p] {
       inject::ScopedInjector install(*injectors[p]);
+      // Layer 4: hardware counters for this worker, attributed to the
+      // "torture" key (the run is one queue instance; its registry name is
+      // not visible through the template, and one key is enough for the
+      // wedge diagnosis). Flushed by the scope destructor before join.
+      perf::QueuePerfScope pscope("torture");
       auto h = queue.handle();
       std::uint64_t done = 0;
       for (; done < cfg.tokens_per_producer; ++done) {
@@ -169,6 +175,7 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
           break;
         }
       }
+      pscope.add_ops(done);
       pushed[p] = done;
       producers_active.fetch_sub(1, std::memory_order_acq_rel);
     });
@@ -176,11 +183,13 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   for (std::size_t c = 0; c < cfg.consumers; ++c) {
     threads.emplace_back([&, c] {
       inject::ScopedInjector install(*injectors[cfg.producers + c]);
+      perf::QueuePerfScope pscope("torture");
       auto h = queue.handle();
       std::uint64_t empty_polls = 0;
       while (remaining.load(std::memory_order_acquire) != 0) {
         if (Token* tok = queue.try_pop(h)) {
           logs[c].push_back(*tok);
+          pscope.add_ops(1);
           remaining.fetch_sub(1, std::memory_order_acq_rel);
           empty_polls = 0;
         } else {
@@ -202,8 +211,14 @@ TortureOutcome run_torture(Q& queue, const inject::Profile& profile, const Tortu
   // victim whose park blocks completion wakes by itself: the gate's park
   // budget is bounded precisely so a stalled thread cannot deadlock a run).
   // The watchdog also pumps a health Monitor (~every 32ms) so a wedge is
-  // declared WITH a diagnosis, not just raw counters.
-  health::Monitor monitor;
+  // declared WITH a diagnosis, not just raw counters. Layer 4 rides along:
+  // the workers' perf scopes deposit into the global attribution table, so
+  // on counting hosts the diagnosis includes cycles/op and misses/op (and
+  // the cache_thrash detector is armed); on perf-denied hosts the scopes are
+  // dead and the join is a no-op.
+  health::MonitorOptions monitor_options;
+  monitor_options.perf = &perf::AttributionTable::global();
+  health::Monitor monitor(monitor_options);
   std::uint32_t watchdog_ticks = 0;
   while (remaining.load(std::memory_order_acquire) != 0 &&
          !abort.load(std::memory_order_acquire) && Clock::now() < deadline) {
